@@ -1,0 +1,51 @@
+"""§6.2 attack distance: input channel vs DFI vs Pythia.
+
+Paper: averaged over the benchmarks, input channels sit 83.29 IR
+instructions from their branches; DFI's protection starts 113.95
+instructions out (its slices terminate at pointer arithmetic); Pythia's
+starts 127.35 instructions out.  A technique protects a branch only if
+its attack distance is at least the input channel's -- Pythia's always
+is, by construction.
+"""
+
+from repro.metrics import attack_distance_row, mean
+
+from conftest import print_table
+
+
+def test_attack_distance(suite, benchmark):
+    rows = []
+    ic, dfi, pythia = [], [], []
+    for name, entry in suite.items():
+        row = entry.distances
+        if row.affected_branches == 0:
+            continue
+        ic.append(row.ic_distance)
+        dfi.append(row.dfi_distance)
+        pythia.append(row.pythia_distance)
+        rows.append(
+            f"{name:18s} {row.affected_branches:5d} {row.ic_distance:8.1f} "
+            f"{row.dfi_distance:8.1f} {row.pythia_distance:8.1f}"
+        )
+
+    print_table(
+        "Attack distance in IR instructions "
+        "(paper: IC 83.29, DFI 113.95, Pythia 127.35)",
+        f"{'benchmark':18s} {'affct':>5s} {'IC':>8s} {'DFI':>8s} {'Pythia':>8s}",
+        rows,
+        f"{'average':18s} {'':5s} {mean(ic):8.1f} {mean(dfi):8.1f} {mean(pythia):8.1f}",
+    )
+
+    # -- shape assertions --------------------------------------------------------
+    # the ordering IC < DFI < Pythia that drives the paper's argument
+    assert mean(ic) < mean(dfi) < mean(pythia)
+    # Pythia's protection starts at least as far out as the attacker on
+    # every benchmark -- the Definition 2.4 security condition
+    for name, entry in suite.items():
+        if entry.distances.affected_branches:
+            assert entry.distances.pythia_exceeds_ic, name
+            assert entry.distances.pythia_exceeds_dfi, name
+
+    # -- timed unit ---------------------------------------------------------------
+    module = suite["525.x264_r"].program.compile()
+    benchmark(lambda: attack_distance_row(module, "x264").pythia_distance)

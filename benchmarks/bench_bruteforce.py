@@ -1,0 +1,57 @@
+"""§4.4 Eq. 6: brute-force probability against re-randomised canaries.
+
+Paper: with a 24-bit PAC and per-invocation re-randomisation, a single
+guess succeeds with probability ~1/16.7M per canary, attempts form a
+geometric variable, and the expected number of tries is 2^24.
+"""
+
+import math
+
+from repro.attacks import (
+    empirical_success_rate,
+    expected_tries,
+    first_order_probability,
+    simulate_bruteforce,
+    success_probability,
+)
+
+from conftest import print_table
+
+
+def test_bruteforce_model(benchmark):
+    rows = []
+    for bits in (8, 12, 16, 24):
+        closed = success_probability(1, pac_bits=bits)
+        rows.append(
+            f"{bits:4d} {closed:14.3e} {expected_tries(bits):14.0f}"
+        )
+    print_table(
+        "Eq. 6 brute force (paper: P ~ k/2^24, E[tries] = 2^24 ~ 16.7M)",
+        f"{'bits':4s} {'P(1 try)':>14s} {'E[tries]':>14s}",
+        rows,
+    )
+
+    # -- closed-form claims -----------------------------------------------------
+    assert first_order_probability(1, 24) < 1 / 16_000_000
+    assert expected_tries(24) == 2**24
+    # probability is linear in canary count to first order (k canaries)
+    assert first_order_probability(3, 24) / first_order_probability(1, 24) == 3
+
+    # -- Monte-Carlo against the real PAC function -------------------------------
+    # at 6 bits, one-try success rate must track 1/64 within noise
+    rate = empirical_success_rate(pac_bits=6, trials=600, seed=23)
+    expected = 1 / 64
+    sigma = math.sqrt(expected * (1 - expected) / 600)
+    assert abs(rate - expected) < 4 * sigma + 1e-3, (rate, expected)
+
+    # campaigns against narrow PACs succeed, wide PACs resist
+    assert simulate_bruteforce(pac_bits=4, max_attempts=2000, seed=9).succeeded
+    assert not simulate_bruteforce(pac_bits=24, max_attempts=500, seed=9).succeeded
+
+    # expected attempt count scales geometrically: a successful 8-bit
+    # campaign finishes in a few hundred tries on average
+    outcome = simulate_bruteforce(pac_bits=8, max_attempts=20_000, seed=31)
+    assert outcome.succeeded
+
+    # -- timed unit: one brute-force campaign -------------------------------------
+    benchmark(lambda: simulate_bruteforce(pac_bits=6, max_attempts=200, seed=3).attempts)

@@ -1,0 +1,59 @@
+"""Fig. 4(a): runtime overhead, CPA vs Pythia, per benchmark.
+
+Paper: CPA averages 47.88% with a worst case of 69.8% (502.gcc_r);
+Pythia drops the average to 13.07% with a worst case of 25.4% (also
+gcc), and 500.perlbench_r collapses from 60.7% to 18%.
+"""
+
+from repro.core import protect
+from repro.hardware import CPU
+from repro.metrics import mean
+
+from conftest import print_table
+
+
+def test_fig4a_runtime_overhead(suite, spec_suite, benchmark):
+    rows = []
+    for name, entry in suite.items():
+        cpa = 100 * entry.measurement.runtime_overhead("cpa")
+        pythia = 100 * entry.measurement.runtime_overhead("pythia")
+        rows.append(f"{name:18s} {cpa:7.1f}% {pythia:8.1f}%")
+
+    cpa_avg = mean(e.measurement.runtime_overhead("cpa") for e in suite.values())
+    py_avg = mean(e.measurement.runtime_overhead("pythia") for e in suite.values())
+    print_table(
+        "Fig. 4(a) runtime overhead vs vanilla (paper: CPA 47.88%, Pythia 13.07%)",
+        f"{'benchmark':18s} {'CPA':>8s} {'Pythia':>9s}",
+        rows,
+        f"{'average':18s} {100 * cpa_avg:7.1f}% {100 * py_avg:8.1f}%",
+    )
+
+    # -- shape assertions --------------------------------------------------------
+    # Pythia beats CPA on every benchmark, by a large average factor.
+    for entry in suite.values():
+        assert entry.measurement.runtime_overhead(
+            "pythia"
+        ) < entry.measurement.runtime_overhead("cpa")
+    assert cpa_avg / py_avg > 2.5  # paper: 47.88 / 13.07 ~ 3.7x
+    # gcc is the worst case for both schemes among the SPEC benchmarks.
+    gcc = spec_suite["502.gcc_r"].measurement
+    for name, entry in spec_suite.items():
+        assert entry.measurement.runtime_overhead("cpa") <= (
+            gcc.runtime_overhead("cpa") + 1e-9
+        ), name
+        assert entry.measurement.runtime_overhead("pythia") <= (
+            gcc.runtime_overhead("pythia") + 1e-9
+        ), name
+    # overall magnitudes in the paper's band
+    assert 0.30 < cpa_avg < 0.75
+    assert 0.05 < py_avg < 0.25
+
+    # -- timed unit: one protected execution of the median benchmark --------------
+    entry = suite["505.mcf_r"]
+    module = entry.measurement.runs["pythia"].protection.module
+
+    def run_protected():
+        return CPU(module).run(inputs=list(entry.program.inputs))
+
+    result = benchmark(run_protected)
+    assert result.ok

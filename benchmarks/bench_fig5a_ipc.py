@@ -1,0 +1,54 @@
+"""Fig. 5(a): IPC degradation, CPA vs Pythia.
+
+Paper: CPA degrades IPC by 4.9% on average (worst 13%, 523.xalancbmk_r,
+from PA instructions inside loop nests); Pythia by only 2.8%.  Our
+in-order-leaning cycle model exaggerates absolute IPC loss, but the
+shape -- Pythia well below CPA, the C++ loop-nest benchmarks worst --
+is the reproduction target (see EXPERIMENTS.md).
+"""
+
+from repro.hardware import CPU
+from repro.metrics import mean
+
+from conftest import print_table
+
+
+def test_fig5a_ipc_degradation(suite, spec_suite, benchmark):
+    rows = []
+    for name, entry in suite.items():
+        cpa = 100 * entry.measurement.ipc_degradation("cpa")
+        pythia = 100 * entry.measurement.ipc_degradation("pythia")
+        vanilla_ipc = entry.measurement.ipc("vanilla")
+        rows.append(
+            f"{name:18s} {vanilla_ipc:8.2f} {cpa:8.1f}% {pythia:8.1f}%"
+        )
+
+    cpa_avg = mean(e.measurement.ipc_degradation("cpa") for e in suite.values())
+    py_avg = mean(e.measurement.ipc_degradation("pythia") for e in suite.values())
+    print_table(
+        "Fig. 5(a) IPC degradation (paper: CPA 4.9%, Pythia 2.8%; worst xalancbmk)",
+        f"{'benchmark':18s} {'IPC':>8s} {'CPA':>9s} {'Pythia':>9s}",
+        rows,
+        f"{'average':18s} {'':8s} {100 * cpa_avg:8.1f}% {100 * py_avg:8.1f}%",
+    )
+
+    # -- shape assertions --------------------------------------------------------
+    for name, entry in suite.items():
+        assert entry.measurement.ipc_degradation("pythia") < (
+            entry.measurement.ipc_degradation("cpa")
+        ), name
+    # Pythia recovers most of the IPC loss (paper: 4.9 -> 2.8)
+    assert py_avg < 0.6 * cpa_avg
+    # the worst CPA IPC hit comes from an IC/pointer-heavy benchmark
+    worst = max(spec_suite.values(), key=lambda e: e.measurement.ipc_degradation("cpa"))
+    assert worst.name in ("523.xalancbmk_r", "502.gcc_r", "510.parest_r")
+
+    # -- timed unit: vanilla execution (IPC baseline) --------------------------------
+    entry = suite["519.lbm_r"]
+    module = entry.measurement.runs["vanilla"].protection.module
+
+    def run_vanilla():
+        return CPU(module).run(inputs=list(entry.program.inputs))
+
+    result = benchmark(run_vanilla)
+    assert result.ipc > 0

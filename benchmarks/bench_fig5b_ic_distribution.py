@@ -1,0 +1,64 @@
+"""Fig. 5(b): input-channel distribution across the benchmarks.
+
+Paper: 25326 IC functions total; print accounts for 31.5%, move/copy
+for 65.9%, and the remaining four categories (map, scan, get, put) for
+only 2.6%.  502.gcc_r and 510.parest_r carry the most channels; nginx
+has 720 channels, 712 of them copy/move.
+"""
+
+from repro.analysis import InputChannelAnalysis
+from repro.metrics import mean
+
+from conftest import print_table
+
+
+def test_fig5b_ic_distribution(suite, benchmark):
+    totals = {category: 0 for category in ("print", "movecopy", "scan", "get", "put", "map")}
+    rows = []
+    per_benchmark = {}
+    for name, entry in suite.items():
+        module = entry.program.compile()
+        analysis = InputChannelAnalysis(module)
+        dist = analysis.distribution()
+        per_benchmark[name] = (analysis.total(), dist)
+        for category, count in dist.items():
+            totals[category] += count
+        rows.append(
+            f"{name:18s} {analysis.total():5d}  "
+            + "  ".join(f"{dist.get(c, 0):4d}" for c in totals)
+        )
+
+    grand_total = sum(totals.values())
+    shares = {c: totals[c] / grand_total for c in totals}
+    footer = (
+        f"{'total':18s} {grand_total:5d}  "
+        + "  ".join(f"{totals[c]:4d}" for c in totals)
+        + f"\nshares: print {100 * shares['print']:.1f}% | movecopy "
+        f"{100 * shares['movecopy']:.1f}% | rest "
+        f"{100 * (1 - shares['print'] - shares['movecopy']):.1f}%"
+    )
+    print_table(
+        "Fig. 5(b) input channels (paper: print 31.5%, move/copy 65.9%, rest 2.6%)",
+        f"{'benchmark':18s} {'total':>5s}  " + "  ".join(f"{c[:4]:>4s}" for c in totals),
+        rows,
+        footer,
+    )
+
+    # -- shape assertions --------------------------------------------------------
+    # print + move/copy dominate, move/copy ahead of print
+    assert shares["movecopy"] > shares["print"]
+    # (the fixed seed/request channels keep "rest" a bit above the
+    # paper's 2.6% at this scale -- see EXPERIMENTS.md)
+    assert shares["print"] + shares["movecopy"] > 0.75
+    assert 1 - shares["print"] - shares["movecopy"] < 0.25
+    # gcc and parest carry the most channels among SPEC
+    spec_totals = {n: t for n, (t, _) in per_benchmark.items() if n != "nginx"}
+    top_two = sorted(spec_totals, key=spec_totals.get, reverse=True)[:2]
+    assert set(top_two) <= {"502.gcc_r", "510.parest_r"}
+    # nginx is copy/move-saturated (paper: 712 of 720)
+    nginx_total, nginx_dist = per_benchmark["nginx"]
+    assert nginx_dist["movecopy"] / nginx_total > 0.8
+
+    # -- timed unit: one IC census -------------------------------------------------
+    module = suite["502.gcc_r"].program.compile()
+    benchmark(lambda: InputChannelAnalysis(module).total())

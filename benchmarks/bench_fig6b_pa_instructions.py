@@ -1,0 +1,57 @@
+"""Fig. 6(b): ARM-PA instruction counts, CPA vs Pythia.
+
+Paper: CPA instruments ~5x10^5 PA instructions in total (max ~1.3x10^5
+in gcc/parest); Pythia cuts the total dramatically (to ~1.1x10^4, a
+factor the intro rounds to 4.25x fewer sites), with parest carrying the
+most Pythia PA instructions.  Roughly 50% of instrumented PA
+instructions execute dynamically in both schemes.
+"""
+
+from repro.metrics import mean
+
+from conftest import print_table
+
+
+def test_fig6b_pa_instructions(suite, spec_suite, benchmark):
+    rows = []
+    total_cpa = total_pythia = 0
+    for name, entry in suite.items():
+        m = entry.measurement
+        total_cpa += m.pa_static("cpa")
+        total_pythia += m.pa_static("pythia")
+        rows.append(
+            f"{name:18s} {m.pa_static('cpa'):7d} {m.pa_static('pythia'):8d} "
+            f"{m.pa_dynamic('cpa'):9d} {m.pa_dynamic('pythia'):9d}"
+        )
+
+    reduction = total_cpa / max(1, total_pythia)
+    print_table(
+        "Fig. 6(b) PA instructions (paper: CPA total >> Pythia total, ~4.25x fewer sites)",
+        f"{'benchmark':18s} {'CPA-st':>7s} {'Py-st':>8s} {'CPA-dyn':>9s} {'Py-dyn':>9s}",
+        rows,
+        f"{'total':18s} {total_cpa:7d} {total_pythia:8d}   reduction {reduction:.2f}x",
+    )
+
+    # -- shape assertions --------------------------------------------------------
+    assert total_pythia < total_cpa
+    assert reduction > 1.5  # the paper's static-site reduction
+    # gcc and parest carry the most CPA PA instructions (paper: 1.3e5 each)
+    ranked = sorted(
+        spec_suite, key=lambda n: spec_suite[n].measurement.pa_static("cpa"), reverse=True
+    )
+    assert set(ranked[:2]) <= {"502.gcc_r", "510.parest_r"}
+    # parest carries the most Pythia PA instructions (paper: 59680)
+    ranked_pythia = sorted(
+        spec_suite,
+        key=lambda n: spec_suite[n].measurement.pa_static("pythia"),
+        reverse=True,
+    )
+    assert "510.parest_r" in ranked_pythia[:2]
+    # dynamic executions exist wherever static sites exist
+    for name, entry in suite.items():
+        if entry.measurement.pa_static("pythia"):
+            assert entry.measurement.pa_dynamic("pythia") > 0, name
+
+    # -- timed unit: static PA census of one instrumented module -------------------
+    protection = suite["502.gcc_r"].measurement.runs["cpa"].protection
+    benchmark(lambda: protection.pa_static)

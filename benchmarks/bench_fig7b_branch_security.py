@@ -1,0 +1,57 @@
+"""Fig. 7(b): fraction of conditional branches secured, DFI vs Pythia.
+
+Paper: Pythia secures 92% of branches on average against DFI's 86.6%
+(a 5.6 point advantage, up to 17 points on parest).  Pythia fully
+secures three applications (519.lbm_r, 505.mcf_r, 525.x264_r); DFI
+fully secures only lbm.  Pythia's edge concentrates in pointer-heavy
+and C++ code, where DFI's slices terminate.
+"""
+
+from repro.metrics import mean
+
+from conftest import print_table
+
+
+def test_fig7b_branch_security(suite, spec_suite, benchmark):
+    rows = []
+    for name, entry in suite.items():
+        row = entry.security
+        rows.append(
+            f"{name:18s} {row.total_branches:5d} "
+            f"{100 * row.pythia_secured:8.1f}% {100 * row.dfi_secured:8.1f}% "
+            f"{100 * row.advantage:7.1f}pp"
+        )
+
+    pythia_avg = mean(e.security.pythia_secured for e in suite.values())
+    dfi_avg = mean(e.security.dfi_secured for e in suite.values())
+    print_table(
+        "Fig. 7(b) branches secured (paper: Pythia 92%, DFI 86.6%)",
+        f"{'benchmark':18s} {'brs':>5s} {'Pythia':>9s} {'DFI':>9s} {'adv':>9s}",
+        rows,
+        f"{'average':18s} {'':5s} {100 * pythia_avg:8.1f}% {100 * dfi_avg:8.1f}% "
+        f"{100 * (pythia_avg - dfi_avg):7.1f}pp",
+    )
+
+    # -- shape assertions --------------------------------------------------------
+    # Pythia >= DFI on every benchmark, strictly better on average
+    for name, entry in suite.items():
+        assert entry.security.pythia_secured >= entry.security.dfi_secured, name
+    assert pythia_avg > dfi_avg
+    # magnitudes in the paper's band
+    assert 0.85 < pythia_avg <= 1.0
+    assert 0.70 < dfi_avg < pythia_avg
+    # Pythia fully secures lbm, mcf and x264 (the paper's three)
+    for name in ("519.lbm_r", "505.mcf_r", "525.x264_r"):
+        assert spec_suite[name].security.pythia_fully_secures, name
+    # DFI fully secures lbm but NOT the pointer-rich benchmarks
+    assert spec_suite["519.lbm_r"].security.dfi_fully_secures
+    assert not spec_suite["510.parest_r"].security.dfi_fully_secures
+    # the biggest DFI gap is a C++ benchmark (paper: parest, 17pp)
+    worst_gap = max(spec_suite.values(), key=lambda e: e.security.advantage)
+    assert worst_gap.name in ("510.parest_r", "520.omnetpp_r", "523.xalancbmk_r")
+
+    # -- timed unit: one branch-security row --------------------------------------
+    from repro.metrics import branch_security_row
+
+    module = suite["505.mcf_r"].program.compile()
+    benchmark(lambda: branch_security_row(module, "505.mcf_r").pythia_secured)

@@ -1,0 +1,72 @@
+"""§6.3 motivating examples: the attack/defense matrix.
+
+Paper: Pythia detects the three rewritten motivating examples
+(Listing 1 privilege escalation, Listing 2 ProFTPd leak, Listing 3
+pointer dualism) via the canary check right after the input channel.
+The matrix below extends them with the §3 pure-misdirection variant,
+a heap-to-heap overflow, and an interprocedural overflow.
+"""
+
+import pytest
+
+from repro.attacks import build_scenarios
+from repro.core import SCHEMES, protect
+
+from conftest import print_table
+
+
+def expected(scenario, scheme):
+    if scheme == "vanilla":
+        return "success"
+    if scheme in scenario.detected_by:
+        return "detected"
+    if scheme in scenario.prevented_by:
+        return "prevented"
+    return "success"
+
+
+def test_real_world_attack_matrix(benchmark):
+    scenarios = build_scenarios()
+    rows = []
+    matrix = {}
+    for name, scenario in scenarios.items():
+        module = scenario.compile()
+        outcomes = {}
+        for scheme in SCHEMES:
+            protected = protect(module, scheme=scheme)
+            result = scenario.run_attack(protected.module)
+            outcomes[scheme] = scenario.attack_outcome(result)
+        matrix[name] = outcomes
+        rows.append(
+            f"{name:22s} "
+            + " ".join(f"{outcomes[s]:>10s}" for s in SCHEMES)
+        )
+
+    print_table(
+        "Attack/defense matrix (paper §6.3: Pythia detects all three listings)",
+        f"{'scenario':22s} " + " ".join(f"{s:>10s}" for s in SCHEMES),
+        rows,
+    )
+
+    # -- the paper's claims --------------------------------------------------------
+    for name, outcomes in matrix.items():
+        scenario = scenarios[name]
+        for scheme in SCHEMES:
+            assert outcomes[scheme] == expected(scenario, scheme), (name, scheme)
+    # every attack is real: vanilla always bends
+    assert all(m["vanilla"] == "success" for m in matrix.values())
+    # the three paper listings are all detected by Pythia
+    for name in ("privilege_escalation", "proftpd_leak", "pointer_dualism"):
+        assert matrix[name]["pythia"] == "detected"
+    # CPA (the conservative scheme) stops everything except pure misdirection
+    assert all(
+        m["cpa"] in ("detected", "prevented")
+        for n, m in matrix.items()
+        if n != "pointer_misdirection"
+    )
+
+    # -- timed unit: one full attack replay under Pythia ----------------------------
+    scenario = scenarios["privilege_escalation"]
+    protected = protect(scenario.compile(), scheme="pythia")
+    result = benchmark(lambda: scenario.run_attack(protected.module).status)
+    assert result == "pac_trap"

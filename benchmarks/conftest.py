@@ -1,0 +1,73 @@
+"""Shared fixtures for the benchmark harness.
+
+Running ``pytest benchmarks/ --benchmark-only`` regenerates every table
+and figure of the paper's evaluation.  The heavyweight work -- running
+all 16 benchmark programs under all four schemes -- is done once per
+session and cached; each bench file formats its figure from the cache,
+prints the paper-style rows, asserts the shape claims, and times a
+representative unit of work with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import pytest
+
+from repro.metrics import (
+    AttackDistanceRow,
+    BenchmarkMeasurement,
+    BranchSecurityRow,
+    attack_distance_row,
+    branch_security_row,
+    measure_program,
+)
+from repro.workloads import ALL_PROFILES, GeneratedProgram, generate_program
+
+
+@dataclass
+class BenchEntry:
+    """Everything measured for one benchmark."""
+
+    name: str
+    program: GeneratedProgram
+    measurement: BenchmarkMeasurement
+    security: BranchSecurityRow
+    distances: AttackDistanceRow
+
+
+@pytest.fixture(scope="session")
+def suite() -> Dict[str, BenchEntry]:
+    """All 16 benchmarks measured under all four schemes."""
+    entries: Dict[str, BenchEntry] = {}
+    for name, profile in ALL_PROFILES.items():
+        program = generate_program(profile)
+        module = program.compile()
+        entries[name] = BenchEntry(
+            name=name,
+            program=program,
+            measurement=measure_program(program),
+            security=branch_security_row(module, name),
+            distances=attack_distance_row(module, name),
+        )
+    return entries
+
+
+@pytest.fixture(scope="session")
+def spec_suite(suite) -> Dict[str, BenchEntry]:
+    """The 15 SPEC benchmarks (nginx is reported separately, §6.3)."""
+    return {name: entry for name, entry in suite.items() if name != "nginx"}
+
+
+def print_table(title: str, header: str, rows, footer: str = "") -> None:
+    width = max(len(header), *(len(r) for r in rows)) if rows else len(header)
+    print()
+    print(f"== {title}")
+    print(header)
+    print("-" * width)
+    for row in rows:
+        print(row)
+    if footer:
+        print("-" * width)
+        print(footer)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""§6.4: intra-struct overflows and per-field canaries.
+
+The paper's stated limitation: "Pythia cannot detect stack buffer
+overflows resulting within objects such as sub-fields of a struct" --
+and its proposed fix: "stack canaries must be inserted within
+individual fields".  This example shows both halves: the base scheme
+missing an overflow that never leaves the struct, and the opt-in
+field-canary extension (``DefenseConfig(protect_fields=True)``)
+catching it.
+"""
+
+from repro import AttackController, CPU, compile_source, overflow_payload, protect
+from repro.core import DefenseConfig
+
+SOURCE = r"""
+struct account { char name[16]; int privilege; };
+
+int main() {
+    struct account acct;
+    acct.privilege = 0;
+    gets(acct.name);                  // overflows INSIDE the struct
+    if (acct.privilege > 0) {
+        printf("** ADMIN **\n");
+        return 1;
+    }
+    printf("user %s\n", acct.name);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    module = compile_source(SOURCE, name="intra-struct")
+    attack = lambda: AttackController().add(
+        "gets", overflow_payload(b"eve", 16, (9).to_bytes(8, "little"))
+    )
+
+    configs = [
+        ("vanilla", DefenseConfig(scheme="vanilla")),
+        ("pythia (base)", DefenseConfig(scheme="pythia")),
+        ("pythia + field canaries", DefenseConfig(scheme="pythia", protect_fields=True)),
+    ]
+    print(f"{'configuration':26s} {'benign':>8s} {'attack':>10s}")
+    print("-" * 48)
+    outcomes = {}
+    for label, config in configs:
+        protected = protect(module, config=config)
+        benign = CPU(protected.module).run(inputs=[b"alice"])
+        attacked = CPU(protected.module, attack=attack()).run()
+        outcome = (
+            "detected"
+            if attacked.detected
+            else ("bent!" if b"ADMIN" in attacked.output else "prevented")
+        )
+        outcomes[label] = outcome
+        print(f"{label:26s} {benign.status:>8s} {outcome:>10s}")
+        assert benign.ok
+
+    print("-" * 48)
+    assert outcomes["vanilla"] == "bent!"
+    assert outcomes["pythia (base)"] == "bent!"  # the §6.4 limitation
+    assert outcomes["pythia + field canaries"] == "detected"
+    print(
+        "The overflow stays inside the struct, so the per-object canary\n"
+        "never sees it -- interleaved field canaries do."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Listing 2 of the paper: the ProFTPd-style information leak.
+
+The attacker corrupts the copy bound held in a session struct, the
+"safe" ``sstrncpy`` trusts it, and the overflow check bends -- leaking
+the private key.  The struct-field loads are exactly the
+field-insensitive accesses DFI cannot reason about, so DFI *misses*
+this attack while CPA and Pythia detect it.
+"""
+
+from repro import SCHEMES, build_scenarios, protect
+
+
+def main() -> None:
+    scenario = build_scenarios()["proftpd_leak"]
+    print(scenario.description)
+    print("-" * 72)
+    module = scenario.compile()
+
+    outcomes = {}
+    for scheme in SCHEMES:
+        protected = protect(module, scheme=scheme)
+        attacked = scenario.run_attack(protected.module)
+        outcomes[scheme] = scenario.attack_outcome(attacked)
+        leaked = b"LEAK:" in attacked.output
+        print(
+            f"{scheme:8s} attack={outcomes[scheme]:9s} "
+            f"key_leaked={'YES' if leaked else 'no '}"
+        )
+
+    print("-" * 72)
+    assert outcomes["vanilla"] == "success", "the leak works unprotected"
+    assert outcomes["cpa"] == "detected" and outcomes["pythia"] == "detected"
+    assert outcomes["dfi"] == "success", (
+        "DFI's field-insensitive analysis misses the struct corruption -- "
+        "the weakness the paper's comparison hinges on"
+    )
+    print("CPA + Pythia detect; DFI (field-insensitive) misses -- as in §7.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro.analysis -- static analyses over the IR.
+
+Alias analysis, memory def-use, reaching definitions, input-channel
+detection, the call graph, SSA liveness, and the two slicers (branch
+decomposition / input-channel construction) at the heart of Pythia.
+"""
+
+from .alias import AliasAnalysis, HEAP_ALLOCATORS, MemObject
+from .callgraph import CallGraph
+from .dataflow import MemoryDef, MemoryDefUse, ReachingDefinitions
+from .input_channels import (
+    IC_CATEGORIES,
+    InputChannelAnalysis,
+    InputChannelSite,
+    channel_kind_of,
+    written_argument_indices,
+)
+from .liveness import Liveness
+from .slicing import BackwardSlicer, BranchSlice, ForwardSlice, ForwardSlicer
+
+__all__ = [
+    "AliasAnalysis",
+    "BackwardSlicer",
+    "BranchSlice",
+    "CallGraph",
+    "channel_kind_of",
+    "ForwardSlice",
+    "ForwardSlicer",
+    "HEAP_ALLOCATORS",
+    "IC_CATEGORIES",
+    "InputChannelAnalysis",
+    "InputChannelSite",
+    "Liveness",
+    "MemObject",
+    "MemoryDef",
+    "MemoryDefUse",
+    "ReachingDefinitions",
+    "written_argument_indices",
+]

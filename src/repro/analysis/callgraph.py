@@ -1,0 +1,83 @@
+"""Direct call graph over a module."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.function import Function
+from ..ir.instructions import Call
+from ..ir.module import Module
+
+
+class CallGraph:
+    """Callers/callees of every defined function, plus orderings."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.callees: Dict[Function, Set[Function]] = {}
+        self.callers: Dict[Function, Set[Function]] = {}
+        self.call_sites: Dict[Function, List[Call]] = {}
+        for function in module.defined_functions():
+            self.callees.setdefault(function, set())
+            self.callers.setdefault(function, set())
+            self.call_sites.setdefault(function, [])
+        for function in module.defined_functions():
+            for inst in function.instructions():
+                if isinstance(inst, Call):
+                    callee = inst.callee
+                    self.callees[function].add(callee)
+                    if not callee.is_declaration:
+                        self.callers.setdefault(callee, set()).add(function)
+                        self.call_sites.setdefault(callee, []).append(inst)
+
+    def callers_of(self, function: Function) -> Set[Function]:
+        return self.callers.get(function, set())
+
+    def call_sites_of(self, function: Function) -> List[Call]:
+        """Every call instruction that targets ``function``."""
+        return self.call_sites.get(function, [])
+
+    def bottom_up_order(self) -> List[Function]:
+        """Callees before callers (cycles broken arbitrarily)."""
+        order: List[Function] = []
+        visited: Set[Function] = set()
+
+        def visit(function: Function) -> None:
+            stack = [(function, iter(sorted(self.callees.get(function, ()), key=lambda f: f.name)))]
+            visited.add(function)
+            while stack:
+                current, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if child.is_declaration or child in visited:
+                        continue
+                    visited.add(child)
+                    stack.append(
+                        (child, iter(sorted(self.callees.get(child, ()), key=lambda f: f.name)))
+                    )
+                    advanced = True
+                    break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        for function in self.module.defined_functions():
+            if function not in visited:
+                visit(function)
+        return order
+
+    def is_recursive(self, function: Function) -> bool:
+        """True when ``function`` can (transitively) call itself."""
+        seen: Set[Function] = set()
+        stack = [c for c in self.callees.get(function, ()) if not c.is_declaration]
+        while stack:
+            current = stack.pop()
+            if current is function:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(
+                c for c in self.callees.get(current, ()) if not c.is_declaration
+            )
+        return False

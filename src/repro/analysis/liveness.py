@@ -1,0 +1,86 @@
+"""SSA liveness analysis.
+
+Used by the metrics layer to estimate register pressure: values live
+across many points spill under register allocation, and the paper's
+machine pass adds extra PA instructions at spill points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import Instruction, Phi
+from ..ir.values import Argument, Value
+
+
+class Liveness:
+    """Block-level live-in/live-out sets of SSA values."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.live_in: Dict[BasicBlock, Set[Value]] = {}
+        self.live_out: Dict[BasicBlock, Set[Value]] = {}
+        self._solve()
+
+    @staticmethod
+    def _is_tracked(value: Value) -> bool:
+        return isinstance(value, (Instruction, Argument))
+
+    def _uses_defs(self, block: BasicBlock) -> "tuple[Set[Value], Set[Value]]":
+        uses: Set[Value] = set()
+        defs: Set[Value] = set()
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                # Phi uses are live-out of the predecessors, handled below.
+                defs.add(inst)
+                continue
+            for operand in inst.operands:
+                if self._is_tracked(operand) and operand not in defs:
+                    uses.add(operand)
+            if not inst.type.is_void:
+                defs.add(inst)
+        return uses, defs
+
+    def _solve(self) -> None:
+        blocks = list(self.function.blocks)
+        use_def = {block: self._uses_defs(block) for block in blocks}
+        for block in blocks:
+            self.live_in[block] = set()
+            self.live_out[block] = set()
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(blocks):
+                out: Set[Value] = set()
+                for succ in block.successors:
+                    out |= self.live_in.get(succ, set())
+                    for phi in succ.phis:
+                        try:
+                            incoming = phi.incoming_for_block(block)
+                        except KeyError:
+                            continue
+                        if self._is_tracked(incoming):
+                            out.add(incoming)
+                uses, defs = use_def[block]
+                new_in = uses | (out - defs)
+                if out != self.live_out[block] or new_in != self.live_in[block]:
+                    self.live_out[block] = out
+                    self.live_in[block] = new_in
+                    changed = True
+
+    def max_pressure(self) -> int:
+        """Peak number of simultaneously live values at block boundaries."""
+        if not self.live_in:
+            return 0
+        return max(
+            max((len(s) for s in self.live_in.values()), default=0),
+            max((len(s) for s in self.live_out.values()), default=0),
+        )
+
+    def estimated_spills(self, registers: int = 28) -> int:
+        """Values exceeding the register file at the pressure peak.
+
+        AArch64 exposes ~28 allocatable GPRs; anything above spills.
+        """
+        return max(0, self.max_pressure() - registers)

@@ -1,0 +1,32 @@
+"""repro.attacks -- the attacker's side of the evaluation.
+
+Scripted payload injection at input channels, the paper's attack
+scenarios as runnable MiniC programs, and the canary brute-force model
+of §4.4.
+"""
+
+from .bruteforce import (
+    BruteForceOutcome,
+    empirical_success_rate,
+    expected_tries,
+    first_order_probability,
+    simulate_bruteforce,
+    success_probability,
+)
+from .controller import AttackController, Injection, Payload, overflow_payload
+from .scenarios import Scenario, build_scenarios
+
+__all__ = [
+    "AttackController",
+    "BruteForceOutcome",
+    "build_scenarios",
+    "empirical_success_rate",
+    "expected_tries",
+    "first_order_probability",
+    "Injection",
+    "overflow_payload",
+    "Payload",
+    "Scenario",
+    "simulate_bruteforce",
+    "success_probability",
+]

@@ -1,0 +1,90 @@
+"""Attack controller: scripted payload injection at input channels.
+
+The threat model (§2.5) lets the attacker corrupt any program variable
+through input channels, at any time, with unlimited attempts.  The
+controller realises this: it watches every IC the CPU executes and can
+substitute a malicious payload for the benign input -- an oversized
+string for ``gets``, a crafted source for ``strcpy``, a huge integer
+for ``scanf %d``, etc.  Overflows then happen naturally in the flat
+memory model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+#: A payload is raw bytes, or a callable computing bytes from the live
+#: CPU -- the adaptive attacker of the threat model, who knows the
+#: binary layout and targets exact victim addresses.
+Payload = Union[bytes, Callable[[object], bytes]]
+
+
+@dataclass
+class Injection:
+    """One scripted payload: fire at the Nth call of ``channel``.
+
+    ``channel`` is the libc model name (``gets``, ``strcpy``, ...) or a
+    scanf conversion pseudo-channel (``scanf%d``, ``scanf%s``).
+    ``occurrence=None`` fires at *every* call of the channel.
+    """
+
+    channel: str
+    payload: Payload
+    occurrence: Optional[int] = 1
+    #: set true once delivered
+    fired: bool = False
+
+    def render(self, cpu) -> bytes:
+        if callable(self.payload):
+            return self.payload(cpu)
+        return self.payload
+
+
+class AttackController:
+    """Delivers scripted injections; records what fired."""
+
+    def __init__(self, injections: Optional[Sequence[Injection]] = None):
+        self.injections: List[Injection] = list(injections or [])
+        self._counts: Dict[str, int] = {}
+        self.log: List[str] = []
+
+    def add(
+        self, channel: str, payload: Payload, occurrence: Optional[int] = 1
+    ) -> "AttackController":
+        """Schedule a payload; ``occurrence=None`` hits every call."""
+        self.injections.append(Injection(channel, payload, occurrence))
+        return self
+
+    def payload_for(self, cpu, channel: str, args) -> Optional[bytes]:
+        """CPU hook: return a payload to use at this IC, or ``None``."""
+        count = self._counts.get(channel, 0) + 1
+        self._counts[channel] = count
+        for injection in self.injections:
+            if injection.channel == channel and (
+                injection.occurrence is None or injection.occurrence == count
+            ):
+                injection.fired = True
+                data = injection.render(cpu)
+                self.log.append(f"{channel}#{count}: {len(data)}B payload")
+                return data
+        return None
+
+    @property
+    def any_fired(self) -> bool:
+        return any(injection.fired for injection in self.injections)
+
+    def reset(self) -> None:
+        self._counts.clear()
+        for injection in self.injections:
+            injection.fired = False
+        self.log.clear()
+
+
+def overflow_payload(prefix: bytes, pad_to: int, suffix: bytes) -> bytes:
+    """Build a classic overflow payload: ``prefix`` padded with ``A`` up
+    to the victim offset ``pad_to``, then ``suffix`` lands on the
+    victim."""
+    if len(prefix) > pad_to:
+        raise ValueError("prefix longer than pad_to")
+    return prefix + b"A" * (pad_to - len(prefix)) + suffix

@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+``compile``   MiniC source -> textual IR (optionally post-mem2reg)
+``run``       compile, protect, and execute a program
+``analyze``   print the vulnerability analysis of a program
+``attack``    replay a built-in attack scenario under every scheme
+``bench``     run one generated benchmark under every scheme
+``scenarios`` list the built-in attack scenarios
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .attacks import build_scenarios
+from .core import (
+    DefenseConfig,
+    SCHEMES,
+    analyze_module,
+    build_security_report,
+    protect,
+)
+from .frontend import compile_source
+from .hardware import CPU
+from .ir import print_module
+from .transforms import Mem2Reg
+from .workloads import generate_program, get_profile, profile_names
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _parse_inputs(items: Optional[List[str]]) -> List[bytes]:
+    return [item.encode("utf-8") for item in (items or [])]
+
+
+# -- subcommands ---------------------------------------------------------------
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    module = compile_source(_read_source(args.source), name=args.name)
+    if args.mem2reg:
+        Mem2Reg().run(module)
+    print(print_module(module), end="")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    module = compile_source(_read_source(args.source), name=args.name)
+    config = DefenseConfig(scheme=args.scheme, protect_fields=args.fields)
+    protected = protect(module, config=config)
+    cpu = CPU(protected.module, seed=args.seed)
+    result = cpu.run(inputs=_parse_inputs(args.input))
+    sys.stdout.write(result.output.decode("utf-8", "replace"))
+    print(
+        f"[{args.scheme}] status={result.status} return={result.return_value} "
+        f"cycles={result.cycles:.0f} instructions={result.instructions} "
+        f"ipc={result.ipc:.2f} pa={result.pa_dynamic}",
+        file=sys.stderr,
+    )
+    return 0 if result.ok else 2
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    module = compile_source(_read_source(args.source), name=args.name)
+    Mem2Reg().run(module)
+    report = analyze_module(module)
+    security = build_security_report(report)
+    categories = report.branch_categories()
+    print(f"program variables:      {len(report.all_variables)}")
+    print(f"conservative (CPA) set: {len(report.cpa_variables)}")
+    print(f"refined (Pythia) set:   {len(report.refined_variables)}")
+    print(f"  stack vulnerable:     {len(report.stack_vulnerable)}")
+    print(f"  heap vulnerable:      {len(report.heap_vulnerable)}")
+    print(f"refinement factor:      {report.refinement_factor():.2f}x")
+    print(
+        f"branches: {security.total_branches} total | "
+        f"{categories['direct']} direct, {categories['indirect']} indirect, "
+        f"{categories['unaffected']} unaffected"
+    )
+    print(
+        f"secured:  Pythia {100 * security.pythia_secured_fraction:.1f}% | "
+        f"DFI {100 * security.dfi_secured_fraction:.1f}%"
+    )
+    if args.verbose:
+        for obj in sorted(report.refined_variables, key=lambda o: o.label):
+            print(f"  vulnerable: {obj.label} ({obj.kind})")
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    scenarios = build_scenarios()
+    if args.scenario not in scenarios:
+        print(f"unknown scenario {args.scenario!r}; try: {', '.join(scenarios)}")
+        return 1
+    scenario = scenarios[args.scenario]
+    module = scenario.compile()
+    print(f"{scenario.name}: {scenario.description}")
+    failures = 0
+    for scheme in SCHEMES:
+        protected = protect(module, scheme=scheme)
+        outcome = scenario.attack_outcome(scenario.run_attack(protected.module))
+        print(f"  {scheme:8s} -> {outcome}")
+        if scheme == "vanilla" and outcome != "success":
+            failures += 1
+    return 0 if not failures else 2
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    program = generate_program(get_profile(args.benchmark))
+    module = program.compile()
+    base = None
+    print(f"{args.benchmark}: {module.instruction_count()} IR instructions")
+    for scheme in SCHEMES:
+        protected = protect(module, scheme=scheme)
+        result = CPU(protected.module, seed=args.seed).run(
+            inputs=list(program.inputs)
+        )
+        if not result.ok:
+            print(f"  {scheme:8s} FAILED: {result.status}")
+            return 2
+        if scheme == "vanilla":
+            base = result.cycles
+            print(f"  {scheme:8s} cycles={result.cycles:10.0f}")
+        else:
+            overhead = 100 * (result.cycles / base - 1)
+            print(
+                f"  {scheme:8s} cycles={result.cycles:10.0f} "
+                f"overhead={overhead:6.1f}% pa={result.pa_dynamic}"
+            )
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    for name, scenario in build_scenarios().items():
+        detected = ",".join(scenario.detected_by) or "-"
+        prevented = ",".join(scenario.prevented_by) or "-"
+        print(f"{name:22s} detected_by={detected:16s} prevented_by={prevented}")
+    return 0
+
+
+# -- parser ---------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pythia (ASPLOS 2024) reproduction: compile, protect, attack.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="MiniC source to textual IR")
+    p.add_argument("source", help="path to MiniC source, or - for stdin")
+    p.add_argument("--name", default="module")
+    p.add_argument("--mem2reg", action="store_true", help="promote to SSA first")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="compile, protect, and execute")
+    p.add_argument("source")
+    p.add_argument("--name", default="module")
+    p.add_argument("--scheme", choices=SCHEMES, default="pythia")
+    p.add_argument("--fields", action="store_true", help="§6.4 field canaries")
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument(
+        "--input", action="append", help="queue a benign input line (repeatable)"
+    )
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("analyze", help="print the vulnerability analysis")
+    p.add_argument("source")
+    p.add_argument("--name", default="module")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("attack", help="replay a scenario under every scheme")
+    p.add_argument("scenario")
+    p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("bench", help="run one generated benchmark")
+    p.add_argument("benchmark", choices=profile_names(), metavar="BENCHMARK")
+    p.add_argument("--seed", type=int, default=2024)
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("scenarios", help="list the built-in attack scenarios")
+    p.set_defaults(func=cmd_scenarios)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

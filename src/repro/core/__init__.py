@@ -1,0 +1,47 @@
+"""repro.core -- the paper's primary contribution.
+
+Vulnerable-variable identification (branch decomposition + input
+channel construction, §4.1), the end-to-end protection framework
+(vanilla / CPA / Pythia / DFI), and security reporting.
+"""
+
+from .config import DefenseConfig, SCHEMES
+from .framework import (
+    BYTES_PER_INSTRUCTION,
+    ProtectionResult,
+    clone_module,
+    protect,
+    protect_all,
+)
+from .report import (
+    BranchVerdict,
+    SecurityReport,
+    build_security_report,
+    dfi_protects,
+    pythia_protects,
+)
+from .vulnerability import (
+    DIRECT_DEPTH,
+    VulnerabilityAnalysis,
+    VulnerabilityReport,
+    analyze_module,
+)
+
+__all__ = [
+    "analyze_module",
+    "BranchVerdict",
+    "build_security_report",
+    "BYTES_PER_INSTRUCTION",
+    "clone_module",
+    "DefenseConfig",
+    "dfi_protects",
+    "DIRECT_DEPTH",
+    "protect",
+    "protect_all",
+    "ProtectionResult",
+    "pythia_protects",
+    "SCHEMES",
+    "SecurityReport",
+    "VulnerabilityAnalysis",
+    "VulnerabilityReport",
+]

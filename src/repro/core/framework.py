@@ -1,0 +1,126 @@
+"""The end-to-end Pythia compiler framework.
+
+``protect(module, config)`` runs the analysis pipeline once and applies
+the configured defense passes, returning the instrumented module plus
+the static statistics the evaluation reports (PA instruction counts,
+canary counts, binary size).
+
+Modules are cloned through the textual round-trip before
+instrumentation, so one source module can be protected under several
+schemes and compared -- exactly what the benchmark harness does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..ir.instructions import is_pa_instruction
+from ..ir.module import Module
+from ..ir.parser import parse_module
+from ..ir.printer import print_module
+from ..ir.verifier import verify_module
+from ..transforms.cpa import CompletePointerAuthentication
+from ..transforms.dfi import DataFlowIntegrityPass
+from ..transforms.field_protect import FieldProtectionPass
+from ..transforms.heap_section import HeapSectionPass
+from ..transforms.mem2reg import Mem2Reg
+from ..transforms.pass_manager import PassManager
+from ..transforms.stack_protect import StackProtectionPass
+from .config import DefenseConfig, SCHEMES
+from .vulnerability import VulnerabilityAnalysis, VulnerabilityReport
+
+#: Estimated bytes per IR instruction when reporting binary sizes
+#: (AArch64 instructions are 4 bytes).
+BYTES_PER_INSTRUCTION = 4
+
+
+def clone_module(module: Module) -> Module:
+    """Deep-copy a module via the textual round-trip."""
+    return parse_module(print_module(module))
+
+
+@dataclass
+class ProtectionResult:
+    """An instrumented module plus its static statistics."""
+
+    module: Module
+    scheme: str
+    report: Optional[VulnerabilityReport]
+    pass_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @property
+    def pa_static(self) -> int:
+        """Statically instrumented ARM-PA instructions."""
+        return sum(
+            1
+            for function in self.module.defined_functions()
+            for inst in function.instructions()
+            if is_pa_instruction(inst)
+        )
+
+    @property
+    def instruction_count(self) -> int:
+        return self.module.instruction_count()
+
+    @property
+    def binary_bytes(self) -> int:
+        return self.instruction_count * BYTES_PER_INSTRUCTION
+
+    @property
+    def canary_count(self) -> int:
+        stats = self.pass_stats.get("pythia-stack", {})
+        return int(stats.get("canaries", 0))
+
+
+def protect(
+    module: Module,
+    config: Optional[DefenseConfig] = None,
+    scheme: Optional[str] = None,
+    clone: bool = True,
+) -> ProtectionResult:
+    """Apply a defense scheme to (a clone of) ``module``."""
+    if config is None:
+        config = DefenseConfig(scheme=scheme or "pythia")
+    elif scheme is not None:
+        raise ValueError("pass either config or scheme, not both")
+    target = clone_module(module) if clone else module
+
+    if config.verify:
+        verify_module(target)
+    if config.run_mem2reg:
+        Mem2Reg().run(target)
+        if config.verify:
+            verify_module(target)
+
+    if config.scheme == "vanilla":
+        return ProtectionResult(module=target, scheme="vanilla", report=None)
+
+    report = VulnerabilityAnalysis(target).analyze()
+    passes = []
+    if config.scheme == "cpa":
+        passes.append(CompletePointerAuthentication(report))
+    elif config.scheme == "pythia":
+        if config.protect_fields:
+            passes.append(FieldProtectionPass(report))
+        if config.protect_stack:
+            passes.append(
+                StackProtectionPass(report, rerandomize=config.rerandomize_canaries)
+            )
+        if config.protect_heap:
+            passes.append(HeapSectionPass(report))
+    elif config.scheme == "dfi":
+        passes.append(DataFlowIntegrityPass(report))
+
+    manager = PassManager(passes, verify=config.verify)
+    stats = manager.run(target)
+    return ProtectionResult(
+        module=target, scheme=config.scheme, report=report, pass_stats=stats
+    )
+
+
+def protect_all(
+    module: Module, schemes: "tuple[str, ...]" = SCHEMES
+) -> Dict[str, ProtectionResult]:
+    """Protect independent clones of ``module`` under several schemes."""
+    return {scheme: protect(module, scheme=scheme) for scheme in schemes}

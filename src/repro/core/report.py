@@ -1,0 +1,118 @@
+"""Security reporting: the per-module numbers the evaluation tables use.
+
+Built from a :class:`~repro.core.vulnerability.VulnerabilityReport`,
+this aggregates:
+
+- **branch security** -- which conditional branches each technique
+  (Pythia / DFI) can protect, per the paper's criterion: "a technique
+  protects a branch if [it] can generate and protect the branch's
+  backward slice to the input channel";
+- **attack distance** (Definition 2.4) -- slice lengths in IR
+  instructions for the input channel itself, DFI, and Pythia;
+- the vulnerable-variable and input-channel censuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.slicing import BranchSlice
+from ..ir.instructions import CondBranch
+from .vulnerability import VulnerabilityReport
+
+
+def pythia_protects(branch_slice: BranchSlice) -> bool:
+    """Pythia secures a branch unless its slice needed reasoning about
+    caller-opaque memory (complex interprocedural aliasing, §6.2)."""
+    return not branch_slice.complex_interprocedural
+
+
+def dfi_protects(dfi_slice: BranchSlice) -> bool:
+    """DFI secures a branch only when its slice construction never hit
+    pointer arithmetic / field-insensitive access, and never needed
+    interprocedural pointer reasoning."""
+    return not dfi_slice.terminated_at and not dfi_slice.complex_interprocedural
+
+
+@dataclass
+class BranchVerdict:
+    """Per-branch protection outcome for both techniques."""
+
+    branch: CondBranch
+    ic_affected: bool
+    ic_distance: Optional[int]
+    pythia_secured: bool
+    dfi_secured: bool
+    pythia_distance: int
+    dfi_distance: int
+
+
+@dataclass
+class SecurityReport:
+    """Module-level security summary."""
+
+    verdicts: List[BranchVerdict]
+    vulnerability: VulnerabilityReport
+
+    @property
+    def total_branches(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def pythia_secured_fraction(self) -> float:
+        if not self.verdicts:
+            return 1.0
+        return sum(v.pythia_secured for v in self.verdicts) / len(self.verdicts)
+
+    @property
+    def dfi_secured_fraction(self) -> float:
+        if not self.verdicts:
+            return 1.0
+        return sum(v.dfi_secured for v in self.verdicts) / len(self.verdicts)
+
+    @property
+    def pythia_extra_branches(self) -> int:
+        """Branches Pythia secures that DFI does not."""
+        return sum(1 for v in self.verdicts if v.pythia_secured and not v.dfi_secured)
+
+    def _mean(self, values: List[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def mean_ic_distance(self) -> float:
+        """Average distance from input channel to branch (IC-affected only)."""
+        return self._mean(
+            [float(v.ic_distance) for v in self.verdicts if v.ic_distance is not None]
+        )
+
+    @property
+    def mean_pythia_distance(self) -> float:
+        return self._mean(
+            [float(v.pythia_distance) for v in self.verdicts if v.ic_affected]
+        )
+
+    @property
+    def mean_dfi_distance(self) -> float:
+        return self._mean(
+            [float(v.dfi_distance) for v in self.verdicts if v.ic_affected]
+        )
+
+
+def build_security_report(vulnerability: VulnerabilityReport) -> SecurityReport:
+    """Derive per-branch verdicts from the analysis slices."""
+    verdicts: List[BranchVerdict] = []
+    for branch, pythia_slice in vulnerability.branch_slices.items():
+        dfi_slice = vulnerability.dfi_slices[branch]
+        verdicts.append(
+            BranchVerdict(
+                branch=branch,
+                ic_affected=pythia_slice.reaches_input_channel,
+                ic_distance=pythia_slice.ic_distance,
+                pythia_secured=pythia_protects(pythia_slice),
+                dfi_secured=dfi_protects(dfi_slice),
+                pythia_distance=pythia_slice.length,
+                dfi_distance=dfi_slice.length,
+            )
+        )
+    return SecurityReport(verdicts=verdicts, vulnerability=vulnerability)

@@ -1,0 +1,31 @@
+"""repro.frontend -- the MiniC compiler front-end.
+
+MiniC is the C subset the reproduction compiles: ``int``/``char``,
+pointers, fixed arrays, structs, the usual operators and control flow,
+and calls into the modelled C library.  It is rich enough to express
+every attack listing in the paper.
+"""
+
+from .ast_nodes import Program
+from .codegen import CodegenError, generate_module
+from .driver import compile_source
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError as CParseError, Parser, parse_source
+from .sema import Sema, SemaError, SemaInfo, analyze_program
+
+__all__ = [
+    "analyze_program",
+    "CodegenError",
+    "compile_source",
+    "CParseError",
+    "generate_module",
+    "LexError",
+    "parse_source",
+    "Parser",
+    "Program",
+    "Sema",
+    "SemaError",
+    "SemaInfo",
+    "Token",
+    "tokenize",
+]

@@ -1,0 +1,609 @@
+"""IR code generation for MiniC.
+
+Classic alloca-based codegen (clang ``-O0`` style): every local and
+parameter gets a stack slot; scalars are later promoted to SSA by
+mem2reg, leaving exactly the memory traffic the defense passes
+instrument -- arrays, address-taken variables, pointer dereferences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..hardware.libc import LIBRARY
+from ..ir.builder import IRBuilder
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import Alloca
+from ..ir.module import Module
+from ..ir.types import (
+    ArrayType,
+    FunctionType,
+    I64,
+    I8,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+)
+from ..ir.values import Constant, Value
+from . import ast_nodes as ast
+from .sema import Sema, SemaError, SemaInfo
+
+
+class CodegenError(Exception):
+    """Internal inconsistency between sema and codegen (should not occur
+    for programs sema accepted)."""
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.slots: Dict[str, Value] = {}
+
+    def declare(self, name: str, slot: Value) -> None:
+        self.slots[name] = slot
+
+    def lookup(self, name: str) -> Optional[Value]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.slots:
+                return scope.slots[name]
+            scope = scope.parent
+        return None
+
+
+class CodeGenerator:
+    """Lowers a sema-checked program into an IR module."""
+
+    def __init__(self, program: ast.Program, info: SemaInfo, name: str = "minic"):
+        self.program = program
+        self.info = info
+        self.module = Module(name)
+        self.builder = IRBuilder()
+        self.function: Optional[Function] = None
+        self._loop_stack: List[Tuple[BasicBlock, BasicBlock]] = []  # (continue, break)
+        self._terminated = False
+        self._scope: Optional[_Scope] = None
+
+    # -- entry point ----------------------------------------------------------------
+
+    def generate(self) -> Module:
+        for struct in self.info.structs.values():
+            self.module.add_struct(struct)
+        for name in self.info.used_library:
+            lib = LIBRARY[name]
+            self.module.declare_function(name, lib.function_type, lib.ic_kind)
+        for gdecl in self.program.globals:
+            self._emit_global(gdecl)
+        # Declare all defined functions first so calls resolve in any order.
+        for fdef in self.program.functions:
+            ftype = self.info.function_types[fdef.name]
+            function = Function(fdef.name, ftype, [p.name for p in fdef.params])
+            self.module.add_function(function)
+        for fdef in self.program.functions:
+            self._emit_function(fdef)
+        return self.module
+
+    # -- globals ---------------------------------------------------------------------
+
+    def _emit_global(self, gdecl: ast.GlobalDecl) -> None:
+        gtype = self._resolve(gdecl.type_ref)
+        initializer: object = None
+        init = gdecl.initializer
+        if isinstance(init, ast.IntLiteral):
+            initializer = init.value
+        elif isinstance(init, ast.CharLiteral):
+            initializer = ord(init.value)
+        elif isinstance(init, ast.StringLiteral):
+            data = init.value.encode("utf-8") + b"\x00"
+            if isinstance(gtype, ArrayType):
+                initializer = data
+            else:
+                raise SemaError(
+                    f"string initializer requires a char array ({gdecl.name})",
+                    gdecl.line,
+                )
+        elif init is not None:
+            raise SemaError(
+                f"unsupported global initializer for {gdecl.name}", gdecl.line
+            )
+        self.module.add_global(gdecl.name, gtype, initializer)
+
+    def _resolve(self, ref: ast.TypeRef) -> Type:
+        base: Type
+        if ref.base == "int":
+            base = I64
+        elif ref.base == "char":
+            base = I8
+        elif ref.base == "void":
+            base = VOID
+        else:
+            base = self.info.structs[ref.base.split(" ", 1)[1]]
+        for _ in range(ref.pointer_depth):
+            base = PointerType(base)
+        for dim in reversed(ref.array_dims):
+            base = ArrayType(base, dim)
+        return base
+
+    # -- functions -------------------------------------------------------------------
+
+    def _emit_function(self, fdef: ast.FunctionDef) -> None:
+        function = self.module.get_function(fdef.name)
+        self.function = function
+        entry = function.append_block("entry")
+        self.builder.position_at_end(entry)
+        self._terminated = False
+
+        scope = _Scope()
+        for argument in function.args:
+            slot = self.builder.alloca(argument.type, name=f"{argument.name}.addr")
+            self.builder.store(argument, slot)
+            scope.declare(argument.name, slot)
+
+        self._emit_block(fdef.body, scope)
+
+        if not self._terminated:
+            return_type = function.function_type.return_type
+            if return_type.is_void:
+                self.builder.ret()
+            else:
+                self.builder.ret(Constant(return_type, 0))
+        self.function = None
+
+    # -- statements ---------------------------------------------------------------------
+
+    def _emit_block(self, body: List[ast.Stmt], scope: _Scope) -> None:
+        inner = _Scope(scope)
+        previous = self._scope
+        self._scope = inner
+        try:
+            for stmt in body:
+                if self._terminated:
+                    break  # unreachable code after return/break/continue
+                self._emit_stmt(stmt, inner)
+        finally:
+            self._scope = previous
+
+    def _emit_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            vtype = self._resolve(stmt.type_ref)
+            slot_name = self.function.claim_name(stmt.name)  # type: ignore[union-attr]
+            slot = self.builder.alloca(vtype, name=slot_name)
+            scope.declare(stmt.name, slot)
+            if stmt.initializer is not None:
+                value = self._rvalue(stmt.initializer)
+                self.builder.store(self._convert(value, vtype), slot)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._rvalue(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            self._emit_if(stmt, scope)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._emit_while(stmt, scope)
+        elif isinstance(stmt, ast.DoWhileStmt):
+            self._emit_do_while(stmt, scope)
+        elif isinstance(stmt, ast.ForStmt):
+            self._emit_for(stmt, scope)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is None:
+                self.builder.ret()
+            else:
+                value = self._rvalue(stmt.value)
+                return_type = self.function.function_type.return_type  # type: ignore[union-attr]
+                self.builder.ret(self._convert(value, return_type))
+            self._terminated = True
+        elif isinstance(stmt, ast.BreakStmt):
+            self.builder.jump(self._loop_stack[-1][1])
+            self._terminated = True
+        elif isinstance(stmt, ast.ContinueStmt):
+            self.builder.jump(self._loop_stack[-1][0])
+            self._terminated = True
+        elif isinstance(stmt, ast.BlockStmt):
+            self._emit_block(stmt.body, scope)
+        else:  # pragma: no cover
+            raise CodegenError(f"unknown statement {type(stmt).__name__}")
+
+    def _emit_if(self, stmt: ast.IfStmt, scope: _Scope) -> None:
+        function = self.function
+        assert function is not None
+        then_block = function.append_block(function.unique_name("if.then"))
+        merge_block = function.append_block(function.unique_name("if.end"))
+        else_block = (
+            function.append_block(function.unique_name("if.else"))
+            if stmt.else_body
+            else merge_block
+        )
+        self.builder.cond_branch(self._condition(stmt.condition), then_block, else_block)
+
+        self.builder.position_at_end(then_block)
+        self._terminated = False
+        self._emit_block(stmt.then_body, scope)
+        then_terminated = self._terminated
+        if not then_terminated:
+            self.builder.jump(merge_block)
+
+        else_terminated = False
+        if stmt.else_body:
+            self.builder.position_at_end(else_block)
+            self._terminated = False
+            self._emit_block(stmt.else_body, scope)
+            else_terminated = self._terminated
+            if not else_terminated:
+                self.builder.jump(merge_block)
+
+        if then_terminated and (not stmt.else_body or else_terminated) and stmt.else_body:
+            # Both arms terminated: merge block is unreachable but must
+            # stay well-formed for the verifier.
+            self.builder.position_at_end(merge_block)
+            self._emit_dead_terminator()
+            self._terminated = True
+            return
+        self.builder.position_at_end(merge_block)
+        self._terminated = False
+
+    def _emit_dead_terminator(self) -> None:
+        return_type = self.function.function_type.return_type  # type: ignore[union-attr]
+        if return_type.is_void:
+            self.builder.ret()
+        else:
+            self.builder.ret(Constant(return_type, 0))
+
+    def _emit_while(self, stmt: ast.WhileStmt, scope: _Scope) -> None:
+        function = self.function
+        assert function is not None
+        cond_block = function.append_block(function.unique_name("while.cond"))
+        body_block = function.append_block(function.unique_name("while.body"))
+        end_block = function.append_block(function.unique_name("while.end"))
+        self.builder.jump(cond_block)
+        self.builder.position_at_end(cond_block)
+        self.builder.cond_branch(self._condition(stmt.condition), body_block, end_block)
+        self.builder.position_at_end(body_block)
+        self._loop_stack.append((cond_block, end_block))
+        self._terminated = False
+        self._emit_block(stmt.body, scope)
+        if not self._terminated:
+            self.builder.jump(cond_block)
+        self._loop_stack.pop()
+        self.builder.position_at_end(end_block)
+        self._terminated = False
+
+    def _emit_do_while(self, stmt: ast.DoWhileStmt, scope: _Scope) -> None:
+        function = self.function
+        assert function is not None
+        body_block = function.append_block(function.unique_name("do.body"))
+        cond_block = function.append_block(function.unique_name("do.cond"))
+        end_block = function.append_block(function.unique_name("do.end"))
+        self.builder.jump(body_block)
+        self.builder.position_at_end(body_block)
+        self._loop_stack.append((cond_block, end_block))
+        self._terminated = False
+        self._emit_block(stmt.body, scope)
+        if not self._terminated:
+            self.builder.jump(cond_block)
+        self._loop_stack.pop()
+        self.builder.position_at_end(cond_block)
+        self.builder.cond_branch(self._condition(stmt.condition), body_block, end_block)
+        self.builder.position_at_end(end_block)
+        self._terminated = False
+
+    def _emit_for(self, stmt: ast.ForStmt, scope: _Scope) -> None:
+        function = self.function
+        assert function is not None
+        inner = _Scope(scope)
+        # The init declaration's name must be visible to the condition,
+        # step, and body expressions.
+        previous_scope = self._scope
+        self._scope = inner
+        try:
+            self._emit_for_body(stmt, inner)
+        finally:
+            self._scope = previous_scope
+
+    def _emit_for_body(self, stmt: ast.ForStmt, inner: _Scope) -> None:
+        function = self.function
+        assert function is not None
+        if stmt.init is not None:
+            self._emit_stmt(stmt.init, inner)
+        cond_block = function.append_block(function.unique_name("for.cond"))
+        body_block = function.append_block(function.unique_name("for.body"))
+        step_block = function.append_block(function.unique_name("for.step"))
+        end_block = function.append_block(function.unique_name("for.end"))
+        self.builder.jump(cond_block)
+        self.builder.position_at_end(cond_block)
+        if stmt.condition is not None:
+            self.builder.cond_branch(
+                self._condition(stmt.condition), body_block, end_block
+            )
+        else:
+            self.builder.jump(body_block)
+        self.builder.position_at_end(body_block)
+        self._loop_stack.append((step_block, end_block))
+        self._terminated = False
+        self._emit_block(stmt.body, inner)
+        if not self._terminated:
+            self.builder.jump(step_block)
+        self._loop_stack.pop()
+        self.builder.position_at_end(step_block)
+        if stmt.step is not None:
+            self._rvalue(stmt.step)
+        self.builder.jump(cond_block)
+        self.builder.position_at_end(end_block)
+        self._terminated = False
+
+    # -- expression lowering ---------------------------------------------------------------
+
+    def _condition(self, expr: ast.Expr) -> Value:
+        """Lower an expression used as an ``i1`` condition."""
+        value = self._rvalue(expr)
+        if value.type == I64 or isinstance(value.type, IntType):
+            return self.builder.icmp("ne", value, Constant(value.type, 0))
+        if isinstance(value.type, PointerType):
+            return self.builder.icmp("ne", value, Constant(value.type, 0))
+        if value.type.is_void:
+            raise CodegenError("void value in condition")
+        return self.builder.icmp("ne", value, Constant(value.type, 0))
+
+    def _lvalue(self, expr: ast.Expr, scope: _Scope) -> Value:
+        """The address of an lvalue expression."""
+        if isinstance(expr, ast.Identifier):
+            slot = scope.lookup(expr.name)
+            if slot is not None:
+                return slot
+            if expr.name in self.module.globals:
+                return self.module.globals[expr.name]
+            raise CodegenError(f"unresolved identifier {expr.name!r}")
+        if isinstance(expr, ast.IndexExpr):
+            base_type = self.info.type_of(expr.base)
+            index = self._to_int(self._rvalue(expr.index))
+            if isinstance(base_type, ArrayType):
+                base_addr = self._lvalue(expr.base, scope)
+                return self.builder.gep(base_addr, [0, index])
+            # pointer base: load the pointer, then scale
+            pointer = self._rvalue(expr.base)
+            return self.builder.gep(pointer, [index])
+        if isinstance(expr, ast.FieldExpr):
+            base_type = self.info.type_of(expr.base)
+            if expr.arrow:
+                base_addr = self._rvalue(expr.base)
+                struct = base_type.pointee  # type: ignore[union-attr]
+            else:
+                base_addr = self._lvalue(expr.base, scope)
+                struct = base_type
+            assert isinstance(struct, StructType)
+            index = struct.field_index(expr.field_name)
+            return self.builder.gep(base_addr, [0, index])
+        if isinstance(expr, ast.UnaryOp) and expr.op == "*":
+            return self._rvalue(expr.operand)
+        raise CodegenError(f"not an lvalue: {type(expr).__name__}")
+
+    def _rvalue(self, expr: ast.Expr) -> Value:
+        return self._emit_expr(expr)
+
+    def _emit_expr(self, expr: ast.Expr) -> Value:
+        scope = self._current_scope
+        if isinstance(expr, ast.IntLiteral):
+            return Constant(I64, expr.value)
+        if isinstance(expr, ast.CharLiteral):
+            return Constant(I8, ord(expr.value))
+        if isinstance(expr, ast.NullLiteral):
+            return Constant(PointerType(I8), 0)
+        if isinstance(expr, ast.StringLiteral):
+            gvar = self.module.add_string_literal(expr.value)
+            return self.builder.gep(gvar, [0, 0])
+        if isinstance(expr, ast.SizeofExpr):
+            return Constant(I64, self._resolve(expr.type_ref).size)
+        if isinstance(expr, ast.Identifier):
+            vtype = self.info.type_of(expr)
+            addr = self._lvalue(expr, scope)
+            if isinstance(vtype, ArrayType):
+                return self.builder.gep(addr, [0, 0])  # decay
+            if isinstance(vtype, StructType):
+                return addr  # struct rvalues are their address (for &-like use)
+            return self.builder.load(addr)
+        if isinstance(expr, ast.IndexExpr):
+            vtype = self.info.type_of(expr)
+            addr = self._lvalue(expr, scope)
+            if isinstance(vtype, ArrayType):
+                return self.builder.gep(addr, [0, 0])
+            return self.builder.load(addr)
+        if isinstance(expr, ast.FieldExpr):
+            vtype = self.info.type_of(expr)
+            addr = self._lvalue(expr, scope)
+            if isinstance(vtype, ArrayType):
+                return self.builder.gep(addr, [0, 0])
+            return self.builder.load(addr)
+        if isinstance(expr, ast.UnaryOp):
+            return self._emit_unary(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._emit_binary(expr)
+        if isinstance(expr, ast.Assignment):
+            addr = self._lvalue(expr.target, scope)
+            value = self._convert(
+                self._rvalue(expr.value), self.info.type_of(expr.target)
+            )
+            self.builder.store(value, addr)
+            return value
+        if isinstance(expr, ast.TernaryExpr):
+            return self._emit_ternary(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self._emit_call(expr)
+        raise CodegenError(f"unknown expression {type(expr).__name__}")
+
+    def _emit_unary(self, expr: ast.UnaryOp) -> Value:
+        scope = self._current_scope
+        if expr.op == "*":
+            pointer = self._rvalue(expr.operand)
+            pointee = pointer.type.pointee  # type: ignore[union-attr]
+            if isinstance(pointee, (ArrayType, StructType)):
+                return pointer
+            return self.builder.load(pointer)
+        if expr.op == "&":
+            return self._lvalue(expr.operand, scope)
+        operand = self._to_int(self._rvalue(expr.operand))
+        if expr.op == "-":
+            return self.builder.sub(Constant(I64, 0), operand)
+        if expr.op == "~":
+            return self.builder.binop("xor", operand, Constant(I64, -1))
+        if expr.op == "!":
+            is_zero = self.builder.icmp("eq", operand, Constant(I64, 0))
+            return self.builder.cast("zext", is_zero, I64)
+        raise CodegenError(f"unknown unary {expr.op!r}")
+
+    _BINOP_MAP = {
+        "+": "add",
+        "-": "sub",
+        "*": "mul",
+        "/": "sdiv",
+        "%": "srem",
+        "&": "and",
+        "|": "or",
+        "^": "xor",
+        "<<": "shl",
+        ">>": "ashr",
+    }
+    _CMP_MAP = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle", ">": "sgt", ">=": "sge"}
+
+    def _emit_binary(self, expr: ast.BinaryOp) -> Value:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._emit_short_circuit(expr)
+        left = self._rvalue(expr.left)
+        right = self._rvalue(expr.right)
+        if op in self._CMP_MAP:
+            left, right = self._unify(left, right)
+            flag = self.builder.icmp(self._CMP_MAP[op], left, right)
+            return self.builder.cast("zext", flag, I64)
+        if op in ("+", "-"):
+            lptr = isinstance(left.type, PointerType)
+            rptr = isinstance(right.type, PointerType)
+            if lptr and not rptr:
+                index = self._to_int(right)
+                if op == "-":
+                    index = self.builder.sub(Constant(I64, 0), index)
+                return self.builder.gep(left, [index])
+            if rptr and not lptr and op == "+":
+                return self.builder.gep(right, [self._to_int(left)])
+            if lptr and rptr and op == "-":
+                li = self.builder.cast("ptrtoint", left, I64)
+                ri = self.builder.cast("ptrtoint", right, I64)
+                diff = self.builder.sub(li, ri)
+                size = max(1, left.type.pointee.size)  # type: ignore[union-attr]
+                if size == 1:
+                    return diff
+                return self.builder.binop("sdiv", diff, Constant(I64, size))
+        left = self._to_int(left)
+        right = self._to_int(right)
+        return self.builder.binop(self._BINOP_MAP[op], left, right)
+
+    def _emit_short_circuit(self, expr: ast.BinaryOp) -> Value:
+        function = self.function
+        assert function is not None
+        rhs_block = function.append_block(function.unique_name("sc.rhs"))
+        end_block = function.append_block(function.unique_name("sc.end"))
+        left_flag = self._condition(expr.left)
+        left_block = self.builder.block
+        assert left_block is not None
+        if expr.op == "&&":
+            self.builder.cond_branch(left_flag, rhs_block, end_block)
+            short_value = 0
+        else:
+            self.builder.cond_branch(left_flag, end_block, rhs_block)
+            short_value = 1
+        self.builder.position_at_end(rhs_block)
+        right_flag = self._condition(expr.right)
+        right_value = self.builder.cast("zext", right_flag, I64)
+        rhs_exit = self.builder.block
+        assert rhs_exit is not None
+        self.builder.jump(end_block)
+        self.builder.position_at_end(end_block)
+        phi = self.builder.phi(I64)
+        phi.add_incoming(Constant(I64, short_value), left_block)
+        phi.add_incoming(right_value, rhs_exit)
+        return phi
+
+    def _emit_ternary(self, expr: ast.TernaryExpr) -> Value:
+        function = self.function
+        assert function is not None
+        result_type = self.info.type_of(expr)
+        then_block = function.append_block(function.unique_name("tern.then"))
+        else_block = function.append_block(function.unique_name("tern.else"))
+        end_block = function.append_block(function.unique_name("tern.end"))
+        self.builder.cond_branch(self._condition(expr.condition), then_block, else_block)
+        self.builder.position_at_end(then_block)
+        then_value = self._convert(self._rvalue(expr.then_value), result_type)
+        then_exit = self.builder.block
+        self.builder.jump(end_block)
+        self.builder.position_at_end(else_block)
+        else_value = self._convert(self._rvalue(expr.else_value), result_type)
+        else_exit = self.builder.block
+        self.builder.jump(end_block)
+        self.builder.position_at_end(end_block)
+        phi = self.builder.phi(result_type)
+        phi.add_incoming(then_value, then_exit)
+        phi.add_incoming(else_value, else_exit)
+        return phi
+
+    def _emit_call(self, expr: ast.CallExpr) -> Value:
+        callee = self.module.get_function(expr.name)
+        ftype = callee.function_type
+        args: List[Value] = []
+        for i, arg_expr in enumerate(expr.args):
+            value = self._rvalue(arg_expr)
+            if i < len(ftype.params):
+                value = self._convert(value, ftype.params[i])
+            else:  # varargs: promote chars, decay handled in _rvalue
+                if isinstance(value.type, IntType) and value.type.bits < 64:
+                    value = self.builder.cast("sext", value, I64)
+            args.append(value)
+        return self.builder.call(callee, args)
+
+    # -- conversions ---------------------------------------------------------------------
+
+    @property
+    def _current_scope(self) -> _Scope:
+        # Lvalue resolution needs the innermost scope; _emit_block keeps
+        # it current while statements are lowered.
+        assert self._scope is not None
+        return self._scope
+
+    def _to_int(self, value: Value) -> Value:
+        if value.type == I64:
+            return value
+        if isinstance(value.type, IntType):
+            return self.builder.cast("sext", value, I64)
+        if isinstance(value.type, PointerType):
+            return self.builder.cast("ptrtoint", value, I64)
+        raise CodegenError(f"cannot use {value.type} as an integer")
+
+    def _unify(self, left: Value, right: Value) -> Tuple[Value, Value]:
+        if left.type == right.type:
+            return left, right
+        if isinstance(left.type, PointerType) and isinstance(right.type, PointerType):
+            return left, self.builder.cast("bitcast", right, left.type)
+        if isinstance(left.type, PointerType):
+            return left, self.builder.cast("inttoptr", self._to_int(right), left.type)
+        if isinstance(right.type, PointerType):
+            return self.builder.cast("inttoptr", self._to_int(left), right.type), right
+        return self._to_int(left), self._to_int(right)
+
+    def _convert(self, value: Value, target: Type) -> Value:
+        if value.type == target:
+            return value
+        if isinstance(target, IntType) and isinstance(value.type, IntType):
+            if target.bits < value.type.bits:
+                return self.builder.cast("trunc", value, target)
+            return self.builder.cast("sext", value, target)
+        if isinstance(target, PointerType) and isinstance(value.type, PointerType):
+            return self.builder.cast("bitcast", value, target)
+        if isinstance(target, PointerType) and isinstance(value.type, IntType):
+            return self.builder.cast("inttoptr", self._to_int(value), target)
+        if isinstance(target, IntType) and isinstance(value.type, PointerType):
+            as_int = self.builder.cast("ptrtoint", value, I64)
+            return self._convert(as_int, target)
+        raise CodegenError(f"cannot convert {value.type} to {target}")
+
+
+def generate_module(program: ast.Program, info: SemaInfo, name: str = "minic") -> Module:
+    """Lower a checked program to IR."""
+    return CodeGenerator(program, info, name).generate()

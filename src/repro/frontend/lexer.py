@@ -1,0 +1,204 @@
+"""Lexer for MiniC, the C subset the reproduction compiles.
+
+MiniC covers what the paper's attack listings and workloads need:
+``int``/``char`` scalars, pointers, fixed arrays, structs, the usual
+expression operators, control flow, string/char literals, and calls
+into the modelled C library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+KEYWORDS = {
+    "int",
+    "char",
+    "void",
+    "struct",
+    "if",
+    "else",
+    "while",
+    "do",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "sizeof",
+    "NULL",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "->",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    ".",
+    "?",
+    ":",
+]
+
+
+@dataclass
+class Token:
+    kind: str  # "ident" | "keyword" | "number" | "string" | "char" | "op" | "eof"
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+class LexError(Exception):
+    """Raised on malformed source text."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at {line}:{column}")
+        self.line = line
+        self.column = column
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", '"': '"', "'": "'"}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn MiniC source text into a token list ending with EOF."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, column
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, column
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_line, start_col = line, column
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        # numbers (decimal and hex)
+        if ch.isdigit():
+            start = i
+            start_line, start_col = line, column
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                advance(2)
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    advance(1)
+            else:
+                while i < n and source[i].isdigit():
+                    advance(1)
+            tokens.append(Token("number", source[start:i], start_line, start_col))
+            continue
+        # string literals
+        if ch == '"':
+            start_line, start_col = line, column
+            advance(1)
+            out: List[str] = []
+            while i < n and source[i] != '"':
+                if source[i] == "\\":
+                    advance(1)
+                    if i >= n:
+                        break
+                    out.append(_ESCAPES.get(source[i], source[i]))
+                    advance(1)
+                else:
+                    out.append(source[i])
+                    advance(1)
+            if i >= n:
+                raise LexError("unterminated string literal", start_line, start_col)
+            advance(1)
+            tokens.append(Token("string", "".join(out), start_line, start_col))
+            continue
+        # char literals
+        if ch == "'":
+            start_line, start_col = line, column
+            advance(1)
+            if i < n and source[i] == "\\":
+                advance(1)
+                value = _ESCAPES.get(source[i], source[i])
+                advance(1)
+            else:
+                value = source[i]
+                advance(1)
+            if i >= n or source[i] != "'":
+                raise LexError("unterminated char literal", start_line, start_col)
+            advance(1)
+            tokens.append(Token("char", value, start_line, start_col))
+            continue
+        # operators / punctuation
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, column))
+                advance(len(op))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, column)
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

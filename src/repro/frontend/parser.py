@@ -1,0 +1,444 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast_nodes import (
+    Assignment,
+    DoWhileStmt,
+    TernaryExpr,
+    BinaryOp,
+    BlockStmt,
+    BreakStmt,
+    CallExpr,
+    CharLiteral,
+    ContinueStmt,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FieldExpr,
+    ForStmt,
+    FunctionDef,
+    GlobalDecl,
+    Identifier,
+    IfStmt,
+    IndexExpr,
+    IntLiteral,
+    NullLiteral,
+    Param,
+    Program,
+    ReturnStmt,
+    SizeofExpr,
+    Stmt,
+    StringLiteral,
+    StructDef,
+    TypeRef,
+    UnaryOp,
+    WhileStmt,
+)
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised on syntactically invalid MiniC."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"{message} at {token.line}:{token.column} (near {token.text!r})")
+        self.token = token
+
+
+#: binary operator precedence, higher binds tighter
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_TYPE_KEYWORDS = ("int", "char", "void", "struct")
+
+
+class Parser:
+    """Parses a token stream into a :class:`Program`."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            want = text or kind
+            raise ParseError(f"expected {want!r}", self.peek())
+        return token
+
+    def at_type(self) -> bool:
+        token = self.peek()
+        return token.kind == "keyword" and token.text in _TYPE_KEYWORDS
+
+    # -- top level ------------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self.peek().kind != "eof":
+            if (
+                self.peek().kind == "keyword"
+                and self.peek().text == "struct"
+                and self.peek(2).text == "{"
+            ):
+                program.structs.append(self._parse_struct())
+                continue
+            type_ref = self._parse_type()
+            name = self.expect("ident").text
+            if self.peek().text == "(":
+                program.functions.append(self._parse_function(type_ref, name))
+            else:
+                program.globals.append(self._parse_global(type_ref, name))
+        return program
+
+    def _parse_struct(self) -> StructDef:
+        line = self.expect("keyword", "struct").line
+        name = self.expect("ident").text
+        self.expect("op", "{")
+        fields: List[Param] = []
+        while not self.accept("op", "}"):
+            ftype = self._parse_type()
+            fname = self.expect("ident").text
+            ftype = self._parse_array_suffix(ftype)
+            fields.append(Param(type_ref=ftype, name=fname, line=self.peek().line))
+            self.expect("op", ";")
+        self.expect("op", ";")
+        return StructDef(name=name, fields=fields, line=line)
+
+    def _parse_type(self) -> TypeRef:
+        token = self.peek()
+        if not self.at_type():
+            raise ParseError("expected a type", token)
+        base = self.next().text
+        if base == "struct":
+            base = f"struct {self.expect('ident').text}"
+        depth = 0
+        while self.accept("op", "*"):
+            depth += 1
+        return TypeRef(base=base, pointer_depth=depth, line=token.line)
+
+    def _parse_array_suffix(self, type_ref: TypeRef) -> TypeRef:
+        dims: List[int] = []
+        while self.accept("op", "["):
+            dims.append(int(self.expect("number").text, 0))
+            self.expect("op", "]")
+        if dims:
+            return TypeRef(
+                base=type_ref.base,
+                pointer_depth=type_ref.pointer_depth,
+                array_dims=tuple(dims),
+                line=type_ref.line,
+            )
+        return type_ref
+
+    def _parse_global(self, type_ref: TypeRef, name: str) -> GlobalDecl:
+        type_ref = self._parse_array_suffix(type_ref)
+        initializer = None
+        if self.accept("op", "="):
+            initializer = self.parse_expression()
+        self.expect("op", ";")
+        return GlobalDecl(
+            type_ref=type_ref, name=name, initializer=initializer, line=type_ref.line
+        )
+
+    def _parse_function(self, return_type: TypeRef, name: str) -> FunctionDef:
+        self.expect("op", "(")
+        params: List[Param] = []
+        if not self.accept("op", ")"):
+            while True:
+                if self.peek().text == "void" and self.peek(1).text == ")":
+                    self.next()
+                    break
+                ptype = self._parse_type()
+                pname = self.expect("ident").text
+                ptype = self._parse_array_suffix(ptype)
+                if ptype.array_dims:
+                    # C semantics: array parameters decay to pointers.
+                    ptype = TypeRef(
+                        base=ptype.base,
+                        pointer_depth=ptype.pointer_depth + 1,
+                        line=ptype.line,
+                    )
+                params.append(Param(type_ref=ptype, name=pname, line=ptype.line))
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+        body = self._parse_block()
+        return FunctionDef(
+            return_type=return_type,
+            name=name,
+            params=params,
+            body=body,
+            line=return_type.line,
+        )
+
+    # -- statements ---------------------------------------------------------------------
+
+    def _parse_block(self) -> List[Stmt]:
+        self.expect("op", "{")
+        body: List[Stmt] = []
+        while not self.accept("op", "}"):
+            body.append(self.parse_statement())
+        return body
+
+    def parse_statement(self) -> Stmt:
+        token = self.peek()
+        if token.text == "{":
+            return BlockStmt(body=self._parse_block(), line=token.line)
+        if self.at_type():
+            return self._parse_declaration()
+        if token.kind == "keyword":
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "while":
+                return self._parse_while()
+            if token.text == "do":
+                return self._parse_do_while()
+            if token.text == "for":
+                return self._parse_for()
+            if token.text == "return":
+                self.next()
+                value = None
+                if self.peek().text != ";":
+                    value = self.parse_expression()
+                self.expect("op", ";")
+                return ReturnStmt(value=value, line=token.line)
+            if token.text == "break":
+                self.next()
+                self.expect("op", ";")
+                return BreakStmt(line=token.line)
+            if token.text == "continue":
+                self.next()
+                self.expect("op", ";")
+                return ContinueStmt(line=token.line)
+        expr = self.parse_expression()
+        self.expect("op", ";")
+        return ExprStmt(expr=expr, line=token.line)
+
+    def _parse_declaration(self) -> DeclStmt:
+        type_ref = self._parse_type()
+        name = self.expect("ident").text
+        type_ref = self._parse_array_suffix(type_ref)
+        initializer = None
+        if self.accept("op", "="):
+            initializer = self.parse_expression()
+        self.expect("op", ";")
+        return DeclStmt(
+            type_ref=type_ref, name=name, initializer=initializer, line=type_ref.line
+        )
+
+    def _parse_if(self) -> IfStmt:
+        line = self.expect("keyword", "if").line
+        self.expect("op", "(")
+        condition = self.parse_expression()
+        self.expect("op", ")")
+        then_body = self._statement_body()
+        else_body: List[Stmt] = []
+        if self.accept("keyword", "else"):
+            else_body = self._statement_body()
+        return IfStmt(
+            condition=condition, then_body=then_body, else_body=else_body, line=line
+        )
+
+    def _parse_while(self) -> WhileStmt:
+        line = self.expect("keyword", "while").line
+        self.expect("op", "(")
+        condition = self.parse_expression()
+        self.expect("op", ")")
+        return WhileStmt(condition=condition, body=self._statement_body(), line=line)
+
+    def _parse_do_while(self) -> DoWhileStmt:
+        line = self.expect("keyword", "do").line
+        body = self._statement_body()
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        condition = self.parse_expression()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return DoWhileStmt(condition=condition, body=body, line=line)
+
+    def _parse_for(self) -> ForStmt:
+        line = self.expect("keyword", "for").line
+        self.expect("op", "(")
+        init: Optional[Stmt] = None
+        if self.peek().text != ";":
+            if self.at_type():
+                init = self._parse_declaration()  # consumes the ';'
+            else:
+                init = ExprStmt(expr=self.parse_expression(), line=line)
+                self.expect("op", ";")
+        else:
+            self.expect("op", ";")
+        condition = None
+        if self.peek().text != ";":
+            condition = self.parse_expression()
+        self.expect("op", ";")
+        step = None
+        if self.peek().text != ")":
+            step = self.parse_expression()
+        self.expect("op", ")")
+        return ForStmt(
+            init=init, condition=condition, step=step, body=self._statement_body(), line=line
+        )
+
+    def _statement_body(self) -> List[Stmt]:
+        if self.peek().text == "{":
+            return self._parse_block()
+        return [self.parse_statement()]
+
+    # -- expressions ---------------------------------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        return self._parse_assignment()
+
+    _COMPOUND = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%"}
+
+    def _parse_assignment(self) -> Expr:
+        left = self._parse_ternary()
+        token = self.peek()
+        if token.text == "=":
+            self.next()
+            value = self._parse_assignment()
+            return Assignment(target=left, value=value, line=token.line)
+        if token.text in self._COMPOUND:
+            # desugar: `a += b` -> `a = a + b` (the target expression is
+            # side-effect free in MiniC, so double evaluation is safe)
+            self.next()
+            value = self._parse_assignment()
+            combined = BinaryOp(
+                op=self._COMPOUND[token.text], left=left, right=value, line=token.line
+            )
+            return Assignment(target=left, value=combined, line=token.line)
+        return left
+
+    def _parse_ternary(self) -> Expr:
+        condition = self._parse_binary(0)
+        token = self.peek()
+        if token.text != "?":
+            return condition
+        self.next()
+        then_value = self._parse_assignment()
+        self.expect("op", ":")
+        else_value = self._parse_assignment()
+        return TernaryExpr(
+            condition=condition,
+            then_value=then_value,
+            else_value=else_value,
+            line=token.line,
+        )
+
+    def _parse_binary(self, min_precedence: int) -> Expr:
+        left = self._parse_unary()
+        while True:
+            token = self.peek()
+            precedence = _PRECEDENCE.get(token.text) if token.kind == "op" else None
+            if precedence is None or precedence < min_precedence:
+                return left
+            self.next()
+            right = self._parse_binary(precedence + 1)
+            left = BinaryOp(op=token.text, left=left, right=right, line=token.line)
+
+    def _parse_unary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "op" and token.text in ("-", "!", "~", "*", "&"):
+            self.next()
+            operand = self._parse_unary()
+            return UnaryOp(op=token.text, operand=operand, line=token.line)
+        if token.kind == "keyword" and token.text == "sizeof":
+            self.next()
+            self.expect("op", "(")
+            type_ref = self._parse_type()
+            type_ref = self._parse_array_suffix(type_ref)
+            self.expect("op", ")")
+            return SizeofExpr(type_ref=type_ref, line=token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self.peek()
+            if token.text == "[":
+                self.next()
+                index = self.parse_expression()
+                self.expect("op", "]")
+                expr = IndexExpr(base=expr, index=index, line=token.line)
+            elif token.text == ".":
+                self.next()
+                name = self.expect("ident").text
+                expr = FieldExpr(base=expr, field_name=name, arrow=False, line=token.line)
+            elif token.text == "->":
+                self.next()
+                name = self.expect("ident").text
+                expr = FieldExpr(base=expr, field_name=name, arrow=True, line=token.line)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self.next()
+        if token.kind == "number":
+            return IntLiteral(value=int(token.text, 0), line=token.line)
+        if token.kind == "string":
+            return StringLiteral(value=token.text, line=token.line)
+        if token.kind == "char":
+            return CharLiteral(value=token.text, line=token.line)
+        if token.kind == "keyword" and token.text == "NULL":
+            return NullLiteral(line=token.line)
+        if token.kind == "ident":
+            if self.peek().text == "(":
+                self.next()
+                args: List[Expr] = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept("op", ","):
+                            break
+                    self.expect("op", ")")
+                return CallExpr(name=token.text, args=args, line=token.line)
+            return Identifier(name=token.text, line=token.line)
+        if token.text == "(":
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        raise ParseError("expected an expression", token)
+
+
+def parse_source(source: str) -> Program:
+    """Tokenize and parse MiniC source into an AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,599 @@
+"""The simulated CPU: an IR interpreter with a timing model and traps.
+
+The CPU executes one module's IR against the byte-addressable
+:class:`~repro.hardware.memory.Memory`.  It implements the semantics the
+defense passes rely on:
+
+- PAC sign/auth with trap-on-mismatch (:class:`PacAuthError`);
+- ``sec.assert`` canary checks (:class:`CanaryTrap`);
+- the DFI runtime definitions table (:class:`DfiTrap`);
+- flat segments, so buffer overflows corrupt silently until a check fires.
+
+Executions are deterministic given the seed, and every run accumulates
+the counters the paper's evaluation reports: cycles, IPC, dynamic PA
+instruction counts, input-channel invocations, allocator statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from collections import deque
+
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import (
+    Alloca,
+    BinOp,
+    Call,
+    Cast,
+    CondBranch,
+    DfiChkDef,
+    DfiSetDef,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    PacAuth,
+    PacSign,
+    Phi,
+    Ret,
+    SecAssert,
+    Select,
+    Store,
+)
+from ..ir.module import Module
+from ..ir.types import ArrayType, I64, IntType, PointerType, StructType
+from ..ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
+from .allocator import OutOfMemoryError, SectionedHeap
+from .cache import CacheModel
+from .libc import LIBRARY
+from .memory import GLOBAL_BASE, Memory, MemoryFault, STACK_BASE
+from .pac import PacAuthError, PointerAuthentication
+from .rng import CanaryRng
+from .timing import TimingModel
+
+_MASK64 = (1 << 64) - 1
+
+#: Shadow value for memory last written by an external (library) writer.
+DFI_EXTERNAL_WRITER = 0
+
+
+class SecurityTrap(Exception):
+    """Base class of defense-triggered traps."""
+
+    kind = "security"
+
+
+class CanaryTrap(SecurityTrap):
+    """A ``sec.assert`` canary check failed: overflow detected."""
+
+    kind = "canary"
+
+
+class DfiTrap(SecurityTrap):
+    """A ``dfi.chkdef`` found an unexpected last writer."""
+
+    kind = "dfi"
+
+    def __init__(self, address: int, writer: int, allowed: frozenset):
+        super().__init__(
+            f"DFI violation at {address:#x}: writer {writer} not in {sorted(allowed)}"
+        )
+        self.address = address
+        self.writer = writer
+        self.allowed = allowed
+
+
+class NullPointerTrap(Exception):
+    """Dereference of a null pointer."""
+
+
+class StepLimitExceeded(Exception):
+    """The execution ran past the configured dynamic step budget."""
+
+
+class ProgramExit(Exception):
+    """Raised by the ``exit``/``abort`` library models."""
+
+    def __init__(self, code: int):
+        super().__init__(f"exit({code})")
+        self.code = code
+
+
+class UnknownExternalError(Exception):
+    """Call to a declaration with no library model."""
+
+
+@dataclass
+class ExecutionResult:
+    """Everything a benchmark needs to know about one execution."""
+
+    status: str
+    return_value: Optional[int]
+    cycles: float
+    instructions: int
+    ipc: float
+    opcode_counts: Dict[str, int]
+    output: bytes
+    steps: int
+    trap: Optional[BaseException] = None
+    ic_calls: Dict[str, int] = field(default_factory=dict)
+    pac_sign_count: int = 0
+    pac_auth_count: int = 0
+    isolated_allocations: int = 0
+    #: cache statistics (zero unless the CPU was given a CacheModel)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_miss_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_misses / total if total else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def detected(self) -> bool:
+        """True when a defense mechanism fired."""
+        return self.status in ("pac_trap", "canary_trap", "dfi_trap")
+
+    @property
+    def pa_dynamic(self) -> int:
+        """Dynamically executed ARM-PA instructions."""
+        return self.opcode_counts.get("pac.sign", 0) + self.opcode_counts.get(
+            "pac.auth", 0
+        )
+
+
+class CPU:
+    """Interpreter for one module.  Construct fresh per execution run."""
+
+    def __init__(
+        self,
+        module: Module,
+        seed: int = 2024,
+        attack: Optional[object] = None,
+        max_steps: int = 20_000_000,
+        heap_capacity: int = 8 * 1024 * 1024,
+        cache: Optional[CacheModel] = None,
+    ):
+        self.module = module
+        self.memory = Memory()
+        self.pac = PointerAuthentication(seed)
+        self.rng = CanaryRng(seed ^ 0xCA11A57)
+        self.heap = SectionedHeap(self.memory, heap_capacity)
+        self.timing = TimingModel()
+        self.cache = cache
+        self.attack = attack
+        self.max_steps = max_steps
+        self.steps = 0
+        self.call_depth = 0
+        self.max_call_depth = 256
+        self.stack_top = STACK_BASE + 64
+        self.input_queue: Deque[bytes] = deque()
+        self.output: List[bytes] = []
+        self.ic_calls: Dict[str, int] = {}
+        self.global_addresses: Dict[str, int] = {}
+        #: live call frames, innermost last: (function, value->int map)
+        self.frames: List[Tuple[Function, Dict[Value, int]]] = []
+        self.dfi_shadow: Dict[int, int] = {}
+        self.dfi_active = any(
+            isinstance(inst, (DfiSetDef, DfiChkDef))
+            for function in module.defined_functions()
+            for inst in function.instructions()
+        )
+        self._layout_globals()
+
+    # -- setup -----------------------------------------------------------------
+
+    def _layout_globals(self) -> None:
+        cursor = GLOBAL_BASE + 16
+        for gvar in self.module.globals.values():
+            alignment = max(1, gvar.value_type.alignment)
+            cursor = (cursor + alignment - 1) // alignment * alignment
+            self.global_addresses[gvar.name] = cursor
+            self._write_initializer(cursor, gvar)
+            cursor += max(1, gvar.value_type.size)
+
+    def _write_initializer(self, address: int, gvar: GlobalVariable) -> None:
+        init = gvar.initializer
+        if init is None:
+            return
+        if isinstance(init, bytes):
+            self.memory.write_bytes(address, init)
+        elif isinstance(init, int):
+            self.memory.write_int(address, init, max(1, gvar.value_type.size))
+        elif isinstance(init, (list, tuple)):
+            elem_size = (
+                gvar.value_type.element.size
+                if isinstance(gvar.value_type, ArrayType)
+                else 8
+            )
+            for i, value in enumerate(init):
+                self.memory.write_int(address + i * elem_size, value, elem_size)
+        else:
+            raise TypeError(f"unsupported initializer for @{gvar.name}: {init!r}")
+
+    # -- hooks used by the libc models ---------------------------------------------
+
+    def take_input(self, channel: str, args: Sequence[int]) -> bytes:
+        """External input for a read-style IC: attack payload, queued
+        benign input, or empty."""
+        payload = self.attack_payload(channel, args)
+        if payload is not None:
+            return payload
+        if self.input_queue:
+            return self.input_queue.popleft()
+        return b""
+
+    def attack_payload(self, channel: str, args: Sequence[int]) -> Optional[bytes]:
+        """Ask the attack controller (if any) for a payload at this IC."""
+        if self.attack is None:
+            return None
+        return self.attack.payload_for(self, channel, args)  # type: ignore[attr-defined]
+
+    def stack_slot_address(self, name: str) -> Optional[int]:
+        """Address of the named alloca in the innermost frame holding it.
+
+        This is the adaptive attacker's eye: the threat model (§2.5)
+        grants the attacker full knowledge of the binary's layout, so
+        exploit scripts compute victim offsets from live addresses
+        rather than hard-coding them.
+        """
+        for _, frame in reversed(self.frames):
+            for value, address in frame.items():
+                if isinstance(value, Alloca) and value.name == name:
+                    return address
+        return None
+
+    def external_write(self, address: int, data: bytes) -> None:
+        """A library-side memory write (the IC write itself)."""
+        self.memory.write_bytes(address, data)
+        if self.dfi_active:
+            shadow = self.dfi_shadow
+            for offset in range(len(data)):
+                shadow[address + offset] = DFI_EXTERNAL_WRITER
+
+    # -- public API -------------------------------------------------------------
+
+    def run(
+        self,
+        function_name: str = "main",
+        args: Sequence[int] = (),
+        inputs: Optional[Sequence[bytes]] = None,
+    ) -> ExecutionResult:
+        """Execute ``function_name`` to completion or trap."""
+        if inputs:
+            self.input_queue.extend(inputs)
+        status = "ok"
+        return_value: Optional[int] = None
+        trap: Optional[BaseException] = None
+        try:
+            return_value = self._call(self.module.get_function(function_name), list(args))
+        except PacAuthError as exc:
+            status, trap = "pac_trap", exc
+        except CanaryTrap as exc:
+            status, trap = "canary_trap", exc
+        except DfiTrap as exc:
+            status, trap = "dfi_trap", exc
+        except (MemoryFault, NullPointerTrap) as exc:
+            status, trap = "fault", exc
+        except OutOfMemoryError as exc:
+            status, trap = "oom", exc
+        except StepLimitExceeded as exc:
+            status, trap = "limit", exc
+        except ProgramExit as exc:
+            return_value = exc.code
+        return ExecutionResult(
+            status=status,
+            return_value=return_value,
+            cycles=self.timing.cycles,
+            instructions=self.timing.instructions,
+            ipc=self.timing.ipc,
+            opcode_counts=dict(self.timing.opcode_counts),
+            output=b"".join(self.output),
+            steps=self.steps,
+            trap=trap,
+            ic_calls=dict(self.ic_calls),
+            pac_sign_count=self.pac.sign_count,
+            pac_auth_count=self.pac.auth_count,
+            isolated_allocations=self.heap.isolated_calls,
+            cache_hits=self.cache.hits if self.cache else 0,
+            cache_misses=self.cache.misses if self.cache else 0,
+        )
+
+    # -- execution engine -----------------------------------------------------------
+
+    def _call(self, function: Function, args: List[int]) -> Optional[int]:
+        if function.is_declaration:
+            return self._call_external(function, args)
+        self.call_depth += 1
+        if self.call_depth > self.max_call_depth:
+            self.call_depth -= 1
+            raise MemoryFault(self.stack_top, 0, "stack overflow")
+        saved_top = self.stack_top
+        try:
+            frame: Dict[Value, int] = {}
+            for argument, value in zip(function.args, args):
+                frame[argument] = value & _MASK64
+            self._layout_frame(function, frame)
+            self.frames.append((function, frame))
+            try:
+                return self._interpret(function, frame)
+            finally:
+                self.frames.pop()
+        finally:
+            self.stack_top = saved_top
+            self.call_depth -= 1
+
+    def _layout_frame(self, function: Function, frame: Dict[Value, int]) -> None:
+        """Assign frame addresses to allocas in *program order*.
+
+        Program order is address order: Pythia's stack re-layout pass
+        reorders allocas precisely to control which variables sit next
+        to each other in memory.
+        """
+        base = (self.stack_top + 15) // 16 * 16
+        offset = 0
+        for alloca in function.allocas():
+            alignment = max(1, alloca.allocated_type.alignment)
+            offset = (offset + alignment - 1) // alignment * alignment
+            frame[alloca] = base + offset
+            offset += max(1, alloca.allocated_type.size)
+        self.stack_top = base + (offset + 15) // 16 * 16
+
+    def _call_external(self, function: Function, args: List[int]) -> Optional[int]:
+        lib = LIBRARY.get(function.name)
+        if lib is None:
+            raise UnknownExternalError(function.name)
+        if lib.ic_kind is not None:
+            self.ic_calls[function.name] = self.ic_calls.get(function.name, 0) + 1
+        result = lib.handler(self, args)
+        return result if result is None else result & _MASK64
+
+    def _interpret(self, function: Function, frame: Dict[Value, int]) -> Optional[int]:
+        block = function.entry_block
+        previous: Optional[BasicBlock] = None
+        while True:
+            if previous is not None:
+                self._run_phis(block, previous, frame)
+            start = block.first_non_phi_index()
+            next_block: Optional[BasicBlock] = None
+            for inst in block.instructions[start:]:
+                self.steps += 1
+                if self.steps > self.max_steps:
+                    raise StepLimitExceeded(f"exceeded {self.max_steps} steps")
+                self.timing.charge(inst.opcode)
+                if isinstance(inst, Ret):
+                    if inst.value is None:
+                        return None
+                    return self._value(inst.value, frame)
+                if isinstance(inst, Jump):
+                    next_block = inst.target
+                    break
+                if isinstance(inst, CondBranch):
+                    taken = self._value(inst.condition, frame) & 1
+                    next_block = inst.true_block if taken else inst.false_block
+                    break
+                self._execute(inst, frame)
+            if next_block is None:
+                raise RuntimeError(
+                    f"block %{block.name} in @{function.name} fell through"
+                )
+            previous, block = block, next_block
+
+    def _run_phis(
+        self, block: BasicBlock, previous: BasicBlock, frame: Dict[Value, int]
+    ) -> None:
+        phis = block.phis
+        if not phis:
+            return
+        # Parallel evaluation: read all incoming values before writing any.
+        staged: List[Tuple[Phi, int]] = []
+        for phi in phis:
+            self.timing.charge("phi")
+            staged.append((phi, self._value(phi.incoming_for_block(previous), frame)))
+        for phi, value in staged:
+            frame[phi] = value
+
+    def _cache_access(self, address: int, size: int) -> None:
+        if self.cache is None:
+            return
+        misses = self.cache.access(address, size)
+        if misses:
+            self.timing.charge_cycles(misses * self.cache.miss_penalty, "llc.miss")
+
+    # -- operand evaluation ------------------------------------------------------------
+
+    def _value(self, value: Value, frame: Dict[Value, int]) -> int:
+        if isinstance(value, Constant):
+            return value.value & _MASK64
+        if isinstance(value, GlobalVariable):
+            return self.global_addresses[value.name]
+        if isinstance(value, UndefValue):
+            return 0
+        try:
+            return frame[value]
+        except KeyError:
+            raise RuntimeError(f"use of unevaluated value %{value.name}") from None
+
+    # -- instruction semantics ------------------------------------------------------------
+
+    def _execute(self, inst: Instruction, frame: Dict[Value, int]) -> None:
+        if isinstance(inst, Alloca):
+            # Address already assigned by _layout_frame.
+            return
+        if isinstance(inst, Load):
+            address = self._value(inst.pointer, frame)
+            if address == 0:
+                raise NullPointerTrap(f"load through null in {inst}")
+            size = max(1, inst.type.size)
+            self._cache_access(address, size)
+            frame[inst] = self.memory.read_int(address, size)
+            return
+        if isinstance(inst, Store):
+            address = self._value(inst.pointer, frame)
+            if address == 0:
+                raise NullPointerTrap(f"store through null in {inst}")
+            size = max(1, inst.value.type.size)
+            self._cache_access(address, size)
+            self.memory.write_int(address, self._value(inst.value, frame), size)
+            return
+        if isinstance(inst, GetElementPtr):
+            frame[inst] = self._gep_address(inst, frame)
+            return
+        if isinstance(inst, BinOp):
+            frame[inst] = self._binop(inst, frame)
+            return
+        if isinstance(inst, ICmp):
+            frame[inst] = self._icmp(inst, frame)
+            return
+        if isinstance(inst, Cast):
+            frame[inst] = self._cast(inst, frame)
+            return
+        if isinstance(inst, Select):
+            cond = self._value(inst.condition, frame) & 1
+            chosen = inst.true_value if cond else inst.false_value
+            frame[inst] = self._value(chosen, frame)
+            return
+        if isinstance(inst, Call):
+            result = self._call(
+                inst.callee, [self._value(a, frame) for a in inst.args]
+            )
+            if not inst.type.is_void:
+                frame[inst] = 0 if result is None else result
+            return
+        if isinstance(inst, PacSign):
+            value = self._value(inst.value, frame)
+            modifier = self._value(inst.modifier, frame)
+            frame[inst] = self.pac.sign(value, modifier, inst.key_id)
+            return
+        if isinstance(inst, PacAuth):
+            value = self._value(inst.value, frame)
+            modifier = self._value(inst.modifier, frame)
+            frame[inst] = self.pac.auth(value, modifier, inst.key_id)
+            return
+        if isinstance(inst, SecAssert):
+            if not (self._value(inst.condition, frame) & 1):
+                raise CanaryTrap(f"{inst.kind} check failed")
+            return
+        if isinstance(inst, DfiSetDef):
+            address = self._value(inst.pointer, frame)
+            for offset in range(inst.size):
+                self.dfi_shadow[address + offset] = inst.def_id
+            return
+        if isinstance(inst, DfiChkDef):
+            address = self._value(inst.pointer, frame)
+            for offset in range(inst.size):
+                writer = self.dfi_shadow.get(address + offset, DFI_EXTERNAL_WRITER)
+                if writer not in inst.allowed:
+                    raise DfiTrap(address + offset, writer, inst.allowed)
+            return
+        raise RuntimeError(f"cannot execute instruction: {inst}")
+
+    def _gep_address(self, inst: GetElementPtr, frame: Dict[Value, int]) -> int:
+        address = self._value(inst.pointer, frame)
+        pointee = inst.pointer.type.pointee  # type: ignore[union-attr]
+        first = I64.to_signed(self._value(inst.indices[0], frame))
+        address = (address + first * max(1, pointee.size)) & _MASK64
+        current = pointee
+        for index in inst.indices[1:]:
+            if isinstance(current, ArrayType):
+                step = I64.to_signed(self._value(index, frame))
+                address = (address + step * max(1, current.element.size)) & _MASK64
+                current = current.element
+            elif isinstance(current, StructType):
+                field_index = self._value(index, frame)
+                address = (address + current.field_offset(field_index)) & _MASK64
+                current = current.field_type(field_index)
+            else:
+                raise RuntimeError(f"malformed gep: {inst}")
+        return address
+
+    def _binop(self, inst: BinOp, frame: Dict[Value, int]) -> int:
+        vtype = inst.type
+        lhs = self._value(inst.lhs, frame)
+        rhs = self._value(inst.rhs, frame)
+        op = inst.op
+        if isinstance(vtype, IntType):
+            wrap = vtype.wrap
+            signed = vtype.to_signed
+            bits = vtype.bits
+        else:  # pointer arithmetic through int ops on addresses
+            wrap = lambda v: v & _MASK64  # noqa: E731
+            signed = I64.to_signed
+            bits = 64
+        if op == "add":
+            return wrap(lhs + rhs)
+        if op == "sub":
+            return wrap(lhs - rhs)
+        if op == "mul":
+            return wrap(lhs * rhs)
+        if op == "sdiv":
+            a, b = signed(lhs), signed(rhs)
+            if b == 0:
+                raise MemoryFault(0, 0, "integer divide by zero")
+            return wrap(int(a / b))
+        if op == "srem":
+            a, b = signed(lhs), signed(rhs)
+            if b == 0:
+                raise MemoryFault(0, 0, "integer remainder by zero")
+            return wrap(a - int(a / b) * b)
+        if op == "and":
+            return wrap(lhs & rhs)
+        if op == "or":
+            return wrap(lhs | rhs)
+        if op == "xor":
+            return wrap(lhs ^ rhs)
+        if op == "shl":
+            return wrap(lhs << (rhs % bits))
+        if op == "ashr":
+            return wrap(signed(lhs) >> (rhs % bits))
+        if op == "lshr":
+            return wrap(lhs >> (rhs % bits))
+        raise RuntimeError(f"unknown binop {op}")
+
+    def _icmp(self, inst: ICmp, frame: Dict[Value, int]) -> int:
+        lhs = self._value(inst.lhs, frame)
+        rhs = self._value(inst.rhs, frame)
+        vtype = inst.lhs.type
+        if isinstance(vtype, IntType):
+            slhs, srhs = vtype.to_signed(lhs), vtype.to_signed(rhs)
+        else:
+            slhs, srhs = lhs, rhs
+        predicate = inst.predicate
+        table: Dict[str, bool] = {
+            "eq": lhs == rhs,
+            "ne": lhs != rhs,
+            "slt": slhs < srhs,
+            "sle": slhs <= srhs,
+            "sgt": slhs > srhs,
+            "sge": slhs >= srhs,
+            "ult": lhs < rhs,
+            "ule": lhs <= rhs,
+            "ugt": lhs > rhs,
+            "uge": lhs >= rhs,
+        }
+        return 1 if table[predicate] else 0
+
+    def _cast(self, inst: Cast, frame: Dict[Value, int]) -> int:
+        value = self._value(inst.value, frame)
+        op = inst.op
+        if op in ("trunc", "zext", "ptrtoint", "inttoptr", "bitcast"):
+            if isinstance(inst.type, IntType):
+                return inst.type.wrap(value)
+            return value & _MASK64
+        if op == "sext":
+            src = inst.value.type
+            if isinstance(src, IntType):
+                signed = src.to_signed(value)
+            else:
+                signed = value
+            if isinstance(inst.type, IntType):
+                return inst.type.wrap(signed)
+            return signed & _MASK64
+        raise RuntimeError(f"unknown cast {op}")

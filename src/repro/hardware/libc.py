@@ -1,0 +1,483 @@
+"""Models of the C library functions the simulated programs call.
+
+Each model is a Python callable ``handler(cpu, args) -> Optional[int]``
+operating directly on the CPU's memory.  Input-channel functions
+(Definition 2.1 of the paper) are tagged with their category --
+``print``, ``scan``, ``movecopy``, ``get``, ``put``, ``map`` -- which is
+what :mod:`repro.analysis.input_channels` keys on.
+
+Two behaviours matter for the reproduction:
+
+1. **Unchecked writes.**  ``gets``, ``strcpy``, ``scanf %s`` and friends
+   write however many bytes the source provides.  Memory is flat within
+   a segment, so oversized payloads silently corrupt adjacent variables
+   -- the buffer overflows of §2.2 and §3.
+2. **Attack hooks.**  Before reading external input (or, for copies,
+   the source bytes), the CPU consults its attack controller, which may
+   substitute a malicious payload.  Without a controller, benign input
+   comes from ``cpu.input_queue``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+from ..ir.types import FunctionType, I64, I8, PointerType, VOID, pointer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cpu import CPU
+
+Handler = Callable[["CPU", Sequence[int]], Optional[int]]
+
+
+class LibFunction:
+    """A modelled external function: IR signature + semantics + IC tag.
+
+    ``writes_args`` lists the positions of pointer arguments the
+    function writes through (the overflow-exposed destinations);
+    ``writes_varargs`` marks scanf-style functions that write through
+    every vararg; ``writes_return`` marks map-style functions whose
+    returned region holds external data.  The slicing analyses use this
+    effect summary to connect input channels to program variables.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        function_type: FunctionType,
+        handler: Handler,
+        ic_kind: Optional[str] = None,
+        writes_args: Sequence[int] = (),
+        writes_varargs: bool = False,
+        writes_return: bool = False,
+        reads_args: Sequence[int] = (),
+        reads_varargs: bool = False,
+    ):
+        self.name = name
+        self.function_type = function_type
+        self.handler = handler
+        self.ic_kind = ic_kind
+        self.writes_args = tuple(writes_args)
+        self.writes_varargs = writes_varargs
+        self.writes_return = writes_return
+        self.reads_args = tuple(reads_args)
+        self.reads_varargs = reads_varargs
+
+
+LIBRARY: Dict[str, LibFunction] = {}
+
+_CHAR_PTR = pointer(I8)
+
+
+def _register(
+    name: str,
+    function_type: FunctionType,
+    ic_kind: Optional[str] = None,
+    writes_args: Sequence[int] = (),
+    writes_varargs: bool = False,
+    writes_return: bool = False,
+    reads_args: Sequence[int] = (),
+    reads_varargs: bool = False,
+) -> Callable[[Handler], Handler]:
+    def decorator(handler: Handler) -> Handler:
+        LIBRARY[name] = LibFunction(
+            name,
+            function_type,
+            handler,
+            ic_kind,
+            writes_args,
+            writes_varargs,
+            writes_return,
+            reads_args,
+            reads_varargs,
+        )
+        return handler
+
+    return decorator
+
+
+def declare_library(module, names: Optional[Sequence[str]] = None) -> None:
+    """Declare (a subset of) the modelled library in ``module``."""
+    for name in names if names is not None else LIBRARY:
+        lib = LIBRARY[name]
+        module.declare_function(name, lib.function_type, input_channel_kind=lib.ic_kind)
+
+
+# ---------------------------------------------------------------------------
+# put: string copies with no bounds checking
+# ---------------------------------------------------------------------------
+
+
+@_register("strcpy", FunctionType(_CHAR_PTR, [_CHAR_PTR, _CHAR_PTR]), ic_kind="put", writes_args=(0,), reads_args=(1,))
+def _strcpy(cpu: "CPU", args: Sequence[int]) -> int:
+    dst, src = args[0], args[1]
+    data = cpu.attack_payload("strcpy", args)
+    if data is None:
+        data = cpu.memory.read_cstring(src)
+    cpu.external_write(dst, data + b"\x00")
+    cpu.timing.charge_libcall(len(data), "lib.strcpy")
+    return dst
+
+
+@_register(
+    "strncpy",
+    FunctionType(_CHAR_PTR, [_CHAR_PTR, _CHAR_PTR, I64]),
+    ic_kind="put",
+    writes_args=(0,), reads_args=(1,),
+)
+def _strncpy(cpu: "CPU", args: Sequence[int]) -> int:
+    dst, src, limit = args[0], args[1], args[2]
+    data = cpu.attack_payload("strncpy", args)
+    if data is None:
+        data = cpu.memory.read_cstring(src)
+    data = data[:limit]
+    payload = data + b"\x00" * max(0, limit - len(data))
+    cpu.external_write(dst, payload)
+    cpu.timing.charge_libcall(len(payload), "lib.strncpy")
+    return dst
+
+
+@_register(
+    "sstrncpy",
+    FunctionType(_CHAR_PTR, [_CHAR_PTR, _CHAR_PTR, I64]),
+    ic_kind="put",
+    writes_args=(0,), reads_args=(1,),
+)
+def _sstrncpy(cpu: "CPU", args: Sequence[int]) -> int:
+    """ProFTPd's "safe" strncpy -- NUL-terminates but still trusts ``limit``.
+
+    When the attacker has corrupted ``limit`` (the ProFTPd attack of
+    Listing 2), this overflows exactly like ``strcpy``.
+    """
+    dst, src, limit = args[0], args[1], args[2]
+    data = cpu.attack_payload("sstrncpy", args)
+    if data is None:
+        data = cpu.memory.read_cstring(src)
+    data = data[: max(0, limit - 1)]
+    cpu.external_write(dst, data + b"\x00")
+    cpu.timing.charge_libcall(len(data), "lib.sstrncpy")
+    return dst
+
+
+@_register("strcat", FunctionType(_CHAR_PTR, [_CHAR_PTR, _CHAR_PTR]), ic_kind="put", writes_args=(0,), reads_args=(1,))
+def _strcat(cpu: "CPU", args: Sequence[int]) -> int:
+    dst, src = args[0], args[1]
+    existing = cpu.memory.read_cstring(dst)
+    data = cpu.attack_payload("strcat", args)
+    if data is None:
+        data = cpu.memory.read_cstring(src)
+    cpu.external_write(dst + len(existing), data + b"\x00")
+    cpu.timing.charge_libcall(len(data), "lib.strcat")
+    return dst
+
+
+# ---------------------------------------------------------------------------
+# move/copy: raw memory movement
+# ---------------------------------------------------------------------------
+
+
+@_register(
+    "memcpy",
+    FunctionType(_CHAR_PTR, [_CHAR_PTR, _CHAR_PTR, I64]),
+    ic_kind="movecopy",
+    writes_args=(0,), reads_args=(1,),
+)
+def _memcpy(cpu: "CPU", args: Sequence[int]) -> int:
+    dst, src, count = args[0], args[1], args[2]
+    data = cpu.attack_payload("memcpy", args)
+    if data is None:
+        data = cpu.memory.read_bytes(src, count)
+    cpu.external_write(dst, data)
+    cpu.timing.charge_libcall(len(data), "lib.memcpy")
+    return dst
+
+
+@_register(
+    "memmove",
+    FunctionType(_CHAR_PTR, [_CHAR_PTR, _CHAR_PTR, I64]),
+    ic_kind="movecopy",
+    writes_args=(0,), reads_args=(1,),
+)
+def _memmove(cpu: "CPU", args: Sequence[int]) -> int:
+    return _memcpy(cpu, args)
+
+
+@_register(
+    "memset",
+    FunctionType(_CHAR_PTR, [_CHAR_PTR, I64, I64]),
+    ic_kind="movecopy",
+    writes_args=(0,),
+)
+def _memset(cpu: "CPU", args: Sequence[int]) -> int:
+    dst, byte, count = args[0], args[1] & 0xFF, args[2]
+    cpu.external_write(dst, bytes([byte]) * count)
+    cpu.timing.charge_libcall(count, "lib.memset")
+    return dst
+
+
+# ---------------------------------------------------------------------------
+# get: reading external input (gets/fgets/read)
+# ---------------------------------------------------------------------------
+
+
+@_register("gets", FunctionType(_CHAR_PTR, [_CHAR_PTR]), ic_kind="get", writes_args=(0,))
+def _gets(cpu: "CPU", args: Sequence[int]) -> int:
+    dst = args[0]
+    data = cpu.take_input("gets", args)
+    cpu.external_write(dst, data + b"\x00")
+    cpu.timing.charge_libcall(len(data), "lib.gets")
+    return dst
+
+
+@_register("fgets", FunctionType(_CHAR_PTR, [_CHAR_PTR, I64, _CHAR_PTR]), ic_kind="get", writes_args=(0,))
+def _fgets(cpu: "CPU", args: Sequence[int]) -> int:
+    dst, limit = args[0], args[1]
+    data = cpu.take_input("fgets", args)[: max(0, limit - 1)]
+    cpu.external_write(dst, data + b"\x00")
+    cpu.timing.charge_libcall(len(data), "lib.fgets")
+    return dst
+
+
+@_register("read", FunctionType(I64, [I64, _CHAR_PTR, I64]), ic_kind="get", writes_args=(1,))
+def _read(cpu: "CPU", args: Sequence[int]) -> int:
+    dst, count = args[1], args[2]
+    data = cpu.take_input("read", args)[:count]
+    cpu.external_write(dst, data)
+    cpu.timing.charge_libcall(len(data), "lib.read")
+    return len(data)
+
+
+# ---------------------------------------------------------------------------
+# scan: formatted input
+# ---------------------------------------------------------------------------
+
+
+@_register("scanf", FunctionType(I64, [_CHAR_PTR], varargs=True), ic_kind="scan", writes_varargs=True)
+def _scanf(cpu: "CPU", args: Sequence[int]) -> int:
+    """Minimal scanf: supports ``%d`` and ``%s`` conversions.
+
+    ``%s`` writes however many bytes the input provides -- the classic
+    overflow of Listing 3 (``scanf("%d", &k)`` becomes dangerous when
+    the attacker instead drives a ``%s`` path or corrupts the length).
+    """
+    fmt = cpu.memory.read_cstring(args[0]).decode("latin1")
+    out_args = list(args[1:])
+    converted = 0
+    i = 0
+    while i < len(fmt) and out_args:
+        if fmt[i] == "%" and i + 1 < len(fmt):
+            spec = fmt[i + 1]
+            target = out_args.pop(0)
+            data = cpu.take_input(f"scanf%{spec}", args)
+            if spec == "d":
+                try:
+                    value = int(data.split()[0]) if data.split() else 0
+                except ValueError:
+                    value = 0
+                cpu.external_write(target, (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"))
+            else:  # %s and anything else treated as a raw string write
+                cpu.external_write(target, data + b"\x00")
+            converted += 1
+            i += 2
+        else:
+            i += 1
+    cpu.timing.charge_libcall(8, "lib.scanf")
+    return converted
+
+
+# ---------------------------------------------------------------------------
+# print: output formatting
+# ---------------------------------------------------------------------------
+
+
+def _format(cpu: "CPU", fmt: bytes, varargs: Sequence[int]) -> bytes:
+    out = bytearray()
+    args = list(varargs)
+    text = fmt.decode("latin1")
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "%" and i + 1 < len(text):
+            spec = text[i + 1]
+            if spec == "%":
+                out.append(ord("%"))
+            elif spec in ("d", "u", "x"):
+                value = args.pop(0) if args else 0
+                if spec == "d" and value >= 1 << 63:
+                    value -= 1 << 64
+                out.extend(format(value, "x" if spec == "x" else "d").encode())
+            elif spec == "s":
+                address = args.pop(0) if args else 0
+                out.extend(cpu.memory.read_cstring(address) if address else b"(null)")
+            elif spec == "c":
+                value = args.pop(0) if args else 0
+                out.append(value & 0xFF)
+            else:
+                out.extend(("%" + spec).encode())
+            i += 2
+        else:
+            out.append(ord(ch))
+            i += 1
+    return bytes(out)
+
+
+@_register("printf", FunctionType(I64, [_CHAR_PTR], varargs=True), ic_kind="print", reads_args=(0,), reads_varargs=True)
+def _printf(cpu: "CPU", args: Sequence[int]) -> int:
+    fmt = cpu.memory.read_cstring(args[0])
+    rendered = _format(cpu, fmt, args[1:])
+    cpu.output.append(rendered)
+    cpu.timing.charge_libcall(len(rendered), "lib.printf")
+    return len(rendered)
+
+
+@_register("puts", FunctionType(I64, [_CHAR_PTR]), ic_kind="print", reads_args=(0,))
+def _puts(cpu: "CPU", args: Sequence[int]) -> int:
+    data = cpu.memory.read_cstring(args[0])
+    cpu.output.append(data + b"\n")
+    cpu.timing.charge_libcall(len(data), "lib.puts")
+    return len(data) + 1
+
+
+@_register(
+    "sprintf",
+    FunctionType(I64, [_CHAR_PTR, _CHAR_PTR], varargs=True),
+    ic_kind="print",
+    writes_args=(0,),
+    reads_args=(1,),
+    reads_varargs=True,
+)
+def _sprintf(cpu: "CPU", args: Sequence[int]) -> int:
+    """sprintf *writes to memory* -- a print-category input channel that
+    can overflow its destination, which is why the paper treats print
+    functions as input channels at all."""
+    fmt = cpu.memory.read_cstring(args[1])
+    rendered = _format(cpu, fmt, args[2:])
+    cpu.external_write(args[0], rendered + b"\x00")
+    cpu.timing.charge_libcall(len(rendered), "lib.sprintf")
+    return len(rendered)
+
+
+# ---------------------------------------------------------------------------
+# map: mapping external data into the address space
+# ---------------------------------------------------------------------------
+
+
+@_register("mmap", FunctionType(_CHAR_PTR, [I64]), ic_kind="map", writes_return=True)
+def _mmap(cpu: "CPU", args: Sequence[int]) -> int:
+    """Simplified mmap(length): map a file-backed region filled with
+    external (attacker-influencable) bytes."""
+    length = max(1, args[0])
+    address = cpu.heap.malloc(length)
+    data = cpu.take_input("mmap", args)[:length]
+    # Fresh mappings are zero-filled (like real anonymous/short file
+    # mmaps), so the region never exposes stale heap bytes.
+    cpu.external_write(address, data + b"\x00" * (length - len(data)))
+    cpu.timing.charge_libcall(length, "lib.mmap")
+    return address
+
+
+# ---------------------------------------------------------------------------
+# heap management
+# ---------------------------------------------------------------------------
+
+
+@_register("malloc", FunctionType(_CHAR_PTR, [I64]))
+def _malloc(cpu: "CPU", args: Sequence[int]) -> int:
+    cpu.timing.charge_libcall(0, "lib.malloc")
+    return cpu.heap.malloc(args[0])
+
+
+@_register("calloc", FunctionType(_CHAR_PTR, [I64, I64]))
+def _calloc(cpu: "CPU", args: Sequence[int]) -> int:
+    size = args[0] * args[1]
+    address = cpu.heap.malloc(size)
+    cpu.memory.write_bytes(address, b"\x00" * size)
+    cpu.timing.charge_libcall(size, "lib.calloc")
+    return address
+
+
+@_register("free", FunctionType(VOID, [_CHAR_PTR]))
+def _free(cpu: "CPU", args: Sequence[int]) -> None:
+    if args[0]:
+        cpu.heap.free(args[0])
+    cpu.timing.charge_libcall(0, "lib.free")
+    return None
+
+
+@_register("pythia_secure_malloc", FunctionType(_CHAR_PTR, [I64]))
+def _secure_malloc(cpu: "CPU", args: Sequence[int]) -> int:
+    """Pythia's custom allocator: allocate from the *isolated* section.
+
+    Charges the heap-sectioning overhead the paper measures (~23 ns).
+    """
+    from .timing import HEAP_SECTIONING_CYCLES
+
+    cpu.timing.charge_cycles(HEAP_SECTIONING_CYCLES, "lib.secure_malloc")
+    return cpu.heap.malloc(args[0], isolated=True)
+
+
+# ---------------------------------------------------------------------------
+# string utilities (not input channels)
+# ---------------------------------------------------------------------------
+
+
+@_register("strlen", FunctionType(I64, [_CHAR_PTR]), reads_args=(0,))
+def _strlen(cpu: "CPU", args: Sequence[int]) -> int:
+    data = cpu.memory.read_cstring(args[0])
+    cpu.timing.charge_libcall(len(data), "lib.strlen")
+    return len(data)
+
+
+@_register("strcmp", FunctionType(I64, [_CHAR_PTR, _CHAR_PTR]), reads_args=(0, 1))
+def _strcmp(cpu: "CPU", args: Sequence[int]) -> int:
+    a = cpu.memory.read_cstring(args[0])
+    b = cpu.memory.read_cstring(args[1])
+    cpu.timing.charge_libcall(min(len(a), len(b)), "lib.strcmp")
+    return ((a > b) - (a < b)) & 0xFFFFFFFFFFFFFFFF
+
+
+@_register("strncmp", FunctionType(I64, [_CHAR_PTR, _CHAR_PTR, I64]), reads_args=(0, 1))
+def _strncmp(cpu: "CPU", args: Sequence[int]) -> int:
+    n = args[2]
+    a = cpu.memory.read_cstring(args[0])[:n]
+    b = cpu.memory.read_cstring(args[1])[:n]
+    cpu.timing.charge_libcall(min(len(a), len(b)), "lib.strncmp")
+    return ((a > b) - (a < b)) & 0xFFFFFFFFFFFFFFFF
+
+
+@_register("atoi", FunctionType(I64, [_CHAR_PTR]), reads_args=(0,))
+def _atoi(cpu: "CPU", args: Sequence[int]) -> int:
+    data = cpu.memory.read_cstring(args[0]).decode("latin1").strip()
+    cpu.timing.charge_libcall(len(data), "lib.atoi")
+    try:
+        return int(data or "0") & 0xFFFFFFFFFFFFFFFF
+    except ValueError:
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# runtime support
+# ---------------------------------------------------------------------------
+
+
+@_register("pythia_random", FunctionType(I64, []))
+def _pythia_random(cpu: "CPU", args: Sequence[int]) -> int:
+    """The canary RNG library call (one per (re-)randomisation)."""
+    from .timing import RNG_CALL_CYCLES
+
+    cpu.timing.charge_cycles(RNG_CALL_CYCLES, "lib.pythia_random")
+    return cpu.rng.next_canary()
+
+
+@_register("exit", FunctionType(VOID, [I64]))
+def _exit(cpu: "CPU", args: Sequence[int]) -> None:
+    from .cpu import ProgramExit
+
+    raise ProgramExit(args[0])
+
+
+@_register("abort", FunctionType(VOID, []))
+def _abort(cpu: "CPU", args: Sequence[int]) -> None:
+    from .cpu import ProgramExit
+
+    raise ProgramExit(134)

@@ -1,0 +1,141 @@
+"""Byte-addressable memory for the simulated machine.
+
+The 40-bit virtual address space is split into fixed segments:
+
+=============  =====================  ==========================================
+segment        base address           contents
+=============  =====================  ==========================================
+``globals``    ``0x01_0000_0000``     module globals and string literals
+``stack``      ``0x02_0000_0000``     call frames (growing towards higher
+                                      addresses, so buffer overflows run
+                                      "down" the frame into later variables)
+``heap``       ``0x03_0000_0000``     the *shared* heap section
+``isolated``   ``0x04_0000_0000``     Pythia's *isolated* heap section
+=============  =====================  ==========================================
+
+Memory is deliberately *flat within a segment*: writing past the end of
+a buffer silently corrupts whatever is adjacent, which is precisely the
+vulnerability class the paper attacks and defends.  Faults are only
+raised for addresses outside any mapped segment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+GLOBAL_BASE = 0x01_0000_0000
+STACK_BASE = 0x02_0000_0000
+HEAP_SHARED_BASE = 0x03_0000_0000
+HEAP_ISOLATED_BASE = 0x04_0000_0000
+
+#: Default segment capacity (16 MiB each is ample for generated workloads).
+SEGMENT_SIZE = 16 * 1024 * 1024
+
+
+class MemoryFault(Exception):
+    """Access to an unmapped address -- the simulated SIGSEGV/bus error."""
+
+    def __init__(self, address: int, size: int = 1, kind: str = "access"):
+        super().__init__(f"memory fault: {kind} of {size} byte(s) at {address:#x}")
+        self.address = address
+        self.size = size
+        self.kind = kind
+
+
+class Segment:
+    """A contiguous mapped region backed by a lazily grown bytearray."""
+
+    def __init__(self, name: str, base: int, capacity: int = SEGMENT_SIZE):
+        self.name = name
+        self.base = base
+        self.capacity = capacity
+        self.data = bytearray()
+
+    def contains(self, address: int, size: int = 1) -> bool:
+        return self.base <= address and address + size <= self.base + self.capacity
+
+    def _ensure(self, offset: int) -> None:
+        if offset > len(self.data):
+            self.data.extend(b"\x00" * (offset - len(self.data)))
+
+    def read(self, address: int, size: int) -> bytes:
+        offset = address - self.base
+        self._ensure(offset + size)
+        return bytes(self.data[offset : offset + size])
+
+    def write(self, address: int, payload: bytes) -> None:
+        offset = address - self.base
+        self._ensure(offset + len(payload))
+        self.data[offset : offset + len(payload)] = payload
+
+
+class Memory:
+    """The machine's memory: four segments plus typed access helpers."""
+
+    def __init__(self, segment_size: int = SEGMENT_SIZE):
+        self.segments: List[Segment] = [
+            Segment("globals", GLOBAL_BASE, segment_size),
+            Segment("stack", STACK_BASE, segment_size),
+            Segment("heap", HEAP_SHARED_BASE, segment_size),
+            Segment("isolated", HEAP_ISOLATED_BASE, segment_size),
+        ]
+        self.reads = 0
+        self.writes = 0
+
+    def segment_for(self, address: int, size: int = 1, kind: str = "access") -> Segment:
+        for segment in self.segments:
+            if segment.contains(address, size):
+                return segment
+        raise MemoryFault(address, size, kind)
+
+    def segment_named(self, name: str) -> Segment:
+        for segment in self.segments:
+            if segment.name == name:
+                return segment
+        raise KeyError(f"no segment named {name!r}")
+
+    # -- raw access -----------------------------------------------------------
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        if size == 0:
+            return b""
+        self.reads += 1
+        return self.segment_for(address, size, "read").read(address, size)
+
+    def write_bytes(self, address: int, payload: bytes) -> None:
+        if not payload:
+            return
+        self.writes += 1
+        self.segment_for(address, len(payload), "write").write(address, payload)
+
+    # -- typed access -----------------------------------------------------------
+
+    def read_int(self, address: int, size: int) -> int:
+        """Read a little-endian unsigned integer of ``size`` bytes."""
+        return int.from_bytes(self.read_bytes(address, size), "little")
+
+    def write_int(self, address: int, value: int, size: int) -> None:
+        """Write a little-endian unsigned integer of ``size`` bytes."""
+        mask = (1 << (8 * size)) - 1
+        self.write_bytes(address, (value & mask).to_bytes(size, "little"))
+
+    # -- C string helpers ---------------------------------------------------------
+
+    def read_cstring(self, address: int, limit: int = 1 << 16) -> bytes:
+        """Read a NUL-terminated string (without the terminator)."""
+        segment = self.segment_for(address, 1, "read")
+        out = bytearray()
+        cursor = address
+        while len(out) < limit:
+            if not segment.contains(cursor, 1):
+                raise MemoryFault(cursor, 1, "read")
+            byte = segment.read(cursor, 1)[0]
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+            cursor += 1
+        return bytes(out)
+
+    def write_cstring(self, address: int, text: bytes) -> None:
+        """Write ``text`` followed by a NUL terminator."""
+        self.write_bytes(address, text + b"\x00")

@@ -1,0 +1,147 @@
+"""Simulated ARM Pointer Authentication (ARMv8.3 PAuth).
+
+The simulated machine is 64-bit with a 40-bit virtual address space, so
+bits [63:40] of a pointer are unused by translation -- exactly the
+situation ARM-PA exploits.  A 24-bit *Pointer Authentication Code*
+(PAC) is computed as a keyed MAC over the address bits and a 64-bit
+modifier (tweak) and embedded in those unused bits:
+
+    signed = (value & ADDR_MASK) | (PAC(key, value, modifier) << 40)
+
+``auth`` recomputes the PAC; a mismatch models the ARMv8.3 behaviour of
+producing a poisoned pointer whose use faults -- our CPU raises
+:class:`PacAuthError` at the authentication point, which is the paper's
+"ARM-PA decryption mechanism triggers a program crash".
+
+The MAC itself is a small ARX (add-rotate-xor) tweakable cipher in the
+spirit of QARMA.  Cryptographic strength is irrelevant here; what the
+defense relies on is the *contract*: without the key, a forged value
+passes authentication with probability 2^-24 (Eq. 6 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Bits of virtual address space actually used by translation.
+VA_BITS = 40
+#: Bits available for the PAC field.
+PAC_BITS = 24
+#: Mask selecting the address (or data) bits covered by the PAC.
+ADDR_MASK = (1 << VA_BITS) - 1
+#: Mask selecting the PAC field once shifted into place.
+PAC_FIELD_MASK = ((1 << PAC_BITS) - 1) << VA_BITS
+
+_MASK64 = (1 << 64) - 1
+
+
+class PacAuthError(Exception):
+    """Authentication failure: the value's PAC did not match.
+
+    This is the simulated equivalent of dereferencing the poisoned
+    pointer ARMv8.3 AUT* produces on mismatch.
+    """
+
+    def __init__(self, value: int, modifier: int, key_id: str):
+        super().__init__(
+            f"PAC authentication failed (key {key_id}, value {value:#018x}, "
+            f"modifier {modifier:#x})"
+        )
+        self.value = value
+        self.modifier = modifier
+        self.key_id = key_id
+
+
+def _rotl(x: int, r: int) -> int:
+    return ((x << r) | (x >> (64 - r))) & _MASK64
+
+
+def _mix(block: int, key: int) -> int:
+    """One ARX round: add key, rotate, xor, multiply-diffuse."""
+    block = (block + key) & _MASK64
+    block ^= _rotl(block, 13)
+    block = (block * 0x9E3779B97F4A7C15) & _MASK64
+    block ^= block >> 29
+    return block
+
+
+def compute_pac(key: int, value: int, modifier: int) -> int:
+    """Compute the 24-bit PAC of ``value`` under ``key`` and ``modifier``.
+
+    Only the low :data:`VA_BITS` of ``value`` are covered, mirroring the
+    hardware (the PAC field itself must not influence the MAC).
+    """
+    block = (value & ADDR_MASK) ^ _rotl(modifier & _MASK64, 17)
+    block = _mix(block, key & _MASK64)
+    block = _mix(block, (key >> 64) & _MASK64)
+    block = _mix(block, modifier & _MASK64)
+    return block >> (64 - PAC_BITS)
+
+
+class PointerAuthentication:
+    """Per-process PA state: the five ARMv8.3 keys plus usage counters.
+
+    Key ids follow the architecture: ``ia``/``ib`` (instruction),
+    ``da``/``db`` (data), ``ga`` (generic).  The defense passes in this
+    repo use ``da`` for data signing, as Pythia signs data pointers.
+    """
+
+    KEY_IDS = ("ia", "ib", "da", "db", "ga")
+
+    def __init__(self, seed: int = 0x5EED):
+        self.keys: Dict[str, int] = {}
+        state = (seed * 0x2545F4914F6CDD1D + 0x9E3779B9) & _MASK64
+        for key_id in self.KEY_IDS:
+            lo = _mix(state, 0xA5A5A5A5A5A5A5A5)
+            hi = _mix(lo, 0xC3C3C3C3C3C3C3C3)
+            self.keys[key_id] = (hi << 64) | lo
+            state = hi
+        self.sign_count = 0
+        self.auth_count = 0
+        self.auth_failures = 0
+
+    def _key(self, key_id: str) -> int:
+        try:
+            return self.keys[key_id]
+        except KeyError:
+            raise ValueError(f"unknown PA key id: {key_id}") from None
+
+    def sign(self, value: int, modifier: int, key_id: str = "da") -> int:
+        """Embed a PAC in the unused high bits of ``value``.
+
+        Like hardware ``PAC*``, any existing high bits are replaced: the
+        MAC covers only the low address bits.
+        """
+        self.sign_count += 1
+        pac = compute_pac(self._key(key_id), value, modifier)
+        return (value & ADDR_MASK) | (pac << VA_BITS)
+
+    def auth(self, value: int, modifier: int, key_id: str = "da") -> int:
+        """Verify ``value``'s PAC and return the stripped value.
+
+        Raises :class:`PacAuthError` on mismatch.
+        """
+        self.auth_count += 1
+        expected = compute_pac(self._key(key_id), value, modifier)
+        embedded = (value >> VA_BITS) & ((1 << PAC_BITS) - 1)
+        if embedded != expected:
+            self.auth_failures += 1
+            raise PacAuthError(value, modifier, key_id)
+        return value & ADDR_MASK
+
+    def try_auth(self, value: int, modifier: int, key_id: str = "da") -> Optional[int]:
+        """Like :meth:`auth` but returns ``None`` instead of raising."""
+        try:
+            return self.auth(value, modifier, key_id)
+        except PacAuthError:
+            return None
+
+    @staticmethod
+    def strip(value: int) -> int:
+        """Remove the PAC field without verification (ARM ``XPAC``)."""
+        return value & ADDR_MASK
+
+    @staticmethod
+    def is_signed(value: int) -> bool:
+        """True when the value carries a (possibly invalid) PAC field."""
+        return (value & PAC_FIELD_MASK) != 0

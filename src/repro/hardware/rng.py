@@ -1,0 +1,42 @@
+"""Deterministic random number generation for canaries.
+
+The paper populates stack canaries "with C++ random number generator
+with a library call at each invocation of the function, and right
+before the input channel".  This module models that library: a fast
+xorshift64* generator with an invocation counter, so benchmarks can
+charge the library-call cost for every re-randomisation.
+
+Determinism matters: the whole simulation is reproducible from a seed,
+which the test suite relies on.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+class CanaryRng:
+    """xorshift64* PRNG used to (re-)randomise canary values."""
+
+    def __init__(self, seed: int = 0xC0FFEE):
+        # xorshift state must be non-zero.
+        self._state = (seed & _MASK64) or 0x9E3779B97F4A7C15
+        self.calls = 0
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit random value (one library call)."""
+        self.calls += 1
+        x = self._state
+        x ^= (x >> 12) & _MASK64
+        x ^= (x << 25) & _MASK64
+        x ^= (x >> 27) & _MASK64
+        self._state = x & _MASK64
+        return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+    def next_canary(self) -> int:
+        """A canary value: 64-bit random with a guaranteed NUL byte.
+
+        Real canaries keep a zero low byte so string functions cannot
+        leak them via unterminated reads; we keep the convention.
+        """
+        return self.next_u64() & ~0xFF

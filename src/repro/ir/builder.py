@@ -1,0 +1,163 @@
+"""A positioned instruction builder, in the style of ``llvm::IRBuilder``.
+
+The builder owns naming: every produced value gets a fresh,
+function-unique name derived from an opcode hint, so modules built
+through it always print and re-parse cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Sequence, Union
+
+from .function import BasicBlock, Function
+from .instructions import (
+    Alloca,
+    BinOp,
+    Call,
+    Cast,
+    CondBranch,
+    DfiChkDef,
+    DfiSetDef,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    PacAuth,
+    PacSign,
+    Phi,
+    Ret,
+    SecAssert,
+    Select,
+    Store,
+)
+from .types import I64, IntType, PointerType, Type
+from .values import Constant, Value
+
+
+class IRBuilder:
+    """Builds instructions at an insertion point inside a basic block."""
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+        self._insert_index: Optional[int] = None  # None = append at end
+
+    # -- positioning ---------------------------------------------------------
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+        self._insert_index = None
+
+    def position_before(self, inst: Instruction) -> None:
+        if inst.parent is None:
+            raise ValueError("instruction is not attached to a block")
+        self.block = inst.parent
+        self._insert_index = self.block.instructions.index(inst)
+
+    def position_after(self, inst: Instruction) -> None:
+        if inst.parent is None:
+            raise ValueError("instruction is not attached to a block")
+        self.block = inst.parent
+        self._insert_index = self.block.instructions.index(inst) + 1
+
+    @property
+    def function(self) -> Function:
+        if self.block is None or self.block.parent is None:
+            raise ValueError("builder is not positioned inside a function")
+        return self.block.parent
+
+    def _insert(self, inst: Instruction, hint: str) -> Instruction:
+        if self.block is None:
+            raise ValueError("builder has no insertion block")
+        if not inst.type.is_void and not inst.name:
+            inst.name = self.function.unique_name(hint)
+        if self._insert_index is None:
+            self.block.append(inst)
+        else:
+            self.block.insert(self._insert_index, inst)
+            self._insert_index += 1
+        return inst
+
+    # -- memory --------------------------------------------------------------
+
+    def alloca(self, allocated_type: Type, name: str = "") -> Alloca:
+        return self._insert(Alloca(allocated_type, name=name), "a")  # type: ignore[return-value]
+
+    def load(self, ptr: Value, name: str = "") -> Load:
+        return self._insert(Load(ptr, name=name), "l")  # type: ignore[return-value]
+
+    def store(self, value: Value, ptr: Value) -> Store:
+        return self._insert(Store(value, ptr), "")  # type: ignore[return-value]
+
+    def gep(self, ptr: Value, indices: Sequence[Union[Value, int]], name: str = "") -> GetElementPtr:
+        resolved = [self._as_index(i) for i in indices]
+        return self._insert(GetElementPtr(ptr, resolved, name=name), "p")  # type: ignore[return-value]
+
+    @staticmethod
+    def _as_index(index: Union[Value, int]) -> Value:
+        if isinstance(index, int):
+            return Constant(I64, index)
+        return index
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def binop(self, op: str, lhs: Value, rhs: Value, name: str = "") -> BinOp:
+        return self._insert(BinOp(op, lhs, rhs, name=name), op)  # type: ignore[return-value]
+
+    def add(self, lhs: Value, rhs: Value, name: str = "") -> BinOp:
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs: Value, rhs: Value, name: str = "") -> BinOp:
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs: Value, rhs: Value, name: str = "") -> BinOp:
+        return self.binop("mul", lhs, rhs, name)
+
+    def icmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> ICmp:
+        return self._insert(ICmp(predicate, lhs, rhs, name=name), "c")  # type: ignore[return-value]
+
+    def cast(self, op: str, value: Value, to_type: Type, name: str = "") -> Cast:
+        return self._insert(Cast(op, value, to_type, name=name), op)  # type: ignore[return-value]
+
+    def select(self, cond: Value, true_value: Value, false_value: Value, name: str = "") -> Select:
+        return self._insert(Select(cond, true_value, false_value, name=name), "sel")  # type: ignore[return-value]
+
+    # -- control flow ----------------------------------------------------------
+
+    def jump(self, target: BasicBlock) -> Jump:
+        return self._insert(Jump(target), "")  # type: ignore[return-value]
+
+    def cond_branch(self, cond: Value, true_block: BasicBlock, false_block: BasicBlock) -> CondBranch:
+        return self._insert(CondBranch(cond, true_block, false_block), "")  # type: ignore[return-value]
+
+    def ret(self, value: Optional[Value] = None) -> Ret:
+        return self._insert(Ret(value), "")  # type: ignore[return-value]
+
+    def call(self, callee: Function, args: Sequence[Value], name: str = "") -> Call:
+        return self._insert(Call(callee, args, name=name), "call")  # type: ignore[return-value]
+
+    def phi(self, vtype: Type, name: str = "") -> Phi:
+        return self._insert(Phi(vtype, name=name), "phi")  # type: ignore[return-value]
+
+    # -- security intrinsics ---------------------------------------------------
+
+    def pac_sign(self, value: Value, modifier: Value, key_id: str = "da", name: str = "") -> PacSign:
+        return self._insert(PacSign(value, modifier, key_id, name=name), "pac")  # type: ignore[return-value]
+
+    def pac_auth(self, value: Value, modifier: Value, key_id: str = "da", name: str = "") -> PacAuth:
+        return self._insert(PacAuth(value, modifier, key_id, name=name), "aut")  # type: ignore[return-value]
+
+    def dfi_setdef(self, ptr: Value, def_id: int, size: int = 8) -> DfiSetDef:
+        return self._insert(DfiSetDef(ptr, def_id, size), "")  # type: ignore[return-value]
+
+    def dfi_chkdef(self, ptr: Value, allowed: FrozenSet[int], size: int = 8) -> DfiChkDef:
+        return self._insert(DfiChkDef(ptr, allowed, size), "")  # type: ignore[return-value]
+
+    def sec_assert(self, cond: Value, kind: str = "check") -> SecAssert:
+        return self._insert(SecAssert(cond, kind), "")  # type: ignore[return-value]
+
+    # -- constants -------------------------------------------------------------
+
+    @staticmethod
+    def const(vtype: IntType, value: int) -> Constant:
+        return Constant(vtype, value)

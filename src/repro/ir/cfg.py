@@ -1,0 +1,122 @@
+"""Control-flow graph utilities: orderings, dominators, frontiers.
+
+Dominator computation uses the Cooper-Harvey-Kennedy iterative
+algorithm, which is simple and fast enough for the module sizes the
+workload generator produces.  Dominance frontiers feed SSA construction
+in :mod:`repro.transforms.mem2reg`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .function import BasicBlock, Function
+
+
+def reachable_blocks(function: Function) -> List[BasicBlock]:
+    """Blocks reachable from the entry, in depth-first discovery order."""
+    seen: Set[BasicBlock] = set()
+    order: List[BasicBlock] = []
+    stack = [function.entry_block]
+    while stack:
+        block = stack.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        order.append(block)
+        stack.extend(reversed(block.successors))
+    return order
+
+
+def reverse_postorder(function: Function) -> List[BasicBlock]:
+    """Reverse postorder over reachable blocks (entry first)."""
+    visited: Set[BasicBlock] = set()
+    postorder: List[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        # Iterative DFS to avoid recursion limits on generated CFGs.
+        stack = [(block, iter(block.successors))]
+        visited.add(block)
+        while stack:
+            current, succ_iter = stack[-1]
+            advanced = False
+            for succ in succ_iter:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(succ.successors)))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(current)
+                stack.pop()
+
+    visit(function.entry_block)
+    return list(reversed(postorder))
+
+
+class DominatorTree:
+    """Immediate dominators and dominance frontiers for a function."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.rpo = reverse_postorder(function)
+        self._rpo_index: Dict[BasicBlock, int] = {b: i for i, b in enumerate(self.rpo)}
+        self.idom: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        self._compute_idoms()
+        self.frontiers: Dict[BasicBlock, Set[BasicBlock]] = {}
+        self._compute_frontiers()
+
+    def _compute_idoms(self) -> None:
+        entry = self.function.entry_block
+        self.idom = {block: None for block in self.rpo}
+        self.idom[entry] = entry
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo:
+                if block is entry:
+                    continue
+                preds = [p for p in block.predecessors if self.idom.get(p) is not None]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for pred in preds[1:]:
+                    new_idom = self._intersect(pred, new_idom)
+                if self.idom[block] is not new_idom:
+                    self.idom[block] = new_idom
+                    changed = True
+
+    def _intersect(self, a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while self._rpo_index[a] > self._rpo_index[b]:
+                a = self.idom[a]  # type: ignore[assignment]
+            while self._rpo_index[b] > self._rpo_index[a]:
+                b = self.idom[b]  # type: ignore[assignment]
+        return a
+
+    def _compute_frontiers(self) -> None:
+        self.frontiers = {block: set() for block in self.rpo}
+        for block in self.rpo:
+            preds = [p for p in block.predecessors if p in self._rpo_index]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner = pred
+                while runner is not self.idom[block]:
+                    self.frontiers[runner].add(block)
+                    runner = self.idom[runner]  # type: ignore[assignment]
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True when block ``a`` dominates block ``b``."""
+        runner: Optional[BasicBlock] = b
+        entry = self.function.entry_block
+        while runner is not None:
+            if runner is a:
+                return True
+            if runner is entry:
+                return False
+            runner = self.idom.get(runner)
+        return False
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)

@@ -1,0 +1,181 @@
+"""Functions and basic blocks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from .instructions import Alloca, CondBranch, Instruction, Jump, Phi
+from .types import FunctionType, Type
+from .values import Argument, Value
+
+
+class BasicBlock(Value):
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    def __init__(self, name: str, parent: Optional["Function"] = None):
+        from .types import VOID
+
+        super().__init__(VOID, name=name)
+        self.parent = parent
+        self.instructions: List[Instruction] = []
+
+    # -- instruction management ----------------------------------------------
+
+    def append(self, inst: Instruction) -> Instruction:
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        inst.parent = self
+        self.instructions.insert(index, inst)
+        return inst
+
+    def insert_before(self, anchor: Instruction, inst: Instruction) -> Instruction:
+        return self.insert(self.instructions.index(anchor), inst)
+
+    def insert_after(self, anchor: Instruction, inst: Instruction) -> Instruction:
+        return self.insert(self.instructions.index(anchor) + 1, inst)
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def phis(self) -> List[Phi]:
+        return [i for i in self.instructions if isinstance(i, Phi)]
+
+    def first_non_phi_index(self) -> int:
+        for i, inst in enumerate(self.instructions):
+            if not isinstance(inst, Phi):
+                return i
+        return len(self.instructions)
+
+    # -- CFG edges -----------------------------------------------------------
+
+    @property
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        if term is None:
+            return []
+        return term.successors  # type: ignore[attr-defined]
+
+    @property
+    def predecessors(self) -> List["BasicBlock"]:
+        if self.parent is None:
+            return []
+        return [b for b in self.parent.blocks if self in b.successors]
+
+    def ref(self) -> str:
+        return f"%{self.name}"
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock {self.name} ({len(self.instructions)} insts)>"
+
+
+class Function(Value):
+    """A function definition or declaration.
+
+    Declarations (``is_declaration == True``) model external library
+    functions.  Input-channel declarations carry ``input_channel_kind``
+    (one of the six categories of Definition 2.1) so the analysis in
+    :mod:`repro.analysis.input_channels` can classify call sites.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        function_type: FunctionType,
+        param_names: Optional[Sequence[str]] = None,
+        is_declaration: bool = False,
+        input_channel_kind: Optional[str] = None,
+    ):
+        from .types import pointer
+
+        super().__init__(pointer(function_type), name=name)
+        self.function_type = function_type
+        self.is_declaration = is_declaration
+        self.input_channel_kind = input_channel_kind
+        #: back-reference set by Module.add_function
+        self.module = None
+        self.blocks: List[BasicBlock] = []
+        self.args: List[Argument] = []
+        names = list(param_names or [])
+        for index, ptype in enumerate(function_type.params):
+            pname = names[index] if index < len(names) else f"arg{index}"
+            self.args.append(Argument(self, index, ptype, pname))
+        self._name_counter = 0
+        self._used_names = None
+
+    # -- block management ----------------------------------------------------
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def append_block(self, name: str = "") -> BasicBlock:
+        block = BasicBlock(name or self.unique_name("bb"), parent=self)
+        self.blocks.append(block)
+        return block
+
+    def block_by_name(self, name: str) -> BasicBlock:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise KeyError(f"function {self.name} has no block {name!r}")
+
+    def claim_name(self, hint: str) -> str:
+        """Return ``hint`` if still unused in this function, else a
+        uniquified variant (``hint.N``)."""
+        self._ensure_used_names()
+        if hint not in self._used_names:
+            self._used_names.add(hint)
+            return hint
+        return self.unique_name(hint)
+
+    def _ensure_used_names(self) -> None:
+        if self._used_names is None:
+            self._used_names = {arg.name for arg in self.args}
+            for block in self.blocks:
+                self._used_names.add(block.name)
+                for inst in block.instructions:
+                    if inst.name:
+                        self._used_names.add(inst.name)
+
+    def unique_name(self, hint: str = "t") -> str:
+        self._ensure_used_names()
+        while True:
+            self._name_counter += 1
+            name = f"{hint}.{self._name_counter}"
+            if name not in self._used_names:
+                self._used_names.add(name)
+                return name
+
+    # -- traversal -----------------------------------------------------------
+
+    def instructions(self) -> Iterator[Instruction]:
+        """All instructions in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def allocas(self) -> List[Alloca]:
+        """Every stack allocation in the function (frame layout order)."""
+        return [i for i in self.instructions() if isinstance(i, Alloca)]
+
+    def conditional_branches(self) -> List[CondBranch]:
+        """Every conditional branch -- the paper's unit of protection."""
+        return [i for i in self.instructions() if isinstance(i, CondBranch)]
+
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "declare" if self.is_declaration else "define"
+        return f"<Function {kind} {self.name}>"

@@ -1,0 +1,608 @@
+"""Instruction set of the repro IR.
+
+The instruction set mirrors the LLVM subset that the Pythia paper's
+passes operate over: stack allocation, loads/stores, pointer arithmetic
+(``getelementptr``), integer arithmetic and comparison, control flow,
+calls, and phi nodes -- plus the security intrinsics that the defense
+passes insert:
+
+- :class:`PacSign` / :class:`PacAuth` model the ARM Pointer
+  Authentication ``PAC*`` / ``AUT*`` instructions.
+- :class:`DfiSetDef` / :class:`DfiChkDef` model the Castro et al. DFI
+  instrumentation used as the paper's comparison baseline.
+
+Every instruction is a :class:`~repro.ir.values.Value`; operand lists
+maintain def-use chains automatically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from .types import (
+    ArrayType,
+    FunctionType,
+    I1,
+    I64,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+)
+from .values import Constant, Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .function import BasicBlock, Function
+
+
+class Instruction(Value):
+    """Base class of all instructions.
+
+    Subclasses set :attr:`opcode`; terminators override
+    :attr:`is_terminator`.
+    """
+
+    opcode: str = "?"
+    is_terminator: bool = False
+
+    def __init__(self, vtype: Type, operands: Sequence[Value], name: str = ""):
+        super().__init__(vtype, name=name)
+        self.parent: Optional["BasicBlock"] = None
+        self._operands: List[Value] = []
+        for operand in operands:
+            self.append_operand(operand)
+
+    # -- operand management -------------------------------------------------
+
+    @property
+    def operands(self) -> Tuple[Value, ...]:
+        return tuple(self._operands)
+
+    def append_operand(self, value: Value) -> None:
+        index = len(self._operands)
+        self._operands.append(value)
+        value.add_use(self, index)
+
+    def set_operand(self, index: int, value: Value) -> None:
+        old = self._operands[index]
+        old.remove_use(self, index)
+        self._operands[index] = value
+        value.add_use(self, index)
+
+    def drop_all_operands(self) -> None:
+        for index, operand in enumerate(self._operands):
+            operand.remove_use(self, index)
+        self._operands = []
+
+    def drop_trailing_operand(self) -> None:
+        """Remove the last operand (used when shrinking call arg lists)."""
+        index = len(self._operands) - 1
+        operand = self._operands.pop()
+        operand.remove_use(self, index)
+
+    # -- block linkage -------------------------------------------------------
+
+    @property
+    def function(self) -> Optional["Function"]:
+        return self.parent.parent if self.parent is not None else None
+
+    def erase_from_parent(self) -> None:
+        """Unlink from the containing block and drop all operand uses."""
+        if self.parent is not None:
+            self.parent.instructions.remove(self)
+            self.parent = None
+        self.drop_all_operands()
+
+    # -- printing ------------------------------------------------------------
+
+    def _operand_refs(self) -> str:
+        return ", ".join(f"{op.type} {op.ref()}" for op in self._operands)
+
+    def __str__(self) -> str:
+        if self.type.is_void:
+            return f"{self.opcode} {self._operand_refs()}"
+        return f"%{self.name} = {self.opcode} {self._operand_refs()}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {str(self)}>"
+
+
+# ---------------------------------------------------------------------------
+# Memory instructions
+# ---------------------------------------------------------------------------
+
+
+class Alloca(Instruction):
+    """Reserve stack storage for one value of ``allocated_type``.
+
+    Yields a pointer into the current stack frame.  Stack re-layout
+    (Algorithm 3 of the paper) works by reordering a function's allocas.
+    """
+
+    opcode = "alloca"
+
+    def __init__(self, allocated_type: Type, name: str = ""):
+        super().__init__(PointerType(allocated_type), [], name=name)
+        self.allocated_type = allocated_type
+
+    def __str__(self) -> str:
+        return f"%{self.name} = alloca {self.allocated_type}"
+
+
+class Load(Instruction):
+    """Load a value of the pointee type through a pointer operand."""
+
+    opcode = "load"
+
+    def __init__(self, ptr: Value, name: str = ""):
+        if not isinstance(ptr.type, PointerType):
+            raise TypeError(f"load requires a pointer operand, got {ptr.type}")
+        super().__init__(ptr.type.pointee, [ptr], name=name)
+
+    @property
+    def pointer(self) -> Value:
+        return self._operands[0]
+
+    def __str__(self) -> str:
+        return f"%{self.name} = load {self.type}, {self.pointer.type} {self.pointer.ref()}"
+
+
+class Store(Instruction):
+    """Store ``value`` through ``ptr``.  Produces no value."""
+
+    opcode = "store"
+
+    def __init__(self, value: Value, ptr: Value):
+        if not isinstance(ptr.type, PointerType):
+            raise TypeError(f"store requires a pointer operand, got {ptr.type}")
+        super().__init__(VOID, [value, ptr])
+
+    @property
+    def value(self) -> Value:
+        return self._operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self._operands[1]
+
+
+class GetElementPtr(Instruction):
+    """Pointer arithmetic with LLVM ``getelementptr`` semantics.
+
+    The first index scales by the pointee size; later indices step into
+    arrays (dynamic) or struct fields (constant only).  The paper's DFI
+    baseline gives up on slices containing this instruction when it is
+    used for raw pointer arithmetic or field-insensitive access -- see
+    :meth:`is_pointer_arithmetic` and :meth:`is_field_access`.
+    """
+
+    opcode = "getelementptr"
+
+    def __init__(self, ptr: Value, indices: Sequence[Value], name: str = ""):
+        if not isinstance(ptr.type, PointerType):
+            raise TypeError(f"gep requires a pointer operand, got {ptr.type}")
+        result = self._walk_type(ptr.type, indices)
+        super().__init__(PointerType(result), [ptr, *indices], name=name)
+
+    @staticmethod
+    def _walk_type(ptr_type: PointerType, indices: Sequence[Value]) -> Type:
+        current: Type = ptr_type.pointee
+        for index in indices[1:]:
+            if isinstance(current, ArrayType):
+                current = current.element
+            elif isinstance(current, StructType):
+                if not isinstance(index, Constant):
+                    raise TypeError("struct gep index must be constant")
+                current = current.field_type(index.value)
+            else:
+                raise TypeError(f"cannot index into {current}")
+        return current
+
+    @property
+    def pointer(self) -> Value:
+        return self._operands[0]
+
+    @property
+    def indices(self) -> Tuple[Value, ...]:
+        return tuple(self._operands[1:])
+
+    def is_field_access(self) -> bool:
+        """True when any index steps into a struct field."""
+        current: Type = self.pointer.type.pointee  # type: ignore[union-attr]
+        for index in self.indices[1:]:
+            if isinstance(current, StructType):
+                return True
+            if isinstance(current, ArrayType):
+                current = current.element
+        return isinstance(current, StructType) and len(self.indices) > 1
+
+    def is_pointer_arithmetic(self) -> bool:
+        """True when the leading index is a non-zero / non-constant offset.
+
+        This is the raw ``p + i`` pattern the paper highlights: the kind
+        of computed pointer DFI cannot reason about.
+        """
+        first = self.indices[0]
+        return not (isinstance(first, Constant) and first.value == 0)
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic and comparison
+# ---------------------------------------------------------------------------
+
+BINARY_OPS = ("add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "ashr", "lshr")
+
+
+class BinOp(Instruction):
+    """Two-operand integer arithmetic."""
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, name: str = ""):
+        if op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op: {op}")
+        if lhs.type != rhs.type:
+            raise TypeError(f"binop operand types differ: {lhs.type} vs {rhs.type}")
+        super().__init__(lhs.type, [lhs, rhs], name=name)
+        self.op = op
+
+    @property
+    def opcode(self) -> str:  # type: ignore[override]
+        return self.op
+
+    @property
+    def lhs(self) -> Value:
+        return self._operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self._operands[1]
+
+    def __str__(self) -> str:
+        return (
+            f"%{self.name} = {self.op} {self.type} "
+            f"{self.lhs.ref()}, {self.rhs.ref()}"
+        )
+
+
+ICMP_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge")
+
+
+class ICmp(Instruction):
+    """Integer / pointer comparison producing an ``i1``."""
+
+    opcode = "icmp"
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if predicate not in ICMP_PREDICATES:
+            raise ValueError(f"unknown icmp predicate: {predicate}")
+        if lhs.type != rhs.type:
+            raise TypeError(f"icmp operand types differ: {lhs.type} vs {rhs.type}")
+        super().__init__(I1, [lhs, rhs], name=name)
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self._operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self._operands[1]
+
+    def __str__(self) -> str:
+        return (
+            f"%{self.name} = icmp {self.predicate} {self.lhs.type} "
+            f"{self.lhs.ref()}, {self.rhs.ref()}"
+        )
+
+
+CAST_OPS = ("trunc", "zext", "sext", "ptrtoint", "inttoptr", "bitcast")
+
+
+class Cast(Instruction):
+    """Width and pointer/integer conversions."""
+
+    def __init__(self, op: str, value: Value, to_type: Type, name: str = ""):
+        if op not in CAST_OPS:
+            raise ValueError(f"unknown cast op: {op}")
+        super().__init__(to_type, [value], name=name)
+        self.op = op
+
+    @property
+    def opcode(self) -> str:  # type: ignore[override]
+        return self.op
+
+    @property
+    def value(self) -> Value:
+        return self._operands[0]
+
+    def __str__(self) -> str:
+        return (
+            f"%{self.name} = {self.op} {self.value.type} "
+            f"{self.value.ref()} to {self.type}"
+        )
+
+
+class Select(Instruction):
+    """``select i1 %c, T %a, T %b`` -- branchless conditional."""
+
+    opcode = "select"
+
+    def __init__(self, cond: Value, true_value: Value, false_value: Value, name: str = ""):
+        if true_value.type != false_value.type:
+            raise TypeError("select arms must have the same type")
+        super().__init__(true_value.type, [cond, true_value, false_value], name=name)
+
+    @property
+    def condition(self) -> Value:
+        return self._operands[0]
+
+    @property
+    def true_value(self) -> Value:
+        return self._operands[1]
+
+    @property
+    def false_value(self) -> Value:
+        return self._operands[2]
+
+
+# ---------------------------------------------------------------------------
+# Control flow
+# ---------------------------------------------------------------------------
+
+
+class Jump(Instruction):
+    """Unconditional branch."""
+
+    opcode = "br"
+    is_terminator = True
+
+    def __init__(self, target: "BasicBlock"):
+        super().__init__(VOID, [])
+        self.target = target
+
+    @property
+    def successors(self) -> List["BasicBlock"]:
+        return [self.target]
+
+    def __str__(self) -> str:
+        return f"br label %{self.target.name}"
+
+
+class CondBranch(Instruction):
+    """Conditional branch on an ``i1`` -- the unit of control-flow bending."""
+
+    opcode = "br"
+    is_terminator = True
+
+    def __init__(self, cond: Value, true_block: "BasicBlock", false_block: "BasicBlock"):
+        super().__init__(VOID, [cond])
+        self.true_block = true_block
+        self.false_block = false_block
+
+    @property
+    def condition(self) -> Value:
+        return self._operands[0]
+
+    @property
+    def successors(self) -> List["BasicBlock"]:
+        return [self.true_block, self.false_block]
+
+    def __str__(self) -> str:
+        return (
+            f"br i1 {self.condition.ref()}, label %{self.true_block.name}, "
+            f"label %{self.false_block.name}"
+        )
+
+
+class Ret(Instruction):
+    """Return from the current function, optionally with a value."""
+
+    opcode = "ret"
+    is_terminator = True
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__(VOID, [value] if value is not None else [])
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self._operands[0] if self._operands else None
+
+    @property
+    def successors(self) -> List["BasicBlock"]:
+        return []
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "ret void"
+        return f"ret {self.value.type} {self.value.ref()}"
+
+
+class Call(Instruction):
+    """Direct call.  ``callee`` is a :class:`repro.ir.function.Function`,
+    which may be a declaration (external library function / input channel).
+    """
+
+    opcode = "call"
+
+    def __init__(self, callee: "Function", args: Sequence[Value], name: str = ""):
+        ftype = callee.function_type
+        super().__init__(ftype.return_type, list(args), name=name)
+        self.callee = callee
+
+    @property
+    def args(self) -> Tuple[Value, ...]:
+        return self.operands
+
+    def __str__(self) -> str:
+        arg_text = ", ".join(f"{a.type} {a.ref()}" for a in self.args)
+        head = f"call {self.type} @{self.callee.name}({arg_text})"
+        if self.type.is_void:
+            return head
+        return f"%{self.name} = {head}"
+
+
+class Phi(Instruction):
+    """SSA phi node.  Incoming blocks are kept parallel to operands."""
+
+    opcode = "phi"
+
+    def __init__(self, vtype: Type, name: str = ""):
+        super().__init__(vtype, [], name=name)
+        self.incoming_blocks: List["BasicBlock"] = []
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        self.append_operand(value)
+        self.incoming_blocks.append(block)
+
+    @property
+    def incomings(self) -> List[Tuple[Value, "BasicBlock"]]:
+        return list(zip(self._operands, self.incoming_blocks))
+
+    def incoming_for_block(self, block: "BasicBlock") -> Value:
+        for value, pred in self.incomings:
+            if pred is block:
+                return value
+        raise KeyError(f"phi has no incoming for block {block.name}")
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            f"[ {value.ref()}, %{block.name} ]" for value, block in self.incomings
+        )
+        return f"%{self.name} = phi {self.type} {parts}"
+
+
+# ---------------------------------------------------------------------------
+# Security intrinsics
+# ---------------------------------------------------------------------------
+
+
+class PacSign(Instruction):
+    """Model of ARM ``PACIA``/``PACDA``: embed a PAC in a 64-bit value.
+
+    ``modifier`` is the tweak (the paper uses the storage address, i.e.
+    the canary slot or variable slot address).  ``key_id`` selects one of
+    the simulated per-process PA keys.
+    """
+
+    opcode = "pac.sign"
+
+    def __init__(self, value: Value, modifier: Value, key_id: str = "da", name: str = ""):
+        super().__init__(value.type, [value, modifier], name=name)
+        self.key_id = key_id
+
+    @property
+    def value(self) -> Value:
+        return self._operands[0]
+
+    @property
+    def modifier(self) -> Value:
+        return self._operands[1]
+
+    def __str__(self) -> str:
+        return (
+            f"%{self.name} = pac.sign.{self.key_id} {self.value.type} "
+            f"{self.value.ref()}, {self.modifier.type} {self.modifier.ref()}"
+        )
+
+
+class PacAuth(Instruction):
+    """Model of ARM ``AUTIA``/``AUTDA``: verify and strip a PAC.
+
+    Authentication of a value whose PAC does not match raises a
+    :class:`repro.hardware.cpu.PacAuthenticationError` in the simulated
+    CPU -- the paper's "program crash on memory violation".
+    """
+
+    opcode = "pac.auth"
+
+    def __init__(self, value: Value, modifier: Value, key_id: str = "da", name: str = ""):
+        super().__init__(value.type, [value, modifier], name=name)
+        self.key_id = key_id
+
+    @property
+    def value(self) -> Value:
+        return self._operands[0]
+
+    @property
+    def modifier(self) -> Value:
+        return self._operands[1]
+
+    def __str__(self) -> str:
+        return (
+            f"%{self.name} = pac.auth.{self.key_id} {self.value.type} "
+            f"{self.value.ref()}, {self.modifier.type} {self.modifier.ref()}"
+        )
+
+
+def is_pa_instruction(inst: Instruction) -> bool:
+    """True for instructions that the paper counts as "ARM-PA instructions"."""
+    return isinstance(inst, (PacSign, PacAuth))
+
+
+class DfiSetDef(Instruction):
+    """DFI baseline: record that definition ``def_id`` last wrote ``ptr``.
+
+    ``size`` is the byte width of the guarded store so the runtime
+    definitions table can track at byte granularity -- overflows land
+    *between* variable start addresses.
+    """
+
+    opcode = "dfi.setdef"
+
+    def __init__(self, ptr: Value, def_id: int, size: int = 8):
+        super().__init__(VOID, [ptr])
+        self.def_id = def_id
+        self.size = size
+
+    @property
+    def pointer(self) -> Value:
+        return self._operands[0]
+
+    def __str__(self) -> str:
+        return (
+            f"dfi.setdef {self.pointer.type} {self.pointer.ref()}, "
+            f"{self.def_id}, {self.size}"
+        )
+
+
+class DfiChkDef(Instruction):
+    """DFI baseline: trap unless the last writer of ``ptr`` is permitted."""
+
+    opcode = "dfi.chkdef"
+
+    def __init__(self, ptr: Value, allowed: FrozenSet[int], size: int = 8):
+        super().__init__(VOID, [ptr])
+        self.allowed = frozenset(allowed)
+        self.size = size
+
+    @property
+    def pointer(self) -> Value:
+        return self._operands[0]
+
+    def __str__(self) -> str:
+        ids = ",".join(str(i) for i in sorted(self.allowed))
+        return (
+            f"dfi.chkdef {self.pointer.type} {self.pointer.ref()}, "
+            f"{{{ids}}}, {self.size}"
+        )
+
+
+class SecAssert(Instruction):
+    """Trap when the ``i1`` operand is false.
+
+    Used to lower explicit canary comparisons; ``kind`` labels the trap
+    for security reports (e.g. ``"canary"``).
+    """
+
+    opcode = "sec.assert"
+
+    def __init__(self, cond: Value, kind: str = "check"):
+        super().__init__(VOID, [cond])
+        self.kind = kind
+
+    @property
+    def condition(self) -> Value:
+        return self._operands[0]
+
+    def __str__(self) -> str:
+        return f"sec.assert {self.condition.ref()}, !{self.kind}"

@@ -1,0 +1,526 @@
+"""Parser for the textual IR format emitted by :mod:`repro.ir.printer`.
+
+The parser exists so modules can round-trip through text -- IR fixtures
+in the test suite are written as text, and the round-trip property
+(``parse(print(m))`` is structurally identical to ``m``) is checked by
+hypothesis tests.
+
+Forward references (a use textually before its definition, as happens
+with loop phis) are handled with placeholder values that are patched
+once the real definition is seen.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .function import BasicBlock, Function
+from .instructions import (
+    Alloca,
+    BINARY_OPS,
+    BinOp,
+    Call,
+    CAST_OPS,
+    Cast,
+    CondBranch,
+    DfiChkDef,
+    DfiSetDef,
+    GetElementPtr,
+    ICMP_PREDICATES,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    PacAuth,
+    PacSign,
+    Phi,
+    Ret,
+    SecAssert,
+    Select,
+    Store,
+)
+from .module import Module
+from .types import (
+    ArrayType,
+    FunctionType,
+    I1,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+    int_type,
+)
+from .values import Constant, UndefValue, Value
+
+
+class ParseError(Exception):
+    """Raised on malformed IR text; carries the offending line."""
+
+    def __init__(self, message: str, line: str = ""):
+        super().__init__(f"{message}  (line: {line.strip()!r})" if line else message)
+
+
+class _ForwardValue(Value):
+    """Placeholder for a value referenced before its definition."""
+
+
+class _Cursor:
+    """A tiny tokenizer-cursor over a single line of IR text."""
+
+    _TOKEN = re.compile(
+        r"""
+        \s*(
+            c"(?:\\[0-9a-fA-F]{2})*"   # string initializer
+          | \.\.\.                     # varargs ellipsis
+          | [%@][\w.$-]+               # local / global names
+          | !\w+(?::\w+)?              # metadata like !ic:put
+          | -?\d+                      # integers
+          | [\w.]+                     # identifiers (may contain dots)
+          | [=,(){}\[\]:*]             # punctuation
+        )
+        """,
+        re.VERBOSE,
+    )
+
+    def __init__(self, line: str):
+        self.line = line
+        self.tokens: List[str] = []
+        pos = 0
+        stripped = line.split(";", 1)[0] if not line.strip().startswith("c\"") else line
+        while pos < len(stripped):
+            match = self._TOKEN.match(stripped, pos)
+            if match is None:
+                if stripped[pos:].strip():
+                    raise ParseError(f"cannot tokenize at {stripped[pos:]!r}", line)
+                break
+            self.tokens.append(match.group(1))
+            pos = match.end()
+        self.index = 0
+
+    def peek(self, offset: int = 0) -> Optional[str]:
+        i = self.index + offset
+        return self.tokens[i] if i < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of line", self.line)
+        self.index += 1
+        return token
+
+    def expect(self, token: str) -> str:
+        got = self.next()
+        if got != token:
+            raise ParseError(f"expected {token!r}, got {got!r}", self.line)
+        return got
+
+    def accept(self, token: str) -> bool:
+        if self.peek() == token:
+            self.index += 1
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+class ModuleParser:
+    """Parses a whole module from text.  Use :func:`parse_module`."""
+
+    def __init__(self, text: str):
+        self.lines = text.splitlines()
+        self.module = Module()
+        self.pos = 0
+
+    # -- type parsing ----------------------------------------------------------
+
+    def _parse_type(self, cur: _Cursor) -> Type:
+        token = cur.next()
+        base: Type
+        if token == "void":
+            base = VOID
+        elif token.startswith("i") and token[1:].isdigit():
+            base = int_type(int(token[1:]))
+        elif token == "[":
+            count = int(cur.next())
+            cur.expect("x")
+            element = self._parse_type(cur)
+            cur.expect("]")
+            base = ArrayType(element, count)
+        elif token.startswith("%"):
+            name = token[1:]
+            if name not in self.module.structs:
+                raise ParseError(f"unknown struct type %{name}", cur.line)
+            base = self.module.structs[name]
+        else:
+            raise ParseError(f"expected a type, got {token!r}", cur.line)
+        while cur.accept("*"):
+            base = PointerType(base)
+        return base
+
+    # -- top level ---------------------------------------------------------------
+
+    def parse(self) -> Module:
+        # Function bodies are parsed after every define/declare has been
+        # registered, so mutually recursive calls resolve regardless of
+        # textual order.
+        pending_bodies: List[Tuple[object, List[str]]] = []
+        while self.pos < len(self.lines):
+            raw = self.lines[self.pos]
+            line = raw.strip()
+            self.pos += 1
+            if not line:
+                continue
+            if line.startswith(";"):
+                if line.startswith("; module:"):
+                    self.module.name = line.split(":", 1)[1].strip()
+                continue
+            if line.startswith("%") and " = type " in line:
+                self._parse_struct(raw)
+            elif line.startswith("@"):
+                self._parse_global(raw)
+            elif line.startswith("declare "):
+                self._parse_declaration(raw)
+            elif line.startswith("define "):
+                pending_bodies.append(self._parse_definition(raw))
+            else:
+                raise ParseError("unrecognised top-level construct", raw)
+        for function, body in pending_bodies:
+            _FunctionBodyParser(self, function, body).parse()
+        return self.module
+
+    def _parse_struct(self, line: str) -> None:
+        body, _, comment = line.partition(";")
+        field_names: List[str] = []
+        if "fields:" in comment:
+            names = comment.split("fields:", 1)[1].strip()
+            field_names = [n for n in names.split(",") if n]
+        cur = _Cursor(body)
+        name = cur.next()[1:]
+        cur.expect("=")
+        cur.expect("type")
+        cur.expect("{")
+        struct = StructType(name)
+        self.module.add_struct(struct)
+        fields: List[Tuple[str, Type]] = []
+        index = 0
+        while not cur.accept("}"):
+            if fields:
+                cur.expect(",")
+            ftype = self._parse_type(cur)
+            fname = field_names[index] if index < len(field_names) else f"f{index}"
+            fields.append((fname, ftype))
+            index += 1
+        struct.set_body(fields)
+
+    def _parse_global(self, line: str) -> None:
+        cur = _Cursor(line)
+        name = cur.next()[1:]
+        cur.expect("=")
+        kind = cur.next()
+        if kind not in ("global", "constant"):
+            raise ParseError(f"expected global/constant, got {kind!r}", line)
+        vtype = self._parse_type(cur)
+        initializer = self._parse_initializer(cur)
+        self.module.add_global(name, vtype, initializer, constant=(kind == "constant"))
+
+    def _parse_initializer(self, cur: _Cursor) -> object:
+        token = cur.next()
+        if token == "zeroinitializer":
+            return None
+        if token.startswith('c"'):
+            body = token[2:-1]
+            return bytes(int(body[i + 1 : i + 3], 16) for i in range(0, len(body), 3))
+        if token == "[":
+            values: List[int] = []
+            while not cur.accept("]"):
+                if values:
+                    cur.expect(",")
+                values.append(int(cur.next()))
+            return values
+        return int(token)
+
+    # -- functions ------------------------------------------------------------
+
+    def _parse_signature(
+        self, cur: _Cursor
+    ) -> Tuple[str, FunctionType, List[str]]:
+        return_type = self._parse_type(cur)
+        name = cur.next()
+        if not name.startswith("@"):
+            raise ParseError(f"expected function name, got {name!r}", cur.line)
+        cur.expect("(")
+        params: List[Type] = []
+        param_names: List[str] = []
+        varargs = False
+        while not cur.accept(")"):
+            if params or varargs:
+                cur.expect(",")
+            if cur.accept("..."):
+                varargs = True
+                continue
+            params.append(self._parse_type(cur))
+            token = cur.peek()
+            if token is not None and token.startswith("%"):
+                param_names.append(cur.next()[1:])
+            else:
+                param_names.append(f"arg{len(params) - 1}")
+        return name[1:], FunctionType(return_type, params, varargs), param_names
+
+    def _parse_declaration(self, line: str) -> None:
+        cur = _Cursor(line)
+        cur.expect("declare")
+        name, ftype, param_names = self._parse_signature(cur)
+        ic_kind = None
+        token = cur.peek()
+        if token is not None and token.startswith("!ic:"):
+            ic_kind = cur.next().split(":", 1)[1]
+        function = Function(
+            name,
+            ftype,
+            param_names=param_names,
+            is_declaration=True,
+            input_channel_kind=ic_kind,
+        )
+        self.module.add_function(function)
+
+    def _parse_definition(self, header: str) -> "Tuple[Function, List[str]]":
+        cur = _Cursor(header)
+        cur.expect("define")
+        name, ftype, param_names = self._parse_signature(cur)
+        cur.expect("{")
+        function = Function(name, ftype, param_names=param_names)
+        self.module.add_function(function)
+
+        body: List[str] = []
+        while self.pos < len(self.lines):
+            line = self.lines[self.pos]
+            self.pos += 1
+            if line.strip() == "}":
+                break
+            body.append(line)
+        else:
+            raise ParseError(f"unterminated function @{name}", header)
+
+        return function, body
+
+
+class _FunctionBodyParser:
+    """Parses the instruction lines of a single function body."""
+
+    def __init__(self, owner: ModuleParser, function: Function, lines: List[str]):
+        self.owner = owner
+        self.module = owner.module
+        self.function = function
+        self.lines = lines
+        self.values: Dict[str, Value] = {arg.name: arg for arg in function.args}
+        self.forwards: Dict[str, List[_ForwardValue]] = {}
+        self.blocks: Dict[str, BasicBlock] = {}
+
+    _LABEL = re.compile(r"^([\w.$-]+):\s*(?:;.*)?$")
+
+    def parse(self) -> None:
+        # Pass 1: create blocks so branch targets resolve.
+        for line in self.lines:
+            match = self._LABEL.match(line.strip())
+            if match:
+                block = self.function.append_block(match.group(1))
+                self.blocks[block.name] = block
+        if not self.blocks:
+            raise ParseError(f"function @{self.function.name} has no blocks")
+
+        # Pass 2: parse instructions into their blocks.
+        current: Optional[BasicBlock] = None
+        for line in self.lines:
+            stripped = line.strip()
+            if not stripped or stripped.startswith(";"):
+                continue
+            match = self._LABEL.match(stripped)
+            if match:
+                current = self.blocks[match.group(1)]
+                continue
+            if current is None:
+                raise ParseError("instruction before first label", line)
+            inst = self._parse_instruction(_Cursor(line))
+            current.append(inst)
+            if not inst.type.is_void and inst.name:
+                self._define(inst.name, inst)
+
+        unresolved = [name for name, refs in self.forwards.items() if refs]
+        if unresolved:
+            raise ParseError(
+                f"unresolved value references in @{self.function.name}: {unresolved}"
+            )
+
+    # -- value resolution --------------------------------------------------------
+
+    def _define(self, name: str, value: Value) -> None:
+        self.values[name] = value
+        for placeholder in self.forwards.pop(name, []):
+            placeholder.replace_all_uses_with(value)
+
+    def _value(self, vtype: Type, token: str, line: str) -> Value:
+        if token == "undef":
+            return UndefValue(vtype)
+        if token == "null":
+            return Constant(vtype, 0)
+        if token.startswith("@"):
+            name = token[1:]
+            if name in self.module.globals:
+                return self.module.globals[name]
+            if name in self.module.functions:
+                return self.module.functions[name]
+            raise ParseError(f"unknown global @{name}", line)
+        if token.startswith("%"):
+            name = token[1:]
+            if name in self.values:
+                return self.values[name]
+            placeholder = _ForwardValue(vtype, name)
+            self.forwards.setdefault(name, []).append(placeholder)
+            return placeholder
+        return Constant(vtype, int(token))
+
+    def _typed_value(self, cur: _Cursor) -> Value:
+        vtype = self.owner._parse_type(cur)
+        return self._value(vtype, cur.next(), cur.line)
+
+    def _block(self, cur: _Cursor) -> BasicBlock:
+        cur.expect("label")
+        token = cur.next()
+        name = token[1:]
+        if name not in self.blocks:
+            raise ParseError(f"unknown block %{name}", cur.line)
+        return self.blocks[name]
+
+    # -- instruction dispatch ------------------------------------------------------
+
+    def _parse_instruction(self, cur: _Cursor) -> Instruction:
+        name = ""
+        if cur.peek() is not None and cur.peek().startswith("%") and cur.peek(1) == "=":
+            name = cur.next()[1:]
+            cur.expect("=")
+        opcode = cur.next()
+
+        if opcode == "alloca":
+            return Alloca(self.owner._parse_type(cur), name=name)
+        if opcode == "load":
+            self.owner._parse_type(cur)  # result type (redundant)
+            cur.expect(",")
+            return Load(self._typed_value(cur), name=name)
+        if opcode == "store":
+            value = self._typed_value(cur)
+            cur.expect(",")
+            return Store(value, self._typed_value(cur))
+        if opcode == "getelementptr":
+            ptr = self._typed_value(cur)
+            indices: List[Value] = []
+            while cur.accept(","):
+                indices.append(self._typed_value(cur))
+            return GetElementPtr(ptr, indices, name=name)
+        if opcode in BINARY_OPS:
+            vtype = self.owner._parse_type(cur)
+            lhs = self._value(vtype, cur.next(), cur.line)
+            cur.expect(",")
+            rhs = self._value(vtype, cur.next(), cur.line)
+            return BinOp(opcode, lhs, rhs, name=name)
+        if opcode == "icmp":
+            predicate = cur.next()
+            vtype = self.owner._parse_type(cur)
+            lhs = self._value(vtype, cur.next(), cur.line)
+            cur.expect(",")
+            rhs = self._value(vtype, cur.next(), cur.line)
+            return ICmp(predicate, lhs, rhs, name=name)
+        if opcode in CAST_OPS:
+            value = self._typed_value(cur)
+            cur.expect("to")
+            return Cast(opcode, value, self.owner._parse_type(cur), name=name)
+        if opcode == "select":
+            cond = self._typed_value(cur)
+            cur.expect(",")
+            true_value = self._typed_value(cur)
+            cur.expect(",")
+            false_value = self._typed_value(cur)
+            return Select(cond, true_value, false_value, name=name)
+        if opcode == "br":
+            if cur.peek() == "label":
+                return Jump(self._block(cur))
+            cond = self._typed_value(cur)
+            cur.expect(",")
+            true_block = self._block(cur)
+            cur.expect(",")
+            false_block = self._block(cur)
+            return CondBranch(cond, true_block, false_block)
+        if opcode == "ret":
+            if cur.peek() == "void":
+                return Ret()
+            return Ret(self._typed_value(cur))
+        if opcode == "call":
+            self.owner._parse_type(cur)  # return type (redundant)
+            callee_token = cur.next()
+            callee = self.module.get_function(callee_token[1:])
+            cur.expect("(")
+            args: List[Value] = []
+            while not cur.accept(")"):
+                if args:
+                    cur.expect(",")
+                args.append(self._typed_value(cur))
+            return Call(callee, args, name=name)
+        if opcode == "phi":
+            vtype = self.owner._parse_type(cur)
+            phi = Phi(vtype, name=name)
+            first = True
+            while True:
+                if first:
+                    if not cur.accept("["):
+                        break
+                else:
+                    if not cur.accept(","):
+                        break
+                    cur.expect("[")
+                value = self._value(vtype, cur.next(), cur.line)
+                cur.expect(",")
+                block_name = cur.next()[1:]
+                cur.expect("]")
+                if block_name not in self.blocks:
+                    raise ParseError(f"unknown block %{block_name}", cur.line)
+                phi.add_incoming(value, self.blocks[block_name])
+                first = False
+            return phi
+        if opcode.startswith("pac.sign.") or opcode.startswith("pac.auth."):
+            key_id = opcode.rsplit(".", 1)[1]
+            value = self._typed_value(cur)
+            cur.expect(",")
+            modifier = self._typed_value(cur)
+            cls = PacSign if ".sign." in opcode else PacAuth
+            return cls(value, modifier, key_id, name=name)
+        if opcode == "dfi.setdef":
+            ptr = self._typed_value(cur)
+            cur.expect(",")
+            def_id = int(cur.next())
+            cur.expect(",")
+            return DfiSetDef(ptr, def_id, int(cur.next()))
+        if opcode == "dfi.chkdef":
+            ptr = self._typed_value(cur)
+            cur.expect(",")
+            cur.expect("{")
+            allowed = set()
+            while not cur.accept("}"):
+                if allowed:
+                    cur.expect(",")
+                allowed.add(int(cur.next()))
+            cur.expect(",")
+            return DfiChkDef(ptr, frozenset(allowed), int(cur.next()))
+        if opcode == "sec.assert":
+            cond = self._value(I1, cur.next(), cur.line)
+            cur.expect(",")
+            kind = cur.next().lstrip("!")
+            return SecAssert(cond, kind)
+        raise ParseError(f"unknown opcode {opcode!r}", cur.line)
+
+
+def parse_module(text: str) -> Module:
+    """Parse IR text into a :class:`~repro.ir.module.Module`."""
+    return ModuleParser(text).parse()

@@ -1,0 +1,73 @@
+"""Textual printing of IR modules.
+
+The format is LLVM-flavoured and is the exact inverse of
+:mod:`repro.ir.parser`: ``parse_module(print_module(m))`` reproduces the
+module structurally (a property exercised by the round-trip tests).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .function import Function
+from .module import Module
+from .values import GlobalVariable
+
+
+def _format_initializer(gvar: GlobalVariable) -> str:
+    init = gvar.initializer
+    if init is None:
+        return "zeroinitializer"
+    if isinstance(init, bytes):
+        body = "".join(f"\\{b:02x}" for b in init)
+        return f'c"{body}"'
+    if isinstance(init, int):
+        return str(init)
+    if isinstance(init, (list, tuple)):
+        return "[" + ", ".join(str(v) for v in init) + "]"
+    raise TypeError(f"unsupported initializer: {init!r}")
+
+
+def print_global(gvar: GlobalVariable) -> str:
+    kind = "constant" if gvar.constant else "global"
+    return f"@{gvar.name} = {kind} {gvar.value_type} {_format_initializer(gvar)}"
+
+
+def print_function(function: Function) -> str:
+    ftype = function.function_type
+    params = ", ".join(f"{arg.type} %{arg.name}" for arg in function.args)
+    if ftype.varargs:
+        params = f"{params}, ..." if params else "..."
+    header = f"{ftype.return_type} @{function.name}({params})"
+    if function.is_declaration:
+        line = f"declare {header}"
+        if function.input_channel_kind:
+            line += f" !ic:{function.input_channel_kind}"
+        return line
+    lines = [f"define {header} {{"]
+    for block in function.blocks:
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            lines.append(f"  {inst}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render the whole module as text."""
+    sections: List[str] = [f"; module: {module.name}"]
+    for struct in module.structs.values():
+        fields = ", ".join(str(ftype) for _, ftype in struct.fields)
+        names = ",".join(fname for fname, _ in struct.fields)
+        sections.append(f"%{struct.name} = type {{ {fields} }} ; fields: {names}")
+    for gvar in module.globals.values():
+        sections.append(print_global(gvar))
+    # Declarations first so call sites in definitions always resolve
+    # when the text is re-parsed sequentially.
+    for function in module.functions.values():
+        if function.is_declaration:
+            sections.append(print_function(function))
+    for function in module.functions.values():
+        if not function.is_declaration:
+            sections.append(print_function(function))
+    return "\n\n".join(sections) + "\n"

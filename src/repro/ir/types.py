@@ -1,0 +1,260 @@
+"""Type system for the repro IR.
+
+The IR is a small, typed, LLVM-like intermediate representation.  Types
+know their own size and alignment so that the code generator and the
+hardware model can lay out stack frames, heap objects, and globals with
+byte-level precision -- a requirement for simulating the buffer-overflow
+attacks the paper defends against.
+
+All types are immutable and interned where practical; equality is
+structural.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Type:
+    """Base class of every IR type."""
+
+    #: Size of a value of this type in bytes (0 for void/function types).
+    size: int = 0
+    #: Required alignment in bytes.
+    alignment: int = 1
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self}>"
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self, (ArrayType, StructType))
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+
+class VoidType(Type):
+    """The type of instructions that produce no value."""
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """A fixed-width two's-complement integer type (i1/i8/i16/i32/i64)."""
+
+    def __init__(self, bits: int):
+        if bits not in (1, 8, 16, 32, 64):
+            raise ValueError(f"unsupported integer width: {bits}")
+        self.bits = bits
+        self.size = max(1, bits // 8)
+        self.alignment = self.size
+
+    def _key(self) -> tuple:
+        return (self.bits,)
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+    @property
+    def max_unsigned(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def min_signed(self) -> int:
+        return -(1 << (self.bits - 1))
+
+    @property
+    def max_signed(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap ``value`` to this type's unsigned bit-width."""
+        return value & self.max_unsigned
+
+    def to_signed(self, value: int) -> int:
+        """Reinterpret the unsigned representation ``value`` as signed."""
+        value = self.wrap(value)
+        if value > self.max_signed:
+            value -= 1 << self.bits
+        return value
+
+
+class PointerType(Type):
+    """A pointer to a value of ``pointee`` type.
+
+    Pointers are 8 bytes: the simulated machine is 64-bit with a 40-bit
+    virtual address space, leaving 24 high bits for the Pointer
+    Authentication Code (see :mod:`repro.hardware.pac`).
+    """
+
+    size = 8
+    alignment = 8
+
+    def __init__(self, pointee: Type):
+        self.pointee = pointee
+
+    def _key(self) -> tuple:
+        return (self.pointee,)
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class ArrayType(Type):
+    """A fixed-length array of ``count`` elements of type ``element``."""
+
+    def __init__(self, element: Type, count: int):
+        if count < 0:
+            raise ValueError("array count must be non-negative")
+        self.element = element
+        self.count = count
+        self.size = element.size * count
+        self.alignment = element.alignment
+
+    def _key(self) -> tuple:
+        return (self.element, self.count)
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+
+def _align_up(offset: int, alignment: int) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+class StructType(Type):
+    """A named structure with C-style layout (natural alignment, padding)."""
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, Type]] = ()):
+        self.name = name
+        self.fields: List[Tuple[str, Type]] = []
+        self.offsets: List[int] = []
+        self.size = 0
+        self.alignment = 1
+        if fields:
+            self.set_body(fields)
+
+    def set_body(self, fields: Sequence[Tuple[str, Type]]) -> None:
+        """Define (or redefine) the field list and recompute the layout."""
+        self.fields = list(fields)
+        self.offsets = []
+        offset = 0
+        alignment = 1
+        for _, ftype in self.fields:
+            offset = _align_up(offset, ftype.alignment)
+            self.offsets.append(offset)
+            offset += ftype.size
+            alignment = max(alignment, ftype.alignment)
+        self.alignment = alignment
+        self.size = _align_up(offset, alignment)
+
+    def field_index(self, name: str) -> int:
+        for i, (fname, _) in enumerate(self.fields):
+            if fname == name:
+                return i
+        raise KeyError(f"struct {self.name} has no field {name!r}")
+
+    def field_type(self, index: int) -> Type:
+        return self.fields[index][1]
+
+    def field_offset(self, index: int) -> int:
+        return self.offsets[index]
+
+    def _key(self) -> tuple:
+        # Structs are nominal: two structs with the same name are the same
+        # type (the module owns the namespace).
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+class FunctionType(Type):
+    """The type of a function: return type, parameter types, varargs flag."""
+
+    def __init__(self, return_type: Type, params: Sequence[Type], varargs: bool = False):
+        self.return_type = return_type
+        self.params = tuple(params)
+        self.varargs = varargs
+
+    def _key(self) -> tuple:
+        return (self.return_type, self.params, self.varargs)
+
+    def __str__(self) -> str:
+        parts = [str(p) for p in self.params]
+        if self.varargs:
+            parts.append("...")
+        return f"{self.return_type} ({', '.join(parts)})"
+
+
+# Interned singletons for the common types.
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+
+_INT_CACHE: Dict[int, IntType] = {1: I1, 8: I8, 16: I16, 32: I32, 64: I64}
+
+
+def int_type(bits: int) -> IntType:
+    """Return the interned integer type of the given width."""
+    try:
+        return _INT_CACHE[bits]
+    except KeyError:
+        raise ValueError(f"unsupported integer width: {bits}") from None
+
+
+def pointer(pointee: Type) -> PointerType:
+    """Shorthand constructor for :class:`PointerType`."""
+    return PointerType(pointee)
+
+
+def array(element: Type, count: int) -> ArrayType:
+    """Shorthand constructor for :class:`ArrayType`."""
+    return ArrayType(element, count)
+
+
+def parse_type(text: str, structs: Optional[Dict[str, StructType]] = None) -> Type:
+    """Parse a type from its textual form (``i32``, ``i8*``, ``[4 x i32]``...).
+
+    ``structs`` supplies named struct types for ``%name`` references.
+    """
+    text = text.strip()
+    if text.endswith("*"):
+        return PointerType(parse_type(text[:-1], structs))
+    if text == "void":
+        return VOID
+    if text.startswith("i") and text[1:].isdigit():
+        return int_type(int(text[1:]))
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1]
+        count_text, _, elem_text = inner.partition(" x ")
+        return ArrayType(parse_type(elem_text, structs), int(count_text))
+    if text.startswith("%"):
+        name = text[1:]
+        if structs is None or name not in structs:
+            raise ValueError(f"unknown struct type: {text}")
+        return structs[name]
+    raise ValueError(f"cannot parse type: {text!r}")

@@ -1,0 +1,150 @@
+"""Core value hierarchy of the repro IR.
+
+Every operand in the IR is a :class:`Value`.  Values track their *uses*
+(which instructions consume them), which gives the analyses in
+:mod:`repro.analysis` their def-use chains for free.  The hierarchy is:
+
+- :class:`Constant` -- immediate integers and ``null``.
+- :class:`GlobalVariable` -- module-level storage, pointer-valued.
+- :class:`Argument` -- a formal function parameter.
+- :class:`repro.ir.instructions.Instruction` -- every computed value.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from .types import IntType, PointerType, Type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .function import Function
+    from .instructions import Instruction
+
+
+class Use:
+    """A single use of a value: ``user.operands[index] is value``."""
+
+    __slots__ = ("user", "index")
+
+    def __init__(self, user: "Instruction", index: int):
+        self.user = user
+        self.index = index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Use({self.user!r}, {self.index})"
+
+
+class Value:
+    """Base class of everything that can appear as an operand."""
+
+    def __init__(self, vtype: Type, name: str = ""):
+        self.type = vtype
+        self.name = name
+        self.uses: List[Use] = []
+
+    @property
+    def users(self) -> List["Instruction"]:
+        """The distinct instructions that use this value, in use order."""
+        seen = []
+        for use in self.uses:
+            if use.user not in seen:
+                seen.append(use.user)
+        return seen
+
+    def add_use(self, user: "Instruction", index: int) -> None:
+        self.uses.append(Use(user, index))
+
+    def remove_use(self, user: "Instruction", index: int) -> None:
+        for i, use in enumerate(self.uses):
+            if use.user is user and use.index == index:
+                del self.uses[i]
+                return
+
+    def replace_all_uses_with(self, replacement: "Value") -> None:
+        """Rewrite every user's operand list to reference ``replacement``."""
+        for use in list(self.uses):
+            use.user.set_operand(use.index, replacement)
+
+    def ref(self) -> str:
+        """The textual reference used when this value appears as an operand."""
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.ref()}: {self.type}>"
+
+
+class Constant(Value):
+    """An immediate integer constant (or ``null`` for pointer types)."""
+
+    def __init__(self, vtype: Type, value: int):
+        super().__init__(vtype, name="")
+        if isinstance(vtype, IntType):
+            value = vtype.wrap(value)
+        self.value = value
+
+    def ref(self) -> str:
+        if isinstance(self.type, PointerType):
+            return "null" if self.value == 0 else str(self.value)
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and other.type == self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+def const_int(vtype: IntType, value: int) -> Constant:
+    """Build an integer constant of the given type."""
+    return Constant(vtype, value)
+
+
+def null_pointer(vtype: PointerType) -> Constant:
+    """Build the null constant of the given pointer type."""
+    return Constant(vtype, 0)
+
+
+class GlobalVariable(Value):
+    """Module-level storage.  The value itself is a *pointer* to storage.
+
+    ``initializer`` is either ``None`` (zero-initialised), an ``int``, a
+    ``bytes`` object (for string literals), or a list of ints (for arrays).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        value_type: Type,
+        initializer: object = None,
+        constant: bool = False,
+    ):
+        super().__init__(PointerType(value_type), name=name)
+        self.value_type = value_type
+        self.initializer = initializer
+        self.constant = constant
+
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, function: "Function", index: int, vtype: Type, name: str):
+        super().__init__(vtype, name=name)
+        self.function = function
+        self.index = index
+
+
+class UndefValue(Value):
+    """An undefined value (used by mem2reg for paths with no store)."""
+
+    def __init__(self, vtype: Type):
+        super().__init__(vtype, name="")
+
+    def ref(self) -> str:
+        return "undef"

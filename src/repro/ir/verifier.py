@@ -1,0 +1,145 @@
+"""Structural well-formedness checks for IR modules.
+
+The verifier is run after the front-end and after every transform in the
+test suite; instrumentation passes that corrupt the IR are caught here
+rather than as mysterious interpreter failures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .function import BasicBlock, Function
+from .instructions import Call, CondBranch, Instruction, Phi, Ret
+from .module import Module
+from .types import I1
+from .values import Argument, Constant, GlobalVariable, UndefValue, Value
+
+
+class VerificationError(Exception):
+    """Raised when a module violates IR invariants."""
+
+    def __init__(self, errors: List[str]):
+        super().__init__("\n".join(errors))
+        self.errors = errors
+
+
+def verify_module(module: Module) -> None:
+    """Verify every defined function; raise :class:`VerificationError`."""
+    errors: List[str] = []
+    for function in module.defined_functions():
+        errors.extend(_verify_function(function))
+    if errors:
+        raise VerificationError(errors)
+
+
+def _verify_function(function: Function) -> List[str]:
+    errors: List[str] = []
+    where = f"in @{function.name}"
+    if not function.blocks:
+        return [f"{where}: defined function has no blocks"]
+
+    seen_names: Set[str] = set()
+    for block in function.blocks:
+        if block.name in seen_names:
+            errors.append(f"{where}: duplicate block name %{block.name}")
+        seen_names.add(block.name)
+
+    value_names: Set[str] = {arg.name for arg in function.args}
+    for block in function.blocks:
+        errors.extend(_verify_block(function, block, value_names, where))
+
+    return errors
+
+
+def _verify_block(
+    function: Function, block: BasicBlock, value_names: Set[str], where: str
+) -> List[str]:
+    errors: List[str] = []
+    blk = f"{where}, block %{block.name}"
+    if not block.instructions:
+        errors.append(f"{blk}: empty block")
+        return errors
+
+    terminator = block.instructions[-1]
+    if not terminator.is_terminator:
+        errors.append(f"{blk}: does not end with a terminator")
+    for inst in block.instructions[:-1]:
+        if inst.is_terminator:
+            errors.append(f"{blk}: terminator {inst.opcode} in mid-block")
+
+    preds = set(block.predecessors)
+    past_phis = False
+    for inst in block.instructions:
+        if isinstance(inst, Phi):
+            if past_phis:
+                errors.append(f"{blk}: phi %{inst.name} after non-phi instruction")
+            incoming = set(inst.incoming_blocks)
+            if incoming != preds:
+                got = sorted(b.name for b in incoming)
+                want = sorted(b.name for b in preds)
+                errors.append(
+                    f"{blk}: phi %{inst.name} incoming blocks {got} != predecessors {want}"
+                )
+            for value, _ in inst.incomings:
+                if value.type != inst.type and not isinstance(value, UndefValue):
+                    errors.append(
+                        f"{blk}: phi %{inst.name} incoming type {value.type} != {inst.type}"
+                    )
+        else:
+            past_phis = True
+
+        if not inst.type.is_void:
+            if not inst.name:
+                errors.append(f"{blk}: unnamed value-producing {inst.opcode}")
+            elif inst.name in value_names:
+                errors.append(f"{blk}: duplicate value name %{inst.name}")
+            else:
+                value_names.add(inst.name)
+
+        errors.extend(_verify_instruction(function, inst, blk))
+    return errors
+
+
+def _verify_instruction(function: Function, inst: Instruction, blk: str) -> List[str]:
+    errors: List[str] = []
+    if isinstance(inst, CondBranch) and inst.condition.type != I1:
+        errors.append(f"{blk}: br condition is {inst.condition.type}, not i1")
+    if isinstance(inst, Ret):
+        want = function.function_type.return_type
+        if inst.value is None:
+            if not want.is_void:
+                errors.append(f"{blk}: ret void from {want} function")
+        elif inst.value.type != want:
+            errors.append(f"{blk}: ret {inst.value.type} from {want} function")
+    if isinstance(inst, Call):
+        ftype = inst.callee.function_type
+        args = inst.args
+        if len(args) < len(ftype.params) or (
+            len(args) > len(ftype.params) and not ftype.varargs
+        ):
+            errors.append(
+                f"{blk}: call @{inst.callee.name} with {len(args)} args, "
+                f"expected {len(ftype.params)}"
+            )
+        for arg, ptype in zip(args, ftype.params):
+            if arg.type != ptype:
+                errors.append(
+                    f"{blk}: call @{inst.callee.name} argument type {arg.type}, "
+                    f"expected {ptype}"
+                )
+    for operand in inst.operands:
+        if isinstance(operand, Instruction):
+            if operand.function is not function:
+                errors.append(
+                    f"{blk}: operand %{operand.name} of {inst.opcode} belongs to "
+                    "another function"
+                )
+        elif isinstance(operand, Argument):
+            if operand.function is not function:
+                errors.append(
+                    f"{blk}: argument operand %{operand.name} belongs to another function"
+                )
+        elif not isinstance(operand, (Constant, GlobalVariable, UndefValue, Function)):
+            errors.append(f"{blk}: unexpected operand kind {type(operand).__name__}")
+    return errors

@@ -1,0 +1,43 @@
+"""repro.metrics -- the evaluation's measurement layer.
+
+Runtime overhead / IPC / binary size (Figs. 4-5), vulnerable-variable
+and PA-instruction censuses (Fig. 6), branch security (Fig. 7(b)),
+attack distance (§6.2), and the analytic bounds of Eqs. 1-5.
+"""
+
+from .attack_distance import AttackDistanceRow, attack_distance_row
+from .bounds import BoundParameters, extract_bound_parameters
+from .branch_security import BranchSecurityRow, branch_security_row
+from .spills import (
+    AARCH64_REGISTERS,
+    SpillEstimate,
+    cpa_spill_pa,
+    estimate_spills,
+    pythia_spill_pa,
+)
+from .overhead import (
+    BenchmarkMeasurement,
+    SchemeRun,
+    mean,
+    measure_module,
+    measure_program,
+)
+
+__all__ = [
+    "attack_distance_row",
+    "AttackDistanceRow",
+    "BenchmarkMeasurement",
+    "BoundParameters",
+    "branch_security_row",
+    "BranchSecurityRow",
+    "extract_bound_parameters",
+    "mean",
+    "measure_module",
+    "measure_program",
+    "SchemeRun",
+    "SpillEstimate",
+    "AARCH64_REGISTERS",
+    "cpa_spill_pa",
+    "estimate_spills",
+    "pythia_spill_pa",
+]

@@ -1,0 +1,137 @@
+"""Runtime overhead measurement: vanilla vs instrumented executions.
+
+One :class:`BenchmarkMeasurement` holds, per scheme, the protection
+result (static counts) and the execution result (dynamic counts), and
+derives every performance number the paper's figures report: runtime
+overhead (Fig. 4(a)), binary size increase (Fig. 4(b)), IPC degradation
+(Fig. 5(a)), and static/dynamic PA instruction counts (Fig. 6(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.config import SCHEMES
+from ..core.framework import ProtectionResult, protect
+from ..hardware.cpu import CPU, ExecutionResult
+from ..ir.module import Module
+from ..workloads.generator import GeneratedProgram
+
+
+@dataclass
+class SchemeRun:
+    """One scheme's static protection + dynamic execution."""
+
+    scheme: str
+    protection: ProtectionResult
+    execution: ExecutionResult
+
+
+@dataclass
+class BenchmarkMeasurement:
+    """All schemes' runs of one benchmark program."""
+
+    name: str
+    runs: Dict[str, SchemeRun] = field(default_factory=dict)
+
+    def _run(self, scheme: str) -> SchemeRun:
+        try:
+            return self.runs[scheme]
+        except KeyError:
+            raise KeyError(f"scheme {scheme!r} was not measured for {self.name}") from None
+
+    # -- Fig. 4(a): runtime overhead -----------------------------------------------
+
+    def runtime_overhead(self, scheme: str) -> float:
+        """Relative cycle overhead vs vanilla (0.13 = +13%)."""
+        base = self._run("vanilla").execution.cycles
+        inst = self._run(scheme).execution.cycles
+        if base <= 0:
+            return 0.0
+        return inst / base - 1.0
+
+    # -- Fig. 4(b): binary size ---------------------------------------------------------
+
+    def binary_increase(self, scheme: str) -> float:
+        base = self._run("vanilla").protection.binary_bytes
+        inst = self._run(scheme).protection.binary_bytes
+        if base <= 0:
+            return 0.0
+        return inst / base - 1.0
+
+    # -- Fig. 5(a): IPC -----------------------------------------------------------------
+
+    def ipc(self, scheme: str) -> float:
+        return self._run(scheme).execution.ipc
+
+    def ipc_degradation(self, scheme: str) -> float:
+        base = self.ipc("vanilla")
+        if base <= 0:
+            return 0.0
+        return 1.0 - self.ipc(scheme) / base
+
+    # -- Fig. 6(b): PA instructions ----------------------------------------------------------
+
+    def pa_static(self, scheme: str) -> int:
+        return self._run(scheme).protection.pa_static
+
+    def pa_dynamic(self, scheme: str) -> int:
+        return self._run(scheme).execution.pa_dynamic
+
+    def pa_executed_fraction(self, scheme: str) -> float:
+        """Fraction of instrumented PA sites that executed dynamically
+        at least once is not directly observable; the paper reports the
+        dynamic/static *instruction* ratio instead."""
+        static = self.pa_static(scheme)
+        if static == 0:
+            return 0.0
+        # dynamic executions per static site, capped at 1 for the
+        # "fraction of sites executed" reading
+        return min(1.0, self.pa_dynamic(scheme) / static)
+
+    def isolated_allocations(self, scheme: str) -> int:
+        return self._run(scheme).execution.isolated_allocations
+
+
+def measure_module(
+    module: Module,
+    name: str,
+    inputs: Optional[Sequence[bytes]] = None,
+    schemes: Sequence[str] = SCHEMES,
+    seed: int = 2024,
+) -> BenchmarkMeasurement:
+    """Protect and execute one module under each scheme."""
+    measurement = BenchmarkMeasurement(name=name)
+    for scheme in schemes:
+        protection = protect(module, scheme=scheme)
+        cpu = CPU(protection.module, seed=seed)
+        execution = cpu.run(inputs=list(inputs or []))
+        if not execution.ok:
+            raise RuntimeError(
+                f"{name}/{scheme}: benign execution failed "
+                f"({execution.status}: {execution.trap})"
+            )
+        measurement.runs[scheme] = SchemeRun(scheme, protection, execution)
+    return measurement
+
+
+def measure_program(
+    program: GeneratedProgram,
+    schemes: Sequence[str] = SCHEMES,
+    seed: int = 2024,
+) -> BenchmarkMeasurement:
+    """Protect and execute a generated benchmark under each scheme."""
+    return measure_module(
+        program.compile(),
+        name=program.profile.name,
+        inputs=program.inputs,
+        schemes=schemes,
+        seed=seed,
+    )
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    items = list(values)
+    return sum(items) / len(items) if items else 0.0

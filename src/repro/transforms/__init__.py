@@ -1,0 +1,49 @@
+"""repro.transforms -- compiler passes.
+
+SSA construction (mem2reg) and the three defense instrumentations: the
+conservative CPA baseline (Algorithm 2), Pythia's stack canaries with
+re-layout (Algorithm 3) and heap sectioning (Algorithm 4), and the DFI
+comparison baseline.
+"""
+
+from .cpa import CompletePointerAuthentication
+from .dfi import DataFlowIntegrityPass
+from .field_protect import FieldProtectionPass, make_guarded_struct
+from .heap_section import HeapSectionPass
+from .mem2reg import Mem2Reg, promotable_allocas
+from .optimize import ConstantFold, DeadCodeElimination, optimize
+from .pass_manager import PassManager
+from .stack_protect import StackProtectionPass
+from .support import (
+    ensure_declaration,
+    hoist_allocas,
+    is_scalar_object,
+    library_read_sites,
+    loads_touching,
+    object_size,
+    sign_scalar_slots,
+    stores_touching,
+)
+
+__all__ = [
+    "CompletePointerAuthentication",
+    "DataFlowIntegrityPass",
+    "FieldProtectionPass",
+    "make_guarded_struct",
+    "ensure_declaration",
+    "HeapSectionPass",
+    "hoist_allocas",
+    "is_scalar_object",
+    "library_read_sites",
+    "loads_touching",
+    "ConstantFold",
+    "DeadCodeElimination",
+    "Mem2Reg",
+    "optimize",
+    "object_size",
+    "PassManager",
+    "promotable_allocas",
+    "sign_scalar_slots",
+    "StackProtectionPass",
+    "stores_touching",
+]

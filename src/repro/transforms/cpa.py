@@ -1,0 +1,280 @@
+"""Complete Pointer Authentication -- the conservative baseline (§4.2).
+
+CPA protects the *un-refined* vulnerable set (backward branch slices ∪
+forward IC slices) with ARM-PA across the board:
+
+- **64-bit scalar slots** (ints, pointers): every store signs the value
+  with the slot address as modifier; every load authenticates before
+  use.  Any external tampering of the slot (overflow bytes, pointer
+  corruption) fails authentication at the next load.
+- **Aggregates** (arrays, structs) and scalars that share ambiguous
+  accesses with aggregates: a PA-signed *guard word* is placed
+  immediately below the object in the frame.  A contiguous overflow
+  that reaches the object from lower addresses necessarily crosses the
+  guard, and the guard is authenticated before **every** read of the
+  object -- IR loads and library reads alike.  This
+  authenticate-on-every-use placement is what makes the conservative
+  scheme cost ``1 + u_i`` extra instructions per variable (Eq. 1).
+- **Heap objects**: the pointer slots that reference vulnerable heap
+  allocations are scalars and are value-signed by the first rule, so a
+  corrupted heap pointer fails authentication when reloaded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.alias import AliasAnalysis, MemObject
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.vulnerability import VulnerabilityReport
+from ..ir.builder import IRBuilder
+from ..ir.function import Function
+from ..ir.instructions import Alloca, Call, Instruction, Load, Store
+from ..ir.module import Module
+from ..ir.types import I64, IntType, PointerType
+from ..ir.values import GlobalVariable, Value
+from .support import (
+    ensure_declaration,
+    is_scalar_object,
+    library_read_sites,
+    loads_touching,
+    sign_scalar_slots,
+    stores_touching,
+)
+
+
+class CompletePointerAuthentication:
+    """The CPA module pass (Algorithm 2)."""
+
+    name = "cpa"
+
+    def __init__(self, report: Optional["VulnerabilityReport"] = None):
+        self.report = report
+        self.guard_allocas: Dict[MemObject, Alloca] = {}
+
+    # -- set computation -------------------------------------------------------
+
+    def _partition(
+        self, report: VulnerabilityReport, alias: AliasAnalysis, module: Module
+    ) -> Tuple[Set[MemObject], Set[MemObject]]:
+        """Split the vulnerable set into value-signable scalars and
+        guard-protected objects, demoting scalars with ambiguous
+        accesses shared with non-signable objects."""
+        vulnerable = report.cpa_variables
+        sign_set = {
+            o
+            for o in vulnerable
+            if o.kind in ("stack", "global") and is_scalar_object(o)
+        }
+        sign_set |= self._signable_wide_objects(module, alias, vulnerable)
+        # Demote objects involved in ambiguous accesses: a store whose
+        # points-to set is not a singleton has no well-defined object
+        # modifier (and signing it could corrupt an unauthenticated
+        # object's data).
+        changed = True
+        while changed:
+            changed = False
+            for function in module.defined_functions():
+                for inst in function.instructions():
+                    if isinstance(inst, (Store, Load)):
+                        pts = alias.points_to(inst.pointer)
+                    else:
+                        continue
+                    touched_signed = pts & sign_set
+                    if touched_signed and len(pts) != 1:
+                        sign_set -= touched_signed
+                        changed = True
+        guard_set = {
+            o for o in vulnerable if o.kind == "stack" and o not in sign_set
+        }
+        return sign_set, guard_set
+
+    @staticmethod
+    def _signable_wide_objects(
+        module: Module, alias: AliasAnalysis, vulnerable: Set[MemObject]
+    ) -> Set[MemObject]:
+        """Aggregates whose contents CPA can value-sign word-by-word.
+
+        Heap allocations and word-element stack arrays qualify when
+        every program access to them is a full 8-byte load/store and
+        they are never handed to a library routine as a raw byte buffer
+        -- then signing their words cannot corrupt byte-level data.
+        This realises the paper's "data pointers are created for each
+        non-pointer vulnerable variable" for word-grained aggregates.
+        """
+        from ..ir.instructions import Alloca
+        from ..ir.types import ArrayType
+
+        candidates = {o for o in vulnerable if o.kind == "heap"}
+        for obj in vulnerable:
+            if obj.kind != "stack" or not isinstance(obj.anchor, Alloca):
+                continue
+            atype = obj.anchor.allocated_type
+            if isinstance(atype, ArrayType) and atype.element.size == 8:
+                candidates.add(obj)
+        if not candidates:
+            return candidates
+        for function in module.defined_functions():
+            for inst in function.instructions():
+                if isinstance(inst, Load):
+                    hit = alias.points_to(inst.pointer) & candidates
+                    if hit and inst.type.size != 8:
+                        candidates -= hit
+                elif isinstance(inst, Store):
+                    hit = alias.points_to(inst.pointer) & candidates
+                    if hit and inst.value.type.size != 8:
+                        candidates -= hit
+                elif isinstance(inst, Call) and inst.callee.is_declaration:
+                    if inst.callee.name in ("malloc", "calloc", "free", "realloc"):
+                        continue
+                    for arg in inst.args:
+                        if isinstance(arg.type, PointerType):
+                            candidates -= alias.points_to(arg)
+                if not candidates:
+                    return candidates
+        return candidates
+
+    # -- pass entry point -------------------------------------------------------
+
+    def run(self, module: Module) -> Dict[str, object]:
+        if self.report is None:
+            from ..core.vulnerability import VulnerabilityAnalysis
+
+            self.report = VulnerabilityAnalysis(module).analyze()
+        report = self.report
+        alias = report.analysis.alias  # type: ignore[union-attr]
+        ensure_declaration(module, "pythia_random")
+
+        sign_set, guard_set = self._partition(report, alias, module)
+        signs = auths = guards = 0
+
+        for function in module.defined_functions():
+            guards_local = self._install_guards(function, alias, guard_set)
+            guards += len(guards_local)
+            signs += len(guards_local)  # one sign per guard init
+            auths += self._auth_guards_on_reads(function, alias, guards_local)
+            s, a = sign_scalar_slots(function, alias, sign_set)
+            signs += s
+            auths += a
+            signs += self._resign_after_channels(
+                function, alias, sign_set, report.analysis.channels  # type: ignore[union-attr]
+            )
+
+        return {
+            "vulnerable_variables": len(report.cpa_variables),
+            "signed_scalars": len(sign_set),
+            "guarded_objects": len(guard_set),
+            "pa_sign_inserted": signs,
+            "pa_auth_inserted": auths,
+            "guard_words": guards,
+        }
+
+    # -- post-IC re-signing -----------------------------------------------------
+
+    @staticmethod
+    def _resign_after_channels(
+        function: Function, alias: AliasAnalysis, sign_set: Set[MemObject], channels
+    ) -> int:
+        """Re-sign value-signed slots right after an input channel
+        legitimately writes them (the channel stores raw bytes; without
+        re-signing the next authenticated load would falsely trap)."""
+        if not sign_set:
+            return 0
+        builder = IRBuilder()
+        signs = 0
+        from .support import object_modifier_id
+
+        for site in channels.sites:
+            if site.function is not function:
+                continue
+            for ptr in site.written_pointers:
+                pointee = ptr.type.pointee  # type: ignore[union-attr]
+                if pointee.size != 8:
+                    continue
+                pts = alias.points_to(ptr)
+                if len(pts) != 1 or not (pts & sign_set):
+                    continue
+                (obj,) = pts
+                builder.position_after(site.call)
+                raw = builder.load(ptr)
+                modifier = builder.const(I64, object_modifier_id(obj))
+                signed = builder.pac_sign(raw, modifier)
+                builder.store(signed, ptr)
+                signs += 1
+        return signs
+
+    # -- guard words --------------------------------------------------------------
+
+    def _install_guards(
+        self, function: Function, alias: AliasAnalysis, guard_set: Set[MemObject]
+    ) -> Dict[MemObject, Alloca]:
+        """Insert a signed guard word immediately *below* each guarded
+        object in the frame and initialise it at function entry."""
+        local: Dict[MemObject, Alloca] = {}
+        entry = function.entry_block
+        for alloca in list(function.allocas()):
+            obj = alias.object_for(alloca)
+            if obj is None or obj not in guard_set or obj in self.guard_allocas:
+                continue
+            guard = Alloca(I64, name=function.unique_name("cpa.guard"))
+            block = alloca.parent or entry
+            block.insert_before(alloca, guard)
+            local[obj] = guard
+            self.guard_allocas[obj] = guard
+
+        if not local:
+            return local
+
+        builder = IRBuilder(entry)
+        # Initialise after the last alloca of the entry block.
+        index = 0
+        for i, inst in enumerate(entry.instructions):
+            if isinstance(inst, Alloca):
+                index = i + 1
+        if index >= len(entry.instructions):
+            builder.position_at_end(entry)
+        else:
+            builder.position_before(entry.instructions[index])
+        random_fn = function.module.get_function("pythia_random")
+        for obj, guard in local.items():
+            value = builder.call(random_fn, [])
+            modifier = builder.cast("ptrtoint", guard, I64)
+            signed = builder.pac_sign(value, modifier)
+            builder.store(signed, guard)
+        return local
+
+    def _auth_guards_on_reads(
+        self,
+        function: Function,
+        alias: AliasAnalysis,
+        guards: Dict[MemObject, Alloca],
+    ) -> int:
+        """Authenticate the guard before every read of a guarded object."""
+        if not guards:
+            return 0
+        guarded = set(guards)
+        auths = 0
+        read_points: List[Tuple[Instruction, Set[MemObject]]] = []
+        for load in loads_touching(function, alias, guarded):
+            read_points.append((load, alias.points_to(load.pointer) & guarded))
+        for call, arg in library_read_sites(function, alias, guarded):
+            read_points.append((call, alias.points_to(arg) & guarded))
+
+        builder = IRBuilder()
+        instrumented: Set[Tuple[int, int]] = set()
+        for anchor, objects in read_points:
+            for obj in objects:
+                key = (id(anchor), id(obj))
+                if key in instrumented:
+                    continue
+                instrumented.add(key)
+                guard = guards[obj]
+                builder.position_before(anchor)
+                loaded = builder.load(guard)
+                modifier = builder.cast("ptrtoint", guard, I64)
+                builder.pac_auth(loaded, modifier)
+                auths += 1
+        return auths
+

@@ -1,0 +1,261 @@
+"""Data-Flow Integrity baseline (Castro et al., OSDI'06).
+
+DFI computes a static data-flow graph (reaching definitions) and
+verifies at runtime that every load was last written by a statically
+permitted definition:
+
+- every store is followed by ``dfi.setdef`` recording its definition id
+  in the runtime definitions table (RDT);
+- every input-channel call is followed by ``dfi.setdef`` over the
+  buffer region the call was *supposed* to write -- bytes the channel
+  wrote beyond that region keep the "external writer" marker;
+- every load it can reason about is preceded by ``dfi.chkdef`` with the
+  statically computed set of allowed writers;
+- library reads of tracked buffers are checked the same way (the first
+  8 bytes of the read region, where any overflow arriving from lower
+  addresses must land).
+
+**The limitation the paper exploits**: DFI cannot reason about loads
+whose address comes from raw pointer arithmetic or field-insensitive
+struct access, so such loads are left unchecked (no false traps, no
+protection) -- exactly the termination behaviour measured in Fig. 7(b)
+and the attack-distance comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.alias import AliasAnalysis, MemObject
+from ..analysis.dataflow import MemoryDefUse, ReachingDefinitions
+from ..analysis.input_channels import InputChannelAnalysis
+from ..analysis.slicing import BackwardSlicer
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.vulnerability import VulnerabilityReport
+from ..hardware.cpu import DFI_EXTERNAL_WRITER
+from ..hardware.libc import LIBRARY
+from ..ir.builder import IRBuilder
+from ..ir.function import Function
+from ..ir.instructions import Call, Load, Store
+from ..ir.module import Module
+from ..ir.types import PointerType
+from .support import object_size
+
+
+class DataFlowIntegrityPass:
+    """SETDEF/CHKDEF instrumentation over the reaching-defs graph."""
+
+    name = "dfi"
+
+    def __init__(self, report: Optional["VulnerabilityReport"] = None):
+        self.report = report
+        self.unchecked_loads: List[Load] = []
+
+    def run(self, module: Module) -> Dict[str, object]:
+        if self.report is None:
+            from ..core.vulnerability import VulnerabilityAnalysis
+
+            self.report = VulnerabilityAnalysis(module).analyze()
+        report = self.report
+        analysis = report.analysis
+        assert analysis is not None
+        alias = analysis.alias
+        channels = analysis.channels
+        memdu = analysis.memdu
+
+        wild_defs = self._wild_definitions(module, alias, memdu)
+        setdefs = chkdefs = skipped = 0
+        for function in module.defined_functions():
+            rd = ReachingDefinitions(function, memdu)
+            s, c, k = self._instrument_function(
+                function, alias, channels, memdu, rd, wild_defs
+            )
+            setdefs += s
+            chkdefs += c
+            skipped += k
+        return {
+            "setdef_inserted": setdefs,
+            "chkdef_inserted": chkdefs,
+            "unchecked_loads": skipped,
+        }
+
+    # -- per function --------------------------------------------------------------
+
+    @staticmethod
+    def _wild_definitions(
+        module: Module, alias: AliasAnalysis, memdu: MemoryDefUse
+    ) -> frozenset:
+        """Definition ids of stores DFI cannot attribute to objects.
+
+        Castro et al.'s DFI must avoid false positives, so a write whose
+        target the static analysis cannot resolve (raw pointer
+        arithmetic, field-insensitive access) is permitted *everywhere*
+        -- which is precisely why DFI misses pointer-misdirection
+        attacks (§3).
+        """
+        wild = set()
+        for function in module.defined_functions():
+            for inst in function.instructions():
+                if not isinstance(inst, Store):
+                    continue
+                mdef = memdu.def_of(inst)
+                if mdef is None:
+                    continue
+                if BackwardSlicer._pointer_is_computed(inst.pointer) or not alias.points_to(
+                    inst.pointer
+                ):
+                    wild.add(mdef.def_id)
+        return frozenset(wild)
+
+    def _instrument_function(
+        self,
+        function: Function,
+        alias: AliasAnalysis,
+        channels: InputChannelAnalysis,
+        memdu: MemoryDefUse,
+        rd: ReachingDefinitions,
+        wild_defs: frozenset,
+    ) -> Tuple[int, int, int]:
+        builder = IRBuilder()
+        setdefs = chkdefs = skipped = 0
+        local_sites = {id(s.call): s for s in channels.sites if s.function is function}
+
+        # Phase 1: chkdefs (before any setdef shifts instruction positions).
+        for inst in list(function.instructions()):
+            if isinstance(inst, Load):
+                added, skip = self._check_load(builder, inst, alias, rd, wild_defs)
+                chkdefs += added
+                skipped += skip
+            elif isinstance(inst, Call) and inst.callee.is_declaration:
+                chkdefs += self._check_library_read(
+                    builder, inst, alias, rd, wild_defs
+                )
+
+        # Phase 2: setdefs.
+        for inst in list(function.instructions()):
+            mdef = memdu.def_of(inst)
+            if mdef is None:
+                continue
+            if isinstance(inst, Store):
+                builder.position_after(inst)
+                builder.dfi_setdef(
+                    inst.pointer, mdef.def_id, max(1, inst.value.type.size)
+                )
+                setdefs += 1
+            elif isinstance(inst, Call) and id(inst) in local_sites:
+                site = local_sites[id(inst)]
+                builder.position_after(inst)
+                for ptr in site.written_pointers:
+                    builder.dfi_setdef(
+                        ptr, mdef.def_id, self._intended_size(alias, ptr)
+                    )
+                    setdefs += 1
+                if site.writes_return and not inst.type.is_void:
+                    # map-style channels define the returned region
+                    builder.dfi_setdef(
+                        inst, mdef.def_id, self._intended_size(alias, inst)
+                    )
+                    setdefs += 1
+        return setdefs, chkdefs, skipped
+
+    # -- checks ---------------------------------------------------------------------
+
+    def _check_load(
+        self,
+        builder: IRBuilder,
+        load: Load,
+        alias: AliasAnalysis,
+        rd: ReachingDefinitions,
+        wild_defs: frozenset,
+    ) -> Tuple[int, int]:
+        if not self._can_reason_about(load.pointer, alias):
+            self.unchecked_loads.append(load)
+            return 0, 1
+        objects = alias.points_to(load.pointer)
+        allowed = (
+            self._allowed_set(rd.reaching(load))
+            | wild_defs
+            | self._cross_function_defs(load.function, objects, rd.memdu)
+        )
+        builder.position_before(load)
+        builder.dfi_chkdef(load.pointer, allowed, max(1, load.type.size))
+        return 1, 0
+
+    @staticmethod
+    def _cross_function_defs(function, objects, memdu: MemoryDefUse) -> Set[int]:
+        """Whole-program fallback: definitions of the objects living in
+        *other* functions are flow-insensitively permitted (our reaching
+        definitions are per function, but Castro's analysis is
+        interprocedural)."""
+        allowed: Set[int] = set()
+        for obj in objects:
+            for mdef in memdu.defs_of_object(obj):
+                if mdef.function is not function:
+                    allowed.add(mdef.def_id)
+        return allowed
+
+    def _check_library_read(
+        self,
+        builder: IRBuilder,
+        call: Call,
+        alias: AliasAnalysis,
+        rd: ReachingDefinitions,
+        wild_defs: frozenset,
+    ) -> int:
+        lib = LIBRARY.get(call.callee.name)
+        if lib is None:
+            return 0
+        indices = [i for i in lib.reads_args if i < len(call.args)]
+        if lib.reads_varargs:
+            indices.extend(range(len(lib.function_type.params), len(call.args)))
+        added = 0
+        for index in indices:
+            arg = call.args[index]
+            if not isinstance(arg.type, PointerType):
+                continue
+            if not self._can_reason_about(arg, alias):
+                continue
+            objects = alias.points_to(arg)
+            if not objects or any(o.kind in ("heap", "arg") for o in objects):
+                continue
+            allowed = (
+                self._allowed_set(rd.reaching_at(call, objects))
+                | wild_defs
+                | self._cross_function_defs(call.function, objects, rd.memdu)
+            )
+            size = min(8, min(object_size(o) for o in objects))
+            builder.position_before(call)
+            builder.dfi_chkdef(arg, allowed, size)
+            added += 1
+        return added
+
+    @staticmethod
+    def _allowed_set(reaching) -> frozenset:
+        ids = {d.def_id for d in reaching}
+        if not ids:
+            # Reads of never-defined memory see the initial marker.
+            ids = {DFI_EXTERNAL_WRITER}
+        return frozenset(ids)
+
+    # -- the termination rule ----------------------------------------------------------
+
+    @staticmethod
+    def _can_reason_about(pointer, alias: AliasAnalysis) -> bool:
+        """DFI's static analysis gives up on computed pointers.
+
+        Raw pointer arithmetic (``p + i``) and struct-field access defeat
+        it; constant array decay and in-bounds array indexing do not.
+        """
+        return not BackwardSlicer._pointer_is_computed(pointer)
+
+    @staticmethod
+    def _intended_size(alias: AliasAnalysis, ptr) -> int:
+        obj = alias.must_alias_single(ptr)
+        if obj is not None:
+            return object_size(obj)
+        pts = alias.points_to(ptr)
+        if pts:
+            return min(object_size(o) for o in pts)
+        return 8

@@ -1,0 +1,220 @@
+"""Per-field struct canaries -- the paper's §6.4 future work.
+
+§6.4: "Pythia cannot detect stack buffer overflows resulting within
+objects such as sub-fields of a struct...  To solve this problem of
+overflow detection within sub-fields, stack canaries must be inserted
+within individual fields."
+
+This optional pass (``DefenseConfig(protect_fields=True)``) implements
+exactly that: every vulnerable, non-escaping stack struct is re-typed
+into a *guarded* twin whose fields are interleaved with PA-signed
+canary words, and the canaries follow the stack-canary protocol
+(initialise at entry, re-randomise before and authenticate after every
+input-channel use of the struct).  An overflow from one field into its
+sibling now crosses an intra-struct canary and traps.
+
+Only structs whose address never escapes the function in raw form
+(every use is a constant-index field access, possibly passed to library
+channels) are re-typed -- re-typing an escaping struct would change the
+layout other functions index into.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from ..analysis.alias import AliasAnalysis, MemObject
+from ..ir.builder import IRBuilder
+from ..ir.function import Function
+from ..ir.instructions import Alloca, Call, GetElementPtr, Instruction, Load, Store
+from ..ir.module import Module
+from ..ir.types import I64, StructType
+from ..ir.values import Constant
+from .support import ensure_declaration
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.vulnerability import VulnerabilityReport
+
+#: Prefix of the canary fields interleaved into guarded structs.
+GUARD_FIELD_PREFIX = "__guard"
+
+
+def make_guarded_struct(struct: StructType) -> StructType:
+    """The guarded twin: a signed canary word after every field."""
+    fields: List[Tuple[str, object]] = []
+    for index, (fname, ftype) in enumerate(struct.fields):
+        fields.append((fname, ftype))
+        fields.append((f"{GUARD_FIELD_PREFIX}{index}", I64))
+    return StructType(f"{struct.name}.guarded", fields)
+
+
+class FieldProtectionPass:
+    """Interleave PA canaries inside vulnerable stack structs (§6.4)."""
+
+    name = "pythia-fields"
+
+    def __init__(self, report: Optional["VulnerabilityReport"] = None):
+        self.report = report
+        #: structs re-typed, for tests/metrics
+        self.guarded_structs: Dict[str, StructType] = {}
+
+    def run(self, module: Module) -> Dict[str, object]:
+        if self.report is None:
+            from ..core.vulnerability import VulnerabilityAnalysis
+
+            self.report = VulnerabilityAnalysis(module).analyze()
+        report = self.report
+        analysis = report.analysis
+        assert analysis is not None
+        alias = analysis.alias
+        channels = analysis.channels
+        ensure_declaration(module, "pythia_random")
+
+        rewritten = guards = 0
+        signs = auths = 0
+        for function in module.defined_functions():
+            for alloca in list(function.allocas()):
+                obj = alias.object_for(alloca)
+                if obj is None or obj not in report.stack_vulnerable:
+                    continue
+                if not isinstance(alloca.allocated_type, StructType):
+                    continue
+                if not self._is_rewritable(alloca):
+                    continue
+                new_alloca, guard_count = self._rewrite(module, function, alloca)
+                rewritten += 1
+                guards += guard_count
+                s, a = self._instrument(
+                    module, function, alias, channels, obj, alloca, new_alloca
+                )
+                signs += s
+                auths += a
+
+        return {
+            "structs_guarded": rewritten,
+            "field_canaries": guards,
+            "pa_sign_inserted": signs,
+            "pa_auth_inserted": auths,
+        }
+
+    # -- rewritability ---------------------------------------------------------
+
+    @staticmethod
+    def _is_rewritable(alloca: Alloca) -> bool:
+        """Every use must be a constant field access; the raw struct
+        pointer must not escape (stores, calls, dynamic indexing)."""
+        for user in alloca.users:
+            if not isinstance(user, GetElementPtr):
+                return False
+            if user.pointer is not alloca:
+                return False
+            indices = user.indices
+            if len(indices) < 2:
+                return False
+            if not all(isinstance(i, Constant) for i in indices[:2]):
+                return False
+            if indices[0].value != 0:  # type: ignore[union-attr]
+                return False
+        return True
+
+    # -- re-typing ------------------------------------------------------------
+
+    def _rewrite(
+        self, module: Module, function: Function, alloca: Alloca
+    ) -> Tuple[Alloca, int]:
+        struct = alloca.allocated_type
+        assert isinstance(struct, StructType)
+        guarded = self.guarded_structs.get(struct.name)
+        if guarded is None:
+            guarded = make_guarded_struct(struct)
+            self.guarded_structs[struct.name] = guarded
+            if guarded.name not in module.structs:
+                module.add_struct(guarded)
+
+        new_alloca = Alloca(guarded, name=function.claim_name(f"{alloca.name}.g"))
+        block = alloca.parent
+        assert block is not None
+        block.insert_before(alloca, new_alloca)
+
+        # Remap every field access: old field i -> new field 2i.
+        builder = IRBuilder()
+        for user in list(alloca.users):
+            assert isinstance(user, GetElementPtr)
+            old_index = user.indices[1].value  # type: ignore[union-attr]
+            builder.position_before(user)
+            remapped = builder.gep(
+                new_alloca,
+                [0, 2 * old_index] + [i for i in user.indices[2:]],
+            )
+            user.replace_all_uses_with(remapped)
+            user.erase_from_parent()
+        alloca.erase_from_parent()
+        return new_alloca, len(new_alloca.allocated_type.fields) // 2
+
+    # -- canary protocol ---------------------------------------------------------
+
+    def _guard_geps(
+        self, builder: IRBuilder, new_alloca: Alloca
+    ) -> List[Tuple[int, object]]:
+        struct = new_alloca.allocated_type
+        assert isinstance(struct, StructType)
+        return [
+            (index, builder.gep(new_alloca, [0, index]))
+            for index, (fname, _) in enumerate(struct.fields)
+            if fname.startswith(GUARD_FIELD_PREFIX)
+        ]
+
+    def _instrument(
+        self,
+        module: Module,
+        function: Function,
+        alias: AliasAnalysis,
+        channels,
+        obj: MemObject,
+        old_alloca: Alloca,
+        new_alloca: Alloca,
+    ) -> Tuple[int, int]:
+        random_fn = module.get_function("pythia_random")
+        builder = IRBuilder()
+        signs = auths = 0
+
+        def init_guards_at(position_setter) -> int:
+            count = 0
+            position_setter()
+            for _, guard_ptr in self._guard_geps(builder, new_alloca):
+                fresh = builder.call(random_fn, [])
+                modifier = builder.cast("ptrtoint", guard_ptr, I64)
+                builder.store(builder.pac_sign(fresh, modifier), guard_ptr)
+                count += 1
+            return count
+
+        # Initialise once, right after the allocas at function entry.
+        entry = function.entry_block
+        index = 0
+        for i, inst in enumerate(entry.instructions):
+            if isinstance(inst, Alloca):
+                index = i + 1
+        if index >= len(entry.instructions):
+            signs += init_guards_at(lambda: builder.position_at_end(entry))
+        else:
+            anchor = entry.instructions[index]
+            signs += init_guards_at(lambda: builder.position_before(anchor))
+
+        # Around every IC call writing into the struct: re-randomise
+        # before, authenticate after (the §4.3 protocol, per field).
+        for site in channels.sites:
+            if site.function is not function:
+                continue
+            touched = any(
+                obj in alias.points_to(ptr) for ptr in site.written_pointers
+            )
+            if not touched:
+                continue
+            signs += init_guards_at(lambda c=site.call: builder.position_before(c))
+            builder.position_after(site.call)
+            for _, guard_ptr in self._guard_geps(builder, new_alloca):
+                loaded = builder.load(guard_ptr)
+                modifier = builder.cast("ptrtoint", guard_ptr, I64)
+                builder.pac_auth(loaded, modifier)
+                auths += 1
+        return signs, auths

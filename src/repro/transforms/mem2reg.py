@@ -1,0 +1,171 @@
+"""SSA construction: promote scalar allocas to registers.
+
+This mirrors LLVM's ``mem2reg``, which the paper runs before its module
+pass ("LLVM's mem2reg pass transforms the program IR by promoting
+memory references into register references, thereby reducing the
+loads/stores").  Only the loads/stores that *survive* promotion -- the
+address-taken variables, arrays, and anything reachable by pointers --
+are candidates for ARM-PA instrumentation, exactly as in the paper.
+
+Standard algorithm: phi insertion at iterated dominance frontiers,
+then a renaming walk over the dominator tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.cfg import DominatorTree, reachable_blocks
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import Alloca, Instruction, Load, Phi, Store
+from ..ir.module import Module
+from ..ir.types import IntType, PointerType
+from ..ir.values import UndefValue, Value
+
+
+def promotable_allocas(function: Function) -> List[Alloca]:
+    """Allocas whose every use is a direct scalar load or store."""
+    result = []
+    for alloca in function.allocas():
+        if not isinstance(alloca.allocated_type, (IntType, PointerType)):
+            continue
+        promotable = True
+        for use in alloca.uses:
+            user = use.user
+            if isinstance(user, Load) and user.pointer is alloca:
+                continue
+            if isinstance(user, Store) and user.pointer is alloca and user.value is not alloca:
+                continue
+            promotable = False
+            break
+        if promotable:
+            result.append(alloca)
+    return result
+
+
+class Mem2Reg:
+    """The mem2reg module pass."""
+
+    name = "mem2reg"
+
+    def run(self, module: Module) -> Dict[str, object]:
+        promoted = 0
+        phis = 0
+        for function in module.defined_functions():
+            p, f = self._run_function(function)
+            promoted += p
+            phis += f
+        return {"promoted_allocas": promoted, "inserted_phis": phis}
+
+    def _run_function(self, function: Function) -> "tuple[int, int]":
+        allocas = promotable_allocas(function)
+        if not allocas:
+            return 0, 0
+        domtree = DominatorTree(function)
+        reachable = set(reachable_blocks(function))
+        phi_owner: Dict[Phi, Alloca] = {}
+
+        # 1. Phi insertion at iterated dominance frontiers of def blocks.
+        inserted = 0
+        for alloca in allocas:
+            def_blocks = {
+                use.user.parent
+                for use in alloca.uses
+                if isinstance(use.user, Store) and use.user.parent in reachable
+            }
+            placed: Set[BasicBlock] = set()
+            worklist = list(def_blocks)
+            while worklist:
+                block = worklist.pop()
+                for frontier in domtree.frontiers.get(block, ()):
+                    if frontier in placed or frontier not in reachable:
+                        continue
+                    placed.add(frontier)
+                    phi = Phi(alloca.allocated_type, name=function.unique_name("m2r"))
+                    frontier.insert(0, phi)
+                    phi_owner[phi] = alloca
+                    inserted += 1
+                    if frontier not in def_blocks:
+                        worklist.append(frontier)
+
+        # 2. Renaming walk over the dominator tree.
+        children: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in reachable}
+        for block in reachable:
+            idom = domtree.idom.get(block)
+            if idom is not None and idom is not block:
+                children[idom].append(block)
+
+        alloca_set = set(allocas)
+        stacks: Dict[Alloca, List[Value]] = {a: [] for a in allocas}
+
+        def current(alloca: Alloca) -> Value:
+            stack = stacks[alloca]
+            return stack[-1] if stack else UndefValue(alloca.allocated_type)
+
+        def rename(block: BasicBlock) -> None:
+            pushed: List[Alloca] = []
+            for inst in list(block.instructions):
+                if isinstance(inst, Phi) and inst in phi_owner:
+                    stacks[phi_owner[inst]].append(inst)
+                    pushed.append(phi_owner[inst])
+                elif isinstance(inst, Load) and inst.pointer in alloca_set:
+                    inst.replace_all_uses_with(current(inst.pointer))  # type: ignore[arg-type]
+                    inst.erase_from_parent()
+                elif isinstance(inst, Store) and inst.pointer in alloca_set:
+                    stacks[inst.pointer].append(inst.value)  # type: ignore[index]
+                    pushed.append(inst.pointer)  # type: ignore[arg-type]
+                    inst.erase_from_parent()
+            for succ in block.successors:
+                for phi in succ.phis:
+                    if phi in phi_owner:
+                        phi.add_incoming(current(phi_owner[phi]), block)
+            for child in children.get(block, ()):
+                rename(child)
+            for alloca in pushed:
+                stacks[alloca].pop()
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 10000))
+        try:
+            rename(function.entry_block)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+        # 3. Remove the promoted allocas.
+        for alloca in allocas:
+            if not alloca.uses:
+                alloca.erase_from_parent()
+
+        # 4. Prune phis with missing predecessors in unreachable edges and
+        #    phis that became trivial (all incomings identical).
+        self._simplify_phis(function, phi_owner)
+        return len(allocas), inserted
+
+    @staticmethod
+    def _simplify_phis(function: Function, phi_owner: Dict[Phi, Alloca]) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for block in function.blocks:
+                for phi in list(block.phis):
+                    if phi not in phi_owner:
+                        continue
+                    distinct = {
+                        id(value)
+                        for value, _ in phi.incomings
+                        if value is not phi and not isinstance(value, UndefValue)
+                    }
+                    if len(distinct) == 1:
+                        replacement = next(
+                            value
+                            for value, _ in phi.incomings
+                            if value is not phi and not isinstance(value, UndefValue)
+                        )
+                        phi.replace_all_uses_with(replacement)
+                        phi.erase_from_parent()
+                        changed = True
+                    elif len(distinct) == 0 and not phi.uses:
+                        phi.erase_from_parent()
+                        changed = True

@@ -1,0 +1,40 @@
+"""Minimal pass infrastructure.
+
+A pass is anything with a ``name`` and a ``run(module) -> dict`` method
+returning statistics.  The manager runs passes in order, optionally
+verifying the module between passes (always on in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Sequence
+
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+
+
+class ModulePass(Protocol):
+    """Structural interface of a module pass."""
+
+    name: str
+
+    def run(self, module: Module) -> Dict[str, object]:  # pragma: no cover
+        ...
+
+
+class PassManager:
+    """Runs a pipeline of module passes, collecting their statistics."""
+
+    def __init__(self, passes: Sequence[ModulePass], verify: bool = True):
+        self.passes = list(passes)
+        self.verify = verify
+        self.stats: Dict[str, Dict[str, object]] = {}
+
+    def run(self, module: Module) -> Dict[str, Dict[str, object]]:
+        if self.verify:
+            verify_module(module)
+        for pass_ in self.passes:
+            self.stats[pass_.name] = pass_.run(module) or {}
+            if self.verify:
+                verify_module(module)
+        return self.stats

@@ -1,0 +1,266 @@
+"""Pythia's stack defense: re-layout + ARM-PA canaries (Algorithm 3).
+
+For every *refined* vulnerable stack variable the pass:
+
+1. **Re-lays out the frame** -- non-vulnerable variables are placed at
+   lower addresses, vulnerable variables at the overflow-exposed high
+   end of the frame, each immediately followed by its canary slot.  An
+   overflow escaping a vulnerable buffer therefore corrupts a canary
+   before it can reach any other variable.
+2. **Initialises the canary** at function entry: a fresh random value
+   (library call), PA-signed with the canary slot address as modifier.
+3. **Re-randomises before, and authenticates after, every input-channel
+   use** of the variable.  Re-randomisation defeats byte-wise canary
+   leaks (§4.4); the post-IC authentication is the detection point.
+4. **Handles interprocedural overflows**: when a local vulnerable
+   variable is passed (by pointer) into a callee that reaches an input
+   channel, the canary is checked after the call site too -- the
+   paper's "global pointer canary" mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.alias import AliasAnalysis, MemObject
+from ..analysis.callgraph import CallGraph
+from ..analysis.input_channels import InputChannelSite
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.vulnerability import VulnerabilityReport
+from ..ir.builder import IRBuilder
+from ..ir.function import Function
+from ..ir.instructions import Alloca, Call, Instruction
+from ..ir.module import Module
+from ..ir.types import I64, PointerType
+from .support import ensure_declaration, hoist_allocas
+
+
+class StackProtectionPass:
+    """Stack re-layout and canary instrumentation (Algorithm 3)."""
+
+    name = "pythia-stack"
+
+    def __init__(
+        self,
+        report: Optional["VulnerabilityReport"] = None,
+        rerandomize: bool = True,
+    ):
+        self.report = report
+        #: §4.4 re-randomisation before each IC use (ablation switch)
+        self.rerandomize = rerandomize
+        #: canary slot per protected object (for tests and metrics)
+        self.canaries: Dict[MemObject, Alloca] = {}
+
+    def run(self, module: Module) -> Dict[str, object]:
+        if self.report is None:
+            from ..core.vulnerability import VulnerabilityAnalysis
+
+            self.report = VulnerabilityAnalysis(module).analyze()
+        report = self.report
+        analysis = report.analysis
+        assert analysis is not None
+        alias = analysis.alias
+        channels = analysis.channels
+        callgraph = analysis.callgraph
+        ensure_declaration(module, "pythia_random")
+
+        vulnerable = report.stack_vulnerable
+        reach_cache: Dict[Function, Set[Function]] = {}
+        stats = {"canaries": 0, "protected_objects": 0, "ic_checks": 0,
+                 "interprocedural_checks": 0, "pa_sign_inserted": 0,
+                 "pa_auth_inserted": 0}
+
+        for function in module.defined_functions():
+            local = self._local_vulnerable(function, alias, vulnerable)
+            if not local:
+                continue
+            canaries = self._relayout_with_canaries(function, local)
+            stats["canaries"] += len(canaries)
+            stats["protected_objects"] += len(local)
+            signs, current_signed, modifiers = self._init_canaries(
+                function, canaries
+            )
+            stats["pa_sign_inserted"] += signs
+            ic_checks, inter_checks, s, a = self._instrument_uses(
+                function, alias, channels, callgraph, canaries, reach_cache,
+                current_signed, modifiers,
+            )
+            stats["ic_checks"] += ic_checks
+            stats["interprocedural_checks"] += inter_checks
+            stats["pa_sign_inserted"] += s
+            stats["pa_auth_inserted"] += a
+        return stats
+
+    # -- classification -----------------------------------------------------------
+
+    @staticmethod
+    def _local_vulnerable(
+        function: Function, alias: AliasAnalysis, vulnerable: Set[MemObject]
+    ) -> List[Tuple[Alloca, MemObject]]:
+        local = []
+        for alloca in function.allocas():
+            obj = alias.object_for(alloca)
+            if obj is not None and obj in vulnerable:
+                local.append((alloca, obj))
+        return local
+
+    # -- re-layout -----------------------------------------------------------------
+
+    def _relayout_with_canaries(
+        self, function: Function, local: List[Tuple[Alloca, MemObject]]
+    ) -> Dict[MemObject, Alloca]:
+        vulnerable_allocas = {id(a) for a, _ in local}
+        safe = [
+            a for a in function.allocas() if id(a) not in vulnerable_allocas
+        ]
+        ordered: List[Alloca] = list(safe)
+        canaries: Dict[MemObject, Alloca] = {}
+        for alloca, obj in local:
+            canary = Alloca(I64, name=function.unique_name("canary"))
+            canary.parent = function.entry_block  # attached by hoist below
+            ordered.append(alloca)
+            ordered.append(canary)
+            canaries[obj] = canary
+            self.canaries[obj] = canary
+        # hoist expects attached instructions; attach canaries first.
+        entry = function.entry_block
+        for canary in canaries.values():
+            entry.insert(0, canary)
+        hoist_allocas(function, ordered)
+        return canaries
+
+    # -- canary protocol ---------------------------------------------------------------
+
+    def _init_canaries(
+        self, function: Function, canaries: Dict[MemObject, Alloca]
+    ) -> "Tuple[int, Dict[int, object], Dict[int, object]]":
+        builder = self._builder_after_allocas(function)
+        random_fn = function.module.get_function("pythia_random")
+        signs = 0
+        #: live *signed* canary value per slot (the check reference)
+        current_signed: Dict[int, object] = {}
+        #: hoisted modifier (slot address) per slot, computed once
+        modifiers: Dict[int, object] = {}
+        for canary in canaries.values():
+            value = builder.call(random_fn, [])
+            modifier = builder.cast("ptrtoint", canary, I64)
+            signed = builder.pac_sign(value, modifier)
+            builder.store(signed, canary)
+            current_signed[id(canary)] = signed
+            modifiers[id(canary)] = modifier
+            signs += 1
+        return signs, current_signed, modifiers
+
+    @staticmethod
+    def _builder_after_allocas(function: Function) -> IRBuilder:
+        entry = function.entry_block
+        index = 0
+        for i, inst in enumerate(entry.instructions):
+            if isinstance(inst, Alloca):
+                index = i + 1
+        builder = IRBuilder(entry)
+        if index >= len(entry.instructions):
+            builder.position_at_end(entry)
+        else:
+            builder.position_before(entry.instructions[index])
+        return builder
+
+    # -- IC use instrumentation ------------------------------------------------------------
+
+    def _instrument_uses(
+        self,
+        function: Function,
+        alias: AliasAnalysis,
+        channels,
+        callgraph: CallGraph,
+        canaries: Dict[MemObject, Alloca],
+        reach_cache: Dict[Function, Set[Function]],
+        current_signed: Dict[int, object],
+        modifiers: Dict[int, object],
+    ) -> Tuple[int, int, int, int]:
+        protected = set(canaries)
+        random_fn = function.module.get_function("pythia_random")
+        builder = IRBuilder()
+        ic_checks = inter_checks = signs = auths = 0
+
+        local_sites = {id(s.call): s for s in channels.sites if s.function is function}
+
+        for inst in list(function.instructions()):
+            if not isinstance(inst, Call):
+                continue
+            touched: Set[MemObject] = set()
+            site = local_sites.get(id(inst))
+            interprocedural = False
+            if site is not None:
+                for ptr in site.written_pointers:
+                    touched |= alias.points_to(ptr) & protected
+            elif not inst.callee.is_declaration:
+                # A defined callee that may reach an IC writing our object.
+                reachable = self._reachable_functions(
+                    inst.callee, callgraph, reach_cache
+                )
+                candidate: Set[MemObject] = set()
+                for arg in inst.args:
+                    if isinstance(arg.type, PointerType):
+                        candidate |= alias.points_to(arg) & protected
+                if candidate and any(
+                    s.function in reachable
+                    and any(
+                        alias.points_to(p) & candidate for p in s.written_pointers
+                    )
+                    for s in channels.sites
+                ):
+                    touched = candidate
+                    interprocedural = True
+            if not touched:
+                continue
+
+            for obj in touched:
+                canary = canaries[obj]
+                modifier = modifiers[id(canary)]
+                if self.rerandomize:
+                    # Re-randomise before the channel runs: a canary
+                    # value leaked through an earlier buffered read is
+                    # useless by the time the overflow fires (§4.4).
+                    builder.position_before(inst)
+                    fresh = builder.call(random_fn, [])
+                    signed = builder.pac_sign(fresh, modifier)
+                    builder.store(signed, canary)
+                    current_signed[id(canary)] = signed
+                    signs += 1
+                # The detection point right after the channel: auth traps
+                # on garbage bytes, and the value compare traps on
+                # *replayed* (validly signed but stale) canaries.
+                builder.position_after(inst)
+                loaded = builder.load(canary)
+                builder.pac_auth(loaded, modifier)
+                matches = builder.icmp(
+                    "eq", loaded, current_signed[id(canary)]
+                )
+                builder.sec_assert(matches, "canary")
+                auths += 1
+                if interprocedural:
+                    inter_checks += 1
+                else:
+                    ic_checks += 1
+        return ic_checks, inter_checks, signs, auths
+
+    @staticmethod
+    def _reachable_functions(
+        root: Function, callgraph: CallGraph, cache: Dict[Function, Set[Function]]
+    ) -> Set[Function]:
+        cached = cache.get(root)
+        if cached is not None:
+            return cached
+        reachable: Set[Function] = {root}
+        stack = [root]
+        while stack:
+            current = stack.pop()
+            for callee in callgraph.callees.get(current, ()):
+                if not callee.is_declaration and callee not in reachable:
+                    reachable.add(callee)
+                    stack.append(callee)
+        cache[root] = reachable
+        return reachable

@@ -1,0 +1,40 @@
+"""repro.workloads -- benchmark program synthesis.
+
+Per-benchmark statistical profiles for the paper's 15 SPEC applications
+plus nginx, the deterministic MiniC program generator realising them,
+and the nginx-style transfer-rate workload.
+"""
+
+from .generator import GeneratedProgram, ProgramGenerator, generate_program
+from .nginx import (
+    DURATION_BATCHES,
+    NginxRun,
+    nginx_program,
+    run_nginx,
+    transfer_rate_overhead,
+)
+from .profiles import (
+    ALL_PROFILES,
+    BenchmarkProfile,
+    NGINX_PROFILE,
+    SPEC_PROFILES,
+    get_profile,
+    profile_names,
+)
+
+__all__ = [
+    "ALL_PROFILES",
+    "BenchmarkProfile",
+    "DURATION_BATCHES",
+    "GeneratedProgram",
+    "generate_program",
+    "get_profile",
+    "NGINX_PROFILE",
+    "nginx_program",
+    "NginxRun",
+    "ProgramGenerator",
+    "profile_names",
+    "run_nginx",
+    "SPEC_PROFILES",
+    "transfer_rate_overhead",
+]

@@ -1,0 +1,361 @@
+"""Deterministic MiniC program generator.
+
+Synthesises a benchmark program from a
+:class:`~repro.workloads.profiles.BenchmarkProfile`: hot compute loops
+over clean and input-tainted data, pointer-arithmetic walkers,
+struct-field logic, input-channel handler functions with the profile's
+IC category mix, caller-opaque helpers (the complex-interprocedural
+case), and heap workers -- all driven from a bounded main loop so every
+generated program terminates deterministically.
+
+The generated statistics -- branch counts, pointer density of backward
+slices, IC distribution, fraction of IC-affected branches -- are what
+the benchmark harness measures; the profiles are tuned so the
+cross-benchmark *shape* follows the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..frontend.driver import compile_source
+from ..ir.module import Module
+from .profiles import BenchmarkProfile
+
+IC_CATEGORIES = ("print", "movecopy", "scan", "get", "put", "map")
+
+
+@dataclass
+class GeneratedProgram:
+    """Source plus everything needed to run it."""
+
+    profile: BenchmarkProfile
+    source: str
+    #: benign input queue for the scan/get channels
+    inputs: List[bytes] = field(default_factory=list)
+
+    def compile(self) -> Module:
+        return compile_source(self.source, name=self.profile.name)
+
+
+class ProgramGenerator:
+    """Builds one program from a profile.  Deterministic per seed."""
+
+    def __init__(self, profile: BenchmarkProfile):
+        self.profile = profile
+        self.rng = random.Random(profile.seed)
+        self.parts: List[str] = []
+        self.main_decls: List[str] = []
+        self.main_init: List[str] = []
+        self.main_loop: List[str] = []
+        self.main_post: List[str] = []
+        self.inputs: List[bytes] = []
+        self._ic_counter = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _const(self, low: int = 1, high: int = 9) -> int:
+        return self.rng.randint(low, high)
+
+    def _pick_ic_category(self) -> str:
+        weights = self.profile.ic_weights
+        total = sum(weights)
+        point = self.rng.randrange(total) if total else 0
+        for category, weight in zip(IC_CATEGORIES, weights):
+            if point < weight:
+                return category
+            point -= weight
+        return "print"
+
+    # -- function templates -----------------------------------------------------
+
+    def _hot_function(self, index: int, tainted: bool) -> str:
+        """A hot loop branching per element -- the bulk of dynamic branches."""
+        name = f"{'tainted' if tainted else 'hot'}_compute{index}"
+        t1 = self._const(2, 12)
+        t2 = self._const(20, 60)
+        compute = "\n".join(
+            f"        scratch = scratch * {self._const(3, 7)} + i;\n"
+            f"        acc = acc + (scratch & {self._const(31, 63)});"
+            for _ in range(self.profile.compute_weight)
+        )
+        return f"""
+int {name}(int *data, int n) {{
+    int i;
+    int acc = 0;
+    int scratch = 1;
+    for (i = 0; i < n; i = i + 1) {{
+        if (data[i] > {t1}) {{
+            acc = acc + data[i];
+        }} else {{
+            acc = acc - 1;
+        }}
+{compute}
+        if (acc > {t2}) {{
+            acc = acc - {self._const(3, 9)};
+        }}
+    }}
+    return acc;
+}}
+"""
+
+    def _pointer_function(self, index: int) -> str:
+        """Pointer-arithmetic walker: the `p = p + i` DFI cannot follow."""
+        name = f"pointer_walk{index}"
+        step = self._const(1, 2)
+        return f"""
+int {name}(int *data, int n) {{
+    int *p;
+    int acc = 0;
+    int left = n;
+    p = data;
+    while (left > 0) {{
+        acc = acc + *p;
+        p = p + {step};          // raw pointer arithmetic
+        left = left - {step};
+        if (acc > {self._const(40, 90)}) {{
+            acc = acc / 2;
+        }}
+    }}
+    return acc;
+}}
+"""
+
+    def _field_function(self, index: int) -> str:
+        """Struct-field logic: field-insensitive accesses kill DFI slices."""
+        name = f"field_logic{index}"
+        struct = f"rec{index}"
+        self.parts.append(
+            f"struct {struct} {{ int key; int weight; int level; }};\n"
+        )
+        return f"""
+int {name}(int *data, int n) {{
+    struct {struct} r;
+    int i;
+    r.key = data[0];
+    r.weight = 0;
+    r.level = 0;
+    for (i = 0; i < n; i = i + 1) {{
+        r.weight = r.weight + data[i];
+        if (r.weight > r.key + {self._const(5, 25)}) {{
+            r.level = r.level + 1;
+        }}
+    }}
+    if (r.level > {self._const(1, 4)}) {{
+        return r.weight;
+    }}
+    return r.level;
+}}
+"""
+
+    def _opaque_function(self, index: int) -> str:
+        """Branches on memory behind an unresolvable double indirection:
+        Pythia's complex-interprocedural-aliasing limitation."""
+        name = f"opaque_check{index}"
+        return f"""
+int {name}(int **pp, int enabled) {{
+    int *q;
+    int acc = 0;
+    if (enabled > 0) {{
+        q = *pp;                 // pointer fetched from opaque memory
+        if (*q > {self._const(5, 30)}) {{
+            acc = acc + 1;
+        }}
+        if (*q > {self._const(31, 60)}) {{
+            acc = acc + 2;
+        }}
+        if (acc > {self._const(1, 2)}) {{
+            return acc * 2;
+        }}
+    }}
+    return acc;
+}}
+"""
+
+    def _ic_handler(self, index: int) -> str:
+        """An input-channel handler: buffers, IC calls per the profile's
+        category mix, and branches directly on the channel data."""
+        name = f"handle_input{index}"
+        lines: List[str] = [
+            "    char buf[24];",
+            "    char copy[24];",
+            "    int parsed = 0;",
+            "    int status = 0;",
+            "    memset(buf, 0, 24);",
+            "    buf[0] = 'r';",
+            "    buf[1] = 0;",
+        ]
+        for _ in range(self.profile.ic_sites_per_handler):
+            category = self._pick_ic_category()
+            self._ic_counter += 1
+            if category == "print":
+                lines.append(f'    printf("h{index} %s %d\\n", buf, parsed);')
+            elif category == "movecopy":
+                choice = self.rng.randrange(3)
+                if choice == 0:
+                    lines.append("    memcpy(copy, buf, 12);")
+                elif choice == 1:
+                    lines.append("    memmove(copy, buf, 12);")
+                else:
+                    lines.append(f"    memset(copy, {self._const(60, 80)}, 8);")
+            elif category == "scan":
+                lines.append("    scanf(\"%d\", &parsed);")
+                self.inputs.append(str(self._const(0, 5)).encode())
+            elif category == "get":
+                lines.append("    fgets(buf, 24, NULL);")
+                self.inputs.append(b"line")
+            elif category == "put":
+                lines.append("    strcpy(copy, buf);")
+            else:  # map
+                lines.append("    mapped = mmap(32);")
+        body = "\n".join(lines)
+        uses_map = "mapped" in body
+        map_decl = "    char *mapped;\n" if uses_map else ""
+        map_use = (
+            f"    if (mapped[0] == {self._const(1, 9)}) {{ status = status + 1; }}\n"
+            if uses_map
+            else ""
+        )
+        return f"""
+int {name}(int round) {{
+{map_decl}{body}
+{map_use}    if (buf[0] == 'a') {{
+        status = status + 2;     // branch directly on channel data
+    }}
+    if (parsed > {self._const(2, 7)}) {{
+        status = status + round;
+    }}
+    return status;
+}}
+"""
+
+    def _heap_worker(self, index: int) -> str:
+        """Heap buffers written by an input channel -- the Algorithm 4 case.
+
+        The channel is a copy (``memcpy`` from the request buffer), the
+        dominant nginx/SPEC category; the request buffer itself is
+        filled once by a get-channel in main."""
+        name = f"heap_worker{index}"
+        size = 16 + 8 * self._const(0, 2)
+        return f"""
+int {name}(int round, char *request) {{
+    char *block;
+    int *counts;
+    int i;
+    int acc = 0;
+    block = malloc({size});
+    counts = malloc(32);
+    memcpy(block, request, 8);
+    for (i = 0; i < 4; i = i + 1) {{
+        counts[i] = block[i] + round;
+    }}
+    for (i = 0; i < 4; i = i + 1) {{
+        if (counts[i] > {self._const(3, 12)}) {{
+            acc = acc + counts[i];
+        }}
+    }}
+    free(counts);
+    free(block);
+    return acc;
+}}
+"""
+
+    # -- assembly ---------------------------------------------------------------
+
+    def generate(self) -> GeneratedProgram:
+        profile = self.profile
+        size = profile.array_size
+
+        # data arrays live in main's frame so their slices, guards and
+        # canaries behave like the paper's stack variables.
+        calls: List[str] = []
+        for i in range(profile.hot_functions):
+            self.parts.append(self._hot_function(i, tainted=False))
+            self.main_decls.append(f"    int data{i}[{size}];")
+            self.main_init.append(
+                f"    for (i = 0; i < {size}; i = i + 1) {{"
+                f" data{i}[i] = i * {self._const(2, 5)} % {self._const(5, 11)}; }}"
+            )
+            calls.append(f"        acc = acc + hot_compute{i}(data{i}, {size});")
+
+        if profile.tainted_functions:
+            # one seed value read from input taints every tbuf array
+            self.main_decls.append("    int seeds[2];")
+            self.main_init.append("    seeds[0] = 0;")
+            self.main_init.append("    seeds[1] = 1;")
+            self.main_init.append('    scanf("%d", &seeds[0]);')
+            self.inputs.append(b"3")
+        for i in range(profile.tainted_functions):
+            self.parts.append(self._hot_function(i, tainted=True))
+            self.main_decls.append(f"    int tbuf{i}[{size}];")
+            self.main_init.append(
+                f"    for (i = 0; i < {size}; i = i + 1) {{"
+                f" tbuf{i}[i] = seeds[0] + i % {self._const(3, 9)}; }}"
+            )
+            calls.append(
+                f"        acc = acc + tainted_compute{i}(tbuf{i}, {size});"
+            )
+
+        for i in range(profile.pointer_functions):
+            self.parts.append(self._pointer_function(i))
+            target = f"tbuf{i % max(1, profile.tainted_functions)}" if profile.tainted_functions else f"data{i % max(1, profile.hot_functions)}"
+            calls.append(f"        acc = acc + pointer_walk{i}({target}, {size});")
+
+        for i in range(profile.field_functions):
+            self.parts.append(self._field_function(i))
+            target = f"tbuf{i % max(1, profile.tainted_functions)}" if profile.tainted_functions else f"data{i % max(1, profile.hot_functions)}"
+            calls.append(f"        acc = acc + field_logic{i}({target}, {size});")
+
+        for i in range(profile.ic_handlers):
+            self.parts.append(self._ic_handler(i))
+            calls.append(f"        acc = acc + handle_input{i}(t);")
+
+        if profile.opaque_functions:
+            self.main_decls.append("    char *opaque_region;")
+            self.main_init.append("    opaque_region = mmap(64);")
+        for i in range(profile.opaque_functions):
+            self.parts.append(self._opaque_function(i))
+            calls.append(
+                f"        acc = acc + opaque_check{i}(opaque_region, 0);"
+            )
+
+        if profile.heap_workers:
+            self.main_decls.append("    char netbuf[16];")
+            self.main_init.append("    memset(netbuf, 0, 16);")
+            self.main_init.append("    fgets(netbuf, 16, NULL);")
+            self.inputs.append(b"request")
+        for i in range(profile.heap_workers):
+            self.parts.append(self._heap_worker(i))
+            calls.append(f"        acc = acc + heap_worker{i}(t, netbuf);")
+
+        self.rng.shuffle(calls)
+        body = "\n".join(calls)
+        decls = "\n".join(self.main_decls)
+        init = "\n".join(self.main_init)
+        main = f"""
+int main() {{
+{decls}
+    int i;
+    int t;
+    int acc = 0;
+{init}
+    for (t = 0; t < {profile.outer_iterations}; t = t + 1) {{
+{body}
+    }}
+    printf("acc=%d\\n", acc);
+    return 0;
+}}
+"""
+        self.parts.append(main)
+        source = "\n".join(self.parts)
+        # Inputs are consumed once per dynamic scanf/fgets call; repeat
+        # generously so re-runs under several schemes stay deterministic.
+        inputs = list(self.inputs) * (profile.outer_iterations + 2)
+        return GeneratedProgram(profile=profile, source=source, inputs=inputs)
+
+
+def generate_program(profile: BenchmarkProfile) -> GeneratedProgram:
+    """Generate the benchmark program for ``profile``."""
+    return ProgramGenerator(profile).generate()

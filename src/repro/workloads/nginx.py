@@ -1,0 +1,95 @@
+"""The nginx-style workload (§6.3).
+
+The paper drives nginx with a 12-thread workload generator creating 400
+concurrent connections for 3 s / 30 s / 300 s and reports overhead as
+transfer-rate degradation.  The simulated equivalent is an event-loop
+server program (generated from :data:`~repro.workloads.profiles.NGINX_PROFILE`,
+whose input channels are copy/move-dominated like nginx's ``ngx_*``
+functions) executed for increasing request batches; transfer rate is
+bytes written to the response stream per simulated cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from ..core.config import SCHEMES
+from ..core.framework import protect
+from ..hardware.cpu import CPU
+from .generator import GeneratedProgram, generate_program
+from .profiles import NGINX_PROFILE
+
+#: Request batches standing in for the paper's 3 s / 30 s / 300 s runs.
+DURATION_BATCHES: Dict[str, int] = {"3s": 6, "30s": 18, "300s": 54}
+
+
+@dataclass
+class NginxRun:
+    """One scheme's measurement at one duration."""
+
+    scheme: str
+    duration: str
+    cycles: float
+    bytes_out: int
+
+    @property
+    def transfer_rate(self) -> float:
+        """Bytes served per cycle -- the paper's GB/s equivalent."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.bytes_out / self.cycles
+
+
+def nginx_program(duration: str = "3s") -> GeneratedProgram:
+    """The nginx-style program sized for ``duration``."""
+    batches = DURATION_BATCHES[duration]
+    profile = replace(NGINX_PROFILE, outer_iterations=batches)
+    return generate_program(profile)
+
+
+def run_nginx(
+    durations: Sequence[str] = ("3s", "30s", "300s"),
+    schemes: Sequence[str] = SCHEMES,
+    seed: int = 2024,
+) -> List[NginxRun]:
+    """Serve the request batches under each scheme; returns all runs."""
+    runs: List[NginxRun] = []
+    for duration in durations:
+        program = nginx_program(duration)
+        module = program.compile()
+        for scheme in schemes:
+            protection = protect(module, scheme=scheme)
+            cpu = CPU(protection.module, seed=seed)
+            result = cpu.run(inputs=list(program.inputs))
+            if not result.ok:
+                raise RuntimeError(
+                    f"nginx/{scheme}/{duration} failed: {result.status} ({result.trap})"
+                )
+            runs.append(
+                NginxRun(
+                    scheme=scheme,
+                    duration=duration,
+                    cycles=result.cycles,
+                    bytes_out=len(result.output),
+                )
+            )
+    return runs
+
+
+def transfer_rate_overhead(runs: Sequence[NginxRun], scheme: str) -> float:
+    """Average transfer-rate degradation of ``scheme`` vs vanilla."""
+    by_duration: Dict[str, Dict[str, NginxRun]] = {}
+    for run in runs:
+        by_duration.setdefault(run.duration, {})[run.scheme] = run
+    degradations = []
+    for duration, by_scheme in by_duration.items():
+        if "vanilla" not in by_scheme or scheme not in by_scheme:
+            continue
+        base = by_scheme["vanilla"].transfer_rate
+        if base <= 0:
+            continue
+        degradations.append(1.0 - by_scheme[scheme].transfer_rate / base)
+    if not degradations:
+        return 0.0
+    return sum(degradations) / len(degradations)

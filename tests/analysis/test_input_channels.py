@@ -1,0 +1,117 @@
+"""Tests for input-channel detection and classification."""
+
+import pytest
+
+from repro.analysis import IC_CATEGORIES, InputChannelAnalysis
+from repro.frontend import compile_source
+
+
+def channels(source):
+    module = compile_source(source)
+    return module, InputChannelAnalysis(module)
+
+
+class TestDetection:
+    def test_library_ics_found(self, listing1_module):
+        analysis = InputChannelAnalysis(listing1_module)
+        names = sorted(s.call.callee.name for s in analysis.sites)
+        assert names == ["gets", "printf", "printf", "strcpy"]
+
+    def test_categories(self, listing1_module):
+        analysis = InputChannelAnalysis(listing1_module)
+        kinds = {s.call.callee.name: s.kind for s in analysis.sites}
+        assert kinds["gets"] == "get"
+        assert kinds["strcpy"] == "put"
+        assert kinds["printf"] == "print"
+
+    def test_written_pointers(self, listing1_module):
+        analysis = InputChannelAnalysis(listing1_module)
+        gets_site = next(s for s in analysis.sites if s.call.callee.name == "gets")
+        assert len(gets_site.written_pointers) == 1
+
+    def test_non_ic_utilities_excluded(self):
+        module, analysis = channels(
+            'int main() { return strlen("x") + strcmp("a", "b"); }'
+        )
+        assert analysis.total() == 0
+
+    def test_mmap_writes_return(self):
+        module, analysis = channels("int main() { char *m; m = mmap(8); return 0; }")
+        site = analysis.sites[0]
+        assert site.kind == "map" and site.writes_return
+
+    def test_distribution(self):
+        source = """
+        int main() {
+            char a[8]; char b[8];
+            strcpy(a, "x");
+            memcpy(b, a, 4);
+            printf("%s", a);
+            return 0;
+        }
+        """
+        module, analysis = channels(source)
+        dist = analysis.distribution()
+        assert dist["put"] == 1
+        assert dist["movecopy"] == 1
+        assert dist["print"] == 1
+        assert sum(dist.values()) == analysis.total() == 3
+
+    def test_all_categories_enumerable(self):
+        assert set(IC_CATEGORIES) == {"print", "scan", "movecopy", "get", "put", "map"}
+
+    def test_sites_in_function(self, listing1_module):
+        analysis = InputChannelAnalysis(listing1_module)
+        access = listing1_module.get_function("access_check")
+        assert len(analysis.sites_in(access)) == 4
+        assert analysis.sites_in(listing1_module.get_function("main")) == []
+
+
+class TestDispatchers:
+    def test_wrapper_detected_as_dispatcher(self):
+        source = """
+        void my_read(char *dest) {
+            gets(dest);
+        }
+        int main() {
+            char buf[16];
+            my_read(buf);
+            return 0;
+        }
+        """
+        module, analysis = channels(source)
+        my_read = module.get_function("my_read")
+        assert analysis.dispatchers.get(my_read) == "get"
+        # the call site of the dispatcher itself is an IC site
+        kinds = {s.call.callee.name: s.kind for s in analysis.sites}
+        assert kinds.get("my_read") == "get"
+
+    def test_transitive_dispatcher(self):
+        source = """
+        void inner(char *d) { gets(d); }
+        void outer(char *d) { inner(d); }
+        int main() { char b[8]; outer(b); return 0; }
+        """
+        module, analysis = channels(source)
+        assert module.get_function("outer") in analysis.dispatchers
+
+    def test_non_forwarding_function_not_dispatcher(self):
+        source = """
+        int helper(char *d) { return strlen(d); }
+        int main() { char b[8]; b[0] = 0; return helper(b); }
+        """
+        module, analysis = channels(source)
+        assert module.get_function("helper") not in analysis.dispatchers
+
+    def test_nginx_style_copy_wrapper(self):
+        source = """
+        void ngx_cpy(char *dst, char *src) { memcpy(dst, src, 8); }
+        int main() {
+            char a[16]; char b[16];
+            strcpy(a, "data");
+            ngx_cpy(b, a);
+            return 0;
+        }
+        """
+        module, analysis = channels(source)
+        assert analysis.dispatchers.get(module.get_function("ngx_cpy")) == "movecopy"

@@ -1,0 +1,257 @@
+"""Tests for branch decomposition and input-channel construction."""
+
+import pytest
+
+from repro.analysis import (
+    AliasAnalysis,
+    BackwardSlicer,
+    ForwardSlicer,
+    InputChannelAnalysis,
+    MemoryDefUse,
+)
+from repro.core import clone_module
+from repro.frontend import compile_source
+from repro.transforms import Mem2Reg
+
+
+def slicers(source, dfi=False):
+    module = compile_source(source)
+    Mem2Reg().run(module)
+    alias = AliasAnalysis(module)
+    channels = InputChannelAnalysis(module)
+    memdu = MemoryDefUse(module, alias, channels)
+    backward = BackwardSlicer(
+        module, alias, channels, memdu, stop_at_pointer_arithmetic=dfi
+    )
+    forward = ForwardSlicer(module, alias, channels, memdu)
+    return module, backward, forward
+
+
+TAINTED_BRANCH = """
+int main() {
+    int x = 0;
+    int clean = 5;
+    scanf("%d", &x);
+    int y = x * 2;
+    if (y > 10) { printf("big\\n"); return 1; }
+    if (clean > 3) { printf("clean\\n"); }
+    return 0;
+}
+"""
+
+
+class TestBackwardSlicing:
+    def test_tainted_branch_reaches_ic(self):
+        module, backward, _ = slicers(TAINTED_BRANCH)
+        branches = module.get_function("main").conditional_branches()
+        tainted = backward.slice_branch(branches[0])
+        assert tainted.reaches_input_channel
+        assert tainted.ic_distance is not None
+
+    def test_clean_branch_does_not_reach_ic(self):
+        module, backward, _ = slicers(TAINTED_BRANCH)
+        branches = module.get_function("main").conditional_branches()
+        clean = backward.slice_branch(branches[1])
+        assert not clean.reaches_input_channel
+
+    def test_slice_collects_variables(self, listing1_module):
+        module = clone_module(listing1_module)
+        Mem2Reg().run(module)
+        backward = BackwardSlicer(module)
+        branch = module.get_function("access_check").conditional_branches()[0]
+        result = backward.slice_branch(branch)
+        labels = {v.label for v in result.variables}
+        assert any(label.endswith("%user") for label in labels)
+
+    def test_slice_length_positive(self):
+        module, backward, _ = slicers(TAINTED_BRANCH)
+        branch = module.get_function("main").conditional_branches()[0]
+        assert backward.slice_branch(branch).length >= 2
+
+    def test_interprocedural_extension(self):
+        source = """
+        int classify(int v) {
+            if (v > 3) { return 1; }
+            return 0;
+        }
+        int main() {
+            int x = 0;
+            scanf("%d", &x);
+            return classify(x);
+        }
+        """
+        module, backward, _ = slicers(source)
+        branch = module.get_function("classify").conditional_branches()[0]
+        result = backward.slice_branch(branch)
+        assert result.reaches_input_channel
+
+    def test_pointer_arithmetic_recorded(self):
+        source = """
+        int main() {
+            int a[4];
+            int *p;
+            a[0] = 1;
+            p = a;
+            p = p + 2;
+            if (*p > 0) { return 1; }
+            return 0;
+        }
+        """
+        module, backward, _ = slicers(source)
+        branch = module.get_function("main").conditional_branches()[0]
+        assert backward.slice_branch(branch).has_pointer_arithmetic
+
+    def test_field_access_recorded(self):
+        source = """
+        struct s { int a; int b; };
+        int main() {
+            struct s v;
+            v.a = 1;
+            if (v.a > 0) { return 1; }
+            return 0;
+        }
+        """
+        module, backward, _ = slicers(source)
+        branch = module.get_function("main").conditional_branches()[0]
+        assert backward.slice_branch(branch).has_field_access
+
+    def test_unresolved_memory_marks_complex(self):
+        source = """
+        int check(int **pp, int on) {
+            int *q;
+            if (on > 0) {
+                q = *pp;
+                if (*q > 3) { return 1; }
+            }
+            return 0;
+        }
+        int main() {
+            char *region;
+            region = mmap(32);
+            return check(region, 0);
+        }
+        """
+        module, backward, _ = slicers(source)
+        branches = module.get_function("check").conditional_branches()
+        deep = backward.slice_branch(branches[1])
+        assert deep.complex_interprocedural
+
+    def test_pointer_fraction(self):
+        module, backward, _ = slicers(TAINTED_BRANCH)
+        branch = module.get_function("main").conditional_branches()[0]
+        fraction = backward.slice_branch(branch).pointer_fraction()
+        assert 0.0 <= fraction <= 1.0
+
+
+class TestDfiTermination:
+    POINTER_SOURCE = """
+    int main() {
+        int a[4];
+        int *p;
+        int x = 0;
+        scanf("%d", &x);
+        a[0] = x;
+        p = a;
+        p = p + 1;
+        if (*p > 0) { return 1; }
+        return 0;
+    }
+    """
+
+    def test_dfi_mode_terminates_at_arithmetic(self):
+        module, dfi_slicer, _ = slicers(self.POINTER_SOURCE, dfi=True)
+        branch = module.get_function("main").conditional_branches()[0]
+        result = dfi_slicer.slice_branch(branch)
+        assert result.terminated_at
+
+    def test_pythia_mode_keeps_going(self):
+        module, backward, _ = slicers(self.POINTER_SOURCE)
+        branch = module.get_function("main").conditional_branches()[0]
+        result = backward.slice_branch(branch)
+        assert not result.terminated_at
+
+    def test_dfi_slice_not_longer_than_pythia(self):
+        module_a, dfi_slicer, _ = slicers(self.POINTER_SOURCE, dfi=True)
+        module_b, backward, _ = slicers(self.POINTER_SOURCE)
+        branch_a = module_a.get_function("main").conditional_branches()[0]
+        branch_b = module_b.get_function("main").conditional_branches()[0]
+        assert (
+            dfi_slicer.slice_branch(branch_a).length
+            <= backward.slice_branch(branch_b).length
+        )
+
+    def test_plain_array_indexing_not_hostile(self):
+        source = """
+        int sum(int *v, int n) {
+            int t = 0;
+            for (int i = 0; i < n; i = i + 1) { t = t + v[i]; }
+            return t;
+        }
+        int main() {
+            int a[4];
+            int x = 0;
+            scanf("%d", &x);
+            a[0] = x;
+            if (sum(a, 4) > 2) { return 1; }
+            return 0;
+        }
+        """
+        module, dfi_slicer, _ = slicers(source, dfi=True)
+        branch = module.get_function("main").conditional_branches()[0]
+        result = dfi_slicer.slice_branch(branch)
+        assert not result.terminated_at  # v[i] through a parameter is fine
+
+
+class TestForwardSlicing:
+    def test_taint_propagates_through_computation(self):
+        module, _, forward = slicers(TAINTED_BRANCH)
+        result = forward.slice_all()
+        labels = {v.label for v in result.variables}
+        assert any(label.endswith("%x") for label in labels)
+
+    def test_taint_propagates_through_stores(self):
+        source = """
+        int main() {
+            int x = 0;
+            int copies[2];
+            scanf("%d", &x);
+            copies[0] = x;
+            return copies[0];
+        }
+        """
+        module, _, forward = slicers(source)
+        result = forward.slice_all()
+        labels = {v.label for v in result.variables}
+        assert any(label.endswith("%copies") for label in labels)
+
+    def test_clean_variables_not_tainted(self):
+        module, _, forward = slicers(TAINTED_BRANCH)
+        result = forward.slice_all()
+        labels = {v.label for v in result.variables}
+        assert not any(label.endswith("%clean") for label in labels)
+
+    def test_single_site_slice(self, listing1_module):
+        module = clone_module(listing1_module)
+        Mem2Reg().run(module)
+        alias = AliasAnalysis(module)
+        channels = InputChannelAnalysis(module)
+        memdu = MemoryDefUse(module, alias, channels)
+        forward = ForwardSlicer(module, alias, channels, memdu)
+        gets_site = next(s for s in channels.sites if s.call.callee.name == "gets")
+        result = forward.slice_site(gets_site)
+        labels = {v.label for v in result.variables}
+        assert any(label.endswith("%str") for label in labels)
+        assert not any(label.endswith("%user") for label in labels)
+
+
+class TestSliceValue:
+    def test_arbitrary_value_slice(self):
+        module, backward, _ = slicers(TAINTED_BRANCH)
+        main = module.get_function("main")
+        branch = main.conditional_branches()[0]
+        # slicing the raw condition value matches slicing the branch
+        by_value = backward.slice_value(branch.condition, main)
+        by_branch = backward.slice_branch(branch)
+        assert by_value.branch is None
+        assert by_value.variables == by_branch.variables
+        assert by_value.reaches_input_channel == by_branch.reaches_input_channel

@@ -1,0 +1,73 @@
+"""Tests for the canary brute-force model (Eq. 6)."""
+
+import pytest
+
+from repro.attacks import (
+    empirical_success_rate,
+    expected_tries,
+    first_order_probability,
+    simulate_bruteforce,
+    success_probability,
+)
+from repro.hardware.pac import PAC_BITS
+
+
+class TestClosedForms:
+    def test_expected_tries_is_2_to_the_bits(self):
+        assert expected_tries(24) == 2**24
+        assert expected_tries(8) == 256
+
+    def test_first_order_matches_paper(self):
+        # "1 in 16 million chance" for one canary at 24 bits
+        p = first_order_probability(canaries=1, pac_bits=24)
+        assert p == pytest.approx(1 / 16_777_216)
+
+    def test_more_canaries_more_chances(self):
+        assert first_order_probability(canaries=4) == pytest.approx(
+            4 * first_order_probability(canaries=1)
+        )
+
+    def test_success_probability_monotone_in_attempts(self):
+        p1 = success_probability(1, pac_bits=16)
+        p2 = success_probability(1000, pac_bits=16)
+        assert p2 > p1
+
+    def test_success_probability_first_order_limit(self):
+        assert success_probability(1, pac_bits=24) == pytest.approx(
+            first_order_probability(1, 24), rel=1e-6
+        )
+
+    def test_success_probability_saturates(self):
+        assert success_probability(10_000_000, pac_bits=8) == pytest.approx(1.0)
+
+    def test_default_uses_hardware_width(self):
+        assert success_probability(1) == pytest.approx(1 / (1 << PAC_BITS))
+
+
+class TestSimulation:
+    def test_deterministic(self):
+        a = simulate_bruteforce(pac_bits=10, max_attempts=5000, seed=3)
+        b = simulate_bruteforce(pac_bits=10, max_attempts=5000, seed=3)
+        assert (a.attempts, a.succeeded) == (b.attempts, b.succeeded)
+
+    def test_narrow_pac_breaks_quickly(self):
+        outcome = simulate_bruteforce(pac_bits=4, max_attempts=2000, seed=5)
+        assert outcome.succeeded
+        assert outcome.attempts < 2000
+
+    def test_wide_pac_resists(self):
+        outcome = simulate_bruteforce(pac_bits=24, max_attempts=200, seed=5)
+        assert not outcome.succeeded
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_bruteforce(pac_bits=0)
+        with pytest.raises(ValueError):
+            simulate_bruteforce(pac_bits=32)
+
+    def test_empirical_rate_tracks_closed_form(self):
+        # with 6-bit PACs one attempt succeeds with p = 1/64; over many
+        # independent campaigns the rate should be within noise bounds
+        rate = empirical_success_rate(pac_bits=6, trials=800, seed=17)
+        expected = 1 / 64
+        assert abs(rate - expected) < 4 * (expected * (1 - expected) / 800) ** 0.5 + 1e-3

@@ -1,0 +1,77 @@
+"""Tests for the attack controller and payload helpers."""
+
+import pytest
+
+from repro.attacks import AttackController, Injection, overflow_payload
+
+
+class _FakeCpu:
+    pass
+
+
+class TestController:
+    def test_fires_on_matching_channel(self):
+        controller = AttackController().add("gets", b"evil")
+        assert controller.payload_for(_FakeCpu(), "gets", []) == b"evil"
+        assert controller.any_fired
+
+    def test_non_matching_channel_passthrough(self):
+        controller = AttackController().add("gets", b"evil")
+        assert controller.payload_for(_FakeCpu(), "strcpy", []) is None
+
+    def test_occurrence_targeting(self):
+        controller = AttackController().add("gets", b"evil", occurrence=2)
+        cpu = _FakeCpu()
+        assert controller.payload_for(cpu, "gets", []) is None
+        assert controller.payload_for(cpu, "gets", []) == b"evil"
+
+    def test_fires_only_once(self):
+        controller = AttackController().add("gets", b"evil")
+        cpu = _FakeCpu()
+        assert controller.payload_for(cpu, "gets", []) == b"evil"
+        assert controller.payload_for(cpu, "gets", []) is None
+
+    def test_multiple_injections(self):
+        controller = (
+            AttackController().add("gets", b"one").add("scanf%d", b"9")
+        )
+        cpu = _FakeCpu()
+        assert controller.payload_for(cpu, "scanf%d", []) == b"9"
+        assert controller.payload_for(cpu, "gets", []) == b"one"
+
+    def test_callable_payload_gets_cpu(self):
+        seen = {}
+
+        def payload(cpu):
+            seen["cpu"] = cpu
+            return b"dynamic"
+
+        controller = AttackController().add("gets", payload)
+        cpu = _FakeCpu()
+        assert controller.payload_for(cpu, "gets", []) == b"dynamic"
+        assert seen["cpu"] is cpu
+
+    def test_log_records_deliveries(self):
+        controller = AttackController().add("gets", b"abcd")
+        controller.payload_for(_FakeCpu(), "gets", [])
+        assert controller.log and "gets#1" in controller.log[0]
+
+    def test_reset(self):
+        controller = AttackController().add("gets", b"x")
+        controller.payload_for(_FakeCpu(), "gets", [])
+        controller.reset()
+        assert not controller.any_fired
+        assert controller.payload_for(_FakeCpu(), "gets", []) == b"x"
+
+
+class TestOverflowPayload:
+    def test_layout(self):
+        payload = overflow_payload(b"ab", 4, b"XY")
+        assert payload == b"abAAXY"
+
+    def test_exact_prefix(self):
+        assert overflow_payload(b"abcd", 4, b"Z") == b"abcdZ"
+
+    def test_prefix_too_long(self):
+        with pytest.raises(ValueError):
+            overflow_payload(b"abcde", 4, b"Z")

@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import (
+    Function,
+    FunctionType,
+    I64,
+    I8,
+    IRBuilder,
+    Module,
+    array,
+    pointer,
+    verify_module,
+)
+
+
+LISTING1_SOURCE = r"""
+int access_check(char *pwd) {
+    char str[16];
+    char user[16];
+    strcpy(user, pwd);
+    gets(str);
+    if (strncmp(user, "admin", 5) == 0) {
+        printf("SUPERUSER\n");
+        return 1;
+    }
+    printf("normal user\n");
+    return 0;
+}
+
+int main() {
+    return access_check("guest");
+}
+"""
+
+
+@pytest.fixture
+def listing1_module():
+    """The Listing 1 program, freshly compiled."""
+    return compile_source(LISTING1_SOURCE, name="listing1")
+
+
+@pytest.fixture
+def simple_module():
+    """A hand-built module: one branch fed by a gets() input channel."""
+    from repro.hardware import declare_library
+
+    module = Module("simple")
+    declare_library(module, ["gets", "printf", "strncmp"])
+    function = Function("main", FunctionType(I64, []))
+    module.add_function(function)
+    entry = function.append_block("entry")
+    yes = function.append_block("yes")
+    no = function.append_block("no")
+    builder = IRBuilder(entry)
+    buf = builder.alloca(array(I8, 16), name="buf")
+    buf_ptr = builder.gep(buf, [0, 0])
+    builder.call(module.get_function("gets"), [buf_ptr])
+    key = module.add_string_literal("key")
+    key_ptr = builder.gep(key, [0, 0])
+    cmp_result = builder.call(
+        module.get_function("strncmp"), [buf_ptr, key_ptr, builder.const(I64, 3)]
+    )
+    cond = builder.icmp("eq", cmp_result, builder.const(I64, 0))
+    builder.cond_branch(cond, yes, no)
+    builder.position_at_end(yes)
+    builder.ret(builder.const(I64, 1))
+    builder.position_at_end(no)
+    builder.ret(builder.const(I64, 0))
+    verify_module(module)
+    return module
+
+
+def run_minic(source: str, inputs=None, seed: int = 2024):
+    """Compile MiniC and execute it, returning the ExecutionResult."""
+    from repro.hardware import CPU
+
+    module = compile_source(source)
+    cpu = CPU(module, seed=seed)
+    return cpu.run(inputs=list(inputs or []))

@@ -1,0 +1,107 @@
+"""Tests for security reporting (branch verdicts, distances)."""
+
+import pytest
+
+from repro.core import analyze_module, build_security_report, clone_module
+from repro.frontend import compile_source
+from repro.transforms import Mem2Reg
+
+
+def security(source):
+    module = compile_source(source)
+    Mem2Reg().run(module)
+    return build_security_report(analyze_module(module))
+
+
+MIXED = """
+int main() {
+    int a[4];
+    struct_free_zone();
+    return 0;
+}
+void struct_free_zone() { }
+"""
+
+
+class TestVerdicts:
+    def test_clean_program_fully_secured(self):
+        report = security(
+            "int main() { int a[2]; a[0] = 1; if (a[0] > 0) { return 1; } return 0; }"
+        )
+        assert report.pythia_secured_fraction == 1.0
+        assert report.dfi_secured_fraction == 1.0
+
+    def test_field_access_breaks_dfi_only(self):
+        source = """
+        struct s { int a; int b; };
+        int main() {
+            struct s v;
+            int x = 0;
+            scanf("%d", &x);
+            v.a = x;
+            if (v.a > 0) { return 1; }
+            return 0;
+        }
+        """
+        report = security(source)
+        assert report.pythia_secured_fraction == 1.0
+        assert report.dfi_secured_fraction < 1.0
+        assert report.pythia_extra_branches >= 1
+
+    def test_opaque_memory_breaks_pythia(self):
+        source = """
+        int check(int **pp, int on) {
+            int *q;
+            if (on > 0) {
+                q = *pp;
+                if (*q > 3) { return 1; }
+            }
+            return 0;
+        }
+        int main() {
+            char *r;
+            r = mmap(16);
+            return check(r, 0);
+        }
+        """
+        report = security(source)
+        assert report.pythia_secured_fraction < 1.0
+
+    def test_pythia_never_below_dfi(self):
+        from repro.workloads import ALL_PROFILES, generate_program
+
+        program = generate_program(ALL_PROFILES["520.omnetpp_r"])
+        module = program.compile()
+        Mem2Reg().run(module)
+        report = build_security_report(analyze_module(module))
+        assert report.pythia_secured_fraction >= report.dfi_secured_fraction
+
+
+class TestDistances:
+    TAINTED = """
+    int main() {
+        int x = 0;
+        scanf("%d", &x);
+        int y = x + 1;
+        int z = y * 2;
+        if (z > 10) { return 1; }
+        return 0;
+    }
+    """
+
+    def test_ic_distance_positive_for_affected(self):
+        report = security(self.TAINTED)
+        assert report.mean_ic_distance > 0
+
+    def test_pythia_distance_at_least_dfi(self):
+        report = security(self.TAINTED)
+        assert report.mean_pythia_distance >= report.mean_dfi_distance
+
+    def test_unaffected_module_has_zero_distances(self):
+        report = security("int main() { if (1 > 0) { return 1; } return 0; }")
+        assert report.mean_ic_distance == 0.0
+
+    def test_empty_module_edge_case(self):
+        report = security("int main() { return 0; }")
+        assert report.total_branches == 0
+        assert report.pythia_secured_fraction == 1.0

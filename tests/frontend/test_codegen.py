@@ -1,0 +1,287 @@
+"""Codegen tests: MiniC semantics verified by execution."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import verify_module
+from tests.conftest import run_minic
+
+
+class TestControlFlow:
+    def test_if_both_arms(self):
+        source = """
+        int pick(int x) {
+            if (x > 0) { return 1; } else { return 2; }
+        }
+        int main() { return pick(5) * 10 + pick(-5); }
+        """
+        assert run_minic(source).return_value == 12
+
+    def test_if_without_else(self):
+        source = "int main() { int x = 1; if (x) { x = 5; } return x; }"
+        assert run_minic(source).return_value == 5
+
+    def test_nested_if(self):
+        source = """
+        int main() {
+            int a = 1; int b = 0;
+            if (a) { if (b) { return 1; } else { return 2; } }
+            return 3;
+        }
+        """
+        assert run_minic(source).return_value == 2
+
+    def test_while_loop(self):
+        source = """
+        int main() {
+            int n = 0; int total = 0;
+            while (n < 5) { total = total + n; n = n + 1; }
+            return total;
+        }
+        """
+        assert run_minic(source).return_value == 10
+
+    def test_for_loop(self):
+        source = """
+        int main() {
+            int total = 0;
+            for (int i = 1; i <= 4; i = i + 1) { total = total + i; }
+            return total;
+        }
+        """
+        assert run_minic(source).return_value == 10
+
+    def test_break(self):
+        source = """
+        int main() {
+            int i;
+            for (i = 0; i < 100; i = i + 1) { if (i == 7) { break; } }
+            return i;
+        }
+        """
+        assert run_minic(source).return_value == 7
+
+    def test_continue(self):
+        source = """
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 6; i = i + 1) {
+                if (i % 2) { continue; }
+                total = total + i;
+            }
+            return total;
+        }
+        """
+        assert run_minic(source).return_value == 6
+
+    def test_both_arms_return(self):
+        source = "int main() { if (1) { return 4; } else { return 5; } }"
+        assert run_minic(source).return_value == 4
+
+    def test_missing_return_defaults_zero(self):
+        assert run_minic("int main() { int x = 3; }").return_value == 0
+
+
+class TestShortCircuit:
+    def test_and_skips_rhs(self):
+        source = """
+        int g = 0;
+        int bump() { g = g + 1; return 1; }
+        int main() { int r = 0 && bump(); return g * 10 + r; }
+        """
+        assert run_minic(source).return_value == 0
+
+    def test_and_evaluates_rhs(self):
+        source = """
+        int g = 0;
+        int bump() { g = g + 1; return 1; }
+        int main() { int r = 1 && bump(); return g * 10 + r; }
+        """
+        assert run_minic(source).return_value == 11
+
+    def test_or_skips_rhs(self):
+        source = """
+        int g = 0;
+        int bump() { g = g + 1; return 0; }
+        int main() { int r = 1 || bump(); return g * 10 + r; }
+        """
+        assert run_minic(source).return_value == 1
+
+    def test_or_evaluates_rhs(self):
+        source = """
+        int g = 0;
+        int bump() { g = g + 1; return 0; }
+        int main() { int r = 0 || bump(); return g * 10 + r; }
+        """
+        assert run_minic(source).return_value == 10
+
+    def test_not(self):
+        assert run_minic("int main() { return !0 * 10 + !5; }").return_value == 10
+
+
+class TestPointersArrays:
+    def test_array_write_read(self):
+        source = """
+        int main() {
+            int a[4];
+            for (int i = 0; i < 4; i = i + 1) { a[i] = i * i; }
+            return a[3];
+        }
+        """
+        assert run_minic(source).return_value == 9
+
+    def test_pointer_deref(self):
+        source = "int main() { int x = 5; int *p; p = &x; *p = 9; return x; }"
+        assert run_minic(source).return_value == 9
+
+    def test_array_decay_to_pointer(self):
+        source = """
+        int sum(int *v, int n) {
+            int t = 0;
+            for (int i = 0; i < n; i = i + 1) { t = t + v[i]; }
+            return t;
+        }
+        int main() { int a[3]; a[0]=1; a[1]=2; a[2]=3; return sum(a, 3); }
+        """
+        assert run_minic(source).return_value == 6
+
+    def test_pointer_arithmetic(self):
+        source = """
+        int main() {
+            int a[4];
+            a[2] = 42;
+            int *p;
+            p = a;
+            p = p + 2;
+            return *p;
+        }
+        """
+        assert run_minic(source).return_value == 42
+
+    def test_pointer_difference(self):
+        source = """
+        int main() {
+            int a[8];
+            int *p; int *q;
+            p = a; q = p + 5;
+            return q - p;
+        }
+        """
+        assert run_minic(source).return_value == 5
+
+    def test_char_array_byte_semantics(self):
+        source = """
+        int main() {
+            char b[4];
+            b[0] = 255 + 2;    // truncated to i8
+            return b[0];
+        }
+        """
+        assert run_minic(source).return_value == 1
+
+    def test_char_sign_extension(self):
+        source = "int main() { char c = 200; int x = c; return x < 0; }"
+        assert run_minic(source).return_value == 1
+
+    def test_double_pointer(self):
+        source = """
+        int main() {
+            int x = 7;
+            int *p; int **pp;
+            p = &x; pp = &p;
+            **pp = 11;
+            return x;
+        }
+        """
+        assert run_minic(source).return_value == 11
+
+
+class TestStructs:
+    def test_field_assignment(self):
+        source = """
+        struct pt { int x; int y; };
+        int main() {
+            struct pt p;
+            p.x = 30; p.y = 12;
+            return p.x + p.y;
+        }
+        """
+        assert run_minic(source).return_value == 42
+
+    def test_arrow_through_pointer(self):
+        source = """
+        struct pt { int x; int y; };
+        int main() {
+            struct pt p;
+            struct pt *q;
+            q = &p;
+            q->x = 5;
+            return p.x;
+        }
+        """
+        assert run_minic(source).return_value == 5
+
+    def test_struct_with_array_field(self):
+        source = """
+        struct buf { int len; char data[8]; };
+        int main() {
+            struct buf b;
+            b.len = 2;
+            b.data[0] = 65;
+            return b.data[0] + b.len;
+        }
+        """
+        assert run_minic(source).return_value == 67
+
+    def test_sizeof_struct(self):
+        source = """
+        struct mixed { char c; int x; };
+        int main() { return sizeof(struct mixed); }
+        """
+        assert run_minic(source).return_value == 16
+
+
+class TestFunctions:
+    def test_mutual_recursion(self):
+        source = """
+        int is_odd(int n);
+        """  # forward decls unsupported; use ordering instead
+        source = """
+        int is_even(int n) {
+            if (n == 0) { return 1; }
+            return is_odd(n - 1);
+        }
+        int is_odd(int n) {
+            if (n == 0) { return 0; }
+            return is_even(n - 1);
+        }
+        int main() { return is_even(10) * 10 + is_odd(10); }
+        """
+        assert run_minic(source).return_value == 10
+
+    def test_call_before_definition(self):
+        source = """
+        int main() { return later(4); }
+        int later(int x) { return x * 2; }
+        """
+        assert run_minic(source).return_value == 8
+
+    def test_void_function_call(self):
+        source = """
+        int g = 0;
+        void set(int v) { g = v; }
+        int main() { set(9); return g; }
+        """
+        assert run_minic(source).return_value == 9
+
+    def test_params_are_mutable_locals(self):
+        source = """
+        int f(int a) { a = a + 1; return a; }
+        int main() { int x = 5; f(x); return x; }
+        """
+        assert run_minic(source).return_value == 5  # pass by value
+
+    def test_unreachable_code_after_return_dropped(self):
+        module = compile_source("int main() { return 1; return 2; }")
+        verify_module(module)
+        assert run_minic("int main() { return 1; return 2; }").return_value == 1

@@ -1,0 +1,157 @@
+"""Tests for the MiniC extensions: compound assignment, ternary, do-while."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.frontend.parser import ParseError, parse_source
+from repro.frontend.sema import SemaError
+from repro.ir import verify_module
+from tests.conftest import run_minic
+
+
+class TestCompoundAssignment:
+    @pytest.mark.parametrize(
+        "op,start,rhs,expected",
+        [
+            ("+=", 10, 5, 15),
+            ("-=", 10, 3, 7),
+            ("*=", 10, 4, 40),
+            ("/=", 10, 3, 3),
+            ("%=", 10, 3, 1),
+        ],
+    )
+    def test_semantics(self, op, start, rhs, expected):
+        source = f"int main() {{ int a = {start}; a {op} {rhs}; return a; }}"
+        assert run_minic(source).return_value == expected
+
+    def test_on_array_element(self):
+        source = "int main() { int a[2]; a[0] = 5; a[0] += 2; return a[0]; }"
+        assert run_minic(source).return_value == 7
+
+    def test_on_struct_field(self):
+        source = """
+        struct p { int x; };
+        int main() { struct p v; v.x = 1; v.x *= 6; return v.x; }
+        """
+        assert run_minic(source).return_value == 6
+
+    def test_chains_with_expression_rhs(self):
+        source = "int main() { int a = 1; int b = 2; a += b * 3; return a; }"
+        assert run_minic(source).return_value == 7
+
+    def test_non_lvalue_rejected(self):
+        with pytest.raises(SemaError):
+            compile_source("int main() { 3 += 4; return 0; }")
+
+
+class TestTernary:
+    def test_both_arms(self):
+        assert run_minic("int main() { return 1 ? 10 : 20; }").return_value == 10
+        assert run_minic("int main() { return 0 ? 10 : 20; }").return_value == 20
+
+    def test_condition_expression(self):
+        source = "int main() { int x = 7; return x > 5 ? x * 2 : x; }"
+        assert run_minic(source).return_value == 14
+
+    def test_arms_short_circuit(self):
+        source = """
+        int g = 0;
+        int bump() { g += 1; return 9; }
+        int main() { int x = 1 ? 5 : bump(); return g * 10 + x; }
+        """
+        assert run_minic(source).return_value == 5
+
+    def test_nested(self):
+        source = "int main() { int x = 2; return x == 1 ? 10 : x == 2 ? 20 : 30; }"
+        assert run_minic(source).return_value == 20
+
+    def test_in_call_argument(self):
+        source = 'int main() { printf("%d", 1 < 2 ? 1 : 0); return 0; }'
+        assert run_minic(source).output == b"1"
+
+    def test_pointer_arms(self):
+        source = """
+        int main() {
+            int a = 1; int b = 2;
+            int *p;
+            p = a > 0 ? &a : &b;
+            return *p;
+        }
+        """
+        assert run_minic(source).return_value == 1
+
+    def test_char_arm_promoted(self):
+        source = "int main() { char c = 'A'; return 1 ? c : 0; }"
+        assert run_minic(source).return_value == 65
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("int main() { return 1 ? 2; }")
+
+
+class TestDoWhile:
+    def test_runs_at_least_once(self):
+        source = """
+        int main() {
+            int n = 0;
+            do { n += 1; } while (0);
+            return n;
+        }
+        """
+        assert run_minic(source).return_value == 1
+
+    def test_loops_until_false(self):
+        source = """
+        int main() {
+            int n = 0; int t = 0;
+            do { t += n; n += 1; } while (n < 5);
+            return t;
+        }
+        """
+        assert run_minic(source).return_value == 10
+
+    def test_break_and_continue(self):
+        source = """
+        int main() {
+            int n = 0; int t = 0;
+            do {
+                n += 1;
+                if (n == 2) { continue; }
+                if (n == 5) { break; }
+                t += n;
+            } while (n < 100);
+            return t;   // 1 + 3 + 4
+        }
+        """
+        assert run_minic(source).return_value == 8
+
+    def test_requires_trailing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_source("int main() { do { } while (1) return 0; }")
+
+    def test_verifies_and_roundtrips(self):
+        from repro.ir import parse_module, print_module
+
+        module = compile_source(
+            "int main() { int n = 3; do { n -= 1; } while (n > 0); return n; }"
+        )
+        verify_module(module)
+        reparsed = parse_module(print_module(module))
+        verify_module(reparsed)
+
+    def test_schemes_transparent(self):
+        from repro.core import protect_all
+        from repro.hardware import CPU
+
+        source = """
+        int main() {
+            char buf[8];
+            int n = 0;
+            do { gets(buf); n += 1; } while (n < 2);
+            return n;
+        }
+        """
+        module = compile_source(source)
+        for scheme, result in protect_all(module).items():
+            outcome = CPU(result.module).run(inputs=[b"a", b"b"])
+            assert outcome.ok and outcome.return_value == 2, scheme

@@ -1,0 +1,85 @@
+"""Tests for the MiniC lexer."""
+
+import pytest
+
+from repro.frontend.lexer import LexError, Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        assert kinds("int x")[0] == ("keyword", "int")
+        assert kinds("int x")[1] == ("ident", "x")
+        assert kinds("integer")[0] == ("ident", "integer")
+
+    def test_numbers(self):
+        assert kinds("42")[0] == ("number", "42")
+        assert kinds("0x1F")[0] == ("number", "0x1F")
+
+    def test_operators_maximal_munch(self):
+        assert [t for _, t in kinds("a <= b")] == ["a", "<=", "b"]
+        assert [t for _, t in kinds("a < = b")] == ["a", "<", "=", "b"]
+        assert [t for _, t in kinds("p->x")] == ["p", "->", "x"]
+        assert [t for _, t in kinds("a >> 2")] == ["a", ">>", "2"]
+
+    def test_logical_operators(self):
+        assert [t for _, t in kinds("a && b || !c")] == ["a", "&&", "b", "||", "!", "c"]
+
+    def test_string_literal(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind == "string"
+        assert tokens[0].text == "hello world"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\nb\tc\0"')[0].text == "a\nb\tc\0"
+        assert tokenize(r'"say \"hi\""')[0].text == 'say "hi"'
+
+    def test_char_literal(self):
+        assert tokenize("'a'")[0].text == "a"
+        assert tokenize(r"'\n'")[0].text == "\n"
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+        assert tokens[2].column == 3
+
+    def test_error_position(self):
+        with pytest.raises(LexError) as err:
+            tokenize("ok\n  $")
+        assert err.value.line == 2
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"never')
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'ab")

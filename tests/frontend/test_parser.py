@@ -1,0 +1,186 @@
+"""Tests for the MiniC parser (AST shapes and precedence)."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import ParseError, parse_source
+
+
+def parse_expr(text: str) -> ast.Expr:
+    program = parse_source(f"int main() {{ return {text}; }}")
+    stmt = program.functions[0].body[0]
+    assert isinstance(stmt, ast.ReturnStmt)
+    return stmt.value
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, ast.BinaryOp) and e.op == "+"
+        assert isinstance(e.right, ast.BinaryOp) and e.right.op == "*"
+
+    def test_comparison_below_arith(self):
+        e = parse_expr("a + 1 < b * 2")
+        assert e.op == "<"
+
+    def test_logical_lowest(self):
+        e = parse_expr("a < b && c < d")
+        assert e.op == "&&"
+
+    def test_or_below_and(self):
+        e = parse_expr("a && b || c")
+        assert e.op == "||"
+        assert e.left.op == "&&"
+
+    def test_parentheses_override(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_left_associativity(self):
+        e = parse_expr("10 - 3 - 2")
+        assert e.op == "-"
+        assert isinstance(e.left, ast.BinaryOp) and e.left.op == "-"
+
+    def test_shift_between_add_and_compare(self):
+        e = parse_expr("1 + 2 << 3")
+        assert e.op == "<<"
+
+
+class TestUnaryPostfix:
+    def test_deref_and_addr(self):
+        assert parse_expr("*p").op == "*"
+        assert parse_expr("&x").op == "&"
+
+    def test_nested_unary(self):
+        e = parse_expr("**pp")
+        assert e.op == "*" and e.operand.op == "*"
+
+    def test_index_chain(self):
+        e = parse_expr("m[1][2]")
+        assert isinstance(e, ast.IndexExpr)
+        assert isinstance(e.base, ast.IndexExpr)
+
+    def test_field_and_arrow(self):
+        dot = parse_expr("s.x")
+        arrow = parse_expr("p->x")
+        assert isinstance(dot, ast.FieldExpr) and not dot.arrow
+        assert isinstance(arrow, ast.FieldExpr) and arrow.arrow
+
+    def test_call_with_args(self):
+        e = parse_expr("f(1, g(2), x)")
+        assert isinstance(e, ast.CallExpr)
+        assert len(e.args) == 3
+        assert isinstance(e.args[1], ast.CallExpr)
+
+    def test_sizeof(self):
+        e = parse_expr("sizeof(int)")
+        assert isinstance(e, ast.SizeofExpr)
+        assert e.type_ref.base == "int"
+
+    def test_assignment_right_associative(self):
+        program = parse_source("int main() { a = b = 1; return 0; }")
+        stmt = program.functions[0].body[0]
+        assert isinstance(stmt.expr, ast.Assignment)
+        assert isinstance(stmt.expr.value, ast.Assignment)
+
+
+class TestDeclarations:
+    def test_global(self):
+        program = parse_source("int g = 5;")
+        assert program.globals[0].name == "g"
+        assert program.globals[0].initializer.value == 5
+
+    def test_global_array(self):
+        program = parse_source("char buf[32];")
+        assert program.globals[0].type_ref.array_dims == (32,)
+
+    def test_pointer_types(self):
+        program = parse_source("int **pp;")
+        assert program.globals[0].type_ref.pointer_depth == 2
+
+    def test_struct_definition(self):
+        program = parse_source("struct p { int x; int y; };")
+        struct = program.structs[0]
+        assert struct.name == "p"
+        assert [f.name for f in struct.fields] == ["x", "y"]
+
+    def test_struct_variable_vs_definition(self):
+        program = parse_source(
+            "struct p { int x; };\nint main() { struct p v; v.x = 1; return v.x; }"
+        )
+        assert len(program.structs) == 1
+        assert len(program.functions) == 1
+
+    def test_function_params(self):
+        program = parse_source("int f(int a, char *b) { return a; }")
+        params = program.functions[0].params
+        assert params[0].name == "a"
+        assert params[1].type_ref.pointer_depth == 1
+
+    def test_array_param_decays(self):
+        program = parse_source("int f(int a[10]) { return a[0]; }")
+        assert program.functions[0].params[0].type_ref.pointer_depth == 1
+
+    def test_void_function(self):
+        program = parse_source("void f(void) { return; }")
+        assert program.functions[0].params == []
+
+
+class TestStatements:
+    def test_if_else(self):
+        program = parse_source(
+            "int main() { if (1) { return 1; } else { return 2; } }"
+        )
+        stmt = program.functions[0].body[0]
+        assert isinstance(stmt, ast.IfStmt)
+        assert stmt.else_body
+
+    def test_if_without_braces(self):
+        program = parse_source("int main() { if (1) return 1; return 0; }")
+        assert isinstance(program.functions[0].body[0], ast.IfStmt)
+
+    def test_while(self):
+        program = parse_source("int main() { while (1) { break; } return 0; }")
+        stmt = program.functions[0].body[0]
+        assert isinstance(stmt, ast.WhileStmt)
+        assert isinstance(stmt.body[0], ast.BreakStmt)
+
+    def test_for_full(self):
+        program = parse_source(
+            "int main() { int i; for (i = 0; i < 3; i = i + 1) { continue; } return 0; }"
+        )
+        stmt = program.functions[0].body[1]
+        assert isinstance(stmt, ast.ForStmt)
+        assert stmt.init and stmt.condition and stmt.step
+
+    def test_for_with_decl(self):
+        program = parse_source("int main() { for (int i = 0; i < 3; i = i + 1) { } return 0; }")
+        stmt = program.functions[0].body[0]
+        assert isinstance(stmt.init, ast.DeclStmt)
+
+    def test_for_empty_clauses(self):
+        program = parse_source("int main() { for (;;) { break; } return 0; }")
+        stmt = program.functions[0].body[0]
+        assert stmt.init is None and stmt.condition is None and stmt.step is None
+
+    def test_nested_blocks(self):
+        program = parse_source("int main() { { int x = 1; } return 0; }")
+        assert isinstance(program.functions[0].body[0], ast.BlockStmt)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int main() { return 1 + ; }",
+            "int main() { if 1 { } }",
+            "int main( { }",
+            "int main() { int; }",
+            "int main() { return 0 }",
+            "struct { int x; };",
+        ],
+    )
+    def test_syntax_errors(self, source):
+        with pytest.raises(ParseError):
+            parse_source(source)

@@ -1,0 +1,168 @@
+"""Tests for MiniC semantic analysis."""
+
+import pytest
+
+from repro.frontend.parser import parse_source
+from repro.frontend.sema import Sema, SemaError
+from repro.ir import I64, I8, PointerType
+
+
+def analyze(source):
+    return Sema(parse_source(source)).analyze()
+
+
+def expect_error(source, fragment):
+    with pytest.raises(SemaError) as err:
+        analyze(source)
+    assert fragment in str(err.value)
+
+
+class TestNameResolution:
+    def test_undeclared_identifier(self):
+        expect_error("int main() { return x; }", "undeclared")
+
+    def test_redeclaration_same_scope(self):
+        expect_error("int main() { int x; int x; return 0; }", "redeclaration")
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        analyze("int main() { int x = 1; { int x = 2; } return x; }")
+
+    def test_for_scope(self):
+        analyze("int main() { for (int i = 0; i < 2; i = i + 1) { } return 0; }")
+        expect_error(
+            "int main() { for (int i = 0; i < 2; i = i + 1) { } return i; }",
+            "undeclared",
+        )
+
+    def test_global_visible_in_function(self):
+        analyze("int g;\nint main() { return g; }")
+
+    def test_params_visible(self):
+        analyze("int f(int a) { return a; }")
+
+    def test_unknown_function(self):
+        expect_error("int main() { return frob(); }", "unknown function")
+
+    def test_library_functions_resolve(self):
+        info = analyze('int main() { return strlen("x"); }')
+        assert "strlen" in info.used_library
+
+    def test_function_redefinition(self):
+        expect_error("int f() { return 0; }\nint f() { return 1; }", "redefinition")
+
+
+class TestTypes:
+    def test_unknown_struct(self):
+        expect_error("int main() { struct nope s; return 0; }", "unknown struct")
+
+    def test_struct_redefinition(self):
+        expect_error(
+            "struct s { int x; };\nstruct s { int y; };", "redefinition of struct"
+        )
+
+    def test_void_variable(self):
+        expect_error("int main() { void v; return 0; }", "void type")
+
+    def test_expression_types_recorded(self):
+        source = "int main() { int x = 1; char c = 'a'; return x; }"
+        program = parse_source(source)
+        info = Sema(program).analyze()
+        ret = program.functions[0].body[-1]
+        assert info.type_of(ret.value) == I64
+
+    def test_string_literal_is_char_pointer(self):
+        program = parse_source('int main() { char *s = "x"; return 0; }')
+        info = Sema(program).analyze()
+        decl = program.functions[0].body[0]
+        assert info.type_of(decl.initializer) == PointerType(I8)
+
+    def test_deref_non_pointer(self):
+        expect_error("int main() { int x; return *x; }", "dereference of non-pointer")
+
+    def test_address_of_non_lvalue(self):
+        expect_error("int main() { return &(1 + 2) == NULL; }", "address of non-lvalue")
+
+    def test_index_non_array(self):
+        expect_error("int main() { int x; return x[0]; }", "indexing")
+
+    def test_field_on_non_struct(self):
+        expect_error("int main() { int x; return x.y; }", "non-struct")
+
+    def test_arrow_on_non_pointer(self):
+        expect_error(
+            "struct s { int x; };\nint main() { struct s v; return v->x; }",
+            "-> on non-pointer",
+        )
+
+    def test_unknown_field(self):
+        with pytest.raises(KeyError):
+            analyze("struct s { int x; };\nint main() { struct s v; return v.y; }")
+
+    def test_pointer_plus_int_ok(self):
+        analyze("int main() { int a[4]; int *p; p = a; p = p + 1; return 0; }")
+
+    def test_pointer_minus_pointer_ok(self):
+        analyze("int main() { int a[4]; int *p; int *q; p = a; q = a; return p - q; }")
+
+    def test_pointer_plus_pointer_rejected(self):
+        expect_error(
+            "int main() { int a[2]; int *p; int *q; p = a; q = a; return (p + q) == NULL; }",
+            "invalid operands",
+        )
+
+
+class TestAssignments:
+    def test_assign_to_literal(self):
+        expect_error("int main() { 3 = 4; return 0; }", "non-lvalue")
+
+    def test_assign_to_array(self):
+        expect_error(
+            "int main() { int a[2]; int b[2]; a = b; return 0; }",
+            "assignment to array",
+        )
+
+    def test_int_char_interconvert(self):
+        analyze("int main() { char c = 65; int x = c; return x; }")
+
+    def test_pointer_conversions_allowed(self):
+        analyze("int main() { char *c; int *p; p = malloc(8); c = p; return 0; }")
+
+
+class TestCalls:
+    def test_arity_mismatch(self):
+        expect_error(
+            "int f(int a) { return a; }\nint main() { return f(); }", "expects 1"
+        )
+
+    def test_too_many_args(self):
+        expect_error(
+            "int f(int a) { return a; }\nint main() { return f(1, 2); }", "expects 1"
+        )
+
+    def test_varargs_allows_extra(self):
+        analyze('int main() { printf("%d %d", 1, 2); return 0; }')
+
+    def test_arg_types_checked(self):
+        expect_error(
+            "struct s { int x; };\n"
+            "int f(int a) { return a; }\n"
+            "int main() { struct s v; return f(v); }",
+            "cannot convert",
+        )
+
+
+class TestReturnsAndLoops:
+    def test_return_without_value(self):
+        expect_error("int main() { return; }", "return without value")
+
+    def test_return_value_in_void(self):
+        expect_error("void f() { return 3; }\nint main() { return 0; }", "void function")
+
+    def test_break_outside_loop(self):
+        expect_error("int main() { break; return 0; }", "outside a loop")
+
+    def test_continue_outside_loop(self):
+        expect_error("int main() { continue; return 0; }", "outside a loop")
+
+    def test_break_in_loop_ok(self):
+        analyze("int main() { while (1) { break; } return 0; }")

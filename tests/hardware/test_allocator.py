@@ -1,0 +1,187 @@
+"""Tests for the sectioned heap allocator."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.hardware.allocator import HeapAllocator, OutOfMemoryError, SectionedHeap
+from repro.hardware.memory import (
+    HEAP_ISOLATED_BASE,
+    HEAP_SHARED_BASE,
+    Memory,
+    MemoryFault,
+)
+
+
+@pytest.fixture
+def heap():
+    return SectionedHeap(Memory(), capacity=1 << 20)
+
+
+class TestHeapAllocator:
+    def _arena(self, capacity=1 << 20):
+        return HeapAllocator(Memory(), HEAP_SHARED_BASE, capacity, "test")
+
+    def test_alignment(self):
+        arena = self._arena()
+        for size in (1, 7, 16, 33):
+            assert arena.malloc(size) % 16 == 0  # glibc-style alignment
+
+    def test_distinct_chunks(self):
+        arena = self._arena()
+        a = arena.malloc(16)
+        b = arena.malloc(16)
+        assert abs(a - b) >= 32  # payload + header
+
+    def test_header_records_size(self):
+        arena = self._arena()
+        a = arena.malloc(20)
+        assert arena.memory.read_int(a - 16, 8) == 32  # aligned payload
+
+    def test_free_and_reuse(self):
+        arena = self._arena()
+        a = arena.malloc(32)
+        arena.free(a)
+        b = arena.malloc(32)
+        assert b == a  # bin reuse
+
+    def test_free_larger_chunk_reused_for_smaller(self):
+        arena = self._arena()
+        a = arena.malloc(128)
+        arena.free(a)
+        b = arena.malloc(16)
+        assert b == a
+
+    def test_split_remainder_reused(self):
+        arena = self._arena()
+        a = arena.malloc(128)
+        arena.free(a)
+        arena.malloc(16)
+        c = arena.malloc(16)
+        # the split tail of the 128-byte chunk serves the second request
+        assert c < a + 128 + 16
+
+    def test_double_free_rejected(self):
+        arena = self._arena()
+        a = arena.malloc(16)
+        arena.free(a)
+        with pytest.raises(MemoryFault):
+            arena.free(a)
+
+    def test_invalid_free_rejected(self):
+        arena = self._arena()
+        with pytest.raises(MemoryFault):
+            arena.free(HEAP_SHARED_BASE + 1234)
+
+    def test_out_of_memory(self):
+        arena = self._arena(capacity=256)
+        with pytest.raises(OutOfMemoryError):
+            for _ in range(64):
+                arena.malloc(64)
+
+    def test_coalescing_forward(self):
+        arena = self._arena()
+        a = arena.malloc(16)
+        b = arena.malloc(16)
+        arena.free(b)
+        arena.free(a)  # should coalesce with b
+        big = arena.malloc(40)  # only fits the coalesced chunk
+        assert big == a
+
+    def test_stats(self):
+        arena = self._arena()
+        a = arena.malloc(16)
+        assert arena.bytes_in_use == 16
+        assert arena.peak_bytes == 16
+        arena.free(a)
+        assert arena.bytes_in_use == 0
+        assert arena.malloc_calls == 1 and arena.free_calls == 1
+
+    def test_chunk_size_query(self):
+        arena = self._arena()
+        a = arena.malloc(24)
+        assert arena.chunk_size(a) == 32
+        assert arena.chunk_size(a + 8) is None
+
+    def test_zero_size_allocates(self):
+        arena = self._arena()
+        assert arena.malloc(0) > 0
+
+
+class TestSectionedHeap:
+    def test_sections_are_disjoint(self, heap):
+        shared = heap.malloc(16)
+        isolated = heap.malloc(16, isolated=True)
+        assert heap.section_of(shared) == "shared"
+        assert heap.section_of(isolated) == "isolated"
+        assert abs(shared - isolated) > 1 << 24
+
+    def test_isolation_property(self, heap):
+        """Isolated allocations are unreachable from any shared chunk by
+        contiguous overflow -- the Algorithm 4 guarantee."""
+        shared = heap.malloc(64)
+        isolated = heap.malloc(64, isolated=True)
+        shared_segment = heap.shared.base + heap.shared.capacity
+        assert shared + 64 < shared_segment < isolated
+
+    def test_free_routes_by_address(self, heap):
+        shared = heap.malloc(16)
+        isolated = heap.malloc(16, isolated=True)
+        heap.free(isolated)
+        heap.free(shared)
+        assert heap.shared.free_calls == 1
+        assert heap.isolated.free_calls == 1
+
+    def test_isolated_call_counter(self, heap):
+        heap.malloc(8)
+        heap.malloc(8, isolated=True)
+        heap.malloc(8, isolated=True)
+        assert heap.isolated_calls == 2
+
+    def test_section_of_non_heap(self, heap):
+        with pytest.raises(MemoryFault):
+            heap.section_of(0x1000)
+
+
+class TestAllocatorProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 256), st.booleans()), min_size=1, max_size=60
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_live_chunks_never_overlap(self, requests):
+        """No two live chunks (in the same section) ever overlap."""
+        heap = SectionedHeap(Memory(), capacity=1 << 20)
+        live = []
+        for size, isolated in requests:
+            address = heap.malloc(size, isolated=isolated)
+            arena = heap.isolated if isolated else heap.shared
+            payload = arena.chunk_size(address)
+            for other, other_end in live:
+                assert address >= other_end or address + payload <= other
+            live.append((address, address + payload))
+
+    @given(st.lists(st.integers(1, 128), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_alloc_free_alloc_accounting(self, sizes):
+        heap = SectionedHeap(Memory(), capacity=1 << 20)
+        addresses = [heap.malloc(size) for size in sizes]
+        for address in addresses:
+            heap.free(address)
+        assert heap.shared.bytes_in_use == 0
+
+    @given(st.lists(st.integers(1, 64), min_size=2, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_data_integrity_across_allocations(self, sizes):
+        """Data written to one chunk survives later allocations."""
+        heap = SectionedHeap(Memory(), capacity=1 << 20)
+        memory = heap.shared.memory
+        written = []
+        for i, size in enumerate(sizes):
+            address = heap.malloc(size)
+            pattern = bytes([i & 0xFF]) * size
+            memory.write_bytes(address, pattern)
+            written.append((address, pattern))
+        for address, pattern in written:
+            assert memory.read_bytes(address, len(pattern)) == pattern

@@ -1,0 +1,109 @@
+"""Tests for the set-associative cache model and its CPU hook."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.hardware import CPU, CacheModel
+
+
+class TestCacheModel:
+    def test_cold_miss_then_hit(self):
+        cache = CacheModel()
+        assert cache.access(0x1000) == 1
+        assert cache.access(0x1000) == 0
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_shares(self):
+        cache = CacheModel(line_bytes=64)
+        cache.access(0x1000)
+        assert cache.access(0x1008) == 0  # same 64B line
+
+    def test_straddling_access_touches_two_lines(self):
+        cache = CacheModel(line_bytes=64)
+        assert cache.access(0x103C, size=8) == 2
+
+    def test_lru_eviction(self):
+        cache = CacheModel(size_bytes=2 * 64, line_bytes=64, associativity=2)
+        # one set, two ways
+        cache.access(0 * 64)
+        cache.access(1 * 64)
+        cache.access(2 * 64)  # evicts line 0
+        assert cache.access(1 * 64) == 0  # still resident
+        assert cache.access(0 * 64) == 1  # was evicted
+
+    def test_lru_refresh_on_hit(self):
+        cache = CacheModel(size_bytes=2 * 64, line_bytes=64, associativity=2)
+        cache.access(0 * 64)
+        cache.access(1 * 64)
+        cache.access(0 * 64)  # refresh line 0
+        cache.access(2 * 64)  # evicts line 1 (LRU)
+        assert cache.access(0 * 64) == 0
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheModel(size_bytes=1000, line_bytes=64, associativity=8)
+
+    def test_miss_rate(self):
+        cache = CacheModel()
+        assert cache.miss_rate == 0.0
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == pytest.approx(0.5)
+
+    def test_reset(self):
+        cache = CacheModel()
+        cache.access(0)
+        cache.reset()
+        assert cache.accesses == 0
+        assert cache.access(0) == 1  # cold again
+
+
+class TestCpuIntegration:
+    SEQUENTIAL = """
+    int main() {
+        int a[64];
+        int t = 0;
+        for (int r = 0; r < 4; r = r + 1) {
+            for (int i = 0; i < 64; i = i + 1) { a[i] = i; }
+            for (int i = 0; i < 64; i = i + 1) { t = t + a[i]; }
+        }
+        return t & 1023;
+    }
+    """
+
+    def test_disabled_by_default(self):
+        module = compile_source(self.SEQUENTIAL)
+        result = CPU(module).run()
+        assert result.cache_hits == 0 and result.cache_misses == 0
+
+    def test_sequential_locality(self):
+        module = compile_source(self.SEQUENTIAL)
+        result = CPU(module, cache=CacheModel()).run()
+        assert result.ok
+        assert result.cache_hits > result.cache_misses * 5  # strong locality
+
+    def test_misses_cost_cycles(self):
+        module = compile_source(self.SEQUENTIAL)
+        plain = CPU(module).run()
+        cached = CPU(module, cache=CacheModel(miss_penalty=50)).run()
+        assert cached.cycles > plain.cycles
+        assert cached.opcode_counts.get("llc.miss", 0) > 0
+
+    def test_results_unchanged_by_cache(self):
+        module = compile_source(self.SEQUENTIAL)
+        plain = CPU(module).run()
+        cached = CPU(module, cache=CacheModel()).run()
+        assert plain.return_value == cached.return_value
+        assert plain.output == cached.output
+
+    def test_instrumentation_adds_misses(self):
+        """§6.1: extra instructions lead to additional cache traffic."""
+        from repro.core import protect
+        from tests.conftest import LISTING1_SOURCE
+
+        module = compile_source(LISTING1_SOURCE)
+        vanilla = protect(module, scheme="vanilla")
+        cpa = protect(module, scheme="cpa")
+        rv = CPU(vanilla.module, cache=CacheModel()).run(inputs=[b"x"])
+        rc = CPU(cpa.module, cache=CacheModel()).run(inputs=[b"x"])
+        assert rc.cache_misses >= rv.cache_misses

@@ -1,0 +1,189 @@
+"""Tests for the C library models."""
+
+import pytest
+
+from repro.hardware.libc import LIBRARY
+from tests.conftest import run_minic
+
+
+class TestRegistry:
+    def test_six_ic_categories_present(self):
+        kinds = {lib.ic_kind for lib in LIBRARY.values() if lib.ic_kind}
+        assert kinds == {"print", "scan", "movecopy", "get", "put", "map"}
+
+    def test_write_effects(self):
+        assert LIBRARY["strcpy"].writes_args == (0,)
+        assert LIBRARY["read"].writes_args == (1,)
+        assert LIBRARY["scanf"].writes_varargs
+        assert LIBRARY["mmap"].writes_return
+
+    def test_read_effects(self):
+        assert LIBRARY["strncmp"].reads_args == (0, 1)
+        assert LIBRARY["strcpy"].reads_args == (1,)
+        assert LIBRARY["printf"].reads_varargs
+
+    def test_non_ic_utilities(self):
+        for name in ("strlen", "strcmp", "malloc", "free", "pythia_random"):
+            assert LIBRARY[name].ic_kind is None
+
+
+class TestStringFunctions:
+    def test_strcpy(self):
+        src = 'int main() { char d[16]; strcpy(d, "abc"); return strlen(d); }'
+        assert run_minic(src).return_value == 3
+
+    def test_strcpy_has_no_bounds(self):
+        # 8-byte buffer, 12-byte source: silently overflows
+        src = """
+        int main() {
+            char d[8];
+            char e[8];
+            strcpy(d, "0123456789AB");
+            return e[0];
+        }
+        """
+        result = run_minic(src)
+        assert result.ok
+        assert result.return_value == ord("8")
+
+    def test_strncpy_pads_and_limits(self):
+        src = 'int main() { char d[8]; strncpy(d, "abcdef", 3); return d[2]; }'
+        assert run_minic(src).return_value == ord("c")
+
+    def test_strcat(self):
+        src = """
+        int main() {
+            char d[16];
+            strcpy(d, "ab");
+            strcat(d, "cd");
+            return strlen(d);
+        }
+        """
+        assert run_minic(src).return_value == 4
+
+    def test_strcmp_orders(self):
+        assert run_minic('int main() { return strcmp("abc", "abc"); }').return_value == 0
+        assert run_minic('int main() { return strcmp("abd", "abc"); }').return_value == 1
+
+    def test_strncmp_prefix(self):
+        src = 'int main() { return strncmp("adminXYZ", "admin", 5); }'
+        assert run_minic(src).return_value == 0
+
+    def test_strlen(self):
+        assert run_minic('int main() { return strlen("hello"); }').return_value == 5
+
+    def test_atoi(self):
+        src = 'int main() { return atoi("123"); }'
+        assert run_minic(src).return_value == 123
+
+
+class TestMemoryFunctions:
+    def test_memcpy(self):
+        src = """
+        int main() {
+            char a[8];
+            char b[8];
+            strcpy(a, "xyz");
+            memcpy(b, a, 4);
+            return b[1];
+        }
+        """
+        assert run_minic(src).return_value == ord("y")
+
+    def test_memset(self):
+        src = "int main() { char a[8]; memset(a, 65, 4); return a[3]; }"
+        assert run_minic(src).return_value == 65
+
+    def test_malloc_free(self):
+        src = """
+        int main() {
+            int *p;
+            p = malloc(32);
+            p[2] = 7;
+            free(p);
+            return 7;
+        }
+        """
+        assert run_minic(src).return_value == 7
+
+    def test_calloc_zeroes(self):
+        src = """
+        int main() {
+            int *p;
+            p = calloc(4, 8);
+            return p[3];
+        }
+        """
+        assert run_minic(src).return_value == 0
+
+    def test_mmap_returns_heap_region(self):
+        src = "int main() { char *m; m = mmap(64); m[0] = 1; return m[0]; }"
+        assert run_minic(src).return_value == 1
+
+
+class TestInputOutput:
+    def test_gets_reads_queue(self):
+        src = "int main() { char b[16]; gets(b); return strlen(b); }"
+        assert run_minic(src, inputs=[b"abcd"]).return_value == 4
+
+    def test_gets_empty_queue(self):
+        src = "int main() { char b[16]; gets(b); return strlen(b); }"
+        assert run_minic(src).return_value == 0
+
+    def test_fgets_respects_limit(self):
+        src = "int main() { char b[8]; fgets(b, 4, NULL); return strlen(b); }"
+        assert run_minic(src, inputs=[b"abcdefgh"]).return_value == 3
+
+    def test_scanf_d(self):
+        src = 'int main() { int x = 0; scanf("%d", &x); return x; }'
+        assert run_minic(src, inputs=[b"37"]).return_value == 37
+
+    def test_scanf_bad_int_is_zero(self):
+        src = 'int main() { int x = 9; scanf("%d", &x); return x; }'
+        assert run_minic(src, inputs=[b"zz"]).return_value == 0
+
+    def test_printf_formats(self):
+        src = 'int main() { printf("a=%d s=%s c=%c%%\\n", 5, "hi", 33); return 0; }'
+        result = run_minic(src)
+        assert result.output == b"a=5 s=hi c=!%\n"
+
+    def test_printf_negative(self):
+        src = 'int main() { printf("%d", 0 - 7); return 0; }'
+        assert run_minic(src).output == b"-7"
+
+    def test_puts(self):
+        src = 'int main() { puts("hello"); return 0; }'
+        assert run_minic(src).output == b"hello\n"
+
+    def test_sprintf_writes_memory(self):
+        src = """
+        int main() {
+            char b[24];
+            sprintf(b, "v=%d", 42);
+            return strlen(b);
+        }
+        """
+        assert run_minic(src).return_value == 4
+
+    def test_exit(self):
+        src = "int main() { exit(3); return 0; }"
+        result = run_minic(src)
+        assert result.ok and result.return_value == 3
+
+    def test_pythia_random_is_deterministic(self):
+        src = "int main() { return pythia_random() == pythia_random(); }"
+        assert run_minic(src).return_value == 0  # consecutive values differ
+
+    def test_secure_malloc_isolated(self):
+        src = """
+        int main() {
+            char *a;
+            char *b;
+            a = malloc(16);
+            b = pythia_secure_malloc(16);
+            return b > a;
+        }
+        """
+        result = run_minic(src)
+        assert result.return_value == 1
+        assert result.isolated_allocations == 1

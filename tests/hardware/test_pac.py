@@ -1,0 +1,136 @@
+"""Tests for the simulated ARM Pointer Authentication."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.hardware.pac import (
+    ADDR_MASK,
+    PAC_BITS,
+    PAC_FIELD_MASK,
+    PacAuthError,
+    PointerAuthentication,
+    VA_BITS,
+    compute_pac,
+)
+
+
+@pytest.fixture
+def pa():
+    return PointerAuthentication(seed=42)
+
+
+class TestComputePac:
+    def test_deterministic(self):
+        assert compute_pac(1, 0x1000, 7) == compute_pac(1, 0x1000, 7)
+
+    def test_fits_in_field(self):
+        for value in (0, 1, ADDR_MASK, 0xDEADBEEF):
+            assert 0 <= compute_pac(99, value, 3) < (1 << PAC_BITS)
+
+    def test_modifier_sensitivity(self):
+        assert compute_pac(1, 0x1000, 7) != compute_pac(1, 0x1000, 8)
+
+    def test_key_sensitivity(self):
+        assert compute_pac(1, 0x1000, 7) != compute_pac(2, 0x1000, 7)
+
+    def test_only_address_bits_covered(self):
+        # high (PAC field) bits of the input must not influence the MAC
+        assert compute_pac(1, 0x1000, 7) == compute_pac(1, 0x1000 | PAC_FIELD_MASK, 7)
+
+
+class TestSignAuth:
+    def test_sign_embeds_pac(self, pa):
+        signed = pa.sign(0x1234, 9)
+        assert signed & ADDR_MASK == 0x1234
+        assert signed & PAC_FIELD_MASK != 0 or compute_pac(
+            pa.keys["da"], 0x1234, 9
+        ) == 0
+
+    def test_auth_roundtrip(self, pa):
+        signed = pa.sign(0x1234, 9)
+        assert pa.auth(signed, 9) == 0x1234
+
+    def test_auth_rejects_tampered_value(self, pa):
+        signed = pa.sign(0x1234, 9)
+        with pytest.raises(PacAuthError):
+            pa.auth(signed ^ 0x1, 9)
+
+    def test_auth_rejects_wrong_modifier(self, pa):
+        signed = pa.sign(0x1234, 9)
+        with pytest.raises(PacAuthError):
+            pa.auth(signed, 10)
+
+    def test_auth_rejects_wrong_key(self, pa):
+        signed = pa.sign(0x1234, 9, "da")
+        with pytest.raises(PacAuthError):
+            pa.auth(signed, 9, "ia")
+
+    def test_auth_rejects_raw_value(self, pa):
+        # a raw (unsigned) value only passes if its PAC happens to be 0
+        raw = 0x4242
+        if compute_pac(pa.keys["da"], raw, 1) != 0:
+            with pytest.raises(PacAuthError):
+                pa.auth(raw, 1)
+
+    def test_try_auth(self, pa):
+        signed = pa.sign(5, 1)
+        assert pa.try_auth(signed, 1) == 5
+        assert pa.try_auth(signed, 2) is None
+
+    def test_counters(self, pa):
+        pa.sign(1, 1)
+        pa.try_auth(1, 1)
+        assert pa.sign_count == 1
+        assert pa.auth_count == 1
+        assert pa.auth_failures >= 0
+
+    def test_strip(self):
+        assert PointerAuthentication.strip(PAC_FIELD_MASK | 0x77) == 0x77
+
+    def test_is_signed(self, pa):
+        signed = pa.sign(0x1234, 9)
+        expected = compute_pac(pa.keys["da"], 0x1234, 9)
+        assert PointerAuthentication.is_signed(signed) == (expected != 0)
+        assert not PointerAuthentication.is_signed(0x1234)
+
+    def test_unknown_key(self, pa):
+        with pytest.raises(ValueError):
+            pa.sign(1, 1, "zz")
+
+    def test_keys_differ_per_seed(self):
+        a = PointerAuthentication(seed=1)
+        b = PointerAuthentication(seed=2)
+        assert a.keys["da"] != b.keys["da"]
+
+    def test_five_architectural_keys(self, pa):
+        assert set(pa.keys) == {"ia", "ib", "da", "db", "ga"}
+
+
+class TestPacProperties:
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_sign_auth_roundtrip_property(self, value, modifier):
+        pa = PointerAuthentication(seed=7)
+        signed = pa.sign(value, modifier)
+        assert pa.auth(signed, modifier) == value & ADDR_MASK
+
+    @given(st.integers(0, ADDR_MASK), st.integers(0, 2**40), st.integers(1, 2**24 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_flipping_pac_bits_fails(self, value, modifier, flip):
+        pa = PointerAuthentication(seed=7)
+        signed = pa.sign(value, modifier)
+        tampered = signed ^ (flip << VA_BITS)
+        assert pa.try_auth(tampered, modifier) is None
+
+    @given(st.integers(0, ADDR_MASK), st.integers(0, 2**40))
+    @settings(max_examples=100, deadline=None)
+    def test_pac_distribution_not_constant(self, value, modifier):
+        # PACs of adjacent values should usually differ (diffusion)
+        pa = PointerAuthentication(seed=7)
+        a = compute_pac(pa.keys["da"], value, modifier)
+        b = compute_pac(pa.keys["da"], value ^ 1, modifier)
+        # they may collide with probability 2^-24; assert no systematic equality
+        if a == b:
+            c = compute_pac(pa.keys["da"], value ^ 2, modifier)
+            assert a != c or value & 3 == 3  # extremely unlikely double collision

@@ -1,0 +1,120 @@
+"""Tests for the canary RNG and the timing model."""
+
+import pytest
+
+from repro.hardware.rng import CanaryRng
+from repro.hardware.timing import (
+    DEFAULT_COSTS,
+    HEAP_SECTIONING_CYCLES,
+    RNG_CALL_CYCLES,
+    TimingModel,
+)
+
+
+class TestCanaryRng:
+    def test_deterministic_per_seed(self):
+        a = CanaryRng(7)
+        b = CanaryRng(7)
+        assert [a.next_u64() for _ in range(5)] == [b.next_u64() for _ in range(5)]
+
+    def test_different_seeds_diverge(self):
+        assert CanaryRng(1).next_u64() != CanaryRng(2).next_u64()
+
+    def test_zero_seed_handled(self):
+        assert CanaryRng(0).next_u64() != 0
+
+    def test_canary_low_byte_zero(self):
+        rng = CanaryRng(9)
+        for _ in range(50):
+            assert rng.next_canary() & 0xFF == 0
+
+    def test_call_counter(self):
+        rng = CanaryRng(1)
+        rng.next_u64()
+        rng.next_canary()
+        assert rng.calls == 2
+
+    def test_values_fit_64_bits(self):
+        rng = CanaryRng(3)
+        for _ in range(100):
+            assert 0 <= rng.next_u64() < 2**64
+
+
+class TestTimingModel:
+    def test_charge_accumulates(self):
+        timing = TimingModel()
+        timing.charge("load")
+        assert timing.instructions == 1
+        assert timing.cycles == DEFAULT_COSTS["load"]
+
+    def test_multi_issue_of_cheap_ops(self):
+        timing = TimingModel(issue_width=4)
+        for _ in range(4):
+            timing.charge("add")
+        assert timing.cycles == 1  # four adds retire in one cycle
+
+    def test_partial_issue_group_free_until_filled(self):
+        timing = TimingModel(issue_width=4)
+        timing.charge("add")
+        timing.charge("add")
+        assert timing.cycles == 0
+        timing.charge("load")  # expensive op flushes the group
+        assert timing.cycles == DEFAULT_COSTS["load"]
+
+    def test_expensive_op_resets_group(self):
+        timing = TimingModel(issue_width=4)
+        timing.charge("add")
+        timing.charge("mul")
+        timing.charge("add")
+        timing.charge("add")
+        timing.charge("add")
+        # mul charged fully; the three adds after it have not filled a group
+        assert timing.cycles == DEFAULT_COSTS["mul"]
+
+    def test_opcode_counts(self):
+        timing = TimingModel()
+        timing.charge("add")
+        timing.charge("add")
+        timing.charge("load")
+        assert timing.opcode_counts == {"add": 2, "load": 1}
+
+    def test_charge_cycles(self):
+        timing = TimingModel()
+        timing.charge_cycles(HEAP_SECTIONING_CYCLES, "lib.secure_malloc")
+        assert timing.cycles == HEAP_SECTIONING_CYCLES
+        assert timing.opcode_counts["lib.secure_malloc"] == 1
+
+    def test_charge_libcall_scales_with_bytes(self):
+        a = TimingModel()
+        b = TimingModel()
+        a.charge_libcall(0)
+        b.charge_libcall(400)
+        assert b.cycles > a.cycles
+
+    def test_ipc(self):
+        timing = TimingModel()
+        for _ in range(8):
+            timing.charge("add")
+        assert timing.ipc == pytest.approx(8 / 2)
+
+    def test_ipc_empty(self):
+        assert TimingModel().ipc == 0.0
+
+    def test_unknown_opcode_costs_one(self):
+        timing = TimingModel(issue_width=1)
+        timing.charge("mystery")
+        assert timing.cycles == 1
+
+    def test_snapshot(self):
+        timing = TimingModel()
+        timing.charge("load")
+        snap = timing.snapshot()
+        assert snap["instructions"] == 1 and snap["cycles"] == DEFAULT_COSTS["load"]
+
+    def test_pa_costs_defined(self):
+        assert DEFAULT_COSTS["pac.sign"] >= 1
+        assert DEFAULT_COSTS["pac.auth"] >= 1
+        assert DEFAULT_COSTS["dfi.chkdef"] > DEFAULT_COSTS["pac.auth"]
+
+    def test_rng_call_cost_positive(self):
+        assert RNG_CALL_CYCLES > 0

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import io
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+VICTIM = """
+int main() {
+    char buf[16];
+    char role[16];
+    strcpy(role, "user");
+    gets(buf);
+    if (strncmp(role, "root", 4) == 0) { return 1; }
+    printf("hi %s\\n", buf);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def victim_path(tmp_path):
+    path = tmp_path / "victim.c"
+    path.write_text(VICTIM)
+    return str(path)
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestCompile:
+    def test_emits_ir(self, victim_path, capsys):
+        code, out, _ = run_cli(["compile", victim_path], capsys)
+        assert code == 0
+        assert "define i64 @main()" in out
+        assert "@gets" in out
+
+    def test_mem2reg_flag(self, tmp_path, capsys):
+        path = tmp_path / "scalars.c"
+        path.write_text("int main() { int x = 1; int y = x + 2; return y; }")
+        _, raw, _ = run_cli(["compile", str(path)], capsys)
+        _, ssa, _ = run_cli(["compile", str(path), "--mem2reg"], capsys)
+        assert ssa.count("alloca") < raw.count("alloca")
+
+    def test_stdin(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "stdin", io.StringIO("int main() { return 0; }"))
+        code, out, _ = run_cli(["compile", "-"], capsys)
+        assert code == 0 and "ret i64 0" in out
+
+
+class TestRun:
+    def test_benign_run(self, victim_path, capsys):
+        code, out, err = run_cli(
+            ["run", victim_path, "--scheme", "pythia", "--input", "world"], capsys
+        )
+        assert code == 0
+        assert "hi world" in out
+        assert "status=ok" in err
+
+    @pytest.mark.parametrize("scheme", ["vanilla", "cpa", "pythia", "dfi"])
+    def test_all_schemes(self, victim_path, capsys, scheme):
+        code, out, err = run_cli(
+            ["run", victim_path, "--scheme", scheme, "--input", "x"], capsys
+        )
+        assert code == 0, err
+
+    def test_fields_flag(self, victim_path, capsys):
+        code, _, err = run_cli(
+            ["run", victim_path, "--fields", "--input", "x"], capsys
+        )
+        assert code == 0
+
+
+class TestAnalyze:
+    def test_summary(self, victim_path, capsys):
+        code, out, _ = run_cli(["analyze", victim_path], capsys)
+        assert code == 0
+        assert "refined (Pythia) set" in out
+        assert "secured:" in out
+
+    def test_verbose_lists_variables(self, victim_path, capsys):
+        _, out, _ = run_cli(["analyze", victim_path, "--verbose"], capsys)
+        assert "vulnerable:" in out
+
+
+class TestAttackAndBench:
+    def test_attack_scenario(self, capsys):
+        code, out, _ = run_cli(["attack", "privilege_escalation"], capsys)
+        assert code == 0
+        assert "vanilla  -> success" in out
+        assert "pythia   -> detected" in out
+
+    def test_attack_unknown(self, capsys):
+        code, out, _ = run_cli(["attack", "nope"], capsys)
+        assert code == 1
+
+    def test_scenarios_listing(self, capsys):
+        code, out, _ = run_cli(["scenarios"], capsys)
+        assert code == 0
+        assert "privilege_escalation" in out
+        assert "heap_overflow" in out
+
+    def test_bench(self, capsys):
+        code, out, _ = run_cli(["bench", "519.lbm_r"], capsys)
+        assert code == 0
+        assert "overhead=" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

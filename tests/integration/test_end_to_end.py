@@ -1,0 +1,121 @@
+"""Integration tests: the full pipeline, cross-module invariants."""
+
+import pytest
+
+from repro import (
+    CPU,
+    AttackController,
+    SCHEMES,
+    build_scenarios,
+    compile_source,
+    generate_program,
+    get_profile,
+    overflow_payload,
+    protect,
+    protect_all,
+)
+from repro.ir import parse_module, print_module, verify_module
+
+
+class TestPipeline:
+    def test_source_to_detection(self):
+        """The README's promise, end to end."""
+        source = """
+        int main() {
+            char password[16];
+            char role[16];
+            strcpy(role, "guest");
+            gets(password);
+            if (strncmp(role, "admin", 5) == 0) { return 77; }
+            return 0;
+        }
+        """
+        module = compile_source(source)
+        protected = protect(module, scheme="pythia")
+        benign = CPU(protected.module).run(inputs=[b"letmein"])
+        assert benign.ok and benign.return_value == 0
+
+        attack = AttackController().add(
+            "gets", overflow_payload(b"pw", 16, b"admin\x00")
+        )
+        attacked = CPU(protected.module, attack=attack).run()
+        assert attacked.detected
+
+        # the unprotected program is genuinely exploitable
+        bent = CPU(protect(module, scheme="vanilla").module,
+                   attack=AttackController().add(
+                       "gets", overflow_payload(b"pw", 16, b"admin\x00"))).run()
+        assert bent.return_value == 77
+
+    def test_instrumented_modules_roundtrip_through_text(self, listing1_module):
+        for scheme, result in protect_all(listing1_module).items():
+            text = print_module(result.module)
+            reparsed = parse_module(text)
+            verify_module(reparsed)
+            outcome = CPU(reparsed).run(inputs=[b"x"])
+            assert outcome.ok, scheme
+
+    def test_generated_benchmark_full_stack(self):
+        program = generate_program(get_profile("538.imagick_r"))
+        module = program.compile()
+        results = protect_all(module)
+        cycles = {}
+        for scheme, result in results.items():
+            outcome = CPU(result.module).run(inputs=list(program.inputs))
+            assert outcome.ok, (scheme, outcome.trap)
+            cycles[scheme] = outcome.cycles
+        assert cycles["vanilla"] < cycles["pythia"] < cycles["cpa"]
+
+    def test_double_protection_is_safe(self, listing1_module):
+        """Protecting an already-protected module must not corrupt it."""
+        once = protect(listing1_module, scheme="pythia")
+        twice = protect(once.module, scheme="pythia")
+        verify_module(twice.module)
+        outcome = CPU(twice.module).run(inputs=[b"x"])
+        assert outcome.ok
+
+
+class TestDeterminism:
+    def test_protection_is_deterministic(self, listing1_module):
+        a = protect(listing1_module, scheme="pythia")
+        b = protect(listing1_module, scheme="pythia")
+        assert print_module(a.module) == print_module(b.module)
+
+    def test_execution_is_deterministic_per_seed(self):
+        program = generate_program(get_profile("519.lbm_r"))
+        module = program.compile()
+        result = protect(module, scheme="pythia")
+        runs = [
+            CPU(result.module, seed=11).run(inputs=list(program.inputs))
+            for _ in range(2)
+        ]
+        assert runs[0].cycles == runs[1].cycles
+        assert runs[0].output == runs[1].output
+
+    def test_seeds_change_canaries_not_behaviour(self, listing1_module):
+        result = protect(listing1_module, scheme="pythia")
+        a = CPU(result.module, seed=1).run(inputs=[b"q"])
+        b = CPU(result.module, seed=99).run(inputs=[b"q"])
+        assert a.return_value == b.return_value
+        assert a.output == b.output
+
+
+class TestCrossSchemeInvariants:
+    @pytest.mark.parametrize(
+        "bench_name", ["505.mcf_r", "519.lbm_r", "557.xz_r"]
+    )
+    def test_outputs_identical_across_schemes(self, bench_name):
+        program = generate_program(get_profile(bench_name))
+        module = program.compile()
+        outputs = {}
+        for scheme, result in protect_all(module).items():
+            outcome = CPU(result.module).run(inputs=list(program.inputs))
+            assert outcome.ok, (scheme, outcome.trap)
+            outputs[scheme] = (outcome.output, outcome.return_value)
+        assert len(set(outputs.values())) == 1, outputs
+
+    def test_every_scenario_has_a_working_defense(self):
+        """No attack in the suite is unstoppable: at least one scheme
+        detects or prevents each scenario."""
+        for name, scenario in build_scenarios().items():
+            assert scenario.detected_by or scenario.prevented_by, name

@@ -1,0 +1,120 @@
+"""Unit tests for IRBuilder positioning and naming."""
+
+import pytest
+
+from repro.ir import (
+    Function,
+    FunctionType,
+    I64,
+    I8,
+    IRBuilder,
+    Module,
+    array,
+    verify_module,
+)
+
+
+@pytest.fixture
+def func():
+    module = Module("m")
+    f = Function("f", FunctionType(I64, []))
+    module.add_function(f)
+    f.append_block("entry")
+    return f
+
+
+class TestPositioning:
+    def test_append_at_end(self, func):
+        builder = IRBuilder(func.entry_block)
+        a = builder.add(builder.const(I64, 1), builder.const(I64, 2))
+        b = builder.add(a, a)
+        assert func.entry_block.instructions == [a, b]
+
+    def test_position_before(self, func):
+        builder = IRBuilder(func.entry_block)
+        a = builder.add(builder.const(I64, 1), builder.const(I64, 2))
+        builder.position_before(a)
+        b = builder.sub(builder.const(I64, 3), builder.const(I64, 4))
+        assert func.entry_block.instructions == [b, a]
+
+    def test_position_after(self, func):
+        builder = IRBuilder(func.entry_block)
+        a = builder.add(builder.const(I64, 1), builder.const(I64, 2))
+        c = builder.add(a, a)
+        builder.position_after(a)
+        b = builder.sub(a, a)
+        assert func.entry_block.instructions == [a, b, c]
+
+    def test_sequential_inserts_at_position(self, func):
+        builder = IRBuilder(func.entry_block)
+        a = builder.add(builder.const(I64, 1), builder.const(I64, 2))
+        builder.position_before(a)
+        x = builder.mul(builder.const(I64, 2), builder.const(I64, 3))
+        y = builder.mul(x, x)
+        assert func.entry_block.instructions == [x, y, a]
+
+    def test_unpositioned_raises(self):
+        builder = IRBuilder()
+        with pytest.raises(ValueError):
+            builder.add(builder.const(I64, 1), builder.const(I64, 1))
+
+    def test_detached_anchor_raises(self, func):
+        builder = IRBuilder(func.entry_block)
+        a = builder.add(builder.const(I64, 1), builder.const(I64, 2))
+        a.erase_from_parent()
+        with pytest.raises(ValueError):
+            builder.position_before(a)
+
+
+class TestNaming:
+    def test_fresh_names(self, func):
+        builder = IRBuilder(func.entry_block)
+        a = builder.add(builder.const(I64, 1), builder.const(I64, 2))
+        b = builder.add(a, a)
+        assert a.name and b.name and a.name != b.name
+
+    def test_explicit_name_preserved(self, func):
+        builder = IRBuilder(func.entry_block)
+        a = builder.alloca(I64, name="slot")
+        assert a.name == "slot"
+
+    def test_void_instructions_unnamed(self, func):
+        builder = IRBuilder(func.entry_block)
+        slot = builder.alloca(I64)
+        store = builder.store(builder.const(I64, 1), slot)
+        assert store.name == ""
+
+    def test_names_avoid_collisions_after_parse(self, func):
+        # simulate a parsed function whose names could collide
+        builder = IRBuilder(func.entry_block)
+        builder.alloca(I64, name="a.1")
+        fresh = builder.alloca(I64)
+        assert fresh.name != "a.1"
+
+
+class TestConvenience:
+    def test_gep_accepts_ints(self, func):
+        builder = IRBuilder(func.entry_block)
+        buf = builder.alloca(array(I8, 8), name="buf")
+        gep = builder.gep(buf, [0, 3])
+        assert gep.indices[0].value == 0
+        assert gep.indices[1].value == 3
+
+    def test_full_function_verifies(self, func):
+        builder = IRBuilder(func.entry_block)
+        a = builder.add(builder.const(I64, 40), builder.const(I64, 2))
+        builder.ret(a)
+        verify_module(func.module)
+
+    def test_security_builders(self, func):
+        builder = IRBuilder(func.entry_block)
+        slot = builder.alloca(I64)
+        mod = builder.cast("ptrtoint", slot, I64)
+        signed = builder.pac_sign(builder.const(I64, 1), mod)
+        auth = builder.pac_auth(signed, mod)
+        builder.dfi_setdef(slot, 3, 8)
+        builder.dfi_chkdef(slot, frozenset({3}), 8)
+        cond = builder.icmp("eq", auth, builder.const(I64, 1))
+        builder.sec_assert(cond, "canary")
+        builder.ret(builder.const(I64, 0))
+        verify_module(func.module)

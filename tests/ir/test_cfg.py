@@ -1,0 +1,121 @@
+"""CFG utilities: orderings, dominators, frontiers."""
+
+import pytest
+
+from repro.ir import (
+    DominatorTree,
+    Function,
+    FunctionType,
+    I64,
+    IRBuilder,
+    Module,
+    reachable_blocks,
+    reverse_postorder,
+)
+
+
+def diamond():
+    """entry -> (left | right) -> merge"""
+    m = Module("m")
+    f = Function("f", FunctionType(I64, [I64]), ["x"])
+    m.add_function(f)
+    entry = f.append_block("entry")
+    left = f.append_block("left")
+    right = f.append_block("right")
+    merge = f.append_block("merge")
+    b = IRBuilder(entry)
+    c = b.icmp("sgt", f.args[0], b.const(I64, 0))
+    b.cond_branch(c, left, right)
+    b.position_at_end(left)
+    b.jump(merge)
+    b.position_at_end(right)
+    b.jump(merge)
+    b.position_at_end(merge)
+    b.ret(b.const(I64, 0))
+    return f, entry, left, right, merge
+
+
+def loop():
+    """entry -> header <-> body, header -> exit"""
+    m = Module("m")
+    f = Function("f", FunctionType(I64, [I64]), ["n"])
+    m.add_function(f)
+    entry = f.append_block("entry")
+    header = f.append_block("header")
+    body = f.append_block("body")
+    exit_ = f.append_block("exit")
+    b = IRBuilder(entry)
+    b.jump(header)
+    b.position_at_end(header)
+    c = b.icmp("sgt", f.args[0], b.const(I64, 0))
+    b.cond_branch(c, body, exit_)
+    b.position_at_end(body)
+    b.jump(header)
+    b.position_at_end(exit_)
+    b.ret(b.const(I64, 0))
+    return f, entry, header, body, exit_
+
+
+class TestOrderings:
+    def test_reachable_blocks(self):
+        f, entry, left, right, merge = diamond()
+        assert set(reachable_blocks(f)) == {entry, left, right, merge}
+
+    def test_unreachable_excluded(self):
+        f, *_ = diamond()
+        dead = f.append_block("dead")
+        IRBuilder(dead).ret(IRBuilder.const(I64, 0))
+        assert dead not in reachable_blocks(f)
+
+    def test_rpo_entry_first(self):
+        f, entry, left, right, merge = diamond()
+        rpo = reverse_postorder(f)
+        assert rpo[0] is entry
+        assert rpo[-1] is merge
+
+    def test_rpo_visits_all(self):
+        f, *blocks = loop()
+        assert set(reverse_postorder(f)) == set(blocks)
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        f, entry, left, right, merge = diamond()
+        dt = DominatorTree(f)
+        assert dt.idom[left] is entry
+        assert dt.idom[right] is entry
+        assert dt.idom[merge] is entry
+
+    def test_dominates(self):
+        f, entry, left, right, merge = diamond()
+        dt = DominatorTree(f)
+        assert dt.dominates(entry, merge)
+        assert not dt.dominates(left, merge)
+        assert dt.dominates(merge, merge)
+
+    def test_strictly_dominates(self):
+        f, entry, _, _, merge = diamond()
+        dt = DominatorTree(f)
+        assert dt.strictly_dominates(entry, merge)
+        assert not dt.strictly_dominates(merge, merge)
+
+    def test_loop_idoms(self):
+        f, entry, header, body, exit_ = loop()
+        dt = DominatorTree(f)
+        assert dt.idom[body] is header
+        assert dt.idom[exit_] is header
+        assert dt.idom[header] is entry
+
+    def test_diamond_frontier(self):
+        f, entry, left, right, merge = diamond()
+        dt = DominatorTree(f)
+        assert dt.frontiers[left] == {merge}
+        assert dt.frontiers[right] == {merge}
+        assert dt.frontiers[entry] == set()
+
+    def test_loop_frontier_includes_header(self):
+        f, entry, header, body, exit_ = loop()
+        dt = DominatorTree(f)
+        assert header in dt.frontiers[body]
+        # the header is in its own frontier (it is a loop header)
+        assert header in dt.frontiers[header]

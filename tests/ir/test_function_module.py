@@ -1,0 +1,176 @@
+"""Unit tests for functions, blocks, and modules."""
+
+import pytest
+
+from repro.ir import (
+    Function,
+    FunctionType,
+    I64,
+    I8,
+    IRBuilder,
+    Module,
+    StructType,
+    array,
+    pointer,
+)
+
+
+class TestBasicBlock:
+    def _func(self):
+        m = Module("m")
+        f = Function("f", FunctionType(I64, []))
+        m.add_function(f)
+        return f
+
+    def test_terminator_detection(self):
+        f = self._func()
+        entry = f.append_block("entry")
+        builder = IRBuilder(entry)
+        assert entry.terminator is None
+        ret = builder.ret(builder.const(I64, 0))
+        assert entry.terminator is ret
+
+    def test_successors_predecessors(self):
+        f = self._func()
+        a = f.append_block("a")
+        b = f.append_block("b")
+        builder = IRBuilder(a)
+        builder.jump(b)
+        builder.position_at_end(b)
+        builder.ret(builder.const(I64, 0))
+        assert a.successors == [b]
+        assert b.predecessors == [a]
+
+    def test_insert_before_after(self):
+        f = self._func()
+        entry = f.append_block("entry")
+        builder = IRBuilder(entry)
+        x = builder.add(builder.const(I64, 1), builder.const(I64, 1))
+        from repro.ir import Alloca
+
+        early = Alloca(I64, name="e")
+        entry.insert_before(x, early)
+        late = Alloca(I64, name="l")
+        entry.insert_after(x, late)
+        assert entry.instructions == [early, x, late]
+
+    def test_first_non_phi_index(self):
+        from repro.ir import Phi
+
+        f = self._func()
+        entry = f.append_block("entry")
+        phi = Phi(I64, name="p")
+        entry.append(phi)
+        builder = IRBuilder(entry)
+        builder.ret(phi)
+        assert entry.first_non_phi_index() == 1
+
+
+class TestFunction:
+    def test_args_created_from_type(self):
+        f = Function("f", FunctionType(I64, [I64, pointer(I8)]), ["n", "buf"])
+        assert [a.name for a in f.args] == ["n", "buf"]
+        assert f.args[1].type == pointer(I8)
+
+    def test_default_arg_names(self):
+        f = Function("f", FunctionType(I64, [I64, I64]))
+        assert [a.name for a in f.args] == ["arg0", "arg1"]
+
+    def test_entry_block_requires_blocks(self):
+        f = Function("f", FunctionType(I64, []))
+        with pytest.raises(ValueError):
+            f.entry_block
+
+    def test_block_by_name(self):
+        f = Function("f", FunctionType(I64, []))
+        b = f.append_block("loop")
+        assert f.block_by_name("loop") is b
+        with pytest.raises(KeyError):
+            f.block_by_name("nope")
+
+    def test_allocas_in_order(self):
+        f = Function("f", FunctionType(I64, []))
+        entry = f.append_block("entry")
+        builder = IRBuilder(entry)
+        a = builder.alloca(I64, name="a")
+        b = builder.alloca(I64, name="b")
+        assert f.allocas() == [a, b]
+
+    def test_conditional_branches(self):
+        f = Function("f", FunctionType(I64, []))
+        entry = f.append_block("entry")
+        t = f.append_block("t")
+        e = f.append_block("e")
+        builder = IRBuilder(entry)
+        c = builder.icmp("eq", builder.const(I64, 1), builder.const(I64, 1))
+        br = builder.cond_branch(c, t, e)
+        assert f.conditional_branches() == [br]
+
+    def test_unique_name_never_collides(self):
+        f = Function("f", FunctionType(I64, []))
+        names = {f.unique_name("x") for _ in range(100)}
+        assert len(names) == 100
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        m = Module("m")
+        m.add_function(Function("f", FunctionType(I64, [])))
+        with pytest.raises(ValueError):
+            m.add_function(Function("f", FunctionType(I64, [])))
+
+    def test_module_backref(self):
+        m = Module("m")
+        f = Function("f", FunctionType(I64, []))
+        m.add_function(f)
+        assert f.module is m
+
+    def test_declare_function_idempotent(self):
+        m = Module("m")
+        a = m.declare_function("strlen", FunctionType(I64, [pointer(I8)]))
+        b = m.declare_function("strlen", FunctionType(I64, [pointer(I8)]))
+        assert a is b
+
+    def test_defined_vs_declarations(self):
+        m = Module("m")
+        m.declare_function("ext", FunctionType(I64, []))
+        f = Function("f", FunctionType(I64, []))
+        m.add_function(f)
+        assert m.defined_functions() == [f]
+        assert len(m.declarations()) == 1
+
+    def test_get_function_missing(self):
+        with pytest.raises(KeyError):
+            Module("m").get_function("nope")
+
+    def test_globals(self):
+        m = Module("m")
+        g = m.add_global("g", I64, 5)
+        assert m.globals["g"] is g
+        with pytest.raises(ValueError):
+            m.add_global("g", I64)
+
+    def test_string_literal_interning(self):
+        m = Module("m")
+        a = m.add_string_literal("hello")
+        b = m.add_string_literal("hello")
+        c = m.add_string_literal("world")
+        assert a is b
+        assert a is not c
+        assert a.initializer == b"hello\x00"
+        assert a.constant
+
+    def test_structs(self):
+        m = Module("m")
+        s = StructType("rec", [("x", I64)])
+        m.add_struct(s)
+        with pytest.raises(ValueError):
+            m.add_struct(StructType("rec", [("y", I64)]))
+
+    def test_instruction_count(self):
+        m = Module("m")
+        f = Function("f", FunctionType(I64, []))
+        m.add_function(f)
+        builder = IRBuilder(f.append_block("entry"))
+        builder.ret(builder.const(I64, 0))
+        assert m.instruction_count() == 1

@@ -1,0 +1,251 @@
+"""Unit tests for IR instructions: typing rules, GEP semantics, printing."""
+
+import pytest
+
+from repro.ir import (
+    Alloca,
+    BinOp,
+    Cast,
+    CondBranch,
+    Constant,
+    DfiChkDef,
+    DfiSetDef,
+    Function,
+    FunctionType,
+    GetElementPtr,
+    I1,
+    I64,
+    I8,
+    ICmp,
+    IRBuilder,
+    Jump,
+    Load,
+    Module,
+    PacAuth,
+    PacSign,
+    Phi,
+    Ret,
+    SecAssert,
+    Select,
+    Store,
+    StructType,
+    array,
+    is_pa_instruction,
+    pointer,
+)
+from repro.ir.function import BasicBlock
+
+
+def _const(v: int) -> Constant:
+    return Constant(I64, v)
+
+
+class TestAlloca:
+    def test_yields_pointer(self):
+        a = Alloca(array(I8, 16), name="buf")
+        assert a.type == pointer(array(I8, 16))
+        assert a.allocated_type == array(I8, 16)
+
+    def test_str(self):
+        assert str(Alloca(I64, name="x")) == "%x = alloca i64"
+
+
+class TestLoadStore:
+    def test_load_type_is_pointee(self):
+        a = Alloca(I64, name="x")
+        load = Load(a, name="v")
+        assert load.type == I64
+        assert load.pointer is a
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(TypeError):
+            Load(_const(5))
+
+    def test_store_is_void(self):
+        a = Alloca(I64, name="x")
+        store = Store(_const(1), a)
+        assert store.type.is_void
+        assert store.value.ref() == "1"
+
+    def test_store_requires_pointer(self):
+        with pytest.raises(TypeError):
+            Store(_const(1), _const(2))
+
+
+class TestGep:
+    def test_array_walk(self):
+        a = Alloca(array(I8, 16), name="buf")
+        gep = GetElementPtr(a, [_const(0), _const(3)], name="p")
+        assert gep.type == pointer(I8)
+
+    def test_struct_walk(self):
+        s = StructType("rec", [("x", I8), ("y", I64)])
+        a = Alloca(s, name="r")
+        gep = GetElementPtr(a, [_const(0), _const(1)], name="p")
+        assert gep.type == pointer(I64)
+
+    def test_struct_index_must_be_constant(self):
+        s = StructType("rec", [("x", I8)])
+        a = Alloca(s, name="r")
+        dynamic = BinOp("add", _const(0), _const(0), name="i")
+        with pytest.raises(TypeError):
+            GetElementPtr(a, [_const(0), dynamic])
+
+    def test_single_index_keeps_type(self):
+        a = Alloca(I64, name="x")
+        gep = GetElementPtr(a, [_const(2)], name="p")
+        assert gep.type == pointer(I64)
+
+    def test_pointer_arithmetic_flag(self):
+        a = Alloca(I64, name="x")
+        assert GetElementPtr(a, [_const(2)], name="p").is_pointer_arithmetic()
+        assert not GetElementPtr(a, [_const(0)], name="q").is_pointer_arithmetic()
+
+    def test_field_access_flag(self):
+        s = StructType("rec", [("x", I8), ("y", I64)])
+        a = Alloca(s, name="r")
+        gep = GetElementPtr(a, [_const(0), _const(1)], name="p")
+        assert gep.is_field_access()
+        buf = Alloca(array(I8, 4), name="b")
+        plain = GetElementPtr(buf, [_const(0), _const(1)], name="q")
+        assert not plain.is_field_access()
+
+    def test_requires_pointer_base(self):
+        with pytest.raises(TypeError):
+            GetElementPtr(_const(5), [_const(0)])
+
+
+class TestBinOpICmp:
+    def test_binop_type(self):
+        add = BinOp("add", _const(1), _const(2), name="s")
+        assert add.type == I64
+        assert add.opcode == "add"
+
+    def test_binop_type_mismatch(self):
+        with pytest.raises(TypeError):
+            BinOp("add", _const(1), Constant(I8, 2))
+
+    def test_binop_unknown_op(self):
+        with pytest.raises(ValueError):
+            BinOp("fadd", _const(1), _const(2))
+
+    def test_icmp_yields_i1(self):
+        cmp = ICmp("slt", _const(1), _const(2), name="c")
+        assert cmp.type == I1
+
+    def test_icmp_unknown_predicate(self):
+        with pytest.raises(ValueError):
+            ICmp("lt", _const(1), _const(2))
+
+    def test_icmp_mismatch(self):
+        with pytest.raises(TypeError):
+            ICmp("eq", _const(1), Constant(I8, 1))
+
+
+class TestCastSelect:
+    def test_cast_type(self):
+        c = Cast("trunc", _const(300), I8, name="t")
+        assert c.type == I8
+
+    def test_cast_unknown(self):
+        with pytest.raises(ValueError):
+            Cast("fptosi", _const(1), I8)
+
+    def test_select_type(self):
+        cond = ICmp("eq", _const(1), _const(1), name="c")
+        sel = Select(cond, _const(1), _const(2), name="s")
+        assert sel.type == I64
+
+    def test_select_arm_mismatch(self):
+        cond = ICmp("eq", _const(1), _const(1), name="c")
+        with pytest.raises(TypeError):
+            Select(cond, _const(1), Constant(I8, 2))
+
+
+class TestControlFlow:
+    def _blocks(self):
+        f = Function("f", FunctionType(I64, []))
+        return f.append_block("a"), f.append_block("b")
+
+    def test_jump(self):
+        a, b = self._blocks()
+        jump = Jump(b)
+        assert jump.is_terminator
+        assert jump.successors == [b]
+
+    def test_cond_branch(self):
+        a, b = self._blocks()
+        cond = ICmp("eq", _const(1), _const(1), name="c")
+        br = CondBranch(cond, a, b)
+        assert br.successors == [a, b]
+        assert br.condition is cond
+
+    def test_ret(self):
+        r = Ret(_const(0))
+        assert r.is_terminator
+        assert r.successors == []
+        assert r.value.ref() == "0"
+        assert Ret().value is None
+
+
+class TestPhi:
+    def test_incomings(self):
+        f = Function("f", FunctionType(I64, []))
+        a = f.append_block("a")
+        b = f.append_block("b")
+        phi = Phi(I64, name="p")
+        phi.add_incoming(_const(1), a)
+        phi.add_incoming(_const(2), b)
+        assert phi.incoming_for_block(a).ref() == "1"
+        assert len(phi.incomings) == 2
+
+    def test_missing_incoming(self):
+        f = Function("f", FunctionType(I64, []))
+        a = f.append_block("a")
+        phi = Phi(I64, name="p")
+        with pytest.raises(KeyError):
+            phi.incoming_for_block(a)
+
+
+class TestSecurityIntrinsics:
+    def test_pac_sign_preserves_type(self):
+        sign = PacSign(_const(5), _const(9), "da", name="s")
+        assert sign.type == I64
+        assert sign.key_id == "da"
+
+    def test_is_pa_instruction(self):
+        sign = PacSign(_const(5), _const(9), name="s")
+        auth = PacAuth(_const(5), _const(9), name="a")
+        assert is_pa_instruction(sign) and is_pa_instruction(auth)
+        assert not is_pa_instruction(BinOp("add", _const(1), _const(1), name="x"))
+
+    def test_dfi_setdef(self):
+        a = Alloca(I64, name="x")
+        sd = DfiSetDef(a, 7, size=8)
+        assert sd.def_id == 7 and sd.size == 8
+        assert "dfi.setdef" in str(sd)
+
+    def test_dfi_chkdef(self):
+        a = Alloca(I64, name="x")
+        ck = DfiChkDef(a, frozenset({1, 2}), size=8)
+        assert ck.allowed == frozenset({1, 2})
+        assert "{1,2}" in str(ck)
+
+    def test_sec_assert(self):
+        cond = ICmp("eq", _const(1), _const(1), name="c")
+        sa = SecAssert(cond, kind="canary")
+        assert sa.kind == "canary"
+        assert "!canary" in str(sa)
+
+
+class TestPrinting:
+    def test_binop_str(self):
+        assert str(BinOp("add", _const(1), _const(2), name="s")) == "%s = add i64 1, 2"
+
+    def test_icmp_str(self):
+        text = str(ICmp("slt", _const(1), _const(2), name="c"))
+        assert text == "%c = icmp slt i64 1, 2"
+
+    def test_pac_str_includes_modifier_type(self):
+        text = str(PacSign(_const(5), _const(9), "da", name="s"))
+        assert text == "%s = pac.sign.da i64 5, i64 9"

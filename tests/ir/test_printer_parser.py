@@ -1,0 +1,184 @@
+"""Printer/parser round-trip and error handling."""
+
+import pytest
+
+from repro.ir import (
+    Function,
+    FunctionType,
+    I64,
+    I8,
+    IRBuilder,
+    Module,
+    ParseError,
+    StructType,
+    array,
+    parse_module,
+    pointer,
+    print_module,
+    verify_module,
+)
+from repro.hardware import declare_library
+
+
+def roundtrip(module: Module) -> Module:
+    text = print_module(module)
+    parsed = parse_module(text)
+    assert print_module(parsed) == text, "round-trip must be stable"
+    verify_module(parsed)
+    return parsed
+
+
+class TestRoundTrip:
+    def test_empty_module(self):
+        m = Module("empty")
+        assert parse_module(print_module(m)).name == "empty"
+
+    def test_globals(self):
+        m = Module("g")
+        m.add_global("zero", I64)
+        m.add_global("five", I64, 5)
+        m.add_global("arr", array(I64, 3), [1, 2, 3])
+        m.add_string_literal("hi")
+        parsed = roundtrip(m)
+        assert parsed.globals["five"].initializer == 5
+        assert parsed.globals["arr"].initializer == [1, 2, 3]
+        assert parsed.globals["zero"].initializer is None
+
+    def test_struct_types(self):
+        m = Module("s")
+        s = StructType("rec", [("key", I64), ("tag", I8)])
+        m.add_struct(s)
+        parsed = roundtrip(m)
+        assert parsed.structs["rec"].fields[0][0] == "key"
+        assert parsed.structs["rec"].size == s.size
+
+    def test_declaration_with_ic_tag(self):
+        m = Module("d")
+        declare_library(m, ["strcpy"])
+        parsed = roundtrip(m)
+        assert parsed.functions["strcpy"].input_channel_kind == "put"
+        assert parsed.functions["strcpy"].is_declaration
+
+    def test_varargs_declaration(self):
+        m = Module("v")
+        declare_library(m, ["printf"])
+        parsed = roundtrip(m)
+        assert parsed.functions["printf"].function_type.varargs
+
+    def test_function_body(self, simple_module):
+        parsed = roundtrip(simple_module)
+        f = parsed.get_function("main")
+        assert len(f.blocks) == 3
+        assert len(f.conditional_branches()) == 1
+
+    def test_loop_with_phi(self):
+        m = Module("loop")
+        f = Function("f", FunctionType(I64, [I64]), ["n"])
+        m.add_function(f)
+        entry = f.append_block("entry")
+        header = f.append_block("header")
+        body = f.append_block("body")
+        exit_ = f.append_block("exit")
+        b = IRBuilder(entry)
+        b.jump(header)
+        b.position_at_end(header)
+        phi = b.phi(I64, name="i")
+        cond = b.icmp("slt", phi, f.args[0])
+        b.cond_branch(cond, body, exit_)
+        b.position_at_end(body)
+        nxt = b.add(phi, b.const(I64, 1))
+        b.jump(header)
+        phi.add_incoming(b.const(I64, 0), entry)
+        phi.add_incoming(nxt, body)
+        b.position_at_end(exit_)
+        b.ret(phi)
+        verify_module(m)
+        parsed = roundtrip(m)
+        parsed_phi = parsed.get_function("f").block_by_name("header").phis[0]
+        assert len(parsed_phi.incomings) == 2
+
+    def test_security_intrinsics(self):
+        m = Module("sec")
+        f = Function("f", FunctionType(I64, []))
+        m.add_function(f)
+        b = IRBuilder(f.append_block("entry"))
+        slot = b.alloca(I64, name="slot")
+        mod = b.cast("ptrtoint", slot, I64)
+        signed = b.pac_sign(b.const(I64, 7), mod, "da")
+        b.store(signed, slot)
+        loaded = b.load(slot)
+        auth = b.pac_auth(loaded, mod, "da")
+        b.dfi_setdef(slot, 5, 8)
+        b.dfi_chkdef(slot, frozenset({5, 9}), 8)
+        flag = b.icmp("eq", auth, b.const(I64, 7))
+        b.sec_assert(flag, "canary")
+        b.ret(auth)
+        verify_module(m)
+        parsed = roundtrip(m)
+        text = print_module(parsed)
+        assert "pac.sign.da" in text
+        assert "dfi.chkdef" in text and "{5,9}" in text
+        assert "!canary" in text
+
+    def test_listing1_roundtrip(self, listing1_module):
+        roundtrip(listing1_module)
+
+    def test_select_and_casts(self):
+        m = Module("misc")
+        f = Function("f", FunctionType(I64, [I64]), ["x"])
+        m.add_function(f)
+        b = IRBuilder(f.append_block("entry"))
+        c = b.icmp("sgt", f.args[0], b.const(I64, 0))
+        sel = b.select(c, f.args[0], b.const(I64, 0))
+        tr = b.cast("trunc", sel, I8)
+        back = b.cast("sext", tr, I64)
+        b.ret(back)
+        roundtrip(m)
+
+
+class TestParseErrors:
+    def test_unknown_opcode(self):
+        text = (
+            "define i64 @f() {\nentry:\n  %x = frobnicate i64 1\n  ret i64 %x\n}\n"
+        )
+        with pytest.raises(ParseError):
+            parse_module(text)
+
+    def test_unknown_block(self):
+        text = "define i64 @f() {\nentry:\n  br label %missing\n}\n"
+        with pytest.raises(ParseError):
+            parse_module(text)
+
+    def test_unresolved_value(self):
+        text = "define i64 @f() {\nentry:\n  ret i64 %ghost\n}\n"
+        with pytest.raises(ParseError):
+            parse_module(text)
+
+    def test_unterminated_function(self):
+        text = "define i64 @f() {\nentry:\n  ret i64 0\n"
+        with pytest.raises(ParseError):
+            parse_module(text)
+
+    def test_unknown_global(self):
+        text = "define i64 @f() {\nentry:\n  %p = getelementptr [2 x i8]* @gone, i64 0, i64 0\n  ret i64 0\n}\n"
+        with pytest.raises(ParseError):
+            parse_module(text)
+
+    def test_unknown_callee(self):
+        text = "define i64 @f() {\nentry:\n  %r = call i64 @nope()\n  ret i64 %r\n}\n"
+        with pytest.raises(KeyError):
+            parse_module(text)
+
+    def test_forward_reference_within_function_ok(self):
+        # a phi may reference a value defined later in the text
+        text = (
+            "define i64 @f() {\n"
+            "entry:\n  br label %h\n"
+            "h:\n  %i = phi i64 [ 0, %entry ], [ %n, %b ]\n"
+            "  %c = icmp slt i64 %i, 3\n"
+            "  br i1 %c, label %b, label %e\n"
+            "b:\n  %n = add i64 %i, 1\n  br label %h\n"
+            "e:\n  ret i64 %i\n}\n"
+        )
+        module = parse_module(text)
+        verify_module(module)

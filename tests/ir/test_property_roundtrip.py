@@ -1,0 +1,93 @@
+"""Property-based tests: random modules survive the textual round-trip."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ir import (
+    Function,
+    FunctionType,
+    I64,
+    I8,
+    IRBuilder,
+    Module,
+    array,
+    parse_module,
+    print_module,
+    verify_module,
+)
+
+_BINOPS = ["add", "sub", "mul", "and", "or", "xor"]
+_PREDICATES = ["eq", "ne", "slt", "sle", "sgt", "sge"]
+
+
+@st.composite
+def straightline_modules(draw):
+    """A random straight-line function over i64 arithmetic and memory."""
+    module = Module("prop")
+    f = Function("main", FunctionType(I64, [I64]), ["x"])
+    module.add_function(f)
+    builder = IRBuilder(f.append_block("entry"))
+    values = [f.args[0], builder.const(I64, draw(st.integers(0, 1000)))]
+
+    slot = builder.alloca(I64, name="slot")
+    buf = builder.alloca(array(I8, draw(st.integers(1, 32))), name="buf")
+
+    for _ in range(draw(st.integers(1, 12))):
+        kind = draw(st.sampled_from(["binop", "store_load", "gep", "icmp_select"]))
+        if kind == "binop":
+            op = draw(st.sampled_from(_BINOPS))
+            lhs = draw(st.sampled_from(values))
+            rhs = draw(st.sampled_from(values))
+            values.append(builder.binop(op, lhs, rhs))
+        elif kind == "store_load":
+            builder.store(draw(st.sampled_from(values)), slot)
+            values.append(builder.load(slot))
+        elif kind == "gep":
+            index = draw(st.integers(0, 3))
+            gep = builder.gep(buf, [0, index])
+            values.append(builder.cast("ptrtoint", gep, I64))
+        else:
+            pred = draw(st.sampled_from(_PREDICATES))
+            flag = builder.icmp(pred, draw(st.sampled_from(values)), values[0])
+            sel = builder.select(flag, draw(st.sampled_from(values)), values[1])
+            values.append(sel)
+    builder.ret(draw(st.sampled_from(values)))
+    verify_module(module)
+    return module
+
+
+@given(straightline_modules())
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_is_stable(module):
+    """print -> parse -> print reaches a fixpoint in one step."""
+    text = print_module(module)
+    parsed = parse_module(text)
+    assert print_module(parsed) == text
+
+
+@given(straightline_modules())
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_verifies(module):
+    parsed = parse_module(print_module(module))
+    verify_module(parsed)
+
+
+@given(straightline_modules())
+@settings(max_examples=30, deadline=None)
+def test_roundtrip_preserves_counts(module):
+    parsed = parse_module(print_module(module))
+    assert parsed.instruction_count() == module.instruction_count()
+    assert set(parsed.functions) == set(module.functions)
+
+
+@given(straightline_modules(), st.integers(-1000, 1000))
+@settings(max_examples=30, deadline=None)
+def test_roundtrip_preserves_semantics(module, argument):
+    """The parsed module computes the same result as the original."""
+    from repro.hardware import CPU
+
+    original = CPU(module).run(args=[argument & (2**64 - 1)])
+    parsed = parse_module(print_module(module))
+    reparsed = CPU(parsed).run(args=[argument & (2**64 - 1)])
+    assert original.status == reparsed.status
+    assert original.return_value == reparsed.return_value

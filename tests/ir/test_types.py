@@ -1,0 +1,210 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir.types import (
+    ArrayType,
+    FunctionType,
+    I1,
+    I16,
+    I32,
+    I64,
+    I8,
+    IntType,
+    PointerType,
+    StructType,
+    VOID,
+    array,
+    int_type,
+    parse_type,
+    pointer,
+)
+
+
+class TestIntTypes:
+    def test_sizes(self):
+        assert I8.size == 1
+        assert I16.size == 2
+        assert I32.size == 4
+        assert I64.size == 8
+
+    def test_i1_occupies_one_byte(self):
+        assert I1.size == 1
+
+    def test_alignment_matches_size(self):
+        for t in (I8, I16, I32, I64):
+            assert t.alignment == t.size
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(7)
+
+    def test_int_type_interning(self):
+        assert int_type(64) is I64
+        assert int_type(8) is I8
+
+    def test_int_type_invalid(self):
+        with pytest.raises(ValueError):
+            int_type(24)
+
+    def test_equality_is_structural(self):
+        assert IntType(32) == I32
+        assert IntType(32) != I64
+
+    def test_hashable(self):
+        assert len({IntType(32), I32, I64}) == 2
+
+    def test_max_unsigned(self):
+        assert I8.max_unsigned == 255
+        assert I64.max_unsigned == 2**64 - 1
+
+    def test_signed_range(self):
+        assert I8.min_signed == -128
+        assert I8.max_signed == 127
+
+    def test_wrap(self):
+        assert I8.wrap(256) == 0
+        assert I8.wrap(257) == 1
+        assert I8.wrap(-1) == 255
+
+    def test_to_signed(self):
+        assert I8.to_signed(255) == -1
+        assert I8.to_signed(127) == 127
+        assert I64.to_signed(2**64 - 1) == -1
+
+    def test_str(self):
+        assert str(I64) == "i64"
+        assert str(I1) == "i1"
+
+
+class TestPointerTypes:
+    def test_size_is_eight(self):
+        assert pointer(I8).size == 8
+        assert pointer(I64).alignment == 8
+
+    def test_equality(self):
+        assert pointer(I8) == pointer(I8)
+        assert pointer(I8) != pointer(I64)
+
+    def test_nested(self):
+        pp = pointer(pointer(I64))
+        assert str(pp) == "i64**"
+        assert pp.pointee == pointer(I64)
+
+    def test_predicates(self):
+        assert pointer(I8).is_pointer
+        assert not pointer(I8).is_integer
+        assert I64.is_integer
+
+
+class TestArrayTypes:
+    def test_size(self):
+        assert array(I8, 16).size == 16
+        assert array(I64, 4).size == 32
+
+    def test_alignment_follows_element(self):
+        assert array(I64, 3).alignment == 8
+        assert array(I8, 3).alignment == 1
+
+    def test_zero_length(self):
+        assert array(I8, 0).size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(I8, -1)
+
+    def test_str(self):
+        assert str(array(I8, 16)) == "[16 x i8]"
+
+    def test_is_aggregate(self):
+        assert array(I8, 4).is_aggregate
+        assert not I64.is_aggregate
+
+
+class TestStructTypes:
+    def test_layout_no_padding(self):
+        s = StructType("pair", [("a", I64), ("b", I64)])
+        assert s.size == 16
+        assert s.offsets == [0, 8]
+
+    def test_layout_with_padding(self):
+        s = StructType("mixed", [("c", I8), ("x", I64)])
+        assert s.offsets == [0, 8]
+        assert s.size == 16
+
+    def test_tail_padding(self):
+        s = StructType("tail", [("x", I64), ("c", I8)])
+        assert s.size == 16  # padded to alignment 8
+
+    def test_field_index(self):
+        s = StructType("p", [("x", I64), ("y", I64)])
+        assert s.field_index("y") == 1
+        with pytest.raises(KeyError):
+            s.field_index("z")
+
+    def test_field_type_and_offset(self):
+        s = StructType("p", [("x", I8), ("y", I64)])
+        assert s.field_type(1) == I64
+        assert s.field_offset(1) == 8
+
+    def test_nominal_equality(self):
+        a = StructType("s", [("x", I64)])
+        b = StructType("s", [("x", I64), ("y", I64)])
+        assert a == b  # same name -> same nominal type
+
+    def test_is_aggregate(self):
+        assert StructType("s", [("x", I64)]).is_aggregate
+
+    def test_nested_aggregate_layout(self):
+        inner = StructType("inner", [("a", I8), ("b", I64)])
+        outer = StructType("outer", [("c", I8), ("s", inner)])
+        assert outer.field_offset(1) == 8
+        assert outer.size == 8 + 16
+
+
+class TestFunctionTypes:
+    def test_str(self):
+        ft = FunctionType(I64, [pointer(I8), I64])
+        assert str(ft) == "i64 (i8*, i64)"
+
+    def test_varargs_str(self):
+        ft = FunctionType(I64, [pointer(I8)], varargs=True)
+        assert str(ft) == "i64 (i8*, ...)"
+
+    def test_equality(self):
+        assert FunctionType(I64, [I8]) == FunctionType(I64, [I8])
+        assert FunctionType(I64, [I8]) != FunctionType(I64, [I8], varargs=True)
+
+
+class TestVoid:
+    def test_void(self):
+        assert VOID.is_void
+        assert VOID.size == 0
+        assert str(VOID) == "void"
+
+
+class TestParseType:
+    def test_scalars(self):
+        assert parse_type("i64") == I64
+        assert parse_type("void") == VOID
+
+    def test_pointers(self):
+        assert parse_type("i8*") == pointer(I8)
+        assert parse_type("i64**") == pointer(pointer(I64))
+
+    def test_arrays(self):
+        assert parse_type("[4 x i64]") == array(I64, 4)
+        assert parse_type("[2 x [3 x i8]]") == array(array(I8, 3), 2)
+
+    def test_struct_reference(self):
+        s = StructType("rec", [("x", I64)])
+        assert parse_type("%rec", {"rec": s}) is s
+        assert parse_type("%rec*", {"rec": s}) == pointer(s)
+
+    def test_unknown_struct(self):
+        with pytest.raises(ValueError):
+            parse_type("%nope")
+
+    def test_garbage(self):
+        with pytest.raises(ValueError):
+            parse_type("float")

@@ -1,0 +1,115 @@
+"""Unit tests for values: constants, uses, RAUW."""
+
+import pytest
+
+from repro.ir import (
+    BinOp,
+    Constant,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    I64,
+    I8,
+    IRBuilder,
+    Module,
+    UndefValue,
+    const_int,
+    pointer,
+)
+from repro.ir.values import null_pointer
+
+
+class TestConstants:
+    def test_wrapping_on_construction(self):
+        assert Constant(I8, 300).value == 44
+        assert Constant(I8, -1).value == 255
+
+    def test_equality(self):
+        assert Constant(I64, 5) == Constant(I64, 5)
+        assert Constant(I64, 5) != Constant(I8, 5)
+        assert Constant(I64, 5) != Constant(I64, 6)
+
+    def test_ref(self):
+        assert Constant(I64, 42).ref() == "42"
+
+    def test_null_pointer_ref(self):
+        assert null_pointer(pointer(I8)).ref() == "null"
+
+    def test_const_int_helper(self):
+        c = const_int(I64, 9)
+        assert c.type == I64 and c.value == 9
+
+
+class TestGlobalVariable:
+    def test_is_pointer_valued(self):
+        g = GlobalVariable("g", I64, 5)
+        assert g.type == pointer(I64)
+        assert g.value_type == I64
+
+    def test_ref(self):
+        assert GlobalVariable("data", I64).ref() == "@data"
+
+
+class TestUseTracking:
+    def _binop(self):
+        a = Constant(I64, 1)
+        b = Constant(I64, 2)
+        return a, b, BinOp("add", a, b, name="s")
+
+    def test_operands_register_uses(self):
+        a, b, add = self._binop()
+        assert add in a.users
+        assert add in b.users
+
+    def test_set_operand_moves_use(self):
+        a, b, add = self._binop()
+        c = Constant(I64, 3)
+        add.set_operand(0, c)
+        assert add not in a.users
+        assert add in c.users
+        assert add.operands[0] is c
+
+    def test_replace_all_uses_with(self):
+        a, _, add = self._binop()
+        mul = BinOp("mul", add, add, name="m")
+        replacement = Constant(I64, 7)
+        add.replace_all_uses_with(replacement)
+        assert mul.operands == (replacement, replacement)
+        assert not add.uses
+
+    def test_drop_all_operands(self):
+        a, b, add = self._binop()
+        add.drop_all_operands()
+        assert not a.uses and not b.uses
+        assert add.operands == ()
+
+    def test_drop_trailing_operand(self):
+        a, b, add = self._binop()
+        add.drop_trailing_operand()
+        assert add.operands == (a,)
+        assert not b.uses
+
+    def test_users_deduplicated(self):
+        a = Constant(I64, 1)
+        add = BinOp("add", a, a, name="s")
+        assert a.users == [add]
+        assert len(a.uses) == 2
+
+
+class TestUndef:
+    def test_ref(self):
+        assert UndefValue(I64).ref() == "undef"
+
+
+class TestErase:
+    def test_erase_from_parent_unlinks(self):
+        module = Module("m")
+        f = Function("f", FunctionType(I64, []))
+        module.add_function(f)
+        entry = f.append_block("entry")
+        builder = IRBuilder(entry)
+        x = builder.add(builder.const(I64, 1), builder.const(I64, 2))
+        builder.ret(x)
+        x.erase_from_parent()
+        assert x.parent is None
+        assert x not in entry.instructions

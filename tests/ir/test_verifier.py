@@ -1,0 +1,163 @@
+"""Verifier tests: each class of structural error is caught."""
+
+import pytest
+
+from repro.ir import (
+    CondBranch,
+    Constant,
+    Function,
+    FunctionType,
+    I64,
+    IRBuilder,
+    Jump,
+    Module,
+    Phi,
+    Ret,
+    VerificationError,
+    verify_module,
+)
+
+
+def _module_with(build):
+    module = Module("m")
+    f = Function("main", FunctionType(I64, []))
+    module.add_function(f)
+    build(module, f)
+    return module
+
+
+def _expect_error(build, fragment: str):
+    module = _module_with(build)
+    with pytest.raises(VerificationError) as err:
+        verify_module(module)
+    assert fragment in str(err.value)
+
+
+class TestVerifier:
+    def test_ok_module_passes(self, simple_module):
+        verify_module(simple_module)
+
+    def test_no_blocks(self):
+        _expect_error(lambda m, f: None, "no blocks")
+
+    def test_empty_block(self):
+        _expect_error(lambda m, f: f.append_block("entry"), "empty block")
+
+    def test_missing_terminator(self):
+        def build(m, f):
+            b = IRBuilder(f.append_block("entry"))
+            b.add(b.const(I64, 1), b.const(I64, 2))
+
+        _expect_error(build, "does not end with a terminator")
+
+    def test_terminator_mid_block(self):
+        def build(m, f):
+            entry = f.append_block("entry")
+            b = IRBuilder(entry)
+            b.ret(b.const(I64, 0))
+            b.position_at_end(entry)
+            entry.append(Ret(Constant(I64, 1)))
+
+        _expect_error(build, "terminator")
+
+    def test_duplicate_block_names(self):
+        def build(m, f):
+            for _ in range(2):
+                blk = f.append_block("entry")
+                IRBuilder(blk).ret(Constant(I64, 0))
+
+        _expect_error(build, "duplicate block name")
+
+    def test_duplicate_value_names(self):
+        def build(m, f):
+            b = IRBuilder(f.append_block("entry"))
+            b.alloca(I64, name="x")
+            b.alloca(I64, name="x")
+            b.ret(b.const(I64, 0))
+
+        _expect_error(build, "duplicate value name")
+
+    def test_ret_type_mismatch(self):
+        def build(m, f):
+            b = IRBuilder(f.append_block("entry"))
+            b.ret()  # void return from i64 function
+
+        _expect_error(build, "ret void")
+
+    def test_call_arity(self):
+        def build(m, f):
+            callee = m.declare_function("ext", FunctionType(I64, [I64]))
+            b = IRBuilder(f.append_block("entry"))
+            r = b.call(callee, [])
+            b.ret(r)
+
+        _expect_error(build, "with 0 args")
+
+    def test_call_arg_type(self):
+        from repro.ir import I8, pointer
+
+        def build(m, f):
+            callee = m.declare_function("ext", FunctionType(I64, [pointer(I8)]))
+            b = IRBuilder(f.append_block("entry"))
+            r = b.call(callee, [b.const(I64, 1)])
+            b.ret(r)
+
+        _expect_error(build, "argument type")
+
+    def test_phi_incoming_mismatch(self):
+        def build(m, f):
+            entry = f.append_block("entry")
+            other = f.append_block("other")
+            merge = f.append_block("merge")
+            b = IRBuilder(entry)
+            b.jump(merge)
+            b.position_at_end(other)
+            b.jump(merge)
+            phi = Phi(I64, name="p")
+            phi.add_incoming(Constant(I64, 1), entry)  # missing %other
+            merge.insert(0, phi)
+            b.position_at_end(merge)
+            b.ret(phi)
+
+        _expect_error(build, "incoming blocks")
+
+    def test_phi_after_non_phi(self):
+        def build(m, f):
+            entry = f.append_block("entry")
+            merge = f.append_block("merge")
+            b = IRBuilder(entry)
+            b.jump(merge)
+            b.position_at_end(merge)
+            x = b.add(b.const(I64, 1), b.const(I64, 1))
+            phi = Phi(I64, name="p")
+            phi.add_incoming(Constant(I64, 1), entry)
+            merge.append(phi)
+            b.position_at_end(merge)
+            b.ret(x)
+
+        _expect_error(build, "after non-phi")
+
+    def test_cross_function_operand(self):
+        module = Module("m")
+        f = Function("f", FunctionType(I64, []))
+        g = Function("g", FunctionType(I64, []))
+        module.add_function(f)
+        module.add_function(g)
+        bf = IRBuilder(f.append_block("entry"))
+        x = bf.add(bf.const(I64, 1), bf.const(I64, 1))
+        bf.ret(x)
+        bg = IRBuilder(g.append_block("entry"))
+        bg.ret(x)  # x belongs to f
+        with pytest.raises(VerificationError) as err:
+            verify_module(module)
+        assert "another function" in str(err.value)
+
+    def test_errors_accumulate(self):
+        def build(m, f):
+            f.append_block("entry")
+            f.append_block("entry")
+
+        module = _module_with(build)
+        with pytest.raises(VerificationError) as err:
+            verify_module(module)
+        assert len(err.value.errors) >= 2

@@ -1,0 +1,118 @@
+"""Tests for the measurement layer (overhead, security, bounds)."""
+
+import pytest
+
+from repro.core import analyze_module, clone_module
+from repro.frontend import compile_source
+from repro.metrics import (
+    attack_distance_row,
+    branch_security_row,
+    extract_bound_parameters,
+    mean,
+    measure_module,
+    measure_program,
+)
+from repro.transforms import Mem2Reg
+from repro.workloads import generate_program, get_profile
+from tests.conftest import LISTING1_SOURCE
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    program = generate_program(get_profile("505.mcf_r"))
+    return measure_program(program)
+
+
+class TestOverheadMeasurement:
+    def test_all_schemes_present(self, measurement):
+        assert set(measurement.runs) == {"vanilla", "cpa", "pythia", "dfi"}
+
+    def test_vanilla_overhead_is_zero(self, measurement):
+        assert measurement.runtime_overhead("vanilla") == 0.0
+
+    def test_instrumented_overheads_positive(self, measurement):
+        for scheme in ("cpa", "pythia", "dfi"):
+            assert measurement.runtime_overhead(scheme) > 0
+
+    def test_pythia_cheaper_than_cpa(self, measurement):
+        assert measurement.runtime_overhead("pythia") < measurement.runtime_overhead(
+            "cpa"
+        )
+
+    def test_binary_increase_positive(self, measurement):
+        assert measurement.binary_increase("cpa") > 0
+        assert measurement.binary_increase("pythia") > 0
+
+    def test_ipc_degradation_ordering(self, measurement):
+        assert measurement.ipc_degradation("cpa") > measurement.ipc_degradation(
+            "pythia"
+        )
+
+    def test_pa_counts(self, measurement):
+        assert measurement.pa_static("cpa") > measurement.pa_static("pythia") > 0
+        assert measurement.pa_dynamic("cpa") > measurement.pa_dynamic("pythia") > 0
+        assert measurement.pa_static("dfi") == 0
+
+    def test_missing_scheme_raises(self, measurement):
+        with pytest.raises(KeyError):
+            measurement.runtime_overhead("sgx")
+
+    def test_failing_benign_run_raises(self):
+        module = compile_source("int main() { int z = 0; return 1 / z; }")
+        with pytest.raises(RuntimeError):
+            measure_module(module, "divzero", schemes=("vanilla",))
+
+    def test_mean_helper(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+
+class TestSecurityRows:
+    def test_branch_security_row(self, listing1_module):
+        row = branch_security_row(listing1_module, "listing1")
+        assert row.total_branches >= 1
+        assert 0 <= row.dfi_secured <= row.pythia_secured <= 1.0
+
+    def test_attack_distance_row(self, listing1_module):
+        row = attack_distance_row(listing1_module, "listing1")
+        assert row.affected_branches >= 1
+        assert row.pythia_distance >= row.dfi_distance
+        assert row.pythia_exceeds_ic
+
+    def test_rows_do_not_mutate_module(self, listing1_module):
+        from repro.ir import print_module
+
+        before = print_module(listing1_module)
+        branch_security_row(listing1_module, "x")
+        attack_distance_row(listing1_module, "x")
+        assert print_module(listing1_module) == before
+
+
+class TestBounds:
+    def _params(self, source):
+        module = compile_source(source)
+        Mem2Reg().run(module)
+        return extract_bound_parameters(module), module
+
+    def test_parameters_extracted(self):
+        params, module = self._params(LISTING1_SOURCE)
+        assert params.branches >= 1
+        assert params.vulnerable >= params.refined >= 1
+        assert params.mean_uses > 0
+
+    def test_conservative_bound_dominates(self):
+        params, _ = self._params(LISTING1_SOURCE)
+        assert params.conservative_bound() >= params.pythia_simplified_bound()
+
+    def test_bounds_cover_measured_pa(self):
+        from repro.core import protect
+
+        params, module = self._params(LISTING1_SOURCE)
+        cpa = protect(module, scheme="cpa")
+        pythia = protect(module, scheme="pythia")
+        assert cpa.pa_static <= params.conservative_bound()
+        assert pythia.pa_static <= params.pythia_bound() + params.branches
+
+    def test_refinement_factor(self):
+        params, _ = self._params(LISTING1_SOURCE)
+        assert params.refinement_factor() >= 1.0

@@ -1,0 +1,77 @@
+"""Tests for the spill PA accounting (§5 machine pass, §6.2 example)."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.metrics.spills import (
+    AARCH64_REGISTERS,
+    cpa_spill_pa,
+    estimate_spills,
+    pythia_spill_pa,
+)
+from repro.transforms import Mem2Reg
+
+
+class TestClosedForms:
+    def test_paper_example_spilled_twice(self):
+        # "7 PA instructions (4 encrypts and 3 decrypts)" vs "only 4"
+        assert cpa_spill_pa(2) == 7
+        assert pythia_spill_pa(2, ic_uses=1) == 3 + 1  # 3 encrypts + 1 decrypt
+
+    def test_cpa_baseline_no_spills(self):
+        assert cpa_spill_pa(0) == 3  # sign + use auth + store sign
+
+    def test_cpa_grows_linearly(self):
+        assert cpa_spill_pa(5) - cpa_spill_pa(4) == 2
+
+    def test_pythia_immune_to_spills(self):
+        assert pythia_spill_pa(0) == pythia_spill_pa(10)
+
+    def test_pythia_scales_with_ic_uses(self):
+        assert pythia_spill_pa(0, ic_uses=3) == 10
+
+    def test_pythia_cheaper_once_spills_accumulate(self):
+        assert pythia_spill_pa(3, ic_uses=1) < cpa_spill_pa(3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            cpa_spill_pa(-1)
+        with pytest.raises(ValueError):
+            pythia_spill_pa(0, ic_uses=-2)
+
+
+class TestEstimate:
+    def test_small_function_no_spills(self):
+        module = compile_source("int main() { return 1 + 2; }")
+        Mem2Reg().run(module)
+        estimate = estimate_spills(module)
+        assert estimate.spilled_values == 0
+        assert estimate.cpa_extra_pa == 0
+
+    def test_pressure_heavy_function_spills(self):
+        decls = " ".join(f"int v{i} = x + {i};" for i in range(40))
+        total = " + ".join(f"v{i}" for i in range(40))
+        source = (
+            "int main() { int x = 0; scanf(\"%d\", &x); "
+            + decls
+            + " int s = 0; if (v0 > 0) { s = "
+            + total
+            + "; } return s; }"
+        )
+        module = compile_source(source)
+        Mem2Reg().run(module)
+        estimate = estimate_spills(module)
+        assert estimate.peak_pressure > AARCH64_REGISTERS
+        assert estimate.spilled_values > 0
+        assert estimate.cpa_extra_pa == 2 * estimate.spilled_values
+        assert estimate.pythia_extra_pa == 0
+
+    def test_tighter_register_file_spills_more(self):
+        module = compile_source(
+            "int main() { int a = 1; int b = 2; int c = a + b; return c * a; }"
+        )
+        Mem2Reg().run(module)
+        wide = estimate_spills(module, registers=28)
+        narrow = estimate_spills(module, registers=0)
+        assert narrow.spilled_values >= wide.spilled_values
+        assert narrow.spilled_values == narrow.peak_pressure

@@ -1,0 +1,157 @@
+"""Tests for the Complete Pointer Authentication pass (Algorithm 2)."""
+
+import pytest
+
+from repro.core import protect
+from repro.frontend import compile_source
+from repro.hardware import CPU
+from repro.ir import PacAuth, PacSign, is_pa_instruction, verify_module
+from tests.conftest import LISTING1_SOURCE
+
+
+def cpa_protect(source):
+    module = compile_source(source)
+    return protect(module, scheme="cpa")
+
+
+class TestInstrumentation:
+    def test_pa_instructions_inserted(self, listing1_module):
+        result = protect(listing1_module, scheme="cpa")
+        assert result.pa_static > 0
+        verify_module(result.module)
+
+    def test_guard_words_for_aggregates(self):
+        result = cpa_protect(LISTING1_SOURCE)
+        stats = result.pass_stats["cpa"]
+        assert stats["guard_words"] >= 2  # str and user
+
+    def test_scalar_signing(self):
+        source = """
+        int main() {
+            int secret = 0;
+            scanf("%d", &secret);
+            if (secret > 5) { return 1; }
+            return 0;
+        }
+        """
+        result = cpa_protect(source)
+        stats = result.pass_stats["cpa"]
+        assert stats["signed_scalars"] >= 1
+        assert stats["pa_auth_inserted"] >= 1
+
+    def test_unaffected_program_gets_no_pa(self):
+        # no branches, no ICs: nothing is vulnerable
+        result = cpa_protect("int main() { return 1 + 2; }")
+        assert result.pa_static == 0
+
+    def test_clean_branch_data_still_protected(self):
+        # CPA protects backward slices even without ICs (conservative)
+        source = """
+        int main() {
+            int a[4];
+            a[0] = 1;
+            if (a[0] > 0) { return 1; }
+            return 0;
+        }
+        """
+        result = cpa_protect(source)
+        assert result.pa_static > 0
+
+    def test_vulnerable_count_reported(self, listing1_module):
+        result = protect(listing1_module, scheme="cpa")
+        assert result.pass_stats["cpa"]["vulnerable_variables"] >= 2
+
+
+class TestBenignTransparency:
+    @pytest.mark.parametrize(
+        "source,inputs,expected",
+        [
+            (LISTING1_SOURCE, [b"hi"], 0),
+            (
+                'int main() { int x = 0; scanf("%d", &x); return x * 2; }',
+                [b"21"],
+                42,
+            ),
+            (
+                """
+                int main() {
+                    int vals[4];
+                    int x = 0;
+                    scanf("%d", &x);
+                    for (int i = 0; i < 4; i = i + 1) { vals[i] = x + i; }
+                    int t = 0;
+                    for (int i = 0; i < 4; i = i + 1) {
+                        if (vals[i] > 1) { t = t + vals[i]; }
+                    }
+                    return t;
+                }
+                """,
+                [b"1"],
+                9,
+            ),
+        ],
+    )
+    def test_benign_results_unchanged(self, source, inputs, expected):
+        vanilla = protect(compile_source(source), scheme="vanilla")
+        cpa = protect(compile_source(source), scheme="cpa")
+        rv = CPU(vanilla.module).run(inputs=list(inputs))
+        rc = CPU(cpa.module).run(inputs=list(inputs))
+        assert rv.ok and rc.ok, (rv.trap, rc.trap)
+        assert rv.return_value == rc.return_value == expected
+        assert rv.output == rc.output
+
+    def test_cpa_slower_than_vanilla(self, listing1_module):
+        vanilla = protect(listing1_module, scheme="vanilla")
+        cpa = protect(listing1_module, scheme="cpa")
+        rv = CPU(vanilla.module).run(inputs=[b"x"])
+        rc = CPU(cpa.module).run(inputs=[b"x"])
+        assert rc.cycles > rv.cycles
+        assert rc.pa_dynamic > 0
+
+
+class TestDetection:
+    def test_overflow_into_guarded_aggregate_detected(self):
+        from repro.attacks import AttackController, overflow_payload
+
+        result = cpa_protect(LISTING1_SOURCE)
+        attack = AttackController().add(
+            "gets", overflow_payload(b"", 16, b"admin\x00")
+        )
+        outcome = CPU(result.module, attack=attack).run()
+        assert outcome.status == "pac_trap"
+
+    def test_tampered_scalar_detected(self):
+        # `level` is address-taken (scanf) so it stays in memory; the
+        # gets() overflow then sprays raw bytes over its signed slot.
+        source = """
+        int main() {
+            char buf[8];
+            int level = 0;
+            scanf("%d", &level);
+            gets(buf);
+            if (level > 0) { printf("ADMIN\\n"); return 1; }
+            return 0;
+        }
+        """
+        from repro.attacks import AttackController, overflow_payload
+
+        result = cpa_protect(source)
+        attack = AttackController().add(
+            "gets", overflow_payload(b"", 8, (9).to_bytes(8, "little"))
+        )
+        outcome = CPU(result.module, attack=attack).run(inputs=[b"0"])
+        assert outcome.detected
+
+    def test_resign_after_ic_keeps_benign_alive(self):
+        # without post-IC re-signing this benign program would pac_trap
+        source = """
+        int main() {
+            int x = 0;
+            scanf("%d", &x);
+            if (x == 7) { return 1; }
+            return 0;
+        }
+        """
+        result = cpa_protect(source)
+        outcome = CPU(result.module).run(inputs=[b"7"])
+        assert outcome.ok and outcome.return_value == 1

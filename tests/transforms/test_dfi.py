@@ -1,0 +1,151 @@
+"""Tests for the DFI baseline instrumentation."""
+
+import pytest
+
+from repro.attacks import AttackController, overflow_payload
+from repro.core import protect
+from repro.frontend import compile_source
+from repro.hardware import CPU
+from repro.ir import DfiChkDef, DfiSetDef, verify_module
+from tests.conftest import LISTING1_SOURCE
+
+
+def dfi_protect(source):
+    return protect(compile_source(source), scheme="dfi")
+
+
+def count(module, cls):
+    return sum(
+        1
+        for f in module.defined_functions()
+        for i in f.instructions()
+        if isinstance(i, cls)
+    )
+
+
+class TestInstrumentation:
+    def test_setdef_per_store(self):
+        source = "int main() { int a[2]; a[0] = 1; a[1] = 2; return a[0]; }"
+        result = dfi_protect(source)
+        assert count(result.module, DfiSetDef) >= 2
+        verify_module(result.module)
+
+    def test_chkdef_per_analyzable_load(self):
+        source = "int main() { int a[2]; a[0] = 1; return a[0]; }"
+        result = dfi_protect(source)
+        assert count(result.module, DfiChkDef) >= 1
+
+    def test_ic_calls_get_setdef(self, listing1_module):
+        result = protect(listing1_module, scheme="dfi")
+        setdefs = [
+            i
+            for f in result.module.defined_functions()
+            for i in f.instructions()
+            if isinstance(i, DfiSetDef)
+        ]
+        assert setdefs
+        assert result.pass_stats["dfi"]["setdef_inserted"] >= 2
+
+    def test_computed_pointer_loads_unchecked(self):
+        source = """
+        int main() {
+            int a[4];
+            int *p;
+            a[0] = 1;
+            p = a;
+            p = p + 1;
+            if (*p > 0) { return 1; }
+            return 0;
+        }
+        """
+        result = dfi_protect(source)
+        assert result.pass_stats["dfi"]["unchecked_loads"] >= 1
+
+    def test_field_loads_unchecked(self):
+        source = """
+        struct s { int a; int b; };
+        int main() {
+            struct s v;
+            v.a = 1;
+            if (v.a > 0) { return 1; }
+            return 0;
+        }
+        """
+        result = dfi_protect(source)
+        assert result.pass_stats["dfi"]["unchecked_loads"] >= 1
+
+    def test_no_pa_instructions(self, listing1_module):
+        result = protect(listing1_module, scheme="dfi")
+        assert result.pa_static == 0
+
+
+class TestRuntime:
+    def test_benign_transparency(self, listing1_module):
+        vanilla = protect(listing1_module, scheme="vanilla")
+        dfi = protect(listing1_module, scheme="dfi")
+        rv = CPU(vanilla.module).run(inputs=[b"x"])
+        rd = CPU(dfi.module).run(inputs=[b"x"])
+        assert rv.ok and rd.ok, rd.trap
+        assert rv.return_value == rd.return_value
+        assert rv.output == rd.output
+
+    def test_detects_overflow_into_checked_buffer(self):
+        result = dfi_protect(LISTING1_SOURCE)
+        attack = AttackController().add(
+            "gets", overflow_payload(b"", 16, b"admin\x00")
+        )
+        outcome = CPU(result.module, attack=attack).run()
+        assert outcome.status == "dfi_trap"
+
+    def test_misses_wild_store_misdirection(self):
+        # the §3 pure-dataflow attack: the wild store's def id is in
+        # every allowed set, so DFI cannot flag the forged write
+        source = """
+        int main() {
+            int arr[4];
+            int k = 0;
+            int vals[2];
+            int *p;
+            vals[0] = 4;
+            vals[1] = 5;
+            arr[0] = 0;
+            scanf("%d", &k);
+            p = arr;
+            p = p + k;
+            *p = 6;
+            if (vals[0] > vals[1]) { return 1; }
+            return 0;
+        }
+        """
+        result = dfi_protect(source)
+
+        def steer(cpu):
+            arr = cpu.stack_slot_address("arr")
+            vals = cpu.stack_slot_address("vals")
+            return str((vals - arr) // 8).encode()
+
+        attack = AttackController().add("scanf%d", steer)
+        outcome = CPU(result.module, attack=attack).run()
+        assert outcome.ok and outcome.return_value == 1  # attack succeeded
+
+    def test_overhead_is_real(self, listing1_module):
+        vanilla = protect(listing1_module, scheme="vanilla")
+        dfi = protect(listing1_module, scheme="dfi")
+        rv = CPU(vanilla.module).run(inputs=[b"x"])
+        rd = CPU(dfi.module).run(inputs=[b"x"])
+        assert rd.cycles > rv.cycles
+
+    def test_benign_heap_program(self):
+        source = """
+        int main() {
+            int *data;
+            data = malloc(32);
+            data[0] = 5;
+            int v = data[0];
+            free(data);
+            return v;
+        }
+        """
+        result = dfi_protect(source)
+        outcome = CPU(result.module).run()
+        assert outcome.ok and outcome.return_value == 5

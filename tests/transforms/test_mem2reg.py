@@ -1,0 +1,182 @@
+"""Tests for SSA construction (mem2reg)."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.hardware import CPU
+from repro.ir import Alloca, Load, Phi, Store, verify_module
+from repro.transforms import Mem2Reg, promotable_allocas
+
+
+def promote(source):
+    module = compile_source(source)
+    stats = Mem2Reg().run(module)
+    verify_module(module)
+    return module, stats
+
+
+def semantics_preserved(source, inputs=None, seed=3):
+    raw = compile_source(source)
+    before = CPU(raw, seed=seed).run(inputs=list(inputs or []))
+    promoted = compile_source(source)
+    Mem2Reg().run(promoted)
+    verify_module(promoted)
+    after = CPU(promoted, seed=seed).run(inputs=list(inputs or []))
+    assert before.status == after.status
+    assert before.return_value == after.return_value
+    assert before.output == after.output
+    return before, after
+
+
+class TestPromotability:
+    def test_scalar_promoted(self):
+        module, stats = promote("int main() { int x = 3; return x; }")
+        assert stats["promoted_allocas"] >= 1
+        main = module.get_function("main")
+        assert not any(isinstance(i, (Load, Store)) for i in main.instructions())
+
+    def test_array_not_promoted(self):
+        module, _ = promote("int main() { int a[4]; a[0] = 1; return a[0]; }")
+        main = module.get_function("main")
+        assert any(isinstance(i, Alloca) for i in main.instructions())
+
+    def test_address_taken_not_promoted(self):
+        source = "int main() { int x = 1; int *p; p = &x; *p = 2; return x; }"
+        module = compile_source(source)
+        main = module.get_function("main")
+        x = next(a for a in main.allocas() if a.name == "x")
+        assert x not in promotable_allocas(main)
+
+    def test_scanf_argument_not_promoted(self):
+        source = 'int main() { int x = 0; scanf("%d", &x); return x; }'
+        module, _ = promote(source)
+        main = module.get_function("main")
+        assert any(isinstance(i, Alloca) and i.name == "x" for i in main.instructions())
+
+    def test_pointer_variable_promoted(self):
+        source = "int main() { int a[2]; int *p; p = a; a[0] = 4; return *p; }"
+        module, stats = promote(source)
+        main = module.get_function("main")
+        assert not any(isinstance(i, Alloca) and i.name == "p" for i in main.instructions())
+
+
+class TestPhiInsertion:
+    def test_diamond_gets_phi(self):
+        source = """
+        int main() {
+            int x = 0;
+            int c = 1;
+            if (c) { x = 1; } else { x = 2; }
+            return x;
+        }
+        """
+        module, stats = promote(source)
+        assert stats["inserted_phis"] >= 1
+        main = module.get_function("main")
+        assert any(isinstance(i, Phi) for i in main.instructions())
+
+    def test_loop_gets_phi(self):
+        source = """
+        int main() {
+            int t = 0;
+            for (int i = 0; i < 4; i = i + 1) { t = t + i; }
+            return t;
+        }
+        """
+        module, stats = promote(source)
+        assert stats["inserted_phis"] >= 1
+
+    def test_straightline_no_phis(self):
+        _, stats = promote("int main() { int x = 1; int y = x + 1; return y; }")
+        assert stats["inserted_phis"] == 0
+
+
+class TestSemanticsPreserved:
+    def test_diamond(self):
+        semantics_preserved(
+            """
+            int main() {
+                int x = 0;
+                int c = 0;
+                if (c) { x = 10; } else { x = 20; }
+                return x;
+            }
+            """
+        )
+
+    def test_loop_accumulator(self):
+        semantics_preserved(
+            """
+            int main() {
+                int t = 0;
+                for (int i = 1; i <= 10; i = i + 1) { t = t + i; }
+                return t;
+            }
+            """
+        )
+
+    def test_nested_loops(self):
+        semantics_preserved(
+            """
+            int main() {
+                int t = 0;
+                for (int i = 0; i < 4; i = i + 1) {
+                    for (int j = 0; j < 3; j = j + 1) { t = t + i * j; }
+                }
+                return t;
+            }
+            """
+        )
+
+    def test_break_continue(self):
+        semantics_preserved(
+            """
+            int main() {
+                int t = 0;
+                for (int i = 0; i < 10; i = i + 1) {
+                    if (i == 3) { continue; }
+                    if (i == 7) { break; }
+                    t = t + i;
+                }
+                return t;
+            }
+            """
+        )
+
+    def test_listing1_behaviour_unchanged(self):
+        from tests.conftest import LISTING1_SOURCE
+
+        semantics_preserved(LISTING1_SOURCE, inputs=[b"benign"])
+
+    def test_arrays_and_pointers_mix(self):
+        semantics_preserved(
+            """
+            int main() {
+                int a[4];
+                int *p;
+                int acc = 0;
+                for (int i = 0; i < 4; i = i + 1) { a[i] = i * 3; }
+                p = a;
+                p = p + 1;
+                acc = *p + a[3];
+                return acc;
+            }
+            """
+        )
+
+    def test_reduces_memory_traffic(self):
+        source = """
+        int main() {
+            int t = 0;
+            for (int i = 0; i < 30; i = i + 1) { t = t + i; }
+            return t;
+        }
+        """
+        raw = compile_source(source)
+        before = CPU(raw).run()
+        promoted = compile_source(source)
+        Mem2Reg().run(promoted)
+        after = CPU(promoted).run()
+        before_loads = before.opcode_counts.get("load", 0)
+        after_loads = after.opcode_counts.get("load", 0)
+        assert after_loads < before_loads

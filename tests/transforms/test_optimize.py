@@ -1,0 +1,155 @@
+"""Tests for constant folding and dead code elimination."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.hardware import CPU
+from repro.ir import CondBranch, verify_module
+from repro.transforms import ConstantFold, DeadCodeElimination, Mem2Reg, optimize
+
+
+def optimized(source):
+    module = compile_source(source)
+    Mem2Reg().run(module)
+    stats = optimize(module)
+    verify_module(module)
+    return module, stats
+
+
+def differential(source, inputs=None, seed=5):
+    """Optimized and unoptimized programs must behave identically."""
+    plain = compile_source(source)
+    Mem2Reg().run(plain)
+    before = CPU(plain, seed=seed).run(inputs=list(inputs or []))
+    module, _ = optimized(source)
+    after = CPU(module, seed=seed).run(inputs=list(inputs or []))
+    assert before.status == after.status
+    assert before.return_value == after.return_value
+    assert before.output == after.output
+    return before, after
+
+
+class TestConstantFold:
+    def test_arithmetic_folds(self):
+        module, stats = optimized("int main() { return 6 * 7; }")
+        assert stats["constfold"]["folded"] >= 1
+        main = module.get_function("main")
+        assert main.entry_block.instructions[-1].value.ref() == "42"
+
+    def test_comparison_folds(self):
+        module, stats = optimized("int main() { return 3 < 4; }")
+        assert stats["constfold"]["folded"] >= 1
+
+    def test_transitive_folding(self):
+        module, stats = optimized("int main() { return (2 + 3) * (10 - 6); }")
+        main = module.get_function("main")
+        assert main.entry_block.instructions[-1].value.ref() == "20"
+
+    def test_division_by_zero_not_folded(self):
+        source = "int main() { int z = 0; return 7 / z; }"
+        module, _ = optimized(source)
+        result = CPU(module).run()
+        assert result.status == "fault"  # the trap is preserved
+
+    def test_constant_branch_resolved(self):
+        module, stats = optimized(
+            "int main() { if (1 < 2) { return 1; } return 0; }"
+        )
+        assert stats["constfold"]["branches_resolved"] >= 1
+        main = module.get_function("main")
+        assert not main.conditional_branches()
+
+    def test_signed_folds(self):
+        differential("int main() { return -17 / 5 + -17 % 5; }")
+
+    def test_shifts(self):
+        differential("int main() { return (1 << 6) | (256 >> 2); }")
+
+
+class TestDCE:
+    def test_unused_value_removed(self):
+        source = "int main() { int unused = 1 + 2; return 7; }"
+        module, stats = optimized(source)
+        total = stats["constfold"]["folded"] + stats["dce"]["removed_instructions"]
+        assert total >= 1
+        main = module.get_function("main")
+        assert len(main.entry_block.instructions) == 1  # just the ret
+
+    def test_calls_never_removed(self):
+        source = 'int main() { printf("side effect\\n"); return 0; }'
+        module, _ = optimized(source)
+        result = CPU(module).run()
+        assert b"side effect" in result.output
+
+    def test_stores_never_removed(self):
+        source = "int main() { int a[1]; a[0] = 9; return a[0]; }"
+        _, after = differential(source)
+        assert after.return_value == 9
+
+    def test_unreachable_block_pruned(self):
+        module, stats = optimized(
+            "int main() { if (0) { printf(\"never\\n\"); } return 3; }"
+        )
+        assert stats["dce"]["removed_blocks"] >= 1
+        result = CPU(module).run()
+        assert result.output == b"" and result.return_value == 3
+
+    def test_pa_auth_preserved(self):
+        # pac.auth is a trap point: DCE must never delete it
+        from repro.core import protect
+        from repro.attacks import AttackController, overflow_payload
+        from tests.conftest import LISTING1_SOURCE
+
+        protected = protect(compile_source(LISTING1_SOURCE), scheme="pythia")
+        DeadCodeElimination().run(protected.module)
+        verify_module(protected.module)
+        attack = AttackController().add(
+            "gets", overflow_payload(b"", 16, b"admin\x00")
+        )
+        outcome = CPU(protected.module, attack=attack).run()
+        assert outcome.status == "pac_trap"
+
+    def test_idempotent(self):
+        module, _ = optimized("int main() { if (1) { return 2; } return 3; }")
+        from repro.ir import print_module
+
+        once = print_module(module)
+        optimize(module)
+        assert print_module(module) == once
+
+
+class TestDifferential:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int main() { int t = 0; for (int i = 0; i < 9; i = i + 1) { t = t + i * 2; } return t; }",
+            "int main() { int x = 5; if (x > 3 && x < 9) { return x * 2; } return 0; }",
+            """
+            int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+            int main() { return fib(9); }
+            """,
+            """
+            int main() {
+                char b[8];
+                gets(b);
+                if (b[0] == 'a') { return 1; }
+                return 0;
+            }
+            """,
+        ],
+    )
+    def test_semantics_preserved(self, source):
+        differential(source, inputs=[b"abc"])
+
+    def test_loop_with_phi_after_branch_resolution(self):
+        source = """
+        int main() {
+            int t = 0;
+            int flag = 1;
+            for (int i = 0; i < 5; i = i + 1) {
+                if (flag) { t = t + i; } else { t = t - i; }
+            }
+            return t;
+        }
+        """
+        differential(source)

@@ -1,0 +1,57 @@
+"""Tests for the pass manager."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import VerificationError, Ret
+from repro.transforms import Mem2Reg, PassManager
+
+
+class _BreakingPass:
+    """A deliberately broken pass that removes a terminator."""
+
+    name = "breaker"
+
+    def run(self, module):
+        main = module.get_function("main")
+        main.entry_block.instructions = [
+            i for i in main.entry_block.instructions if not isinstance(i, Ret)
+        ]
+        return {}
+
+
+class _CountingPass:
+    name = "counter"
+
+    def __init__(self):
+        self.runs = 0
+
+    def run(self, module):
+        self.runs += 1
+        return {"runs": self.runs}
+
+
+class TestPassManager:
+    def test_runs_in_order_and_collects_stats(self):
+        module = compile_source("int main() { int x = 3; return x; }")
+        counter = _CountingPass()
+        manager = PassManager([Mem2Reg(), counter])
+        stats = manager.run(module)
+        assert "mem2reg" in stats and stats["counter"] == {"runs": 1}
+
+    def test_verification_after_each_pass(self):
+        module = compile_source("int main() { return 0; }")
+        manager = PassManager([_BreakingPass()])
+        with pytest.raises(VerificationError):
+            manager.run(module)
+
+    def test_verification_can_be_disabled(self):
+        module = compile_source("int main() { return 0; }")
+        manager = PassManager([_BreakingPass()], verify=False)
+        manager.run(module)  # no exception
+
+    def test_broken_input_caught_before_passes(self):
+        module = compile_source("int main() { return 0; }")
+        _BreakingPass().run(module)
+        with pytest.raises(VerificationError):
+            PassManager([_CountingPass()]).run(module)
