@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Interpreter throughput: pre-decoded dispatch vs reference loop.
+
+Runs one generated benchmark under every scheme with both CPU backends,
+verifies their architectural counters are bit-identical, and reports the
+decoded/reference speedup.  Also times a small suite serially vs with
+two worker processes to exercise the ``repro.perf`` fan-out.
+
+Wall-clock in shared containers is noisy (same code can swing tens of
+percent between batches), so each scheme is measured as *interleaved*
+reference/decoded pairs and the speedup is the ratio of the per-side
+minima -- the minimum estimates the noise-free cost, and interleaving
+keeps slow phases from landing on one side only.
+
+Appends one entry to ``BENCH_interp.json`` (see repro.perf.trajectory)
+so throughput can be tracked across commits.
+
+Usage::
+
+    python benchmarks/bench_interp_throughput.py
+    python benchmarks/bench_interp_throughput.py --profile 505.mcf_r \
+        --repeat 3 --min-speedup 1.0 --skip-suite   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import math
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.config import SCHEMES
+from repro.core.framework import protect
+from repro.hardware import CPU, decode_module, invalidate_decode_cache
+from repro.perf import append_entry, run_suite
+from repro.workloads import generate_program, get_profile, profile_names
+
+#: Architectural counters that must match between backends exactly.
+COMPARED_FIELDS = (
+    "status",
+    "return_value",
+    "cycles",
+    "instructions",
+    "ipc",
+    "steps",
+    "output",
+    "pac_sign_count",
+    "pac_auth_count",
+    "isolated_allocations",
+)
+
+
+def _check_identical(name, reference, decoded):
+    for field in COMPARED_FIELDS:
+        ref_value = getattr(reference, field)
+        dec_value = getattr(decoded, field)
+        if ref_value != dec_value:
+            raise AssertionError(
+                f"{name}: {field} diverged: reference={ref_value!r} "
+                f"decoded={dec_value!r}"
+            )
+    if reference.opcode_counts != decoded.opcode_counts:
+        raise AssertionError(f"{name}: opcode_counts diverged")
+
+
+def measure_scheme(module, inputs, seed, repeat):
+    """Interleaved min-of-``repeat`` timing of both backends."""
+    invalidate_decode_cache(module)
+    _, decode_seconds = decode_module(module)
+
+    best = {"reference": math.inf, "decoded": math.inf}
+    results = {}
+    for _ in range(repeat):
+        for interpreter in ("reference", "decoded"):
+            cpu = CPU(module, seed=seed, interpreter=interpreter)
+            start = time.perf_counter()
+            result = cpu.run(inputs=list(inputs))
+            elapsed = time.perf_counter() - start
+            best[interpreter] = min(best[interpreter], elapsed)
+            results[interpreter] = result
+    return best, results, decode_seconds
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", default="502.gcc_r", choices=profile_names())
+    parser.add_argument("--repeat", type=int, default=7)
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument(
+        "--out", default=os.path.join(REPO_ROOT, "BENCH_interp.json")
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="fail if the geomean decoded speedup falls below this",
+    )
+    parser.add_argument(
+        "--suite-size",
+        type=int,
+        default=6,
+        help="profiles in the serial-vs-parallel suite comparison",
+    )
+    parser.add_argument(
+        "--skip-suite",
+        action="store_true",
+        help="skip the serial-vs-parallel suite timing",
+    )
+    args = parser.parse_args(argv)
+
+    program = generate_program(get_profile(args.profile))
+    module = program.compile()
+    print(f"{args.profile}: {module.instruction_count()} IR instructions, "
+          f"repeat={args.repeat} (interleaved, min per side)")
+
+    scheme_entries = {}
+    speedups = []
+    for scheme in SCHEMES:
+        protected = protect(module, scheme=scheme)
+        best, results, decode_seconds = measure_scheme(
+            protected.module, program.inputs, args.seed, args.repeat
+        )
+        _check_identical(f"{args.profile}/{scheme}", *results.values())
+        speedup = best["reference"] / best["decoded"]
+        steps = results["decoded"].steps
+        steps_per_second = steps / best["decoded"]
+        speedups.append(speedup)
+        scheme_entries[scheme] = {
+            "reference_seconds": round(best["reference"], 6),
+            "decoded_seconds": round(best["decoded"], 6),
+            "decode_seconds": round(decode_seconds, 6),
+            "speedup": round(speedup, 3),
+            "steps": steps,
+            "steps_per_second": round(steps_per_second, 1),
+        }
+        print(
+            f"  {scheme:8s} reference={best['reference'] * 1e3:8.2f}ms "
+            f"decoded={best['decoded'] * 1e3:8.2f}ms "
+            f"speedup={speedup:5.2f}x "
+            f"({steps_per_second:,.0f} steps/s, "
+            f"decode {decode_seconds * 1e3:.2f}ms) counters identical"
+        )
+
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    print(f"geomean speedup: {geomean:.2f}x (min {min(speedups):.2f}x)")
+
+    entry = {
+        "label": "interp-throughput",
+        "date": datetime.date.today().isoformat(),
+        "profile": args.profile,
+        "repeat": args.repeat,
+        "schemes": scheme_entries,
+        "geomean_speedup": round(geomean, 3),
+        "min_speedup": round(min(speedups), 3),
+    }
+
+    if not args.skip_suite:
+        names = profile_names()[: args.suite_size]
+        serial = run_suite(names=names, seed=args.seed, jobs=1)
+        parallel = run_suite(names=names, seed=args.seed, jobs=2)
+        if serial.total_steps != parallel.total_steps:
+            raise AssertionError("suite step totals diverged across jobs")
+        if (os.cpu_count() or 1) < 2:
+            print("note: single-CPU host; fan-out cannot beat serial here")
+        print(
+            f"suite ({len(names)} benchmarks x {len(SCHEMES)} schemes): "
+            f"serial {serial.wall_seconds:.2f}s, "
+            f"2 jobs {parallel.wall_seconds:.2f}s "
+            f"({serial.wall_seconds / parallel.wall_seconds:.2f}x), "
+            f"{serial.steps_per_second:,.0f} steps/s serial"
+        )
+        entry["suite"] = {
+            "names": names,
+            "cpu_count": os.cpu_count(),
+            "serial_wall_seconds": round(serial.wall_seconds, 3),
+            "parallel_wall_seconds": round(parallel.wall_seconds, 3),
+            "parallel_jobs": 2,
+            "total_steps": serial.total_steps,
+            "steps_per_second": round(serial.steps_per_second, 1),
+            "decode_seconds": round(serial.decode_seconds, 6),
+        }
+
+    append_entry(args.out, entry)
+    print(f"appended trajectory entry to {args.out}")
+
+    if geomean < args.min_speedup:
+        print(
+            f"FAIL: geomean speedup {geomean:.2f}x below "
+            f"threshold {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,7 @@ from .metrics import (
     measure_module,
     measure_program,
 )
+from .perf import SuiteResult, run_suite
 from .workloads import (
     ALL_PROFILES,
     BenchmarkProfile,
@@ -99,7 +100,9 @@ __all__ = [
     "protect_all",
     "ProtectionResult",
     "run_nginx",
+    "run_suite",
     "Scenario",
+    "SuiteResult",
     "SCHEMES",
     "SecurityReport",
     "verify_module",

@@ -58,12 +58,18 @@ class Scenario:
     def compile(self) -> Module:
         return compile_source(self.source, name=self.name)
 
-    def run_benign(self, module: Module, seed: int = 2024) -> ExecutionResult:
-        cpu = CPU(module, seed=seed)
+    def run_benign(
+        self, module: Module, seed: int = 2024, interpreter: Optional[str] = None
+    ) -> ExecutionResult:
+        cpu = CPU(module, seed=seed, interpreter=interpreter)
         return cpu.run(inputs=list(self.benign_inputs))
 
-    def run_attack(self, module: Module, seed: int = 2024) -> ExecutionResult:
-        cpu = CPU(module, seed=seed, attack=self.make_attack())
+    def run_attack(
+        self, module: Module, seed: int = 2024, interpreter: Optional[str] = None
+    ) -> ExecutionResult:
+        cpu = CPU(
+            module, seed=seed, attack=self.make_attack(), interpreter=interpreter
+        )
         return cpu.run(inputs=list(self.benign_inputs))
 
     def attack_succeeded(self, result: ExecutionResult) -> bool:

@@ -7,6 +7,7 @@ Subcommands:
 ``analyze``   print the vulnerability analysis of a program
 ``attack``    replay a built-in attack scenario under every scheme
 ``bench``     run one generated benchmark under every scheme
+``suite``     measure many benchmarks, optionally across worker processes
 ``scenarios`` list the built-in attack scenarios
 """
 
@@ -25,7 +26,7 @@ from .core import (
     protect,
 )
 from .frontend import compile_source
-from .hardware import CPU
+from .hardware import CPU, INTERPRETERS
 from .ir import print_module
 from .transforms import Mem2Reg
 from .workloads import generate_program, get_profile, profile_names
@@ -57,7 +58,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     module = compile_source(_read_source(args.source), name=args.name)
     config = DefenseConfig(scheme=args.scheme, protect_fields=args.fields)
     protected = protect(module, config=config)
-    cpu = CPU(protected.module, seed=args.seed)
+    cpu = CPU(protected.module, seed=args.seed, interpreter=args.interpreter)
     result = cpu.run(inputs=_parse_inputs(args.input))
     sys.stdout.write(result.output.decode("utf-8", "replace"))
     print(
@@ -121,9 +122,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"{args.benchmark}: {module.instruction_count()} IR instructions")
     for scheme in SCHEMES:
         protected = protect(module, scheme=scheme)
-        result = CPU(protected.module, seed=args.seed).run(
-            inputs=list(program.inputs)
-        )
+        result = CPU(
+            protected.module, seed=args.seed, interpreter=args.interpreter
+        ).run(inputs=list(program.inputs))
         if not result.ok:
             print(f"  {scheme:8s} FAILED: {result.status}")
             return 2
@@ -136,6 +137,42 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 f"  {scheme:8s} cycles={result.cycles:10.0f} "
                 f"overhead={overhead:6.1f}% pa={result.pa_dynamic}"
             )
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from .perf import run_suite
+
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}")
+        return 1
+    known = profile_names()
+    for name in args.benchmark:
+        if name not in known:
+            print(f"unknown benchmark {name!r}; try: {', '.join(known)}")
+            return 1
+    names = args.benchmark or None
+    result = run_suite(
+        names=names,
+        seed=args.seed,
+        jobs=args.jobs,
+        interpreter=args.interpreter,
+    )
+    for name in sorted(result.programs):
+        program = result.programs[name]
+        overheads = " ".join(
+            f"{scheme}={100 * program.runtime_overhead(scheme):+.1f}%"
+            for scheme in result.schemes
+            if scheme != "vanilla"
+        )
+        print(f"  {name:18s} {overheads}")
+    print(
+        f"{len(result.programs)} benchmarks x {len(result.schemes)} schemes "
+        f"in {result.wall_seconds:.2f}s "
+        f"({result.jobs} job{'s' if result.jobs != 1 else ''}): "
+        f"{result.steps_per_second:,.0f} steps/s, "
+        f"decode {result.decode_seconds * 1e3:.1f}ms"
+    )
     return 0
 
 
@@ -172,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--input", action="append", help="queue a benign input line (repeatable)"
     )
+    p.add_argument(
+        "--interpreter",
+        choices=INTERPRETERS,
+        default=None,
+        help="CPU backend (default: pre-decoded dispatch)",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("analyze", help="print the vulnerability analysis")
@@ -187,7 +230,37 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="run one generated benchmark")
     p.add_argument("benchmark", choices=profile_names(), metavar="BENCHMARK")
     p.add_argument("--seed", type=int, default=2024)
+    p.add_argument(
+        "--interpreter",
+        choices=INTERPRETERS,
+        default=None,
+        help="CPU backend (default: pre-decoded dispatch)",
+    )
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "suite", help="measure benchmarks under every scheme, optionally in parallel"
+    )
+    p.add_argument(
+        "benchmark",
+        nargs="*",
+        metavar="BENCHMARK",
+        help="benchmarks to measure (default: all profiles)",
+    )
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the fan-out (default: 1, serial)",
+    )
+    p.add_argument(
+        "--interpreter",
+        choices=INTERPRETERS,
+        default=None,
+        help="CPU backend (default: pre-decoded dispatch)",
+    )
+    p.set_defaults(func=cmd_suite)
 
     p = sub.add_parser("scenarios", help="list the built-in attack scenarios")
     p.set_defaults(func=cmd_scenarios)

@@ -10,6 +10,7 @@ from .framework import (
     BYTES_PER_INSTRUCTION,
     ProtectionResult,
     clone_module,
+    clone_module_textual,
     protect,
     protect_all,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "build_security_report",
     "BYTES_PER_INSTRUCTION",
     "clone_module",
+    "clone_module_textual",
     "DefenseConfig",
     "dfi_protects",
     "DIRECT_DEPTH",

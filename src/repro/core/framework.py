@@ -5,16 +5,21 @@ the configured defense passes, returning the instrumented module plus
 the static statistics the evaluation reports (PA instruction counts,
 canary counts, binary size).
 
-Modules are cloned through the textual round-trip before
-instrumentation, so one source module can be protected under several
-schemes and compared -- exactly what the benchmark harness does.
+Modules are cloned before instrumentation, so one source module can be
+protected under several schemes and compared -- exactly what the
+benchmark harness does.  Cloning is a structural object-graph copy
+(:meth:`repro.ir.module.Module.clone`); the older textual round-trip is
+kept as :func:`clone_module_textual` and doubles as the verification
+oracle in the test suite.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Optional
 
+from ..hardware.decoder import invalidate_decode_cache
 from ..ir.instructions import is_pa_instruction
 from ..ir.module import Module
 from ..ir.parser import parse_module
@@ -36,7 +41,16 @@ BYTES_PER_INSTRUCTION = 4
 
 
 def clone_module(module: Module) -> Module:
-    """Deep-copy a module via the textual round-trip."""
+    """Deep-copy a module (structural object-graph clone)."""
+    return module.clone()
+
+
+def clone_module_textual(module: Module) -> Module:
+    """Deep-copy a module via the textual print -> parse round-trip.
+
+    Much slower than :func:`clone_module`; retained as the verification
+    oracle (both paths must produce modules that print identically).
+    """
     return parse_module(print_module(module))
 
 
@@ -49,9 +63,13 @@ class ProtectionResult:
     report: Optional[VulnerabilityReport]
     pass_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
-    @property
+    @cached_property
     def pa_static(self) -> int:
-        """Statically instrumented ARM-PA instructions."""
+        """Statically instrumented ARM-PA instructions.
+
+        Memoized: the module is fixed once protection has run, and the
+        reporting layer reads this repeatedly per measurement.
+        """
         return sum(
             1
             for function in self.module.defined_functions()
@@ -59,8 +77,9 @@ class ProtectionResult:
             if is_pa_instruction(inst)
         )
 
-    @property
+    @cached_property
     def instruction_count(self) -> int:
+        """Static instruction count of the instrumented module (memoized)."""
         return self.module.instruction_count()
 
     @property
@@ -92,6 +111,9 @@ def protect(
         Mem2Reg().run(target)
         if config.verify:
             verify_module(target)
+        # mem2reg runs outside the PassManager, so drop any stale
+        # pre-decoded program for this module explicitly
+        invalidate_decode_cache(target)
 
     if config.scheme == "vanilla":
         return ProtectionResult(module=target, scheme="vanilla", report=None)

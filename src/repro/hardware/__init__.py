@@ -13,12 +13,14 @@ from .cpu import (
     DFI_EXTERNAL_WRITER,
     DfiTrap,
     ExecutionResult,
+    INTERPRETERS,
     NullPointerTrap,
     ProgramExit,
     SecurityTrap,
     StepLimitExceeded,
     UnknownExternalError,
 )
+from .decoder import decode_module, invalidate_decode_cache
 from .libc import LIBRARY, LibFunction, declare_library
 from .memory import (
     GLOBAL_BASE,
@@ -53,6 +55,7 @@ __all__ = [
     "CanaryTrap",
     "CPU",
     "declare_library",
+    "decode_module",
     "DEFAULT_COSTS",
     "DFI_EXTERNAL_WRITER",
     "DfiTrap",
@@ -62,6 +65,8 @@ __all__ = [
     "HEAP_SECTIONING_CYCLES",
     "HEAP_SHARED_BASE",
     "HeapAllocator",
+    "INTERPRETERS",
+    "invalidate_decode_cache",
     "LIBRARY",
     "LibFunction",
     "Memory",

@@ -12,11 +12,25 @@ defense passes rely on:
 Executions are deterministic given the seed, and every run accumulates
 the counters the paper's evaluation reports: cycles, IPC, dynamic PA
 instruction counts, input-channel invocations, allocator statistics.
+
+Two interpreter backends execute the same semantics:
+
+- ``decoded`` (the default): walks blocks pre-compiled by
+  :mod:`repro.hardware.decoder` into bound handler closures -- operand
+  kinds resolved once, constants folded, GEP strides pre-multiplied.
+- ``reference``: the original ``isinstance``-dispatch interpreter,
+  kept as the semantic oracle (see the golden-equivalence test suite).
+
+Select with ``CPU(..., interpreter="reference")`` or the
+``REPRO_INTERPRETER`` environment variable.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
+from itertools import repeat
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from collections import deque
@@ -48,62 +62,83 @@ from ..ir.types import ArrayType, I64, IntType, PointerType, StructType
 from ..ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
 from .allocator import OutOfMemoryError, SectionedHeap
 from .cache import CacheModel
+from .decoder import DecodedBlock, compute_global_layout, decode_module
+from .errors import (
+    DFI_EXTERNAL_WRITER,
+    CanaryTrap,
+    DfiTrap,
+    NullPointerTrap,
+    ProgramExit,
+    SecurityTrap,
+    StepLimitExceeded,
+    UnknownExternalError,
+)
 from .libc import LIBRARY
 from .memory import GLOBAL_BASE, Memory, MemoryFault, STACK_BASE
 from .pac import PacAuthError, PointerAuthentication
 from .rng import CanaryRng
-from .timing import TimingModel
+from .timing import DEFAULT_COSTS, TimingModel
 
 _MASK64 = (1 << 64) - 1
 
-#: Shadow value for memory last written by an external (library) writer.
-DFI_EXTERNAL_WRITER = 0
+#: Interpreter backends accepted by :class:`CPU`.
+INTERPRETERS = ("decoded", "reference")
 
 
-class SecurityTrap(Exception):
-    """Base class of defense-triggered traps."""
+class DfiShadow:
+    """The DFI runtime definitions table, tracked at byte granularity.
 
-    kind = "security"
+    Backed by a plain dict but updated and checked with bulk range
+    operations (``dict.fromkeys``/``update`` and a set-containment fast
+    path) instead of per-byte Python loops -- ``memcpy``-style external
+    writes touch hundreds of bytes per call.
+    """
 
+    __slots__ = ("_map",)
 
-class CanaryTrap(SecurityTrap):
-    """A ``sec.assert`` canary check failed: overflow detected."""
+    def __init__(self):
+        self._map: Dict[int, int] = {}
 
-    kind = "canary"
+    def set_range(self, address: int, size: int, def_id: int) -> None:
+        """Record ``def_id`` as the last writer of ``size`` bytes."""
+        if size == 1:
+            self._map[address] = def_id
+        else:
+            self._map.update(dict.fromkeys(range(address, address + size), def_id))
 
+    def check_range(
+        self, address: int, size: int, allowed: frozenset
+    ) -> Optional[Tuple[int, int]]:
+        """First ``(address, writer)`` violating ``allowed``, or ``None``."""
+        get = self._map.get
+        if size == 1:
+            writer = get(address, DFI_EXTERNAL_WRITER)
+            return None if writer in allowed else (address, writer)
+        end = address + size
+        writers = set(map(get, range(address, end), repeat(DFI_EXTERNAL_WRITER, size)))
+        if writers <= allowed:
+            return None
+        for byte_address in range(address, end):
+            writer = get(byte_address, DFI_EXTERNAL_WRITER)
+            if writer not in allowed:
+                return byte_address, writer
+        return None  # pragma: no cover - unreachable
 
-class DfiTrap(SecurityTrap):
-    """A ``dfi.chkdef`` found an unexpected last writer."""
+    # dict-like helpers kept for tests and debugging
+    def get(self, address: int, default: int = DFI_EXTERNAL_WRITER) -> int:
+        return self._map.get(address, default)
 
-    kind = "dfi"
+    def __getitem__(self, address: int) -> int:
+        return self._map[address]
 
-    def __init__(self, address: int, writer: int, allowed: frozenset):
-        super().__init__(
-            f"DFI violation at {address:#x}: writer {writer} not in {sorted(allowed)}"
-        )
-        self.address = address
-        self.writer = writer
-        self.allowed = allowed
+    def __setitem__(self, address: int, def_id: int) -> None:
+        self._map[address] = def_id
 
+    def __contains__(self, address: int) -> bool:
+        return address in self._map
 
-class NullPointerTrap(Exception):
-    """Dereference of a null pointer."""
-
-
-class StepLimitExceeded(Exception):
-    """The execution ran past the configured dynamic step budget."""
-
-
-class ProgramExit(Exception):
-    """Raised by the ``exit``/``abort`` library models."""
-
-    def __init__(self, code: int):
-        super().__init__(f"exit({code})")
-        self.code = code
-
-
-class UnknownExternalError(Exception):
-    """Call to a declaration with no library model."""
+    def __len__(self) -> int:
+        return len(self._map)
 
 
 @dataclass
@@ -126,11 +161,25 @@ class ExecutionResult:
     #: cache statistics (zero unless the CPU was given a CacheModel)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: interpreter throughput: wall-clock seconds of this run
+    wall_seconds: float = 0.0
+    #: wall-clock seconds spent decoding the module for this run
+    #: (0.0 on a decode-cache hit or under the reference interpreter)
+    decode_seconds: float = 0.0
+    #: which interpreter backend produced this result
+    interpreter: str = "decoded"
 
     @property
     def cache_miss_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_misses / total if total else 0.0
+
+    @property
+    def steps_per_second(self) -> float:
+        """Dynamic IR steps retired per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.steps / self.wall_seconds
 
     @property
     def ok(self) -> bool:
@@ -160,6 +209,7 @@ class CPU:
         max_steps: int = 20_000_000,
         heap_capacity: int = 8 * 1024 * 1024,
         cache: Optional[CacheModel] = None,
+        interpreter: Optional[str] = None,
     ):
         self.module = module
         self.memory = Memory()
@@ -180,24 +230,33 @@ class CPU:
         self.global_addresses: Dict[str, int] = {}
         #: live call frames, innermost last: (function, value->int map)
         self.frames: List[Tuple[Function, Dict[Value, int]]] = []
-        self.dfi_shadow: Dict[int, int] = {}
+        #: per-frame alloca name -> address index, parallel to ``frames``
+        self.frame_slots: List[Dict[str, int]] = []
+        self.dfi_shadow = DfiShadow()
         self.dfi_active = any(
             isinstance(inst, (DfiSetDef, DfiChkDef))
             for function in module.defined_functions()
             for inst in function.instructions()
         )
+        if interpreter is None:
+            interpreter = os.environ.get("REPRO_INTERPRETER", "decoded")
+        if interpreter not in INTERPRETERS:
+            raise ValueError(
+                f"unknown interpreter {interpreter!r}; expected one of {INTERPRETERS}"
+            )
+        self.interpreter = interpreter
+        self.decode_seconds = 0.0
+        self._decoded = None
+        if interpreter == "decoded":
+            self._decoded, self.decode_seconds = decode_module(module)
         self._layout_globals()
 
     # -- setup -----------------------------------------------------------------
 
     def _layout_globals(self) -> None:
-        cursor = GLOBAL_BASE + 16
-        for gvar in self.module.globals.values():
-            alignment = max(1, gvar.value_type.alignment)
-            cursor = (cursor + alignment - 1) // alignment * alignment
-            self.global_addresses[gvar.name] = cursor
-            self._write_initializer(cursor, gvar)
-            cursor += max(1, gvar.value_type.size)
+        self.global_addresses = compute_global_layout(self.module)
+        for name, gvar in self.module.globals.items():
+            self._write_initializer(self.global_addresses[name], gvar)
 
     def _write_initializer(self, address: int, gvar: GlobalVariable) -> None:
         init = gvar.initializer
@@ -242,21 +301,21 @@ class CPU:
         This is the adaptive attacker's eye: the threat model (§2.5)
         grants the attacker full knowledge of the binary's layout, so
         exploit scripts compute victim offsets from live addresses
-        rather than hard-coding them.
+        rather than hard-coding them.  Each frame indexes its allocas by
+        name at layout time, so the lookup is a dict probe per live
+        frame instead of a scan of every frame value.
         """
-        for _, frame in reversed(self.frames):
-            for value, address in frame.items():
-                if isinstance(value, Alloca) and value.name == name:
-                    return address
+        for slots in reversed(self.frame_slots):
+            address = slots.get(name)
+            if address is not None:
+                return address
         return None
 
     def external_write(self, address: int, data: bytes) -> None:
         """A library-side memory write (the IC write itself)."""
         self.memory.write_bytes(address, data)
-        if self.dfi_active:
-            shadow = self.dfi_shadow
-            for offset in range(len(data)):
-                shadow[address + offset] = DFI_EXTERNAL_WRITER
+        if self.dfi_active and data:
+            self.dfi_shadow.set_range(address, len(data), DFI_EXTERNAL_WRITER)
 
     # -- public API -------------------------------------------------------------
 
@@ -272,6 +331,7 @@ class CPU:
         status = "ok"
         return_value: Optional[int] = None
         trap: Optional[BaseException] = None
+        start = time.perf_counter()
         try:
             return_value = self._call(self.module.get_function(function_name), list(args))
         except PacAuthError as exc:
@@ -288,6 +348,7 @@ class CPU:
             status, trap = "limit", exc
         except ProgramExit as exc:
             return_value = exc.code
+        wall = time.perf_counter() - start
         return ExecutionResult(
             status=status,
             return_value=return_value,
@@ -304,6 +365,9 @@ class CPU:
             isolated_allocations=self.heap.isolated_calls,
             cache_hits=self.cache.hits if self.cache else 0,
             cache_misses=self.cache.misses if self.cache else 0,
+            wall_seconds=wall,
+            decode_seconds=self.decode_seconds,
+            interpreter=self.interpreter,
         )
 
     # -- execution engine -----------------------------------------------------------
@@ -320,31 +384,47 @@ class CPU:
             frame: Dict[Value, int] = {}
             for argument, value in zip(function.args, args):
                 frame[argument] = value & _MASK64
-            self._layout_frame(function, frame)
+            self.frame_slots.append(self._layout_frame(function, frame))
             self.frames.append((function, frame))
             try:
-                return self._interpret(function, frame)
+                # Dispatch inline rather than via _interpret: recursion
+                # in the simulated program recurses through here, and
+                # the simulated 256-frame stack limit must fire before
+                # Python's own recursion limit does.
+                decoded = self._decoded
+                if decoded is not None:
+                    entry = decoded.functions.get(function)
+                    if entry is not None:
+                        return self._interpret_decoded(entry, frame)
+                return self._interpret_reference(function, frame)
             finally:
                 self.frames.pop()
+                self.frame_slots.pop()
         finally:
             self.stack_top = saved_top
             self.call_depth -= 1
 
-    def _layout_frame(self, function: Function, frame: Dict[Value, int]) -> None:
+    def _layout_frame(self, function: Function, frame: Dict[Value, int]) -> Dict[str, int]:
         """Assign frame addresses to allocas in *program order*.
 
         Program order is address order: Pythia's stack re-layout pass
         reorders allocas precisely to control which variables sit next
-        to each other in memory.
+        to each other in memory.  Returns the name -> address index used
+        by :meth:`stack_slot_address`.
         """
         base = (self.stack_top + 15) // 16 * 16
         offset = 0
+        slots: Dict[str, int] = {}
         for alloca in function.allocas():
             alignment = max(1, alloca.allocated_type.alignment)
             offset = (offset + alignment - 1) // alignment * alignment
-            frame[alloca] = base + offset
+            address = base + offset
+            frame[alloca] = address
+            if alloca.name not in slots:
+                slots[alloca.name] = address
             offset += max(1, alloca.allocated_type.size)
         self.stack_top = base + (offset + 15) // 16 * 16
+        return slots
 
     def _call_external(self, function: Function, args: List[int]) -> Optional[int]:
         lib = LIBRARY.get(function.name)
@@ -356,6 +436,158 @@ class CPU:
         return result if result is None else result & _MASK64
 
     def _interpret(self, function: Function, frame: Dict[Value, int]) -> Optional[int]:
+        decoded = self._decoded
+        if decoded is not None:
+            entry = decoded.functions.get(function)
+            if entry is not None:
+                return self._interpret_decoded(entry, frame)
+        return self._interpret_reference(function, frame)
+
+    # -- decoded backend ---------------------------------------------------------
+
+    def _interpret_decoded(
+        self, block: DecodedBlock, frame: Dict[Value, int]
+    ) -> Optional[int]:
+        # The per-step timing charge is inlined below: the same
+        # arithmetic as TimingModel.charge, but against local mirrors of
+        # the three hottest counters (dynamic steps, instruction count,
+        # cheap-op run length).  Nothing outside the interpreter loops
+        # touches those three -- library models only ever call
+        # charge_cycles/charge_libcall, which update cycles and
+        # opcode_counts directly -- so the mirrors need syncing only
+        # around ops that may re-enter an interpreter loop (calls and
+        # fallbacks, pre-flagged by the decoder) and on the way out.
+        timing = self.timing
+        costs_get = timing.costs.get
+        counts = timing.opcode_counts
+        counts_get = counts.get
+        issue_width = timing.issue_width
+        # decoded ops carry their DEFAULT_COSTS cost; only trust it
+        # while this timing model still uses the default table
+        default_costs = timing.costs == DEFAULT_COSTS
+        max_steps = self.max_steps
+        previous: Optional[DecodedBlock] = None
+        steps = self.steps
+        instructions = timing.instructions
+        cheap = timing._cheap_run
+        in_call = False
+        try:
+            while True:
+                if previous is not None and block.phi_routes:
+                    # Routes exist for every decoded edge, and control
+                    # only arrives here along decoded edges.
+                    route = block.phi_routes[previous]
+                    if route.__class__ is str:
+                        raise KeyError(route)
+                    if route:
+                        # Parallel evaluation: read all incoming values
+                        # before writing any.
+                        staged = []
+                        stage = staged.append
+                        cost = costs_get("phi", 1)
+                        for _, is_const, payload in route:
+                            instructions += 1
+                            counts["phi"] = counts_get("phi", 0) + 1
+                            if cost <= 1:
+                                cheap += 1
+                                if cheap >= issue_width:
+                                    timing.cycles += 1
+                                    cheap = 0
+                            else:
+                                timing.cycles += cost
+                                cheap = 0
+                            stage(payload if is_const else frame[payload])
+                        for entry, value in zip(route, staged):
+                            frame[entry[0]] = value
+                for opname, cost, impure, op in block.ops:
+                    steps += 1
+                    if steps > max_steps:
+                        raise StepLimitExceeded(f"exceeded {max_steps} steps")
+                    instructions += 1
+                    counts[opname] = counts_get(opname, 0) + 1
+                    if not default_costs:
+                        cost = costs_get(opname, 1)
+                    if cost <= 1:
+                        cheap += 1
+                        if cheap >= issue_width:
+                            timing.cycles += 1
+                            cheap = 0
+                    else:
+                        timing.cycles += cost
+                        cheap = 0
+                    if impure:
+                        # Sync the mirrors so the callee's interpreter
+                        # loop continues from the right counts; while
+                        # in_call is set the callee owns the counters,
+                        # and the finally below must not clobber them.
+                        self.steps = steps
+                        timing.instructions = instructions
+                        timing._cheap_run = cheap
+                        in_call = True
+                        op(self, frame)
+                        in_call = False
+                        steps = self.steps
+                        instructions = timing.instructions
+                        cheap = timing._cheap_run
+                    else:
+                        op(self, frame)
+                term = block.term
+                kind = term[0]
+                if kind == "fall":
+                    source = block.source
+                    owner = source.parent.name if source.parent is not None else "?"
+                    raise RuntimeError(
+                        f"block %{source.name} in @{owner} fell through"
+                    )
+                steps += 1
+                if steps > max_steps:
+                    raise StepLimitExceeded(f"exceeded {max_steps} steps")
+                instructions += 1
+                if kind == "jump" or kind == "br":
+                    counts["br"] = counts_get("br", 0) + 1
+                    cost = costs_get("br", 1)
+                    if cost <= 1:
+                        cheap += 1
+                        if cheap >= issue_width:
+                            timing.cycles += 1
+                            cheap = 0
+                    else:
+                        timing.cycles += cost
+                        cheap = 0
+                    if kind == "jump":
+                        previous, block = block, term[1]
+                    else:
+                        is_const, payload = term[1]
+                        taken = (payload if is_const else frame[payload]) & 1
+                        previous, block = block, (term[2] if taken else term[3])
+                    continue
+                # kind == "ret"
+                counts["ret"] = counts_get("ret", 0) + 1
+                cost = costs_get("ret", 1)
+                if cost <= 1:
+                    cheap += 1
+                    if cheap >= issue_width:
+                        timing.cycles += 1
+                        cheap = 0
+                else:
+                    timing.cycles += cost
+                    cheap = 0
+                spec = term[1]
+                if spec is None:
+                    return None
+                is_const, payload = spec
+                return payload if is_const else frame[payload]
+        finally:
+            if not in_call:
+                self.steps = steps
+                timing.instructions = instructions
+                timing._cheap_run = cheap
+
+    # -- reference backend -------------------------------------------------------
+
+    def _interpret_reference(
+        self, function: Function, frame: Dict[Value, int]
+    ) -> Optional[int]:
         block = function.entry_block
         previous: Optional[BasicBlock] = None
         while True:
@@ -483,15 +715,13 @@ class CPU:
             return
         if isinstance(inst, DfiSetDef):
             address = self._value(inst.pointer, frame)
-            for offset in range(inst.size):
-                self.dfi_shadow[address + offset] = inst.def_id
+            self.dfi_shadow.set_range(address, inst.size, inst.def_id)
             return
         if isinstance(inst, DfiChkDef):
             address = self._value(inst.pointer, frame)
-            for offset in range(inst.size):
-                writer = self.dfi_shadow.get(address + offset, DFI_EXTERNAL_WRITER)
-                if writer not in inst.allowed:
-                    raise DfiTrap(address + offset, writer, inst.allowed)
+            violation = self.dfi_shadow.check_range(address, inst.size, inst.allowed)
+            if violation is not None:
+                raise DfiTrap(violation[0], violation[1], inst.allowed)
             return
         raise RuntimeError(f"cannot execute instruction: {inst}")
 

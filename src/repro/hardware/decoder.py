@@ -1,0 +1,675 @@
+"""Pre-decoded interpreter dispatch: compile IR once, execute many times.
+
+The reference interpreter in :mod:`repro.hardware.cpu` resolves every
+dynamic step through a long ``isinstance`` chain and re-resolves every
+operand (constant? global? frame slot?) on each execution.  For the
+evaluation pipeline -- 16 benchmarks x 4 schemes, plus brute-force
+attack campaigns that re-execute one module thousands of times -- that
+dispatch is the dominant cost of the whole reproduction.
+
+This module performs that resolution *once per module*:
+
+- every instruction is compiled to a bound handler closure
+  ``handler(cpu, frame)`` specialised on its opcode and operand kinds;
+- constant and global operands are pre-folded to plain integers
+  (the global segment layout is a pure function of the module);
+- ``getelementptr`` strides for constant indices are pre-resolved into
+  a single constant offset plus a short list of dynamic (slot, stride)
+  terms;
+- phi routing is precomputed per CFG edge, and the first-non-phi index
+  disappears entirely (decoded blocks simply begin after the phis);
+- terminators are decoded into direct links between decoded blocks.
+
+The decoded program is cached per :class:`~repro.ir.module.Module` (a
+weak-key cache) and invalidated whenever a transform pipeline runs; a
+structural fingerprint guards against stale entries for modules mutated
+outside the pass manager.
+
+Decoded execution is semantically bit-identical to the reference
+interpreter for well-formed modules: the same traps, the same timing
+charges in the same order, the same ``ExecutionResult`` counters.  (The
+one deliberate difference: using a value that was never computed --
+malformed, unverified IR -- surfaces as a ``KeyError`` rather than the
+reference interpreter's ``RuntimeError``.)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple, Union
+from weakref import WeakKeyDictionary
+
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import (
+    Alloca,
+    BinOp,
+    Call,
+    Cast,
+    CondBranch,
+    DfiChkDef,
+    DfiSetDef,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    PacAuth,
+    PacSign,
+    Phi,
+    Ret,
+    SecAssert,
+    Select,
+    Store,
+)
+from ..ir.module import Module
+from ..ir.types import ArrayType, I64, IntType, StructType
+from ..ir.values import Constant, GlobalVariable, UndefValue, Value
+from .errors import CanaryTrap, DfiTrap, NullPointerTrap
+from .memory import GLOBAL_BASE, MemoryFault
+from .timing import DEFAULT_COSTS
+
+_MASK64 = (1 << 64) - 1
+_to_signed64 = I64.to_signed
+
+#: An operand spec: ``(True, folded_int)`` or ``(False, frame_key)``.
+OperandSpec = Tuple[bool, Union[int, Value]]
+#: A decoded non-terminator step: ``(opcode, default_cost, impure, handler)``.
+Handler = Callable[["object", Dict[Value, int]], None]
+
+
+def compute_global_layout(module: Module) -> Dict[str, int]:
+    """Address of every global -- a pure function of the module.
+
+    This is the single source of truth for the global segment layout;
+    :meth:`CPU._layout_globals` uses it too, which is what lets the
+    decoder pre-fold global operands into plain integers.
+    """
+    layout: Dict[str, int] = {}
+    cursor = GLOBAL_BASE + 16
+    for gvar in module.globals.values():
+        alignment = max(1, gvar.value_type.alignment)
+        cursor = (cursor + alignment - 1) // alignment * alignment
+        layout[gvar.name] = cursor
+        cursor += max(1, gvar.value_type.size)
+    return layout
+
+
+def _spec(value: Value, layout: Dict[str, int]) -> OperandSpec:
+    """Fold an operand to an int where possible, else keep the frame key."""
+    if isinstance(value, Constant):
+        return True, value.value & _MASK64
+    if isinstance(value, GlobalVariable):
+        return True, layout[value.name]
+    if isinstance(value, UndefValue):
+        return True, 0
+    return False, value
+
+
+# ---------------------------------------------------------------------------
+# Decoded containers
+# ---------------------------------------------------------------------------
+
+
+class DecodedBlock:
+    """One basic block compiled to handler closures plus a terminator."""
+
+    __slots__ = ("source", "ops", "term", "phi_routes")
+
+    def __init__(self, source: BasicBlock):
+        self.source = source
+        #: tuple of (opcode, default_cost, impure, handler) entries for
+        #: the straight-line body; the cost is pre-resolved from
+        #: DEFAULT_COSTS and only trusted when the CPU's timing model
+        #: still uses the default cost table, and ``impure`` flags
+        #: handlers that may re-enter an interpreter loop (calls and
+        #: fallbacks)
+        self.ops: Tuple[Tuple[str, int, bool, Handler], ...] = ()
+        #: ("ret", spec|None) | ("jump", block) | ("br", spec, t, f) | ("fall",)
+        self.term: tuple = ("fall",)
+        #: predecessor DecodedBlock -> phi routing for that edge; a route
+        #: is a tuple of (phi, is_const, payload) triples, or an error
+        #: message string when a phi has no incoming for the edge.
+        self.phi_routes: Dict["DecodedBlock", object] = {}
+
+
+class DecodedProgram:
+    """All defined functions of one module, decoded."""
+
+    __slots__ = ("functions", "global_layout", "fingerprint", "decode_seconds")
+
+    def __init__(
+        self,
+        functions: Dict[Function, DecodedBlock],
+        global_layout: Dict[str, int],
+        fingerprint: tuple,
+    ):
+        #: Function -> entry DecodedBlock
+        self.functions = functions
+        self.global_layout = global_layout
+        self.fingerprint = fingerprint
+        #: wall seconds spent building this decode (set by decode_module)
+        self.decode_seconds = 0.0
+
+
+# ---------------------------------------------------------------------------
+# Handler factories
+# ---------------------------------------------------------------------------
+#
+# Each factory returns a closure ``handler(cpu, frame)``.  The factories
+# pre-bind everything resolvable at decode time; operand fetches use a
+# pre-bound ``v if c else frame[v]`` ternary, which costs two trivial
+# bytecodes when the operand is constant and nothing when it is not.
+# Step counting and timing charges happen in the interpreter loop
+# (see ``CPU._interpret_decoded``), exactly mirroring the reference
+# interpreter's order: count, limit-check, charge, execute.
+
+
+def _make_alloca(inst: Alloca, layout: Dict[str, int]) -> Handler:
+    # Frame addresses are assigned by CPU._layout_frame; executing an
+    # alloca only charges its (zero-cost) opcode, done by the loop.
+    def handler(cpu, frame):
+        return None
+
+    return handler
+
+
+def _make_load(inst: Load, layout: Dict[str, int]) -> Handler:
+    pc, pv = _spec(inst.pointer, layout)
+    size = max(1, inst.type.size)
+    if pc:
+        def handler(cpu, frame, inst=inst, address=pv, size=size):
+            if address == 0:
+                raise NullPointerTrap(f"load through null in {inst}")
+            if cpu.cache is not None:
+                cpu._cache_access(address, size)
+            frame[inst] = cpu.memory.read_int(address, size)
+    else:
+        def handler(cpu, frame, inst=inst, ptr=pv, size=size):
+            address = frame[ptr]
+            if address == 0:
+                raise NullPointerTrap(f"load through null in {inst}")
+            if cpu.cache is not None:
+                cpu._cache_access(address, size)
+            frame[inst] = cpu.memory.read_int(address, size)
+    return handler
+
+
+def _make_store(inst: Store, layout: Dict[str, int]) -> Handler:
+    vc, vv = _spec(inst.value, layout)
+    pc, pv = _spec(inst.pointer, layout)
+    size = max(1, inst.value.type.size)
+
+    def handler(cpu, frame, inst=inst, vc=vc, vv=vv, pc=pc, pv=pv, size=size):
+        address = pv if pc else frame[pv]
+        if address == 0:
+            raise NullPointerTrap(f"store through null in {inst}")
+        if cpu.cache is not None:
+            cpu._cache_access(address, size)
+        cpu.memory.write_int(address, vv if vc else frame[vv], size)
+
+    return handler
+
+
+def _make_gep(inst: GetElementPtr, layout: Dict[str, int]) -> Handler:
+    base_c, base_v = _spec(inst.pointer, layout)
+    pointee = inst.pointer.type.pointee  # type: ignore[union-attr]
+    const_off = 0
+    dyn: List[Tuple[Value, int]] = []
+
+    c, v = _spec(inst.indices[0], layout)
+    stride = max(1, pointee.size)
+    if c:
+        const_off += _to_signed64(v) * stride
+    else:
+        dyn.append((v, stride))
+    current = pointee
+    for index in inst.indices[1:]:
+        if isinstance(current, ArrayType):
+            c, v = _spec(index, layout)
+            stride = max(1, current.element.size)
+            if c:
+                const_off += _to_signed64(v) * stride
+            else:
+                dyn.append((v, stride))
+            current = current.element
+        elif isinstance(current, StructType):
+            c, v = _spec(index, layout)
+            if not c:
+                # dynamic struct index: fall back to interpretive walk
+                raise _DecodeFallback
+            const_off += current.field_offset(v)
+            current = current.field_type(v)
+        else:
+            # malformed gep: the reference interpreter raises at runtime
+            def handler(cpu, frame, inst=inst):
+                raise RuntimeError(f"malformed gep: {inst}")
+
+            return handler
+
+    if not dyn:
+        if base_c:
+            result = (base_v + const_off) & _MASK64
+
+            def handler(cpu, frame, inst=inst, result=result):
+                frame[inst] = result
+        else:
+            def handler(cpu, frame, inst=inst, base=base_v, off=const_off):
+                frame[inst] = (frame[base] + off) & _MASK64
+    elif len(dyn) == 1:
+        key, stride = dyn[0]
+        if base_c:
+            folded = base_v + const_off
+
+            def handler(cpu, frame, inst=inst, base=folded, key=key,
+                        stride=stride, ts=_to_signed64):
+                frame[inst] = (base + ts(frame[key]) * stride) & _MASK64
+        else:
+            def handler(cpu, frame, inst=inst, base=base_v, off=const_off,
+                        key=key, stride=stride, ts=_to_signed64):
+                frame[inst] = (frame[base] + off + ts(frame[key]) * stride) & _MASK64
+    else:
+        def handler(cpu, frame, inst=inst, base_c=base_c, base=base_v,
+                    off=const_off, dyn=tuple(dyn), ts=_to_signed64):
+            address = (base if base_c else frame[base]) + off
+            for key, stride in dyn:
+                address += ts(frame[key]) * stride
+            frame[inst] = address & _MASK64
+
+    return handler
+
+
+def _make_binop(inst: BinOp, layout: Dict[str, int]) -> Handler:
+    op = inst.op
+    vtype = inst.type
+    lc, lv = _spec(inst.lhs, layout)
+    rc, rv = _spec(inst.rhs, layout)
+    if isinstance(vtype, IntType):
+        wrap = vtype.wrap
+        signed = vtype.to_signed
+        bits = vtype.bits
+    else:  # pointer arithmetic through int ops on addresses
+        wrap = lambda v: v & _MASK64  # noqa: E731
+        signed = _to_signed64
+        bits = 64
+
+    if op == "add":
+        def handler(cpu, frame, inst=inst, lc=lc, lv=lv, rc=rc, rv=rv, wrap=wrap):
+            frame[inst] = wrap((lv if lc else frame[lv]) + (rv if rc else frame[rv]))
+    elif op == "sub":
+        def handler(cpu, frame, inst=inst, lc=lc, lv=lv, rc=rc, rv=rv, wrap=wrap):
+            frame[inst] = wrap((lv if lc else frame[lv]) - (rv if rc else frame[rv]))
+    elif op == "mul":
+        def handler(cpu, frame, inst=inst, lc=lc, lv=lv, rc=rc, rv=rv, wrap=wrap):
+            frame[inst] = wrap((lv if lc else frame[lv]) * (rv if rc else frame[rv]))
+    elif op == "sdiv":
+        def handler(cpu, frame, inst=inst, lc=lc, lv=lv, rc=rc, rv=rv,
+                    wrap=wrap, signed=signed):
+            a = signed(lv if lc else frame[lv])
+            b = signed(rv if rc else frame[rv])
+            if b == 0:
+                raise MemoryFault(0, 0, "integer divide by zero")
+            frame[inst] = wrap(int(a / b))
+    elif op == "srem":
+        def handler(cpu, frame, inst=inst, lc=lc, lv=lv, rc=rc, rv=rv,
+                    wrap=wrap, signed=signed):
+            a = signed(lv if lc else frame[lv])
+            b = signed(rv if rc else frame[rv])
+            if b == 0:
+                raise MemoryFault(0, 0, "integer remainder by zero")
+            frame[inst] = wrap(a - int(a / b) * b)
+    elif op == "and":
+        def handler(cpu, frame, inst=inst, lc=lc, lv=lv, rc=rc, rv=rv, wrap=wrap):
+            frame[inst] = wrap((lv if lc else frame[lv]) & (rv if rc else frame[rv]))
+    elif op == "or":
+        def handler(cpu, frame, inst=inst, lc=lc, lv=lv, rc=rc, rv=rv, wrap=wrap):
+            frame[inst] = wrap((lv if lc else frame[lv]) | (rv if rc else frame[rv]))
+    elif op == "xor":
+        def handler(cpu, frame, inst=inst, lc=lc, lv=lv, rc=rc, rv=rv, wrap=wrap):
+            frame[inst] = wrap((lv if lc else frame[lv]) ^ (rv if rc else frame[rv]))
+    elif op == "shl":
+        def handler(cpu, frame, inst=inst, lc=lc, lv=lv, rc=rc, rv=rv,
+                    wrap=wrap, bits=bits):
+            frame[inst] = wrap((lv if lc else frame[lv]) << ((rv if rc else frame[rv]) % bits))
+    elif op == "ashr":
+        def handler(cpu, frame, inst=inst, lc=lc, lv=lv, rc=rc, rv=rv,
+                    wrap=wrap, signed=signed, bits=bits):
+            frame[inst] = wrap(signed(lv if lc else frame[lv]) >> ((rv if rc else frame[rv]) % bits))
+    elif op == "lshr":
+        def handler(cpu, frame, inst=inst, lc=lc, lv=lv, rc=rc, rv=rv,
+                    wrap=wrap, bits=bits):
+            frame[inst] = wrap((lv if lc else frame[lv]) >> ((rv if rc else frame[rv]) % bits))
+    else:
+        def handler(cpu, frame, op=op):
+            raise RuntimeError(f"unknown binop {op}")
+
+    return handler
+
+
+_UNSIGNED_PREDICATES = ("eq", "ne", "ult", "ule", "ugt", "uge")
+_CMP_TESTS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+    "ult": lambda a, b: a < b,
+    "ule": lambda a, b: a <= b,
+    "ugt": lambda a, b: a > b,
+    "uge": lambda a, b: a >= b,
+}
+
+
+def _make_icmp(inst: ICmp, layout: Dict[str, int]) -> Handler:
+    predicate = inst.predicate
+    test = _CMP_TESTS[predicate]
+    vtype = inst.lhs.type
+    lc, lv = _spec(inst.lhs, layout)
+    rc, rv = _spec(inst.rhs, layout)
+    if predicate in _UNSIGNED_PREDICATES or not isinstance(vtype, IntType):
+        def handler(cpu, frame, inst=inst, lc=lc, lv=lv, rc=rc, rv=rv, test=test):
+            frame[inst] = 1 if test(lv if lc else frame[lv], rv if rc else frame[rv]) else 0
+    else:
+        ts = vtype.to_signed
+        slv = ts(lv) if lc else lv
+        srv = ts(rv) if rc else rv
+
+        def handler(cpu, frame, inst=inst, lc=lc, lv=slv, rc=rc, rv=srv,
+                    ts=ts, test=test):
+            frame[inst] = 1 if test(lv if lc else ts(frame[lv]), rv if rc else ts(frame[rv])) else 0
+    return handler
+
+
+def _identity(value: int) -> int:
+    return value
+
+
+def _mask64(value: int) -> int:
+    return value & _MASK64
+
+
+def _make_cast(inst: Cast, layout: Dict[str, int]) -> Handler:
+    op = inst.op
+    vc, vv = _spec(inst.value, layout)
+    target = inst.type
+    post = target.wrap if isinstance(target, IntType) else _mask64
+    if op in ("trunc", "zext", "ptrtoint", "inttoptr", "bitcast"):
+        conv = post
+    elif op == "sext":
+        source = inst.value.type
+        pre = source.to_signed if isinstance(source, IntType) else _identity
+
+        def conv(value, pre=pre, post=post):
+            return post(pre(value))
+    else:
+        def handler(cpu, frame, op=op):
+            raise RuntimeError(f"unknown cast {op}")
+
+        return handler
+
+    if vc:
+        result = conv(vv)
+
+        def handler(cpu, frame, inst=inst, result=result):
+            frame[inst] = result
+    else:
+        def handler(cpu, frame, inst=inst, key=vv, conv=conv):
+            frame[inst] = conv(frame[key])
+    return handler
+
+
+def _make_select(inst: Select, layout: Dict[str, int]) -> Handler:
+    cc, cv = _spec(inst.condition, layout)
+    tc, tv = _spec(inst.true_value, layout)
+    fc, fv = _spec(inst.false_value, layout)
+
+    def handler(cpu, frame, inst=inst, cc=cc, cv=cv, tc=tc, tv=tv, fc=fc, fv=fv):
+        if (cv if cc else frame[cv]) & 1:
+            frame[inst] = tv if tc else frame[tv]
+        else:
+            frame[inst] = fv if fc else frame[fv]
+
+    return handler
+
+
+def _make_call(inst: Call, layout: Dict[str, int]) -> Handler:
+    specs = tuple(_spec(argument, layout) for argument in inst.args)
+    callee = inst.callee
+    if inst.type.is_void:
+        def handler(cpu, frame, callee=callee, specs=specs):
+            cpu._call(callee, [v if c else frame[v] for c, v in specs])
+    else:
+        def handler(cpu, frame, inst=inst, callee=callee, specs=specs):
+            result = cpu._call(callee, [v if c else frame[v] for c, v in specs])
+            frame[inst] = 0 if result is None else result
+    return handler
+
+
+def _make_pac_sign(inst: PacSign, layout: Dict[str, int]) -> Handler:
+    vc, vv = _spec(inst.value, layout)
+    mc, mv = _spec(inst.modifier, layout)
+
+    def handler(cpu, frame, inst=inst, vc=vc, vv=vv, mc=mc, mv=mv, key=inst.key_id):
+        frame[inst] = cpu.pac.sign(vv if vc else frame[vv], mv if mc else frame[mv], key)
+
+    return handler
+
+
+def _make_pac_auth(inst: PacAuth, layout: Dict[str, int]) -> Handler:
+    vc, vv = _spec(inst.value, layout)
+    mc, mv = _spec(inst.modifier, layout)
+
+    def handler(cpu, frame, inst=inst, vc=vc, vv=vv, mc=mc, mv=mv, key=inst.key_id):
+        frame[inst] = cpu.pac.auth(vv if vc else frame[vv], mv if mc else frame[mv], key)
+
+    return handler
+
+
+def _make_sec_assert(inst: SecAssert, layout: Dict[str, int]) -> Handler:
+    cc, cv = _spec(inst.condition, layout)
+
+    def handler(cpu, frame, cc=cc, cv=cv, kind=inst.kind):
+        if not ((cv if cc else frame[cv]) & 1):
+            raise CanaryTrap(f"{kind} check failed")
+
+    return handler
+
+
+def _make_dfi_setdef(inst: DfiSetDef, layout: Dict[str, int]) -> Handler:
+    pc, pv = _spec(inst.pointer, layout)
+
+    def handler(cpu, frame, pc=pc, pv=pv, size=inst.size, def_id=inst.def_id):
+        cpu.dfi_shadow.set_range(pv if pc else frame[pv], size, def_id)
+
+    return handler
+
+
+def _make_dfi_chkdef(inst: DfiChkDef, layout: Dict[str, int]) -> Handler:
+    pc, pv = _spec(inst.pointer, layout)
+
+    def handler(cpu, frame, pc=pc, pv=pv, size=inst.size, allowed=inst.allowed):
+        violation = cpu.dfi_shadow.check_range(pv if pc else frame[pv], size, allowed)
+        if violation is not None:
+            raise DfiTrap(violation[0], violation[1], allowed)
+
+    return handler
+
+
+class _DecodeFallbackError(Exception):
+    """Signal that an instruction resists specialised decoding."""
+
+
+_DecodeFallback = _DecodeFallbackError()
+
+
+def _make_fallback(inst: Instruction) -> Handler:
+    """Interpretive execution via the reference semantics."""
+
+    def handler(cpu, frame, inst=inst):
+        cpu._execute(inst, frame)
+
+    return handler
+
+
+_DECODERS = {
+    Alloca: _make_alloca,
+    Load: _make_load,
+    Store: _make_store,
+    GetElementPtr: _make_gep,
+    BinOp: _make_binop,
+    ICmp: _make_icmp,
+    Cast: _make_cast,
+    Select: _make_select,
+    Call: _make_call,
+    PacSign: _make_pac_sign,
+    PacAuth: _make_pac_auth,
+    SecAssert: _make_sec_assert,
+    DfiSetDef: _make_dfi_setdef,
+    DfiChkDef: _make_dfi_chkdef,
+}
+
+
+def _decode_instruction(
+    inst: Instruction, layout: Dict[str, int]
+) -> Tuple[str, int, bool, Handler]:
+    opcode = inst.opcode
+    cost = DEFAULT_COSTS.get(opcode, 1)
+    maker = _DECODERS.get(type(inst))
+    if maker is not None:
+        try:
+            # ``impure`` marks handlers that may re-enter an interpreter
+            # loop (calls); the decoded loop syncs its local counter
+            # mirrors with the CPU around exactly those ops.
+            return opcode, cost, isinstance(inst, Call), maker(inst, layout)
+        except Exception:
+            # Anything the specialiser cannot prove at decode time is
+            # handed to the reference semantics at runtime instead --
+            # including decode-time surprises the reference interpreter
+            # would only raise when (and if) the instruction executes.
+            pass
+    return opcode, cost, True, _make_fallback(inst)
+
+
+# ---------------------------------------------------------------------------
+# Function and module decode
+# ---------------------------------------------------------------------------
+
+
+def _decode_function(function: Function, layout: Dict[str, int]) -> DecodedBlock:
+    dmap: Dict[BasicBlock, DecodedBlock] = {}
+    pending: List[BasicBlock] = []
+
+    def get(block: BasicBlock) -> DecodedBlock:
+        dblock = dmap.get(block)
+        if dblock is None:
+            dblock = DecodedBlock(block)
+            dmap[block] = dblock
+            pending.append(block)
+        return dblock
+
+    entry = get(function.entry_block)
+    while pending:
+        block = pending.pop()
+        dblock = dmap[block]
+        ops: List[Tuple[str, int, bool, Handler]] = []
+        term: Optional[tuple] = None
+        for inst in block.instructions[block.first_non_phi_index():]:
+            if isinstance(inst, Ret):
+                spec = None if inst.value is None else _spec(inst.value, layout)
+                term = ("ret", spec)
+                break
+            if isinstance(inst, Jump):
+                term = ("jump", get(inst.target))
+                break
+            if isinstance(inst, CondBranch):
+                term = (
+                    "br",
+                    _spec(inst.condition, layout),
+                    get(inst.true_block),
+                    get(inst.false_block),
+                )
+                break
+            ops.append(_decode_instruction(inst, layout))
+        dblock.ops = tuple(ops)
+        dblock.term = term if term is not None else ("fall",)
+
+    # Phi routing, per decoded CFG edge.
+    for block, dblock in dmap.items():
+        term = dblock.term
+        if term[0] == "jump":
+            successors = (term[1],)
+        elif term[0] == "br":
+            successors = (term[2], term[3])
+        else:
+            continue
+        for sdblock in successors:
+            phis = sdblock.source.phis
+            if not phis:
+                continue
+            route: List[Tuple[Phi, bool, object]] = []
+            edge: object = None
+            for phi in phis:
+                try:
+                    incoming = phi.incoming_for_block(block)
+                except KeyError:
+                    edge = f"phi has no incoming for block {block.name}"
+                    break
+                c, v = _spec(incoming, layout)
+                route.append((phi, c, v))
+            sdblock.phi_routes[dblock] = edge if edge is not None else tuple(route)
+
+    return entry
+
+
+def _fingerprint(module: Module) -> tuple:
+    """A cheap structural fingerprint guarding the decode cache."""
+    return (
+        len(module.globals),
+        tuple(
+            (
+                function.name,
+                len(function.blocks),
+                sum(len(block.instructions) for block in function.blocks),
+            )
+            for function in module.defined_functions()
+        ),
+    )
+
+
+_DECODE_CACHE: "WeakKeyDictionary[Module, DecodedProgram]" = WeakKeyDictionary()
+
+
+def decode_module(module: Module) -> Tuple[DecodedProgram, float]:
+    """Decode ``module`` (or return the cached decode).
+
+    Returns ``(program, seconds)`` where ``seconds`` is the decode time
+    actually spent by *this* call -- ``0.0`` on a cache hit.
+    """
+    fingerprint = _fingerprint(module)
+    cached = _DECODE_CACHE.get(module)
+    if cached is not None and cached.fingerprint == fingerprint:
+        return cached, 0.0
+    start = time.perf_counter()
+    layout = compute_global_layout(module)
+    functions = {
+        function: _decode_function(function, layout)
+        for function in module.defined_functions()
+    }
+    program = DecodedProgram(functions, layout, fingerprint)
+    elapsed = time.perf_counter() - start
+    program.decode_seconds = elapsed
+    _DECODE_CACHE[module] = program
+    return program, elapsed
+
+
+def invalidate_decode_cache(module: Optional[Module] = None) -> None:
+    """Drop the cached decode for ``module`` (or all modules).
+
+    Called by the pass manager after running a transform pipeline; the
+    structural fingerprint in :func:`decode_module` is the second line
+    of defense for modules mutated outside it.
+    """
+    if module is None:
+        _DECODE_CACHE.clear()
+    else:
+        _DECODE_CACHE.pop(module, None)

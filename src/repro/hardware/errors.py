@@ -1,0 +1,59 @@
+"""Traps and runtime errors raised by the simulated CPU.
+
+These live in their own module so that both interpreter backends -- the
+reference interpreter in :mod:`repro.hardware.cpu` and the pre-decoded
+dispatch engine in :mod:`repro.hardware.decoder` -- can raise the exact
+same exception types without a circular import.  Everything here is
+re-exported from :mod:`repro.hardware.cpu` for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+#: Shadow value for memory last written by an external (library) writer.
+DFI_EXTERNAL_WRITER = 0
+
+
+class SecurityTrap(Exception):
+    """Base class of defense-triggered traps."""
+
+    kind = "security"
+
+
+class CanaryTrap(SecurityTrap):
+    """A ``sec.assert`` canary check failed: overflow detected."""
+
+    kind = "canary"
+
+
+class DfiTrap(SecurityTrap):
+    """A ``dfi.chkdef`` found an unexpected last writer."""
+
+    kind = "dfi"
+
+    def __init__(self, address: int, writer: int, allowed: frozenset):
+        super().__init__(
+            f"DFI violation at {address:#x}: writer {writer} not in {sorted(allowed)}"
+        )
+        self.address = address
+        self.writer = writer
+        self.allowed = allowed
+
+
+class NullPointerTrap(Exception):
+    """Dereference of a null pointer."""
+
+
+class StepLimitExceeded(Exception):
+    """The execution ran past the configured dynamic step budget."""
+
+
+class ProgramExit(Exception):
+    """Raised by the ``exit``/``abort`` library models."""
+
+    def __init__(self, code: int):
+        super().__init__(f"exit({code})")
+        self.code = code
+
+
+class UnknownExternalError(Exception):
+    """Call to a declaration with no library model."""

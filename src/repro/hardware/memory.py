@@ -81,8 +81,16 @@ class Memory:
         ]
         self.reads = 0
         self.writes = 0
+        # segment bases sit on 4 GiB boundaries, so the high 32 address
+        # bits identify the segment without scanning
+        self._window: Dict[int, Segment] = {
+            segment.base >> 32: segment for segment in self.segments
+        }
 
     def segment_for(self, address: int, size: int = 1, kind: str = "access") -> Segment:
+        segment = self._window.get(address >> 32)
+        if segment is not None and segment.contains(address, size):
+            return segment
         for segment in self.segments:
             if segment.contains(address, size):
                 return segment
@@ -111,13 +119,36 @@ class Memory:
     # -- typed access -----------------------------------------------------------
 
     def read_int(self, address: int, size: int) -> int:
-        """Read a little-endian unsigned integer of ``size`` bytes."""
-        return int.from_bytes(self.read_bytes(address, size), "little")
+        """Read a little-endian unsigned integer of ``size`` bytes.
+
+        This is the interpreter's ``load`` path, so the segment lookup
+        and bounds handling are inlined rather than routed through
+        :meth:`read_bytes` (which stays the general byte-string path).
+        """
+        self.reads += 1
+        segment = self._window.get(address >> 32)
+        if segment is None or not segment.contains(address, size):
+            segment = self.segment_for(address, size, "read")
+        offset = address - segment.base
+        data = segment.data
+        end = offset + size
+        if end > len(data):
+            segment._ensure(end)
+        return int.from_bytes(data[offset:end], "little")
 
     def write_int(self, address: int, value: int, size: int) -> None:
         """Write a little-endian unsigned integer of ``size`` bytes."""
+        self.writes += 1
+        segment = self._window.get(address >> 32)
+        if segment is None or not segment.contains(address, size):
+            segment = self.segment_for(address, size, "write")
+        offset = address - segment.base
+        data = segment.data
+        end = offset + size
+        if end > len(data):
+            segment._ensure(end)
         mask = (1 << (8 * size)) - 1
-        self.write_bytes(address, (value & mask).to_bytes(size, "little"))
+        data[offset:end] = (value & mask).to_bytes(size, "little")
 
     # -- C string helpers ---------------------------------------------------------
 

@@ -70,11 +70,18 @@ def compute_pac(key: int, value: int, modifier: int) -> int:
 
     Only the low :data:`VA_BITS` of ``value`` are covered, mirroring the
     hardware (the PAC field itself must not influence the MAC).
+
+    The three :func:`_mix` rounds are inlined into straight-line
+    arithmetic: this runs once per dynamic ``pac.sign``/``pac.auth``,
+    which under the cpa scheme means once per protected memory access.
     """
-    block = (value & ADDR_MASK) ^ _rotl(modifier & _MASK64, 17)
-    block = _mix(block, key & _MASK64)
-    block = _mix(block, (key >> 64) & _MASK64)
-    block = _mix(block, modifier & _MASK64)
+    modifier &= _MASK64
+    block = (value & ADDR_MASK) ^ (((modifier << 17) | (modifier >> 47)) & _MASK64)
+    for round_key in (key & _MASK64, (key >> 64) & _MASK64, modifier):
+        block = (block + round_key) & _MASK64
+        block ^= ((block << 13) | (block >> 51)) & _MASK64
+        block = (block * 0x9E3779B97F4A7C15) & _MASK64
+        block ^= block >> 29
     return block >> (64 - PAC_BITS)
 
 
@@ -99,6 +106,11 @@ class PointerAuthentication:
         self.sign_count = 0
         self.auth_count = 0
         self.auth_failures = 0
+        # MAC memo: the PAC is a pure function of (key, address bits,
+        # modifier), and nearly every auth re-derives a MAC some sign
+        # already computed.  Bounded by the number of distinct signed
+        # (pointer, modifier) pairs in one execution.
+        self._pac_cache: Dict[tuple, int] = {}
 
     def _key(self, key_id: str) -> int:
         try:
@@ -113,8 +125,16 @@ class PointerAuthentication:
         MAC covers only the low address bits.
         """
         self.sign_count += 1
-        pac = compute_pac(self._key(key_id), value, modifier)
-        return (value & ADDR_MASK) | (pac << VA_BITS)
+        return (value & ADDR_MASK) | (self._pac(key_id, value, modifier) << VA_BITS)
+
+    def _pac(self, key_id: str, value: int, modifier: int) -> int:
+        cache_key = (key_id, value & ADDR_MASK, modifier & _MASK64)
+        pac = self._pac_cache.get(cache_key)
+        if pac is None:
+            pac = self._pac_cache[cache_key] = compute_pac(
+                self._key(key_id), value, modifier
+            )
+        return pac
 
     def auth(self, value: int, modifier: int, key_id: str = "da") -> int:
         """Verify ``value``'s PAC and return the stripped value.
@@ -122,7 +142,7 @@ class PointerAuthentication:
         Raises :class:`PacAuthError` on mismatch.
         """
         self.auth_count += 1
-        expected = compute_pac(self._key(key_id), value, modifier)
+        expected = self._pac(key_id, value, modifier)
         embedded = (value >> VA_BITS) & ((1 << PAC_BITS) - 1)
         if embedded != expected:
             self.auth_failures += 1

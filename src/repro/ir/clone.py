@@ -1,0 +1,124 @@
+"""Structural module cloning: a direct object-graph deep copy.
+
+``protect()`` clones the input module once per scheme so the schemes can
+be compared on identical inputs.  The original implementation round-
+tripped through the textual printer and parser, which costs a full
+print, lex, and parse per clone; this module copies the object graph
+directly instead.  The textual round-trip survives as
+:func:`repro.core.framework.clone_module_textual`, and the test suite
+uses it as the verification oracle (a structural clone must print
+exactly like its source).
+
+Sharing discipline:
+
+- :class:`~repro.ir.types.Type` objects are shared between source and
+  clone.  Types are immutable in practice -- every transform that needs
+  a new struct layout builds a *new* ``StructType`` -- so sharing is
+  safe and keeps clones cheap.
+- Everything that participates in def-use chains (constants, undef
+  values, globals, arguments, instructions) is freshly created, so a
+  clone's use lists never leak into the source module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .function import BasicBlock, Function
+from .instructions import Call, CondBranch, Instruction, Jump, Phi
+from .module import Module
+from .values import Argument, Constant, GlobalVariable, UndefValue, Value
+
+
+def clone_module(module: Module) -> Module:
+    """Deep-copy ``module`` by walking the object graph."""
+    clone = Module(module.name)
+    clone._string_counter = module._string_counter
+    clone.structs = dict(module.structs)
+
+    # ``vmap`` is keyed by object identity: Constant defines value-based
+    # equality, and two equal-but-distinct constants in the source must
+    # stay distinct in the clone.
+    vmap: Dict[int, Value] = {}
+
+    for name, gvar in module.globals.items():
+        initializer = gvar.initializer
+        if isinstance(initializer, list):
+            initializer = list(initializer)
+        fresh = GlobalVariable(name, gvar.value_type, initializer, gvar.constant)
+        clone.globals[name] = fresh
+        vmap[id(gvar)] = fresh
+
+    fmap: Dict[Function, Function] = {}
+    for function in module.functions.values():
+        shell = Function(
+            function.name,
+            function.function_type,
+            param_names=[argument.name for argument in function.args],
+            is_declaration=function.is_declaration,
+            input_channel_kind=function.input_channel_kind,
+        )
+        shell._name_counter = function._name_counter
+        clone.add_function(shell)
+        fmap[function] = shell
+        vmap[id(function)] = shell
+        for argument, fresh_argument in zip(function.args, shell.args):
+            vmap[id(argument)] = fresh_argument
+
+    def map_value(value: Value) -> Value:
+        mapped = vmap.get(id(value))
+        if mapped is not None:
+            return mapped
+        if isinstance(value, Constant):
+            fresh = Constant(value.type, value.value)
+        elif isinstance(value, UndefValue):
+            fresh = UndefValue(value.type)
+        else:
+            raise KeyError(
+                f"operand {value!r} is not part of the module being cloned"
+            )
+        vmap[id(value)] = fresh
+        return fresh
+
+    for function, shell in fmap.items():
+        if function.is_declaration:
+            continue
+        bmap: Dict[BasicBlock, BasicBlock] = {}
+        for block in function.blocks:
+            fresh_block = BasicBlock(block.name, parent=shell)
+            shell.blocks.append(fresh_block)
+            bmap[block] = fresh_block
+
+        # Pass 1: instruction shells.  ``__init__`` is bypassed (it
+        # validates and registers operand uses, which pass 2 handles),
+        # so every attribute is copied and the block/callee references
+        # are remapped by hand.
+        pairs: List[tuple] = []
+        for block, fresh_block in bmap.items():
+            for inst in block.instructions:
+                fresh = inst.__class__.__new__(inst.__class__)
+                fresh.__dict__.update(inst.__dict__)
+                fresh.parent = fresh_block
+                fresh._operands = []
+                fresh.uses = []
+                if isinstance(inst, Jump):
+                    fresh.target = bmap[inst.target]
+                elif isinstance(inst, CondBranch):
+                    fresh.true_block = bmap[inst.true_block]
+                    fresh.false_block = bmap[inst.false_block]
+                elif isinstance(inst, Call):
+                    fresh.callee = fmap[inst.callee]
+                elif isinstance(inst, Phi):
+                    fresh.incoming_blocks = [
+                        bmap[incoming] for incoming in inst.incoming_blocks
+                    ]
+                fresh_block.instructions.append(fresh)
+                vmap[id(inst)] = fresh
+                pairs.append((inst, fresh))
+
+        # Pass 2: operand lists, now that every definition has a clone.
+        for inst, fresh in pairs:
+            for operand in inst._operands:
+                fresh.append_operand(map_value(operand))
+
+    return clone

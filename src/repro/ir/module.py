@@ -93,6 +93,20 @@ class Module:
         self.structs[struct.name] = struct
         return struct
 
+    # -- cloning -------------------------------------------------------------
+
+    def clone(self) -> "Module":
+        """Deep-copy this module by walking the object graph.
+
+        Orders of magnitude cheaper than the textual print/parse
+        round-trip (see :mod:`repro.ir.clone`); the round-trip remains
+        available as ``repro.core.framework.clone_module_textual`` and
+        serves as the verification oracle in the test suite.
+        """
+        from .clone import clone_module
+
+        return clone_module(self)
+
     # -- statistics ----------------------------------------------------------
 
     def instruction_count(self) -> int:

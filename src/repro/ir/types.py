@@ -68,6 +68,12 @@ class IntType(Type):
         self.bits = bits
         self.size = max(1, bits // 8)
         self.alignment = self.size
+        # precomputed bounds: wrap/to_signed run once per interpreted
+        # arithmetic step, so they must not rebuild these per call
+        self.max_unsigned = (1 << bits) - 1
+        self.min_signed = -(1 << (bits - 1))
+        self.max_signed = (1 << (bits - 1)) - 1
+        self._span = 1 << bits
 
     def _key(self) -> tuple:
         return (self.bits,)
@@ -75,27 +81,15 @@ class IntType(Type):
     def __str__(self) -> str:
         return f"i{self.bits}"
 
-    @property
-    def max_unsigned(self) -> int:
-        return (1 << self.bits) - 1
-
-    @property
-    def min_signed(self) -> int:
-        return -(1 << (self.bits - 1))
-
-    @property
-    def max_signed(self) -> int:
-        return (1 << (self.bits - 1)) - 1
-
     def wrap(self, value: int) -> int:
         """Wrap ``value`` to this type's unsigned bit-width."""
         return value & self.max_unsigned
 
     def to_signed(self, value: int) -> int:
         """Reinterpret the unsigned representation ``value`` as signed."""
-        value = self.wrap(value)
+        value &= self.max_unsigned
         if value > self.max_signed:
-            value -= 1 << self.bits
+            value -= self._span
         return value
 
 

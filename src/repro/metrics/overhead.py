@@ -100,12 +100,17 @@ def measure_module(
     inputs: Optional[Sequence[bytes]] = None,
     schemes: Sequence[str] = SCHEMES,
     seed: int = 2024,
+    interpreter: Optional[str] = None,
 ) -> BenchmarkMeasurement:
-    """Protect and execute one module under each scheme."""
+    """Protect and execute one module under each scheme.
+
+    ``interpreter`` selects the CPU backend (``"decoded"`` /
+    ``"reference"``); ``None`` uses the CPU default.
+    """
     measurement = BenchmarkMeasurement(name=name)
     for scheme in schemes:
         protection = protect(module, scheme=scheme)
-        cpu = CPU(protection.module, seed=seed)
+        cpu = CPU(protection.module, seed=seed, interpreter=interpreter)
         execution = cpu.run(inputs=list(inputs or []))
         if not execution.ok:
             raise RuntimeError(
@@ -120,6 +125,7 @@ def measure_program(
     program: GeneratedProgram,
     schemes: Sequence[str] = SCHEMES,
     seed: int = 2024,
+    interpreter: Optional[str] = None,
 ) -> BenchmarkMeasurement:
     """Protect and execute a generated benchmark under each scheme."""
     return measure_module(
@@ -128,6 +134,7 @@ def measure_program(
         inputs=program.inputs,
         schemes=schemes,
         seed=seed,
+        interpreter=interpreter,
     )
 
 

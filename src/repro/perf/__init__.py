@@ -1,0 +1,20 @@
+"""Parallel measurement harness and throughput trajectory tracking."""
+
+from .runner import (
+    ProgramSummary,
+    SchemeSummary,
+    SuiteResult,
+    run_suite,
+    summarize_measurement,
+)
+from .trajectory import append_entry, load_entries
+
+__all__ = [
+    "ProgramSummary",
+    "SchemeSummary",
+    "SuiteResult",
+    "run_suite",
+    "summarize_measurement",
+    "append_entry",
+    "load_entries",
+]

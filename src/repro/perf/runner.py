@@ -1,0 +1,192 @@
+"""Parallel benchmark-suite runner.
+
+The evaluation measures 16 workload profiles x 4 schemes; serially that
+is by far the longest part of a full reproduction run.  Profiles are
+independent, so this runner fans :func:`repro.metrics.overhead.measure_program`
+out across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Workers exchange only plain-data summaries (:class:`SchemeSummary` /
+:class:`ProgramSummary`), never IR object graphs: a module's def-use
+web is cyclic and large, so each worker regenerates its program from
+the (deterministic, seeded) workload profile and sends back numbers.
+``jobs=1`` runs everything in-process, which the tests use to check
+that fan-out changes wall-clock but not results.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.config import SCHEMES
+from ..metrics.overhead import BenchmarkMeasurement, measure_program, mean
+from ..workloads.generator import generate_program
+from ..workloads.profiles import get_profile, profile_names
+
+
+@dataclass(frozen=True)
+class SchemeSummary:
+    """Picklable digest of one scheme's protection + execution."""
+
+    scheme: str
+    status: str
+    cycles: float
+    instructions: int
+    ipc: float
+    steps: int
+    wall_seconds: float
+    decode_seconds: float
+    interpreter: str
+    pa_static: int
+    pa_dynamic: int
+    binary_bytes: int
+    canary_count: int
+    isolated_allocations: int
+
+
+@dataclass(frozen=True)
+class ProgramSummary:
+    """Picklable digest of one benchmark across all measured schemes."""
+
+    name: str
+    schemes: Tuple[SchemeSummary, ...]
+    wall_seconds: float
+
+    def scheme(self, name: str) -> SchemeSummary:
+        for summary in self.schemes:
+            if summary.scheme == name:
+                return summary
+        raise KeyError(f"scheme {name!r} was not measured for {self.name}")
+
+    def runtime_overhead(self, scheme: str) -> float:
+        base = self.scheme("vanilla").cycles
+        if base <= 0:
+            return 0.0
+        return self.scheme(scheme).cycles / base - 1.0
+
+    def binary_increase(self, scheme: str) -> float:
+        base = self.scheme("vanilla").binary_bytes
+        if base <= 0:
+            return 0.0
+        return self.scheme(scheme).binary_bytes / base - 1.0
+
+
+@dataclass
+class SuiteResult:
+    """All programs' summaries plus suite-level throughput numbers."""
+
+    programs: Dict[str, ProgramSummary] = field(default_factory=dict)
+    schemes: Tuple[str, ...] = ()
+    jobs: int = 1
+    interpreter: Optional[str] = None
+    wall_seconds: float = 0.0
+
+    @property
+    def total_steps(self) -> int:
+        return sum(
+            scheme.steps
+            for program in self.programs.values()
+            for scheme in program.schemes
+        )
+
+    @property
+    def steps_per_second(self) -> float:
+        """Aggregate interpreter throughput over the suite wall-clock."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_steps / self.wall_seconds
+
+    @property
+    def decode_seconds(self) -> float:
+        return sum(
+            scheme.decode_seconds
+            for program in self.programs.values()
+            for scheme in program.schemes
+        )
+
+    def mean_runtime_overhead(self, scheme: str) -> float:
+        return mean(
+            program.runtime_overhead(scheme) for program in self.programs.values()
+        )
+
+
+def summarize_measurement(
+    measurement: BenchmarkMeasurement, wall_seconds: float = 0.0
+) -> ProgramSummary:
+    """Digest a full measurement into its picklable summary."""
+    schemes = []
+    for scheme, run in measurement.runs.items():
+        execution = run.execution
+        schemes.append(
+            SchemeSummary(
+                scheme=scheme,
+                status=execution.status,
+                cycles=execution.cycles,
+                instructions=execution.instructions,
+                ipc=execution.ipc,
+                steps=execution.steps,
+                wall_seconds=execution.wall_seconds,
+                decode_seconds=execution.decode_seconds,
+                interpreter=execution.interpreter,
+                pa_static=run.protection.pa_static,
+                pa_dynamic=execution.pa_dynamic,
+                binary_bytes=run.protection.binary_bytes,
+                canary_count=run.protection.canary_count,
+                isolated_allocations=execution.isolated_allocations,
+            )
+        )
+    return ProgramSummary(
+        name=measurement.name, schemes=tuple(schemes), wall_seconds=wall_seconds
+    )
+
+
+def _measure_one(task: Tuple[str, Tuple[str, ...], int, Optional[str]]) -> ProgramSummary:
+    """Worker entry point: regenerate one benchmark and measure it.
+
+    Module-level (and tuple-argumented) so it pickles under the default
+    process-pool start methods.
+    """
+    name, schemes, seed, interpreter = task
+    start = time.perf_counter()
+    program = generate_program(get_profile(name))
+    measurement = measure_program(
+        program, schemes=schemes, seed=seed, interpreter=interpreter
+    )
+    return summarize_measurement(measurement, time.perf_counter() - start)
+
+
+def run_suite(
+    names: Optional[Sequence[str]] = None,
+    schemes: Sequence[str] = SCHEMES,
+    seed: int = 2024,
+    jobs: int = 1,
+    interpreter: Optional[str] = None,
+) -> SuiteResult:
+    """Measure ``names`` (default: every profile) under ``schemes``.
+
+    ``jobs > 1`` distributes whole benchmarks across worker processes;
+    results are identical to a serial run because every worker
+    regenerates its program deterministically from the profile seed.
+    """
+    if names is None:
+        names = profile_names()
+    names = list(names)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    tasks = [(name, tuple(schemes), seed, interpreter) for name in names]
+    start = time.perf_counter()
+    if jobs == 1 or len(tasks) <= 1:
+        summaries = [_measure_one(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            summaries = list(pool.map(_measure_one, tasks))
+    wall = time.perf_counter() - start
+    return SuiteResult(
+        programs={summary.name: summary for summary in summaries},
+        schemes=tuple(schemes),
+        jobs=jobs,
+        interpreter=interpreter,
+        wall_seconds=wall,
+    )

@@ -1,0 +1,38 @@
+"""Append-only performance trajectory file (``BENCH_interp.json``).
+
+Each benchmark run appends one entry so interpreter throughput can be
+tracked across commits.  The file is a single JSON object::
+
+    {"entries": [{"label": ..., "steps_per_second": ..., ...}, ...]}
+
+Entries are free-form dicts; :func:`append_entry` only enforces the
+envelope so unrelated tools (CI, plots) can parse the file blindly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+
+def load_entries(path: str) -> List[Dict[str, Any]]:
+    """Read the trajectory entries, tolerating a missing file."""
+    if not os.path.exists(path):
+        return []
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    entries = payload.get("entries", [])
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: 'entries' must be a list")
+    return entries
+
+
+def append_entry(path: str, entry: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Append ``entry`` to the trajectory file, returning all entries."""
+    entries = load_entries(path)
+    entries.append(entry)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"entries": entries}, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return entries

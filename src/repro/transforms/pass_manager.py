@@ -37,4 +37,11 @@ class PassManager:
             self.stats[pass_.name] = pass_.run(module) or {}
             if self.verify:
                 verify_module(module)
+        if self.passes:
+            # Transforms invalidate any pre-decoded execution program
+            # (see repro.hardware.decoder); imported lazily to keep the
+            # transform layer free of hardware dependencies.
+            from ..hardware.decoder import invalidate_decode_cache
+
+            invalidate_decode_cache(module)
         return self.stats

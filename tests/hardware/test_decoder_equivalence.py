@@ -1,0 +1,119 @@
+"""Golden equivalence: pre-decoded dispatch vs the reference interpreter.
+
+The decoded backend is a pure performance transform -- every
+architectural observable (status, counters, output, traps) must be
+bit-identical to the reference loop.  This suite sweeps every workload
+profile under every scheme, plus every attack scenario (benign and
+under attack), comparing the two backends field by field.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import build_scenarios
+from repro.core import SCHEMES, protect
+from repro.hardware import CPU, INTERPRETERS
+from repro.workloads import generate_program, get_profile, profile_names
+
+#: Every architectural observable of an execution.
+COMPARED_FIELDS = (
+    "status",
+    "return_value",
+    "cycles",
+    "instructions",
+    "ipc",
+    "steps",
+    "output",
+    "pac_sign_count",
+    "pac_auth_count",
+    "isolated_allocations",
+)
+
+
+def assert_equivalent(reference, decoded, context):
+    assert reference.interpreter == "reference", context
+    assert decoded.interpreter == "decoded", context
+    for field in COMPARED_FIELDS:
+        assert getattr(reference, field) == getattr(decoded, field), (
+            f"{context}: {field} diverged "
+            f"(reference={getattr(reference, field)!r}, "
+            f"decoded={getattr(decoded, field)!r})"
+        )
+    assert reference.opcode_counts == decoded.opcode_counts, context
+    # traps must agree in kind and message, not just in status
+    assert (reference.trap is None) == (decoded.trap is None), context
+    if reference.trap is not None:
+        assert type(reference.trap) is type(decoded.trap), context
+        assert str(reference.trap) == str(decoded.trap), context
+
+
+# -- benign benchmark sweep: every profile x every scheme ----------------------------
+
+
+@pytest.fixture(scope="module", params=profile_names())
+def profile_program(request):
+    return generate_program(get_profile(request.param))
+
+
+def test_profile_equivalence_all_schemes(profile_program):
+    module = profile_program.compile()
+    inputs = list(profile_program.inputs)
+    for scheme in SCHEMES:
+        protected = protect(module, scheme=scheme)
+        runs = {}
+        for interpreter in INTERPRETERS:
+            cpu = CPU(protected.module, seed=2024, interpreter=interpreter)
+            runs[interpreter] = cpu.run(inputs=list(inputs))
+        context = f"{profile_program.profile.name}/{scheme}"
+        assert_equivalent(runs["reference"], runs["decoded"], context)
+        assert runs["decoded"].ok, context
+
+
+# -- attack scenarios: traps and outcomes must match ---------------------------------
+
+
+@pytest.mark.parametrize("scenario_name", sorted(build_scenarios()))
+def test_scenario_equivalence_all_schemes(scenario_name):
+    scenario = build_scenarios()[scenario_name]
+    module = scenario.compile()
+    for scheme in SCHEMES:
+        protected = protect(module, scheme=scheme)
+        for run in ("benign", "attack"):
+            runs = {}
+            for interpreter in INTERPRETERS:
+                if run == "benign":
+                    result = scenario.run_benign(
+                        protected.module, interpreter=interpreter
+                    )
+                else:
+                    result = scenario.run_attack(
+                        protected.module, interpreter=interpreter
+                    )
+                runs[interpreter] = result
+            context = f"{scenario_name}/{scheme}/{run}"
+            assert_equivalent(runs["reference"], runs["decoded"], context)
+            if run == "attack":
+                assert scenario.attack_outcome(
+                    runs["reference"]
+                ) == scenario.attack_outcome(runs["decoded"]), context
+
+
+# -- backend selection API -----------------------------------------------------------
+
+
+def test_interpreter_recorded_in_result(listing1_module):
+    for interpreter in INTERPRETERS:
+        result = CPU(listing1_module.clone(), interpreter=interpreter).run()
+        assert result.interpreter == interpreter
+
+
+def test_unknown_interpreter_rejected(listing1_module):
+    with pytest.raises(ValueError, match="interpreter"):
+        CPU(listing1_module, interpreter="bogus")
+
+
+def test_environment_selects_interpreter(listing1_module, monkeypatch):
+    monkeypatch.setenv("REPRO_INTERPRETER", "reference")
+    result = CPU(listing1_module.clone()).run()
+    assert result.interpreter == "reference"

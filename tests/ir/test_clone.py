@@ -1,0 +1,94 @@
+"""Structural module cloning vs the textual round-trip oracle.
+
+``Module.clone()`` walks the object graph directly; the older
+print -> parse round-trip (``clone_module_textual``) is retained as the
+correctness oracle: both must produce modules that print identically to
+the original, and the structural clone must be fully independent of it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import clone_module_textual, protect
+from repro.hardware import CPU
+from repro.ir import print_module, verify_module
+from repro.ir.instructions import Phi
+from repro.workloads import generate_program, get_profile
+
+
+@pytest.fixture(scope="module")
+def benchmark_program():
+    return generate_program(get_profile("505.mcf_r"))
+
+
+@pytest.fixture
+def benchmark_module(benchmark_program):
+    return benchmark_program.compile()
+
+
+def test_clone_prints_identical_to_textual_oracle(benchmark_module):
+    original_text = print_module(benchmark_module)
+    structural = benchmark_module.clone()
+    textual = clone_module_textual(benchmark_module)
+    assert print_module(structural) == original_text
+    assert print_module(textual) == original_text
+    verify_module(structural)
+
+
+def test_clone_prints_identical_listing1(listing1_module):
+    clone = listing1_module.clone()
+    assert print_module(clone) == print_module(listing1_module)
+    verify_module(clone)
+
+
+def test_clone_shares_no_mutable_structure(benchmark_module):
+    clone = benchmark_module.clone()
+    assert clone is not benchmark_module
+    for name, function in clone.functions.items():
+        assert function is not benchmark_module.functions[name]
+        assert function.module is clone
+        for block in function.blocks:
+            assert block.parent is function
+            for inst in block.instructions:
+                assert inst.parent is block
+    for name, gvar in clone.globals.items():
+        assert gvar is not benchmark_module.globals[name]
+    # Phi incoming blocks must point at the clone's blocks, not the
+    # original's -- the interpreter routes on block identity.
+    for function in clone.defined_functions():
+        block_set = set(map(id, function.blocks))
+        for block in function.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Phi):
+                    for incoming in inst.incoming_blocks:
+                        assert id(incoming) in block_set
+
+
+def test_mutating_clone_leaves_original_untouched(benchmark_module):
+    original_text = print_module(benchmark_module)
+    clone = benchmark_module.clone()
+    # protect in place: instruments the clone's instruction stream
+    protect(clone, scheme="pythia", clone=False)
+    assert print_module(benchmark_module) == original_text
+    assert print_module(clone) != original_text
+
+
+def test_protect_does_not_mutate_source_module(benchmark_module):
+    original_text = print_module(benchmark_module)
+    protect(benchmark_module, scheme="dfi")
+    assert print_module(benchmark_module) == original_text
+
+
+def test_clone_behavioral_equality(benchmark_program, benchmark_module):
+    clone = benchmark_module.clone()
+    inputs = list(benchmark_program.inputs)
+    original = CPU(benchmark_module, seed=2024).run(inputs=list(inputs))
+    cloned = CPU(clone, seed=2024).run(inputs=list(inputs))
+    assert cloned.status == original.status
+    assert cloned.return_value == original.return_value
+    assert cloned.cycles == original.cycles
+    assert cloned.instructions == original.instructions
+    assert cloned.steps == original.steps
+    assert cloned.output == original.output
+    assert cloned.opcode_counts == original.opcode_counts

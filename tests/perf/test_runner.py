@@ -1,0 +1,104 @@
+"""The parallel measurement harness: fan-out correctness and trajectory file."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.metrics import measure_program
+from repro.perf import append_entry, load_entries, run_suite, summarize_measurement
+from repro.workloads import generate_program, get_profile
+
+NAMES = ["505.mcf_r", "519.lbm_r"]
+
+SUMMARY_FIELDS = (
+    "scheme",
+    "status",
+    "cycles",
+    "instructions",
+    "ipc",
+    "steps",
+    "interpreter",
+    "pa_static",
+    "pa_dynamic",
+    "binary_bytes",
+    "canary_count",
+    "isolated_allocations",
+)
+
+
+@pytest.fixture(scope="module")
+def serial_suite():
+    return run_suite(names=NAMES, jobs=1)
+
+
+def test_parallel_run_matches_serial(serial_suite):
+    parallel = run_suite(names=NAMES, jobs=2)
+    assert set(parallel.programs) == set(serial_suite.programs)
+    assert parallel.jobs == 2
+    for name in NAMES:
+        serial_program = serial_suite.programs[name]
+        parallel_program = parallel.programs[name]
+        assert len(serial_program.schemes) == len(parallel_program.schemes)
+        for serial_scheme, parallel_scheme in zip(
+            serial_program.schemes, parallel_program.schemes
+        ):
+            for field in SUMMARY_FIELDS:
+                assert getattr(serial_scheme, field) == getattr(
+                    parallel_scheme, field
+                ), (name, serial_scheme.scheme, field)
+
+
+def test_summaries_match_direct_measurement(serial_suite):
+    program = generate_program(get_profile(NAMES[0]))
+    measurement = measure_program(program)
+    summary = summarize_measurement(measurement)
+    suite_program = serial_suite.programs[NAMES[0]]
+    for scheme in ("cpa", "pythia", "dfi"):
+        assert summary.scheme(scheme).cycles == suite_program.scheme(scheme).cycles
+        assert suite_program.runtime_overhead(scheme) == pytest.approx(
+            measurement.runtime_overhead(scheme)
+        )
+        assert suite_program.binary_increase(scheme) == pytest.approx(
+            measurement.binary_increase(scheme)
+        )
+
+
+def test_suite_aggregates(serial_suite):
+    assert serial_suite.wall_seconds > 0
+    assert serial_suite.total_steps > 0
+    assert serial_suite.steps_per_second > 0
+    assert serial_suite.decode_seconds >= 0
+    assert serial_suite.schemes == ("vanilla", "cpa", "pythia", "dfi")
+    with pytest.raises(KeyError):
+        serial_suite.programs[NAMES[0]].scheme("nonsense")
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError, match="jobs"):
+        run_suite(names=NAMES, jobs=0)
+
+
+def test_trajectory_append_and_load(tmp_path):
+    path = str(tmp_path / "BENCH_interp.json")
+    assert load_entries(path) == []
+    first = append_entry(path, {"label": "a", "steps_per_second": 1.0})
+    assert [entry["label"] for entry in first] == ["a"]
+    second = append_entry(path, {"label": "b", "steps_per_second": 2.0})
+    assert [entry["label"] for entry in second] == ["a", "b"]
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload == {
+        "entries": [
+            {"label": "a", "steps_per_second": 1.0},
+            {"label": "b", "steps_per_second": 2.0},
+        ]
+    }
+
+
+def test_trajectory_rejects_bad_envelope(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text('{"entries": 42}')
+    with pytest.raises(ValueError, match="entries"):
+        load_entries(str(path))
