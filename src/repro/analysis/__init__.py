@@ -16,14 +16,24 @@ from .input_channels import (
     written_argument_indices,
 )
 from .liveness import Liveness
+from .manager import (
+    AnalysisManager,
+    DEFAULT_MANAGER,
+    get_manager,
+    invalidate_analyses,
+)
 from .slicing import BackwardSlicer, BranchSlice, ForwardSlice, ForwardSlicer
 
 __all__ = [
     "AliasAnalysis",
+    "AnalysisManager",
     "BackwardSlicer",
     "BranchSlice",
     "CallGraph",
     "channel_kind_of",
+    "DEFAULT_MANAGER",
+    "get_manager",
+    "invalidate_analyses",
     "ForwardSlice",
     "ForwardSlicer",
     "HEAP_ALLOCATORS",

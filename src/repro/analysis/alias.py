@@ -79,6 +79,10 @@ class AliasAnalysis:
         self._copy_edges: Dict[Value, Set[Value]] = {}
         self._loads: List[Tuple[Value, Value]] = []  # (result, pointer)
         self._stores: List[Tuple[Value, Value]] = []  # (stored, pointer)
+        #: frozen points-to sets, built on first query (the solver is
+        #: done by then); passes call ``points_to`` per instruction, so
+        #: freezing a fresh set every call dominated their runtime
+        self._frozen: Dict[Value, FrozenSet[MemObject]] = {}
         self._build()
         self._solve()
 
@@ -228,9 +232,15 @@ class AliasAnalysis:
 
     # -- queries ----------------------------------------------------------
 
+    _EMPTY: FrozenSet[MemObject] = frozenset()
+
     def points_to(self, value: Value) -> FrozenSet[MemObject]:
         """The set of objects ``value`` may point to."""
-        return frozenset(self.points_to_sets.get(value, ()))
+        frozen = self._frozen.get(value)
+        if frozen is None:
+            frozen = frozenset(self.points_to_sets.get(value, ())) or self._EMPTY
+            self._frozen[value] = frozen
+        return frozen
 
     def may_alias(self, a: Value, b: Value) -> bool:
         """True when two pointers may reference the same object."""

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from ..ir.cfg import reverse_postorder
+from ..ir.cfg import predecessor_map, reverse_postorder
 from ..ir.function import BasicBlock, Function
 from ..ir.instructions import Call, Instruction, Load, Store
 from ..ir.module import Module
@@ -189,6 +189,9 @@ class ReachingDefinitions:
     def _solve(self) -> None:
         blocks = reverse_postorder(self.function)
         gen_kill = {block: self._gen_kill(block) for block in blocks}
+        # One predecessor map for the whole fixpoint: the per-block
+        # property rescans the function on every call.
+        preds = predecessor_map(self.function)
         for block in blocks:
             self.block_in[block] = set()
             self.block_out[block] = set(gen_kill[block][0])
@@ -197,7 +200,7 @@ class ReachingDefinitions:
             changed = False
             for block in blocks:
                 new_in: Set[int] = set()
-                for pred in block.predecessors:
+                for pred in preds[block]:
                     new_in |= self.block_out.get(pred, set())
                 gen, kill = gen_kill[block]
                 new_out = gen | (new_in - kill)

@@ -146,6 +146,11 @@ class BackwardSlicer:
         self.callgraph = callgraph or CallGraph(module)
         self.stop_at_pointer_arithmetic = stop_at_pointer_arithmetic
         self.max_visits = max_visits
+        # Per-module call-site index, built once: slicing every branch of
+        # a module used to re-scan ``channels.sites`` linearly per call.
+        self._site_by_call: Dict[int, InputChannelSite] = {
+            id(site.call): site for site in self.channels.sites
+        }
 
     # -- public API -----------------------------------------------------------
 
@@ -343,10 +348,7 @@ class BackwardSlicer:
             self._push(worklist, arg, depth + 1)
 
     def _site_for_call(self, call: Call) -> Optional[InputChannelSite]:
-        for site in self.channels.sites:
-            if site.call is call:
-                return site
-        return None
+        return self._site_by_call.get(id(call))
 
 
 @dataclass

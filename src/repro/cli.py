@@ -58,6 +58,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     module = compile_source(_read_source(args.source), name=args.name)
     config = DefenseConfig(scheme=args.scheme, protect_fields=args.fields)
     protected = protect(module, config=config)
+    if args.timings:
+        total = sum(protected.timings.values())
+        for phase, seconds in sorted(
+            protected.timings.items(), key=lambda item: -item[1]
+        ):
+            print(f"[timing] {phase:24s} {seconds * 1e3:8.2f}ms", file=sys.stderr)
+        print(f"[timing] {'total':24s} {total * 1e3:8.2f}ms", file=sys.stderr)
     cpu = CPU(protected.module, seed=args.seed, interpreter=args.interpreter)
     result = cpu.run(inputs=_parse_inputs(args.input))
     sys.stdout.write(result.output.decode("utf-8", "replace"))
@@ -152,11 +159,13 @@ def cmd_suite(args: argparse.Namespace) -> int:
             print(f"unknown benchmark {name!r}; try: {', '.join(known)}")
             return 1
     names = args.benchmark or None
+    cache_dir = None if args.no_cache else args.cache_dir
     result = run_suite(
         names=names,
         seed=args.seed,
         jobs=args.jobs,
         interpreter=args.interpreter,
+        cache_dir=cache_dir,
     )
     for name in sorted(result.programs):
         program = result.programs[name]
@@ -173,6 +182,11 @@ def cmd_suite(args: argparse.Namespace) -> int:
         f"{result.steps_per_second:,.0f} steps/s, "
         f"decode {result.decode_seconds * 1e3:.1f}ms"
     )
+    if cache_dir is not None:
+        print(
+            f"compilation cache [{cache_dir}]: "
+            f"{result.cache_hits} hits, {result.cache_misses} misses"
+        )
     return 0
 
 
@@ -214,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=INTERPRETERS,
         default=None,
         help="CPU backend (default: pre-decoded dispatch)",
+    )
+    p.add_argument(
+        "--timings",
+        action="store_true",
+        help="print per-phase compile timings to stderr",
     )
     p.set_defaults(func=cmd_run)
 
@@ -259,6 +278,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=INTERPRETERS,
         default=None,
         help="CPU backend (default: pre-decoded dispatch)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="compilation cache directory (default: .repro-cache)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the compilation cache",
     )
     p.set_defaults(func=cmd_suite)
 

@@ -14,6 +14,7 @@ from .framework import (
     protect,
     protect_all,
 )
+from .remap import remap_report
 from .report import (
     BranchVerdict,
     SecurityReport,
@@ -42,6 +43,7 @@ __all__ = [
     "protect_all",
     "ProtectionResult",
     "pythia_protects",
+    "remap_report",
     "SCHEMES",
     "SecurityReport",
     "VulnerabilityAnalysis",

@@ -15,10 +15,12 @@ oracle in the test suite.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Dict, Optional
 
+from ..analysis.manager import invalidate_analyses
 from ..hardware.decoder import invalidate_decode_cache
 from ..ir.instructions import is_pa_instruction
 from ..ir.module import Module
@@ -62,6 +64,10 @@ class ProtectionResult:
     scheme: str
     report: Optional[VulnerabilityReport]
     pass_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: wall seconds per compile phase: ``verify``, ``mem2reg``,
+    #: ``analysis`` (or ``remap`` under the shared-analysis path), and
+    #: ``pass:<name>`` per defense pass
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @cached_property
     def pa_static(self) -> int:
@@ -92,33 +98,7 @@ class ProtectionResult:
         return int(stats.get("canaries", 0))
 
 
-def protect(
-    module: Module,
-    config: Optional[DefenseConfig] = None,
-    scheme: Optional[str] = None,
-    clone: bool = True,
-) -> ProtectionResult:
-    """Apply a defense scheme to (a clone of) ``module``."""
-    if config is None:
-        config = DefenseConfig(scheme=scheme or "pythia")
-    elif scheme is not None:
-        raise ValueError("pass either config or scheme, not both")
-    target = clone_module(module) if clone else module
-
-    if config.verify:
-        verify_module(target)
-    if config.run_mem2reg:
-        Mem2Reg().run(target)
-        if config.verify:
-            verify_module(target)
-        # mem2reg runs outside the PassManager, so drop any stale
-        # pre-decoded program for this module explicitly
-        invalidate_decode_cache(target)
-
-    if config.scheme == "vanilla":
-        return ProtectionResult(module=target, scheme="vanilla", report=None)
-
-    report = VulnerabilityAnalysis(target).analyze()
+def _build_passes(config: DefenseConfig, report: VulnerabilityReport) -> list:
     passes = []
     if config.scheme == "cpa":
         passes.append(CompletePointerAuthentication(report))
@@ -133,16 +113,165 @@ def protect(
             passes.append(HeapSectionPass(report))
     elif config.scheme == "dfi":
         passes.append(DataFlowIntegrityPass(report))
+    return passes
 
-    manager = PassManager(passes, verify=config.verify)
+
+def protect(
+    module: Module,
+    config: Optional[DefenseConfig] = None,
+    scheme: Optional[str] = None,
+    clone: bool = True,
+    report: Optional[VulnerabilityReport] = None,
+    prepared: bool = False,
+) -> ProtectionResult:
+    """Apply a defense scheme to (a clone of) ``module``.
+
+    ``prepared=True`` declares that the caller already verified and
+    mem2reg-promoted the module (``protect_all`` clones from one
+    prepared module), so both steps are skipped here.  Passing
+    ``report`` skips the vulnerability analysis and instruments from
+    the given report instead -- under the shared-analysis path this is
+    a :func:`~repro.core.remap.remap_report` translation of an analysis
+    computed once on the pristine module.
+    """
+    if config is None:
+        config = DefenseConfig(scheme=scheme or "pythia")
+    elif scheme is not None:
+        raise ValueError("pass either config or scheme, not both")
+    target = clone_module(module) if clone else module
+    timings: Dict[str, float] = {}
+
+    if not prepared:
+        if config.verify:
+            start = time.perf_counter()
+            verify_module(target)
+            timings["verify"] = time.perf_counter() - start
+        if config.run_mem2reg:
+            start = time.perf_counter()
+            Mem2Reg().run(target)
+            timings["mem2reg"] = time.perf_counter() - start
+            if config.verify:
+                start = time.perf_counter()
+                verify_module(target)
+                timings["verify"] += time.perf_counter() - start
+            # mem2reg runs outside the PassManager, so drop any stale
+            # pre-decoded program and cached analyses explicitly
+            invalidate_decode_cache(target)
+            invalidate_analyses(target)
+
+    if config.scheme == "vanilla":
+        return ProtectionResult(
+            module=target, scheme="vanilla", report=None, timings=timings
+        )
+
+    if report is None:
+        start = time.perf_counter()
+        report = VulnerabilityAnalysis(target).analyze()
+        timings["analysis"] = time.perf_counter() - start
+    passes = _build_passes(config, report)
+
+    # The incoming module was verified above (or by the prepared
+    # caller), so the pipeline only re-verifies after each mutation.
+    manager = PassManager(passes, verify=config.verify, verify_input=False)
     stats = manager.run(target)
+    for name, seconds in manager.timings.items():
+        if name == "verify":
+            timings["verify"] = timings.get("verify", 0.0) + seconds
+        else:
+            timings[f"pass:{name}"] = seconds
     return ProtectionResult(
-        module=target, scheme=config.scheme, report=report, pass_stats=stats
+        module=target,
+        scheme=config.scheme,
+        report=report,
+        pass_stats=stats,
+        timings=timings,
     )
 
 
 def protect_all(
-    module: Module, schemes: "tuple[str, ...]" = SCHEMES
+    module: Module,
+    schemes: "tuple[str, ...]" = SCHEMES,
+    shared_analysis: bool = True,
+    consume: bool = False,
 ) -> Dict[str, ProtectionResult]:
-    """Protect independent clones of ``module`` under several schemes."""
-    return {scheme: protect(module, scheme=scheme) for scheme in schemes}
+    """Protect independent clones of ``module`` under several schemes.
+
+    The default *shared-analysis* path verifies, promotes, and analyzes
+    the module **once**, then clones the prepared module per scheme and
+    carries the vulnerability report into each clone through the clone's
+    value map (:func:`~repro.core.remap.remap_report`).  The prepared
+    module itself becomes the vanilla result.
+
+    ``shared_analysis=False`` is the original re-analyze-per-scheme
+    path; the test suite uses it as the oracle (both paths must produce
+    bit-identically printing modules for every scheme).
+
+    ``consume=True`` transfers ownership of ``module`` to the pipeline:
+    it may be mutated in place (it becomes the mem2reg-prepared vanilla
+    module) instead of being cloned pristine first.  Callers that build
+    a module per compilation -- the suite runner, the benchmarks -- have
+    no further use for the input and skip one full clone this way.
+
+    Phase timings land where the work happens: the vanilla result
+    carries the shared ``verify``/``mem2reg``/``analysis`` phases, each
+    protected scheme carries its own ``remap``/``verify``/``pass:*``.
+    """
+    if not shared_analysis:
+        results = {}
+        last = len(schemes) - 1
+        for i, scheme in enumerate(schemes):
+            # With ownership of the input, the final scheme can compile
+            # the module in place instead of cloning it.
+            results[scheme] = protect(
+                module, scheme=scheme, clone=not (consume and i == last)
+            )
+        return results
+
+    from ..analysis.manager import get_manager
+    from .remap import remap_report
+
+    prep_timings: Dict[str, float] = {}
+    prepared = module if consume else clone_module(module)
+    start = time.perf_counter()
+    verify_module(prepared)
+    prep_timings["verify"] = time.perf_counter() - start
+    start = time.perf_counter()
+    Mem2Reg().run(prepared)
+    prep_timings["mem2reg"] = time.perf_counter() - start
+    start = time.perf_counter()
+    verify_module(prepared)
+    prep_timings["verify"] += time.perf_counter() - start
+    invalidate_decode_cache(prepared)
+    invalidate_analyses(prepared)
+
+    needs_analysis = any(scheme != "vanilla" for scheme in schemes)
+    report = None
+    if needs_analysis:
+        start = time.perf_counter()
+        report = get_manager().vulnerability_report(prepared)
+        prep_timings["analysis"] = time.perf_counter() - start
+
+    results: Dict[str, ProtectionResult] = {}
+    for scheme in schemes:
+        if scheme == "vanilla":
+            results[scheme] = ProtectionResult(
+                module=prepared,
+                scheme="vanilla",
+                report=None,
+                timings=dict(prep_timings),
+            )
+            continue
+        target, vmap = prepared.clone(value_map=True)
+        start = time.perf_counter()
+        remapped = remap_report(report, vmap)
+        remap_seconds = time.perf_counter() - start
+        result = protect(
+            target,
+            config=DefenseConfig(scheme=scheme),
+            clone=False,
+            report=remapped,
+            prepared=True,
+        )
+        result.timings["remap"] = remap_seconds
+        results[scheme] = result
+    return results

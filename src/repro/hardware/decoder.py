@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import time
 from typing import Callable, Dict, List, Optional, Tuple, Union
-from weakref import WeakKeyDictionary
+from weakref import WeakSet
 
 from ..ir.function import BasicBlock, Function
 from ..ir.instructions import (
@@ -636,7 +636,16 @@ def _fingerprint(module: Module) -> tuple:
     )
 
 
-_DECODE_CACHE: "WeakKeyDictionary[Module, DecodedProgram]" = WeakKeyDictionary()
+#: Attribute under which a module carries its cached decode.  The cache
+#: must live *on the module*: a ``DecodedProgram`` references the
+#: module's blocks (hence the module), so any manager-side mapping --
+#: including a ``WeakKeyDictionary``, whose values would pin the keys --
+#: would keep every decoded module alive for the life of the process.
+_DECODE_ATTR = "_decoded_program"
+
+#: Weak registry of modules carrying a cached decode, for whole-process
+#: invalidation.
+_DECODED_MODULES: "WeakSet[Module]" = WeakSet()
 
 
 def decode_module(module: Module) -> Tuple[DecodedProgram, float]:
@@ -646,7 +655,7 @@ def decode_module(module: Module) -> Tuple[DecodedProgram, float]:
     actually spent by *this* call -- ``0.0`` on a cache hit.
     """
     fingerprint = _fingerprint(module)
-    cached = _DECODE_CACHE.get(module)
+    cached = getattr(module, _DECODE_ATTR, None)
     if cached is not None and cached.fingerprint == fingerprint:
         return cached, 0.0
     start = time.perf_counter()
@@ -658,7 +667,8 @@ def decode_module(module: Module) -> Tuple[DecodedProgram, float]:
     program = DecodedProgram(functions, layout, fingerprint)
     elapsed = time.perf_counter() - start
     program.decode_seconds = elapsed
-    _DECODE_CACHE[module] = program
+    setattr(module, _DECODE_ATTR, program)
+    _DECODED_MODULES.add(module)
     return program, elapsed
 
 
@@ -670,6 +680,9 @@ def invalidate_decode_cache(module: Optional[Module] = None) -> None:
     of defense for modules mutated outside it.
     """
     if module is None:
-        _DECODE_CACHE.clear()
+        for registered in list(_DECODED_MODULES):
+            registered.__dict__.pop(_DECODE_ATTR, None)
+        _DECODED_MODULES.clear()
     else:
-        _DECODE_CACHE.pop(module, None)
+        module.__dict__.pop(_DECODE_ATTR, None)
+        _DECODED_MODULES.discard(module)

@@ -54,6 +54,22 @@ def reverse_postorder(function: Function) -> List[BasicBlock]:
     return list(reversed(postorder))
 
 
+def predecessor_map(function: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Predecessors of every block, computed in one pass.
+
+    Matches the per-block ``BasicBlock.predecessors`` property exactly
+    (block order, each predecessor listed once) at O(blocks + edges)
+    instead of O(blocks^2).
+    """
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in function.blocks}
+    for block in function.blocks:
+        for successor in block.successors:
+            lst = preds.get(successor)
+            if lst is not None and block not in lst:
+                lst.append(block)
+    return preds
+
+
 class DominatorTree:
     """Immediate dominators and dominance frontiers for a function."""
 
@@ -61,6 +77,10 @@ class DominatorTree:
         self.function = function
         self.rpo = reverse_postorder(function)
         self._rpo_index: Dict[BasicBlock, int] = {b: i for i, b in enumerate(self.rpo)}
+        # Predecessors precomputed once (same order and dedup semantics
+        # as the ``predecessors`` property, which rescans every block
+        # per call and would make the fixpoint loops quadratic).
+        self._preds: Dict[BasicBlock, List[BasicBlock]] = predecessor_map(function)
         self.idom: Dict[BasicBlock, Optional[BasicBlock]] = {}
         self._compute_idoms()
         self.frontiers: Dict[BasicBlock, Set[BasicBlock]] = {}
@@ -76,7 +96,7 @@ class DominatorTree:
             for block in self.rpo:
                 if block is entry:
                     continue
-                preds = [p for p in block.predecessors if self.idom.get(p) is not None]
+                preds = [p for p in self._preds[block] if self.idom.get(p) is not None]
                 if not preds:
                     continue
                 new_idom = preds[0]
@@ -97,7 +117,7 @@ class DominatorTree:
     def _compute_frontiers(self) -> None:
         self.frontiers = {block: set() for block in self.rpo}
         for block in self.rpo:
-            preds = [p for p in block.predecessors if p in self._rpo_index]
+            preds = [p for p in self._preds[block] if p in self._rpo_index]
             if len(preds) < 2:
                 continue
             for pred in preds:

@@ -95,17 +95,25 @@ class Module:
 
     # -- cloning -------------------------------------------------------------
 
-    def clone(self) -> "Module":
+    def clone(self, value_map: bool = False):
         """Deep-copy this module by walking the object graph.
 
         Orders of magnitude cheaper than the textual print/parse
         round-trip (see :mod:`repro.ir.clone`); the round-trip remains
         available as ``repro.core.framework.clone_module_textual`` and
         serves as the verification oracle in the test suite.
-        """
-        from .clone import clone_module
 
-        return clone_module(self)
+        With ``value_map=True`` returns ``(clone, ValueMap)`` where the
+        map translates source values to their clones -- the hook that
+        lets ``remap_report`` carry a vulnerability analysis across a
+        clone instead of recomputing it.
+        """
+        from .clone import clone_module_with_map
+
+        clone, vmap = clone_module_with_map(self)
+        if value_map:
+            return clone, vmap
+        return clone
 
     # -- statistics ----------------------------------------------------------
 

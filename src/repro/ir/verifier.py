@@ -45,15 +45,28 @@ def _verify_function(function: Function) -> List[str]:
             errors.append(f"{where}: duplicate block name %{block.name}")
         seen_names.add(block.name)
 
+    # Predecessor map computed once up front: the per-block
+    # ``predecessors`` property rescans every block in the function, so
+    # calling it per block made verification quadratic in block count.
+    preds: dict = {block: set() for block in function.blocks}
+    for block in function.blocks:
+        for successor in block.successors:
+            if successor in preds:
+                preds[successor].add(block)
+
     value_names: Set[str] = {arg.name for arg in function.args}
     for block in function.blocks:
-        errors.extend(_verify_block(function, block, value_names, where))
+        errors.extend(_verify_block(function, block, value_names, where, preds[block]))
 
     return errors
 
 
 def _verify_block(
-    function: Function, block: BasicBlock, value_names: Set[str], where: str
+    function: Function,
+    block: BasicBlock,
+    value_names: Set[str],
+    where: str,
+    preds: Set[BasicBlock],
 ) -> List[str]:
     errors: List[str] = []
     blk = f"{where}, block %{block.name}"
@@ -68,7 +81,6 @@ def _verify_block(
         if inst.is_terminator:
             errors.append(f"{blk}: terminator {inst.opcode} in mid-block")
 
-    preds = set(block.predecessors)
     past_phis = False
     for inst in block.instructions:
         if isinstance(inst, Phi):

@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..core.config import SCHEMES
-from ..core.framework import ProtectionResult, protect
+from ..core.config import DefenseConfig, SCHEMES
+from ..core.framework import ProtectionResult, protect_all
 from ..hardware.cpu import CPU, ExecutionResult
 from ..ir.module import Module
 from ..workloads.generator import GeneratedProgram
@@ -26,6 +26,9 @@ class SchemeRun:
     scheme: str
     protection: ProtectionResult
     execution: ExecutionResult
+    #: True when the protection came from the compilation cache instead
+    #: of being recompiled
+    cache_hit: bool = False
 
 
 @dataclass
@@ -94,6 +97,56 @@ class BenchmarkMeasurement:
         return self._run(scheme).execution.isolated_allocations
 
 
+def _protect_schemes(module: Module, schemes: Sequence[str], cache):
+    """Protect ``module`` under every scheme, through ``cache`` if given.
+
+    Returns ``(results, hit_flags)``.  With a cache, the key is the
+    printed *input* module plus each scheme's config; a full set of
+    valid entries skips compilation entirely (entries carry the printed
+    protected module, re-parsed here).  On any miss the whole scheme
+    set is recompiled via the shared-analysis pipeline and the missing
+    entries are stored.
+    """
+    schemes = tuple(schemes)
+    entries = None
+    if cache is not None:
+        from ..ir.parser import parse_module
+        from ..ir.printer import print_module
+
+        text = print_module(module)
+        keys = {
+            scheme: cache.key_for(text, DefenseConfig(scheme=scheme))
+            for scheme in schemes
+        }
+        entries = {scheme: cache.load(keys[scheme]) for scheme in schemes}
+        if all(entry is not None for entry in entries.values()):
+            results = {
+                scheme: ProtectionResult(
+                    module=parse_module(entries[scheme]["module"]),
+                    scheme=scheme,
+                    report=None,
+                    pass_stats=entries[scheme]["pass_stats"],
+                    timings=dict(entries[scheme].get("timings", {})),
+                )
+                for scheme in schemes
+            }
+            return results, {scheme: True for scheme in schemes}
+
+    results = protect_all(module, schemes=schemes)
+    if cache is None:
+        return results, {scheme: False for scheme in schemes}
+    for scheme in schemes:
+        if entries[scheme] is None:
+            cache.store(
+                keys[scheme],
+                scheme,
+                print_module(results[scheme].module),
+                results[scheme].pass_stats,
+                results[scheme].timings,
+            )
+    return results, {scheme: entries[scheme] is not None for scheme in schemes}
+
+
 def measure_module(
     module: Module,
     name: str,
@@ -101,15 +154,26 @@ def measure_module(
     schemes: Sequence[str] = SCHEMES,
     seed: int = 2024,
     interpreter: Optional[str] = None,
+    cache_dir: Optional[str] = None,
 ) -> BenchmarkMeasurement:
     """Protect and execute one module under each scheme.
 
     ``interpreter`` selects the CPU backend (``"decoded"`` /
-    ``"reference"``); ``None`` uses the CPU default.
+    ``"reference"``); ``None`` uses the CPU default.  ``cache_dir``
+    enables the content-addressed compilation cache: cached schemes
+    skip recompilation and are marked ``cache_hit`` on their runs.
     """
+    cache = None
+    if cache_dir is not None:
+        # Imported lazily: repro.perf imports this module at package
+        # init, so a top-level import back into repro.perf would cycle.
+        from ..perf.cache import CompilationCache
+
+        cache = CompilationCache(cache_dir)
+    protections, hit_flags = _protect_schemes(module, schemes, cache)
     measurement = BenchmarkMeasurement(name=name)
     for scheme in schemes:
-        protection = protect(module, scheme=scheme)
+        protection = protections[scheme]
         cpu = CPU(protection.module, seed=seed, interpreter=interpreter)
         execution = cpu.run(inputs=list(inputs or []))
         if not execution.ok:
@@ -117,7 +181,9 @@ def measure_module(
                 f"{name}/{scheme}: benign execution failed "
                 f"({execution.status}: {execution.trap})"
             )
-        measurement.runs[scheme] = SchemeRun(scheme, protection, execution)
+        measurement.runs[scheme] = SchemeRun(
+            scheme, protection, execution, cache_hit=hit_flags[scheme]
+        )
     return measurement
 
 
@@ -126,6 +192,7 @@ def measure_program(
     schemes: Sequence[str] = SCHEMES,
     seed: int = 2024,
     interpreter: Optional[str] = None,
+    cache_dir: Optional[str] = None,
 ) -> BenchmarkMeasurement:
     """Protect and execute a generated benchmark under each scheme."""
     return measure_module(
@@ -135,6 +202,7 @@ def measure_program(
         schemes=schemes,
         seed=seed,
         interpreter=interpreter,
+        cache_dir=cache_dir,
     )
 
 

@@ -1,0 +1,146 @@
+"""Content-addressed on-disk compilation cache.
+
+Protecting a module is deterministic: the same input module, scheme,
+and :class:`~repro.core.config.DefenseConfig` always produce the same
+instrumented module (the remap/recompute bit-identity tests pin this
+down).  That makes compilation outputs content-addressable -- the cache
+key is a SHA-256 over the *printed* input module plus the scheme and a
+canonical encoding of the config, so any change to either the program
+or the protection options misses naturally.
+
+Entries live under ``<root>/<key[:2]>/<key>.json`` and carry the
+printed protected module, the pass statistics, and the recorded phase
+timings, plus an internal payload digest.  A stored entry whose digest
+no longer matches its payload (truncated write, manual edit, bit rot)
+is treated as a miss and recompiled over; corruption never produces a
+wrong module.  Writes go through a temp file and ``os.replace`` so
+concurrent suite workers sharing one cache directory cannot observe a
+half-written entry.
+
+This module is deliberately dependency-free (stdlib only): callers in
+:mod:`repro.metrics.overhead` import it lazily to keep the metrics
+layer importable without dragging in the perf package.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+#: Bump to invalidate every existing cache entry (key prefix).
+CACHE_FORMAT = "repro-compile-cache-v1"
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+def config_token(config: Any) -> str:
+    """Canonical string encoding of a defense config for the cache key.
+
+    Any dataclass works; fields are serialized sorted so the token is
+    stable across field-declaration reordering.
+    """
+    return json.dumps(dataclasses.asdict(config), sort_keys=True)
+
+
+def compute_key(module_text: str, scheme: str, token: str) -> str:
+    """The content address of one (module, scheme, config) compilation."""
+    digest = hashlib.sha256()
+    for part in (CACHE_FORMAT, scheme, token, module_text):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def _payload_digest(payload: Dict[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CompilationCache:
+    """Directory-backed cache of protected modules and their stats."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def key_for(self, module_text: str, config: Any) -> str:
+        return compute_key(module_text, config.scheme, config_token(config))
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored entry for ``key``, or ``None`` on miss/corruption.
+
+        The returned dict has ``scheme``, ``module`` (printed protected
+        module), ``pass_stats``, and ``timings`` keys.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        payload = entry.get("payload")
+        if (
+            not isinstance(payload, dict)
+            or entry.get("format") != CACHE_FORMAT
+            or entry.get("key") != key
+            or entry.get("digest") != _payload_digest(payload)
+        ):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def store(
+        self,
+        key: str,
+        scheme: str,
+        module_text: str,
+        pass_stats: Dict[str, Dict[str, Any]],
+        timings: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Persist one compilation result atomically."""
+        payload = {
+            "scheme": scheme,
+            "module": module_text,
+            "pass_stats": pass_stats,
+            "timings": timings or {},
+        }
+        entry = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "digest": _payload_digest(payload),
+            "payload": payload,
+        }
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+        except BaseException:
+            os.unlink(temp_path)
+            raise
+        os.replace(temp_path, path)
+        self.stats.stores += 1

@@ -44,6 +44,7 @@ class SchemeSummary:
     binary_bytes: int
     canary_count: int
     isolated_allocations: int
+    cache_hit: bool = False
 
 
 @dataclass(frozen=True)
@@ -82,6 +83,27 @@ class SuiteResult:
     jobs: int = 1
     interpreter: Optional[str] = None
     wall_seconds: float = 0.0
+    cache_dir: Optional[str] = None
+
+    @property
+    def cache_hits(self) -> int:
+        """Scheme compilations served from the compilation cache."""
+        return sum(
+            1
+            for program in self.programs.values()
+            for scheme in program.schemes
+            if scheme.cache_hit
+        )
+
+    @property
+    def cache_misses(self) -> int:
+        """Scheme compilations that had to run (and were cached)."""
+        return sum(
+            1
+            for program in self.programs.values()
+            for scheme in program.schemes
+            if not scheme.cache_hit
+        )
 
     @property
     def total_steps(self) -> int:
@@ -135,6 +157,7 @@ def summarize_measurement(
                 binary_bytes=run.protection.binary_bytes,
                 canary_count=run.protection.canary_count,
                 isolated_allocations=execution.isolated_allocations,
+                cache_hit=run.cache_hit,
             )
         )
     return ProgramSummary(
@@ -142,17 +165,23 @@ def summarize_measurement(
     )
 
 
-def _measure_one(task: Tuple[str, Tuple[str, ...], int, Optional[str]]) -> ProgramSummary:
+def _measure_one(
+    task: Tuple[str, Tuple[str, ...], int, Optional[str], Optional[str]]
+) -> ProgramSummary:
     """Worker entry point: regenerate one benchmark and measure it.
 
     Module-level (and tuple-argumented) so it pickles under the default
     process-pool start methods.
     """
-    name, schemes, seed, interpreter = task
+    name, schemes, seed, interpreter, cache_dir = task
     start = time.perf_counter()
     program = generate_program(get_profile(name))
     measurement = measure_program(
-        program, schemes=schemes, seed=seed, interpreter=interpreter
+        program,
+        schemes=schemes,
+        seed=seed,
+        interpreter=interpreter,
+        cache_dir=cache_dir,
     )
     return summarize_measurement(measurement, time.perf_counter() - start)
 
@@ -163,19 +192,24 @@ def run_suite(
     seed: int = 2024,
     jobs: int = 1,
     interpreter: Optional[str] = None,
+    cache_dir: Optional[str] = None,
 ) -> SuiteResult:
     """Measure ``names`` (default: every profile) under ``schemes``.
 
     ``jobs > 1`` distributes whole benchmarks across worker processes;
     results are identical to a serial run because every worker
     regenerates its program deterministically from the profile seed.
+
+    ``cache_dir`` enables the on-disk compilation cache (workers share
+    it safely: entry writes are atomic renames, and a racing write of
+    the same key lands the same content either way).
     """
     if names is None:
         names = profile_names()
     names = list(names)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    tasks = [(name, tuple(schemes), seed, interpreter) for name in names]
+    tasks = [(name, tuple(schemes), seed, interpreter, cache_dir) for name in names]
     start = time.perf_counter()
     if jobs == 1 or len(tasks) <= 1:
         summaries = [_measure_one(task) for task in tasks]
@@ -189,4 +223,5 @@ def run_suite(
         jobs=jobs,
         interpreter=interpreter,
         wall_seconds=wall,
+        cache_dir=cache_dir,
     )

@@ -72,20 +72,24 @@ class CompletePointerAuthentication:
         # Demote objects involved in ambiguous accesses: a store whose
         # points-to set is not a singleton has no well-defined object
         # modifier (and signing it could corrupt an unauthenticated
-        # object's data).
+        # object's data).  The demoting sets are a property of the
+        # module's accesses, not of ``sign_set``, so one scan collects
+        # them and the fixpoint then iterates over sets alone.
+        ambiguous = []
+        for function in module.defined_functions():
+            for inst in function.instructions():
+                if isinstance(inst, (Store, Load)):
+                    pts = alias.points_to(inst.pointer)
+                    if len(pts) > 1:
+                        ambiguous.append(pts)
         changed = True
         while changed:
             changed = False
-            for function in module.defined_functions():
-                for inst in function.instructions():
-                    if isinstance(inst, (Store, Load)):
-                        pts = alias.points_to(inst.pointer)
-                    else:
-                        continue
-                    touched_signed = pts & sign_set
-                    if touched_signed and len(pts) != 1:
-                        sign_set -= touched_signed
-                        changed = True
+            for pts in ambiguous:
+                touched_signed = pts & sign_set
+                if touched_signed:
+                    sign_set -= touched_signed
+                    changed = True
         guard_set = {
             o for o in vulnerable if o.kind == "stack" and o not in sign_set
         }
@@ -265,7 +269,9 @@ class CompletePointerAuthentication:
         builder = IRBuilder()
         instrumented: Set[Tuple[int, int]] = set()
         for anchor, objects in read_points:
-            for obj in objects:
+            # Label order keeps guard-auth emission independent of
+            # MemObject identity-hash set ordering (remap determinism).
+            for obj in sorted(objects, key=lambda o: o.label):
                 key = (id(anchor), id(obj))
                 if key in instrumented:
                     continue

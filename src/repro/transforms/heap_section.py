@@ -54,7 +54,9 @@ class HeapSectionPass:
 
         vulnerable = report.heap_vulnerable
         relocated = 0
-        for obj in vulnerable:
+        # Label order: calloc relocation inserts a named mul, so visit
+        # order must not depend on MemObject identity-hash set ordering.
+        for obj in sorted(vulnerable, key=lambda o: o.label):
             call = obj.anchor
             if not isinstance(call, Call):
                 continue

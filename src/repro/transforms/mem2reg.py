@@ -62,8 +62,15 @@ class Mem2Reg:
         if not allocas:
             return 0, 0
         domtree = DominatorTree(function)
-        reachable = set(reachable_blocks(function))
+        reachable_list = reachable_blocks(function)
+        reachable = set(reachable_list)
         phi_owner: Dict[Phi, Alloca] = {}
+        # BasicBlocks hash by identity, so every set of blocks must be
+        # iterated in a canonical order or phi naming/placement would
+        # differ between structurally identical modules (e.g. clones of
+        # the same source -- the shared-analysis path compares them
+        # bit-for-bit against per-scheme recompilations).
+        block_index = {id(block): i for i, block in enumerate(function.blocks)}
 
         # 1. Phi insertion at iterated dominance frontiers of def blocks.
         inserted = 0
@@ -74,10 +81,16 @@ class Mem2Reg:
                 if isinstance(use.user, Store) and use.user.parent in reachable
             }
             placed: Set[BasicBlock] = set()
-            worklist = list(def_blocks)
+            worklist = sorted(
+                def_blocks, key=lambda b: block_index[id(b)], reverse=True
+            )
             while worklist:
                 block = worklist.pop()
-                for frontier in domtree.frontiers.get(block, ()):
+                frontier_blocks = sorted(
+                    domtree.frontiers.get(block, ()),
+                    key=lambda b: block_index[id(b)],
+                )
+                for frontier in frontier_blocks:
                     if frontier in placed or frontier not in reachable:
                         continue
                     placed.add(frontier)
@@ -88,9 +101,10 @@ class Mem2Reg:
                     if frontier not in def_blocks:
                         worklist.append(frontier)
 
-        # 2. Renaming walk over the dominator tree.
-        children: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in reachable}
-        for block in reachable:
+        # 2. Renaming walk over the dominator tree (children in
+        #    discovery order, for the same determinism reason).
+        children: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in reachable_list}
+        for block in reachable_list:
             idom = domtree.idom.get(block)
             if idom is not None and idom is not block:
                 children[idom].append(block)

@@ -1,12 +1,26 @@
 """Minimal pass infrastructure.
 
 A pass is anything with a ``name`` and a ``run(module) -> dict`` method
-returning statistics.  The manager runs passes in order, optionally
-verifying the module between passes (always on in the test suite).
+returning statistics.  The manager runs passes in order and verifies
+once per pipeline stage: the incoming module (unless the caller just
+verified it, see below) and the final module after the whole pipeline.
+``verify_each=True`` restores the after-every-pass schedule for
+debugging which pass corrupted the IR; the test suite exercises both.
+
+``verify_input`` controls the verify of the *incoming* module: callers
+that just verified it themselves -- ``protect()`` verifies right before
+building its pipeline -- pass ``False`` so the same untouched module is
+not verified twice in a row.
+
+``run`` records wall time per pass in :attr:`timings` (verification
+time is accumulated separately under ``"verify"``), and invalidates
+both the pre-decoded execution program and the cached module analyses
+once the pipeline has mutated the module.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Protocol, Sequence
 
 from ..ir.module import Module
@@ -25,23 +39,46 @@ class ModulePass(Protocol):
 class PassManager:
     """Runs a pipeline of module passes, collecting their statistics."""
 
-    def __init__(self, passes: Sequence[ModulePass], verify: bool = True):
+    def __init__(
+        self,
+        passes: Sequence[ModulePass],
+        verify: bool = True,
+        verify_input: bool = True,
+        verify_each: bool = False,
+    ):
         self.passes = list(passes)
         self.verify = verify
+        self.verify_input = verify_input
+        self.verify_each = verify_each
         self.stats: Dict[str, Dict[str, object]] = {}
+        #: wall seconds per pass name, plus accumulated ``"verify"`` time
+        self.timings: Dict[str, float] = {}
+
+    def _verify(self, module: Module) -> None:
+        start = time.perf_counter()
+        verify_module(module)
+        self.timings["verify"] = (
+            self.timings.get("verify", 0.0) + time.perf_counter() - start
+        )
 
     def run(self, module: Module) -> Dict[str, Dict[str, object]]:
-        if self.verify:
-            verify_module(module)
+        if self.verify and self.verify_input:
+            self._verify(module)
         for pass_ in self.passes:
+            start = time.perf_counter()
             self.stats[pass_.name] = pass_.run(module) or {}
-            if self.verify:
-                verify_module(module)
+            self.timings[pass_.name] = time.perf_counter() - start
+            if self.verify and self.verify_each:
+                self._verify(module)
         if self.passes:
+            if self.verify and not self.verify_each:
+                self._verify(module)
             # Transforms invalidate any pre-decoded execution program
-            # (see repro.hardware.decoder); imported lazily to keep the
-            # transform layer free of hardware dependencies.
+            # and any memoized analyses of the module; imported lazily
+            # to keep the transform layer free of upper-layer imports.
+            from ..analysis.manager import invalidate_analyses
             from ..hardware.decoder import invalidate_decode_cache
 
             invalidate_decode_cache(module)
+            invalidate_analyses(module)
         return self.stats

@@ -217,7 +217,10 @@ class StackProtectionPass:
             if not touched:
                 continue
 
-            for obj in touched:
+            # Label order, not set order: MemObjects hash by identity,
+            # so set iteration would emit checks in a different order on
+            # a remapped report than on a fresh one.
+            for obj in sorted(touched, key=lambda o: o.label):
                 canary = canaries[obj]
                 modifier = modifiers[id(canary)]
                 if self.rerandomize:

@@ -1,0 +1,147 @@
+"""AnalysisManager memoization and invalidation discipline."""
+
+from __future__ import annotations
+
+from repro.analysis.manager import (
+    AnalysisManager,
+    get_manager,
+    invalidate_analyses,
+)
+from repro.core.framework import protect
+from repro.frontend import compile_source
+from repro.hardware.decoder import decode_module
+from repro.transforms import Mem2Reg
+from repro.transforms.pass_manager import PassManager
+from repro.workloads import generate_program, get_profile
+
+SOURCE = """
+int main() {
+    char buf[8];
+    gets(buf);
+    if (buf[0] > 3) {
+        return 1;
+    }
+    return 0;
+}
+"""
+
+
+def fresh_module():
+    return compile_source(SOURCE, name="managed")
+
+
+class _TouchPass:
+    """A pass that mutates nothing but still ends a pipeline stage."""
+
+    name = "touch"
+
+    def run(self, module):
+        return {}
+
+
+def test_memoizes_per_module_and_counts():
+    manager = AnalysisManager()
+    module = fresh_module()
+    first = manager.alias(module)
+    assert manager.alias(module) is first
+    assert (manager.hits, manager.misses) == (1, 1)
+
+    other = fresh_module()
+    assert manager.alias(other) is not first
+
+
+def test_dependent_analyses_share_components():
+    manager = AnalysisManager()
+    module = fresh_module()
+    memdu = manager.memdu(module)
+    assert memdu.alias is manager.alias(module)
+    assert memdu.channels is manager.channels(module)
+    slicer = manager.slicer(module)
+    assert slicer is manager.slicer(module)
+    assert manager.dfi_slicer(module) is not slicer
+
+
+def test_explicit_invalidation_drops_entries():
+    manager = AnalysisManager()
+    module = fresh_module()
+    first = manager.alias(module)
+    manager.invalidate(module)
+    assert manager.alias(module) is not first
+
+    second = manager.alias(module)
+    manager.invalidate()  # whole-process form
+    assert manager.alias(module) is not second
+
+
+def test_fingerprint_guards_unreported_mutation():
+    manager = AnalysisManager()
+    # A promotable scalar, so mem2reg actually rewrites the module.
+    module = compile_source(
+        "int main() { int x; x = 4; if (x > 3) { return 1; } return 0; }"
+    )
+    stale = manager.alias(module)
+    # Mutate without telling the manager: promotion changes instruction
+    # counts, so the structural fingerprint no longer matches.
+    Mem2Reg().run(module)
+    assert manager.alias(module) is not stale
+
+
+def test_separate_managers_do_not_share_results():
+    module = fresh_module()
+    ours = AnalysisManager()
+    theirs = AnalysisManager()
+    assert ours.alias(module) is not theirs.alias(module)
+
+
+def test_seeded_analyses_are_served():
+    manager = AnalysisManager()
+    module = fresh_module()
+    sentinel = object()
+    manager.seed(module, alias=sentinel)
+    assert manager.alias(module) is sentinel
+
+
+def test_pass_manager_run_drops_decode_and_analysis_caches():
+    module = fresh_module()
+    Mem2Reg().run(module)
+    invalidate_analyses(module)
+    get_manager().alias(module)
+    decode_module(module)
+    assert getattr(module, "_analysis_entry", None) is not None
+    assert getattr(module, "_decoded_program", None) is not None
+
+    PassManager([_TouchPass()]).run(module)
+    assert getattr(module, "_analysis_entry", None) is None
+    assert getattr(module, "_decoded_program", None) is None
+
+
+def test_empty_pipeline_keeps_caches():
+    module = fresh_module()
+    Mem2Reg().run(module)
+    invalidate_analyses(module)
+    cached = get_manager().alias(module)
+    PassManager([]).run(module)
+    assert get_manager().alias(module) is cached
+
+
+def test_protect_mem2reg_hook_drops_caches():
+    module = fresh_module()
+    invalidate_analyses(module)
+    get_manager().alias(module)
+    decode_module(module)
+
+    # mem2reg runs outside any PassManager, so protect() itself must
+    # drop the pre-promotion caches.
+    protect(module, scheme="vanilla", clone=False)
+    assert getattr(module, "_analysis_entry", None) is None
+    assert getattr(module, "_decoded_program", None) is None
+
+
+def test_vulnerability_report_memoized_on_workload():
+    manager = AnalysisManager()
+    module = generate_program(get_profile("505.mcf_r")).compile()
+    Mem2Reg().run(module)
+    report = manager.vulnerability_report(module)
+    assert manager.vulnerability_report(module) is report
+    assert report.analysis is not None
+    assert report.analysis.alias is manager.alias(module)

@@ -1,0 +1,176 @@
+"""The content-addressed compilation cache: hits, misses, corruption."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.config import DefenseConfig
+from repro.ir.printer import print_module
+from repro.perf import run_suite
+from repro.perf.cache import CompilationCache
+from repro.workloads import generate_program, get_profile
+
+NAME = "505.mcf_r"
+
+COMPARED_FIELDS = (
+    "scheme",
+    "status",
+    "cycles",
+    "instructions",
+    "ipc",
+    "steps",
+    "pa_static",
+    "pa_dynamic",
+    "binary_bytes",
+    "canary_count",
+    "isolated_allocations",
+)
+
+
+def entry_files(root):
+    return sorted(
+        os.path.join(dirpath, filename)
+        for dirpath, _, filenames in os.walk(root)
+        for filename in filenames
+        if filename.endswith(".json")
+    )
+
+
+def assert_summaries_equal(left, right):
+    assert set(left.programs) == set(right.programs)
+    for name in left.programs:
+        for left_s, right_s in zip(
+            left.programs[name].schemes, right.programs[name].schemes
+        ):
+            for field in COMPARED_FIELDS:
+                assert getattr(left_s, field) == getattr(right_s, field), (
+                    name,
+                    left_s.scheme,
+                    field,
+                )
+
+
+# -- unit: the cache itself ----------------------------------------------------
+
+
+def test_store_load_roundtrip(tmp_path):
+    cache = CompilationCache(str(tmp_path))
+    config = DefenseConfig(scheme="pythia")
+    key = cache.key_for("module text", config)
+    assert cache.load(key) is None
+    cache.store(key, "pythia", "protected text", {"pythia-stack": {"canaries": 2}})
+    entry = cache.load(key)
+    assert entry["scheme"] == "pythia"
+    assert entry["module"] == "protected text"
+    assert entry["pass_stats"] == {"pythia-stack": {"canaries": 2}}
+    assert (cache.stats.hits, cache.stats.misses, cache.stats.stores) == (1, 1, 1)
+
+
+def test_key_covers_module_scheme_and_config(tmp_path):
+    cache = CompilationCache(str(tmp_path))
+    base = cache.key_for("module text", DefenseConfig(scheme="pythia"))
+    assert cache.key_for("module text", DefenseConfig(scheme="pythia")) == base
+    assert cache.key_for("other text", DefenseConfig(scheme="pythia")) != base
+    assert cache.key_for("module text", DefenseConfig(scheme="dfi")) != base
+    assert (
+        cache.key_for(
+            "module text", DefenseConfig(scheme="pythia", protect_heap=False)
+        )
+        != base
+    )
+
+
+def test_corrupt_entry_is_rejected_not_trusted(tmp_path):
+    cache = CompilationCache(str(tmp_path))
+    key = cache.key_for("module text", DefenseConfig(scheme="cpa"))
+    cache.store(key, "cpa", "protected text", {})
+    (path,) = entry_files(tmp_path)
+
+    # Tamper with the payload without refreshing the digest: a stale or
+    # bit-flipped entry must be dropped, never served.
+    with open(path, "r", encoding="utf-8") as handle:
+        blob = json.load(handle)
+    blob["payload"]["module"] = "tampered text"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(blob, handle)
+
+    assert cache.load(key) is None
+    assert cache.stats.corrupt == 1
+
+    # Truncated/unparseable files are equally a miss.
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("{not json")
+    assert cache.load(key) is None
+
+
+def test_wrong_key_slot_is_rejected(tmp_path):
+    cache = CompilationCache(str(tmp_path))
+    config = DefenseConfig(scheme="cpa")
+    key = cache.key_for("module text", config)
+    other = cache.key_for("other text", config)
+    cache.store(key, "cpa", "protected text", {})
+    (path,) = entry_files(tmp_path)
+    target = os.path.join(
+        str(tmp_path), other[:2], f"{other}.json"
+    )
+    os.makedirs(os.path.dirname(target), exist_ok=True)
+    os.replace(path, target)
+    assert cache.load(other) is None  # internal key disagrees with the slot
+
+
+# -- integration: the suite runner against the cache ---------------------------
+
+
+def test_warm_suite_hits_and_matches_cold_and_uncached(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    uncached = run_suite(names=[NAME])
+    cold = run_suite(names=[NAME], cache_dir=cache_dir)
+    warm = run_suite(names=[NAME], cache_dir=cache_dir)
+
+    schemes = len(cold.schemes)
+    assert (cold.cache_hits, cold.cache_misses) == (0, schemes)
+    assert (warm.cache_hits, warm.cache_misses) == (schemes, 0)
+    assert len(entry_files(cache_dir)) == schemes
+
+    assert_summaries_equal(cold, uncached)
+    assert_summaries_equal(warm, cold)
+
+
+def test_suite_recompiles_corrupted_entry(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    cold = run_suite(names=[NAME], cache_dir=cache_dir)
+    files = entry_files(cache_dir)
+    assert len(files) == len(cold.schemes)
+
+    with open(files[0], "r", encoding="utf-8") as handle:
+        blob = json.load(handle)
+    blob["payload"]["module"] = "tampered text"
+    with open(files[0], "w", encoding="utf-8") as handle:
+        json.dump(blob, handle)
+
+    warm = run_suite(names=[NAME], cache_dir=cache_dir)
+    # The tampered entry is detected, recompiled, and re-stored; the
+    # other entries still hit.
+    assert warm.cache_misses == 1
+    assert warm.cache_hits == len(cold.schemes) - 1
+    assert_summaries_equal(warm, cold)
+
+    healed = run_suite(names=[NAME], cache_dir=cache_dir)
+    assert (healed.cache_hits, healed.cache_misses) == (len(cold.schemes), 0)
+    assert_summaries_equal(healed, cold)
+
+
+def test_cached_modules_print_identically_to_recompiled(tmp_path):
+    from repro.metrics import measure_program
+
+    cache_dir = str(tmp_path / "cache")
+    program = generate_program(get_profile(NAME))
+    cold = measure_program(program, cache_dir=cache_dir)
+    warm = measure_program(program, cache_dir=cache_dir)
+    for scheme, warm_run in warm.runs.items():
+        assert warm_run.cache_hit
+        assert not cold.runs[scheme].cache_hit
+        assert print_module(warm_run.protection.module) == print_module(
+            cold.runs[scheme].protection.module
+        )
