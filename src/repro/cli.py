@@ -8,7 +8,14 @@ Subcommands:
 ``attack``    replay a built-in attack scenario under every scheme
 ``bench``     run one generated benchmark under every scheme
 ``suite``     measure many benchmarks, optionally across worker processes
+``chaos``     inject a fault plan and assert the defense contract
 ``scenarios`` list the built-in attack scenarios
+
+Failures exit with a one-line ``repro: error:`` diagnostic and a
+distinct code per failure layer (see :data:`EXIT_CODES`) -- never a
+traceback: 2 for an undetected attack / broken contract / suite
+failure, 3 for I/O (missing file, unreadable plan), 4 for invalid
+MiniC, 5 for IR verification and protection-pipeline bugs.
 """
 
 from __future__ import annotations
@@ -25,11 +32,24 @@ from .core import (
     build_security_report,
     protect,
 )
-from .frontend import compile_source
+from .frontend import CodegenError, CParseError, LexError, SemaError, compile_source
 from .hardware import CPU, INTERPRETERS
+from .hardware.errors import ReproError
 from .ir import print_module
+from .ir.verifier import VerificationError
 from .transforms import Mem2Reg
 from .workloads import generate_program, get_profile, profile_names
+
+#: Exit code per failure layer.  :class:`~repro.hardware.errors.ReproError`
+#: subclasses carry their own ``exit_code`` and take precedence.
+EXIT_CODES = {
+    "io": 3,
+    "frontend": 4,
+    "verify": 5,
+}
+
+#: MiniC front-end failures: invalid *input*, not framework bugs.
+_FRONTEND_ERRORS = (LexError, CParseError, SemaError, CodegenError)
 
 
 def _read_source(path: str) -> str:
@@ -166,6 +186,9 @@ def cmd_suite(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         interpreter=args.interpreter,
         cache_dir=cache_dir,
+        timeout=args.timeout,
+        retries=args.retries,
+        keep_going=args.keep_going,
     )
     for name in sorted(result.programs):
         program = result.programs[name]
@@ -187,6 +210,60 @@ def cmd_suite(args: argparse.Namespace) -> int:
             f"compilation cache [{cache_dir}]: "
             f"{result.cache_hits} hits, {result.cache_misses} misses"
         )
+    if args.manifest:
+        import json
+
+        with open(args.manifest, "w", encoding="utf-8") as handle:
+            json.dump(result.failure_manifest(), handle, indent=2, sort_keys=True)
+        print(f"failure manifest written to {args.manifest}")
+    if result.failures:
+        for name in result.quarantined:
+            failure = result.failures[name]
+            print(
+                f"  QUARANTINED {name}: {failure.status} after "
+                f"{failure.attempts} attempt(s): {failure.message}",
+                file=sys.stderr,
+            )
+        return 2
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .robustness import FaultPlan, smoke_plan
+    from .robustness.chaos import run_chaos
+
+    if args.plan:
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(handle.read())
+    else:
+        plan = smoke_plan(args.seed)
+    report = run_chaos(
+        plan, workload=args.workload, seed=args.seed, interpreter=args.interpreter
+    )
+    print(
+        f"chaos: {len(plan.specs)} fault spec(s) against {args.workload!r} "
+        f"(plan seed {plan.seed}, run seed {args.seed})"
+    )
+    for line in report.summary_lines():
+        print(line)
+    triage = report.triage
+    if triage.total_crashes:
+        print("triage buckets (uncaught exceptions -- framework bugs):")
+        for line in triage.summary_lines():
+            print(f"  {line}")
+    if args.manifest:
+        with open(args.manifest, "w", encoding="utf-8") as handle:
+            json.dump(report.to_manifest(), handle, indent=2, sort_keys=True)
+        print(f"chaos manifest written to {args.manifest}")
+    violations = report.contract_violations()
+    if violations:
+        print(f"FAIL: {len(violations)} defense-contract violation(s)")
+        for case in violations:
+            print(f"  [{case.index}] {case.kind}: {case.classification} -- {case.detail}")
+        return 2
+    print("OK: every injected fault stayed within its defense contract")
     return 0
 
 
@@ -289,7 +366,64 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the compilation cache",
     )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-benchmark attempt timeout in seconds (default: none)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry a failing benchmark this many times before quarantine",
+    )
+    p.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="quarantine failing benchmarks and report the rest "
+        "instead of aborting the suite",
+    )
+    p.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help="write the completion/quarantine manifest as JSON",
+    )
     p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser(
+        "chaos", help="inject a fault plan and assert the defense contract"
+    )
+    p.add_argument(
+        "--plan",
+        default=None,
+        metavar="FILE",
+        help="fault plan JSON (default: the built-in one-of-every-kind "
+        "smoke plan at --seed)",
+    )
+    p.add_argument(
+        "--workload",
+        default="nginx",
+        choices=profile_names(),
+        metavar="BENCHMARK",
+        help="workload to run under faults (default: nginx, the "
+        "profile with live heap traffic)",
+    )
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument(
+        "--interpreter",
+        choices=INTERPRETERS,
+        default=None,
+        help="CPU backend (default: pre-decoded dispatch)",
+    )
+    p.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help="write the full chaos manifest (cases, violations, triage) as JSON",
+    )
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("scenarios", help="list the built-in attack scenarios")
     p.set_defaults(func=cmd_scenarios)
@@ -297,6 +431,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fail(exc: BaseException, code: int) -> int:
+    """One-line diagnostic to stderr, never a traceback."""
+    message = str(exc) or type(exc).__name__
+    first = message.splitlines()[0]
+    rest = len(message.splitlines()) - 1
+    if rest > 0:
+        first += f" (+{rest} more)"
+    print(f"repro: error: {first}", file=sys.stderr)
+    return code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except _FRONTEND_ERRORS as exc:
+        return _fail(exc, EXIT_CODES["frontend"])
+    except VerificationError as exc:
+        return _fail(exc, EXIT_CODES["verify"])
+    except ReproError as exc:
+        return _fail(exc, exc.exit_code)
+    except FileNotFoundError as exc:
+        return _fail(exc, EXIT_CODES["io"])
+    except OSError as exc:
+        return _fail(exc, EXIT_CODES["io"])

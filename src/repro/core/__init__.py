@@ -8,6 +8,7 @@ channel construction, §4.1), the end-to-end protection framework
 from .config import DefenseConfig, SCHEMES
 from .framework import (
     BYTES_PER_INSTRUCTION,
+    ProtectionError,
     ProtectionResult,
     clone_module,
     clone_module_textual,
@@ -41,6 +42,7 @@ __all__ = [
     "DIRECT_DEPTH",
     "protect",
     "protect_all",
+    "ProtectionError",
     "ProtectionResult",
     "pythia_protects",
     "remap_report",

@@ -22,11 +22,12 @@ from typing import Dict, Optional
 
 from ..analysis.manager import invalidate_analyses
 from ..hardware.decoder import invalidate_decode_cache
+from ..hardware.errors import ReproError
 from ..ir.instructions import is_pa_instruction
 from ..ir.module import Module
 from ..ir.parser import parse_module
 from ..ir.printer import print_module
-from ..ir.verifier import verify_module
+from ..ir.verifier import VerificationError, verify_module
 from ..transforms.cpa import CompletePointerAuthentication
 from ..transforms.dfi import DataFlowIntegrityPass
 from ..transforms.field_protect import FieldProtectionPass
@@ -40,6 +41,18 @@ from .vulnerability import VulnerabilityAnalysis, VulnerabilityReport
 #: Estimated bytes per IR instruction when reporting binary sizes
 #: (AArch64 instructions are 4 bytes).
 BYTES_PER_INSTRUCTION = 4
+
+
+class ProtectionError(ReproError):
+    """A defense pass produced an invalid module.
+
+    Distinct from :class:`~repro.ir.verifier.VerificationError` on the
+    *input*: if the module verified clean going in and breaks while a
+    pass instruments it, the defect is in the framework, not the
+    program.  The original verifier failure is chained as the cause.
+    """
+
+    exit_code = 5
 
 
 def clone_module(module: Module) -> Module:
@@ -173,7 +186,13 @@ def protect(
     # The incoming module was verified above (or by the prepared
     # caller), so the pipeline only re-verifies after each mutation.
     manager = PassManager(passes, verify=config.verify, verify_input=False)
-    stats = manager.run(target)
+    try:
+        stats = manager.run(target)
+    except VerificationError as exc:
+        first = exc.errors[0] if exc.errors else str(exc)
+        raise ProtectionError(
+            f"scheme {config.scheme!r} produced an invalid module: {first}"
+        ) from exc
     for name, seconds in manager.timings.items():
         if name == "verify":
             timings["verify"] = timings.get("verify", 0.0) + seconds

@@ -21,6 +21,7 @@ from .cpu import (
     UnknownExternalError,
 )
 from .decoder import decode_module, invalidate_decode_cache
+from .errors import ReproError
 from .libc import LIBRARY, LibFunction, declare_library
 from .memory import (
     GLOBAL_BASE,
@@ -78,6 +79,7 @@ __all__ = [
     "PacAuthError",
     "PointerAuthentication",
     "ProgramExit",
+    "ReproError",
     "RNG_CALL_CYCLES",
     "SectionedHeap",
     "SecurityTrap",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from .errors import ReproError
 from .memory import HEAP_ISOLATED_BASE, HEAP_SHARED_BASE, Memory, MemoryFault
 
 _ALIGN = 16
@@ -29,7 +30,7 @@ _HEADER = 16
 _BIN_CLASSES = (16, 32, 48, 64, 96, 128, 192, 256, 512, 1024, 4096)
 
 
-class OutOfMemoryError(Exception):
+class OutOfMemoryError(ReproError):
     """The section's arena is exhausted."""
 
 
@@ -58,6 +59,10 @@ class HeapAllocator:
         self.live: Dict[int, int] = {}
         #: chunk start -> payload size for free chunks (for coalescing)
         self.free_chunks: Dict[int, int] = {}
+        #: optional fault injector (see :mod:`repro.robustness.faults`);
+        #: when set, ``fault_hook.on_malloc(self, address, payload)``
+        #: runs after each allocation and may tamper chunk metadata
+        self.fault_hook = None
         # statistics
         self.malloc_calls = 0
         self.free_calls = 0
@@ -85,6 +90,8 @@ class HeapAllocator:
         self.memory.write_bytes(address, b"\x00" * payload)
         self.bytes_in_use += payload
         self.peak_bytes = max(self.peak_bytes, self.bytes_in_use)
+        if self.fault_hook is not None:
+            self.fault_hook.on_malloc(self, address, payload)
         return address
 
     def free(self, address: int) -> None:

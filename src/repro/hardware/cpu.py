@@ -94,13 +94,20 @@ class DfiShadow:
     writes touch hundreds of bytes per call.
     """
 
-    __slots__ = ("_map",)
+    __slots__ = ("_map", "fault_hook")
 
     def __init__(self):
         self._map: Dict[int, int] = {}
+        #: optional fault injector (see :mod:`repro.robustness.faults`);
+        #: when set, instrumented ``dfi.setdef`` writer ids pass through
+        #: ``fault_hook.on_dfi_setdef(address, size, def_id)`` -- the
+        #: external-writer id is exempt so library writes stay benign
+        self.fault_hook = None
 
     def set_range(self, address: int, size: int, def_id: int) -> None:
         """Record ``def_id`` as the last writer of ``size`` bytes."""
+        if self.fault_hook is not None and def_id != DFI_EXTERNAL_WRITER:
+            def_id = self.fault_hook.on_dfi_setdef(address, size, def_id)
         if size == 1:
             self._map[address] = def_id
         else:

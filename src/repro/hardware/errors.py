@@ -13,10 +13,25 @@ from __future__ import annotations
 DFI_EXTERNAL_WRITER = 0
 
 
-class SecurityTrap(Exception):
+class ReproError(Exception):
+    """Root of every typed error the framework raises on purpose.
+
+    The hierarchy gives the CLI (and the chaos triage pipeline) a single
+    catch point that still distinguishes *expected* failures -- traps,
+    user mistakes, resource exhaustion -- from genuine bugs, which
+    surface as exceptions outside this tree and land in a triage bucket.
+    ``exit_code`` is the process exit status ``python -m repro`` uses
+    when the error reaches the top level.
+    """
+
+    exit_code = 1
+
+
+class SecurityTrap(ReproError):
     """Base class of defense-triggered traps."""
 
     kind = "security"
+    exit_code = 2
 
 
 class CanaryTrap(SecurityTrap):
@@ -39,11 +54,11 @@ class DfiTrap(SecurityTrap):
         self.allowed = allowed
 
 
-class NullPointerTrap(Exception):
+class NullPointerTrap(ReproError):
     """Dereference of a null pointer."""
 
 
-class StepLimitExceeded(Exception):
+class StepLimitExceeded(ReproError):
     """The execution ran past the configured dynamic step budget."""
 
 
@@ -55,5 +70,5 @@ class ProgramExit(Exception):
         self.code = code
 
 
-class UnknownExternalError(Exception):
+class UnknownExternalError(ReproError):
     """Call to a declaration with no library model."""

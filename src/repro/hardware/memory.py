@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from .errors import ReproError
+
 GLOBAL_BASE = 0x01_0000_0000
 STACK_BASE = 0x02_0000_0000
 HEAP_SHARED_BASE = 0x03_0000_0000
@@ -32,7 +34,7 @@ HEAP_ISOLATED_BASE = 0x04_0000_0000
 SEGMENT_SIZE = 16 * 1024 * 1024
 
 
-class MemoryFault(Exception):
+class MemoryFault(ReproError):
     """Access to an unmapped address -- the simulated SIGSEGV/bus error."""
 
     def __init__(self, address: int, size: int = 1, kind: str = "access"):
@@ -81,6 +83,11 @@ class Memory:
         ]
         self.reads = 0
         self.writes = 0
+        #: optional fault injector (see :mod:`repro.robustness.faults`);
+        #: when set, every write's payload passes through
+        #: ``fault_hook.on_memory_write(address, payload)`` so chaos
+        #: runs can flip bits in stored data deterministically
+        self.fault_hook = None
         # segment bases sit on 4 GiB boundaries, so the high 32 address
         # bits identify the segment without scanning
         self._window: Dict[int, Segment] = {
@@ -114,6 +121,8 @@ class Memory:
         if not payload:
             return
         self.writes += 1
+        if self.fault_hook is not None:
+            payload = self.fault_hook.on_memory_write(address, payload)
         self.segment_for(address, len(payload), "write").write(address, payload)
 
     # -- typed access -----------------------------------------------------------
@@ -148,7 +157,10 @@ class Memory:
         if end > len(data):
             segment._ensure(end)
         mask = (1 << (8 * size)) - 1
-        data[offset:end] = (value & mask).to_bytes(size, "little")
+        payload = (value & mask).to_bytes(size, "little")
+        if self.fault_hook is not None:
+            payload = self.fault_hook.on_memory_write(address, payload)
+        data[offset:end] = payload
 
     # -- C string helpers ---------------------------------------------------------
 

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from .errors import ReproError
+
 #: Bits of virtual address space actually used by translation.
 VA_BITS = 40
 #: Bits available for the PAC field.
@@ -35,7 +37,7 @@ PAC_FIELD_MASK = ((1 << PAC_BITS) - 1) << VA_BITS
 _MASK64 = (1 << 64) - 1
 
 
-class PacAuthError(Exception):
+class PacAuthError(ReproError):
     """Authentication failure: the value's PAC did not match.
 
     This is the simulated equivalent of dereferencing the poisoned
@@ -106,6 +108,10 @@ class PointerAuthentication:
         self.sign_count = 0
         self.auth_count = 0
         self.auth_failures = 0
+        #: optional fault injector (see :mod:`repro.robustness.faults`);
+        #: when set, every signed value passes through
+        #: ``fault_hook.on_pac_sign(self, signed, modifier, key_id)``
+        self.fault_hook = None
         # MAC memo: the PAC is a pure function of (key, address bits,
         # modifier), and nearly every auth re-derives a MAC some sign
         # already computed.  Bounded by the number of distinct signed
@@ -125,7 +131,10 @@ class PointerAuthentication:
         MAC covers only the low address bits.
         """
         self.sign_count += 1
-        return (value & ADDR_MASK) | (self._pac(key_id, value, modifier) << VA_BITS)
+        signed = (value & ADDR_MASK) | (self._pac(key_id, value, modifier) << VA_BITS)
+        if self.fault_hook is not None:
+            signed = self.fault_hook.on_pac_sign(self, signed, modifier, key_id)
+        return signed
 
     def _pac(self, key_id: str, value: int, modifier: int) -> int:
         cache_key = (key_id, value & ADDR_MASK, modifier & _MASK64)
@@ -135,6 +144,16 @@ class PointerAuthentication:
                 self._key(key_id), value, modifier
             )
         return pac
+
+    def corrupt_key(self, key_id: str, bit: int) -> None:
+        """Flip one bit of a key (fault injection / chaos testing only).
+
+        The MAC memo is keyed on ``(key_id, value, modifier)`` and so
+        would keep returning PACs derived from the *old* key; it must be
+        dropped or a corrupted key would go unnoticed by ``auth``.
+        """
+        self.keys[key_id] = self._key(key_id) ^ (1 << (bit % 128))
+        self._pac_cache.clear()
 
     def auth(self, value: int, modifier: int, key_id: str = "da") -> int:
         """Verify ``value``'s PAC and return the stripped value.

@@ -3,8 +3,11 @@
 from .runner import (
     ProgramSummary,
     SchemeSummary,
+    SuiteError,
     SuiteResult,
+    TaskFailure,
     run_suite,
+    run_tasks,
     summarize_measurement,
 )
 from .trajectory import append_entry, load_entries
@@ -12,8 +15,11 @@ from .trajectory import append_entry, load_entries
 __all__ = [
     "ProgramSummary",
     "SchemeSummary",
+    "SuiteError",
     "SuiteResult",
+    "TaskFailure",
     "run_suite",
+    "run_tasks",
     "summarize_measurement",
     "append_entry",
     "load_entries",

@@ -17,6 +17,14 @@ wrong module.  Writes go through a temp file and ``os.replace`` so
 concurrent suite workers sharing one cache directory cannot observe a
 half-written entry.
 
+The cache is an accelerator, never a correctness dependency, so I/O
+failure must not kill a run: any :class:`OSError` beyond a plain miss
+(permissions, disk full, the root turning out to be a file) logs one
+warning and **degrades the instance to cache-off** -- every later
+lookup misses and every later store is a no-op.  An optional
+``fault_hook`` (see :mod:`repro.robustness.faults`) lets chaos runs
+inject exactly those failures plus corrupted/truncated entries.
+
 This module is deliberately dependency-free (stdlib only): callers in
 :mod:`repro.metrics.overhead` import it lazily to keep the metrics
 layer importable without dragging in the perf package.
@@ -27,12 +35,15 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from typing import Any, Dict, Optional
 
 #: Bump to invalidate every existing cache entry (key prefix).
 CACHE_FORMAT = "repro-compile-cache-v1"
+
+logger = logging.getLogger(__name__)
 
 
 @dataclasses.dataclass
@@ -43,6 +54,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    io_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -75,12 +87,31 @@ def _payload_digest(payload: Dict[str, Any]) -> str:
 class CompilationCache:
     """Directory-backed cache of protected modules and their stats."""
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, fault_hook=None):
         self.root = root
         self.stats = CacheStats()
+        #: True once an I/O error demoted this instance to cache-off.
+        self.disabled = False
+        #: optional fault injector: loads pass through
+        #: ``on_cache_load(key, entry)``, stores through
+        #: ``on_cache_store(key, text)`` (which may raise ``OSError``)
+        self.fault_hook = fault_hook
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def _degrade(self, operation: str, exc: OSError) -> None:
+        """Demote to cache-off after an I/O failure, warning once."""
+        self.stats.io_errors += 1
+        if not self.disabled:
+            self.disabled = True
+            logger.warning(
+                "compilation cache %s failed (%s: %s); "
+                "disabling the cache for the rest of the run",
+                operation,
+                type(exc).__name__,
+                exc,
+            )
 
     def key_for(self, module_text: str, config: Any) -> str:
         return compute_key(module_text, config.scheme, config_token(config))
@@ -91,13 +122,25 @@ class CompilationCache:
         The returned dict has ``scheme``, ``module`` (printed protected
         module), ``pass_stats``, and ``timings`` keys.
         """
+        if self.disabled:
+            self.stats.misses += 1
+            return None
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (OSError, ValueError):
+        except FileNotFoundError:
             self.stats.misses += 1
             return None
+        except ValueError:
+            self.stats.misses += 1
+            return None
+        except OSError as exc:
+            self._degrade("read", exc)
+            self.stats.misses += 1
+            return None
+        if self.fault_hook is not None:
+            entry = self.fault_hook.on_cache_load(key, entry)
         payload = entry.get("payload")
         if (
             not isinstance(payload, dict)
@@ -119,7 +162,13 @@ class CompilationCache:
         pass_stats: Dict[str, Dict[str, Any]],
         timings: Optional[Dict[str, float]] = None,
     ) -> None:
-        """Persist one compilation result atomically."""
+        """Persist one compilation result atomically.
+
+        I/O failure is absorbed: the entry is simply not cached and the
+        instance degrades to cache-off (see :meth:`_degrade`).
+        """
+        if self.disabled:
+            return
         payload = {
             "scheme": scheme,
             "module": module_text,
@@ -134,13 +183,22 @@ class CompilationCache:
         }
         path = self._path(key)
         directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        temp_path = None
         try:
+            text = json.dumps(entry, sort_keys=True)
+            if self.fault_hook is not None:
+                text = self.fault_hook.on_cache_store(key, text)
+            os.makedirs(directory, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, sort_keys=True)
-        except BaseException:
-            os.unlink(temp_path)
-            raise
-        os.replace(temp_path, path)
+                handle.write(text)
+            os.replace(temp_path, path)
+        except OSError as exc:
+            if temp_path is not None:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+            self._degrade("write", exc)
+            return
         self.stats.stores += 1

@@ -1,29 +1,51 @@
-"""Parallel benchmark-suite runner.
+"""Parallel, crash-resilient benchmark-suite runner.
 
 The evaluation measures 16 workload profiles x 4 schemes; serially that
 is by far the longest part of a full reproduction run.  Profiles are
 independent, so this runner fans :func:`repro.metrics.overhead.measure_program`
-out across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+out across worker processes -- one process *per attempt*, not a shared
+pool, so a worker that crashes, wedges, or leaks poisons only its own
+task:
+
+- **per-task timeout**: a hung worker is terminated and the task
+  counts as a ``timeout`` attempt;
+- **bounded retries** with exponential backoff and deterministic
+  jitter (seeded per task+attempt, so reruns pace identically);
+- **quarantine**: a task that fails every attempt is recorded in the
+  failure manifest instead of taking the suite down;
+- **``keep_going``**: with it, the suite reports every successful
+  task's results plus a manifest of the quarantined ones; without it,
+  the first quarantined task raises :class:`SuiteError` (after
+  terminating in-flight work).
 
 Workers exchange only plain-data summaries (:class:`SchemeSummary` /
 :class:`ProgramSummary`), never IR object graphs: a module's def-use
 web is cyclic and large, so each worker regenerates its program from
 the (deterministic, seeded) workload profile and sends back numbers.
-``jobs=1`` runs everything in-process, which the tests use to check
-that fan-out changes wall-clock but not results.
+``jobs=1`` without a timeout runs everything in-process, which the
+tests use to check that fan-out changes wall-clock but not results.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import SCHEMES
+from ..hardware.errors import ReproError
 from ..metrics.overhead import BenchmarkMeasurement, measure_program, mean
+from ..robustness.triage import crash_fingerprint, fingerprint_from_frames
 from ..workloads.generator import generate_program
 from ..workloads.profiles import get_profile, profile_names
+
+
+class SuiteError(ReproError):
+    """A task exhausted its attempts and ``keep_going`` was off."""
+
+    exit_code = 2
 
 
 @dataclass(frozen=True)
@@ -74,6 +96,36 @@ class ProgramSummary:
         return self.scheme(scheme).binary_bytes / base - 1.0
 
 
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task's terminal failure record (for the failure manifest).
+
+    ``status`` is the *last* attempt's failure mode: ``error`` (the
+    worker raised), ``crash`` (the worker process died without
+    reporting), or ``timeout`` (the worker was terminated at the
+    per-task deadline).
+    """
+
+    name: str
+    status: str
+    attempts: int
+    message: str
+    exc_type: str = ""
+    fingerprint: str = ""
+    quarantined: bool = True
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "attempts": self.attempts,
+            "message": self.message,
+            "exc_type": self.exc_type,
+            "fingerprint": self.fingerprint,
+            "quarantined": self.quarantined,
+        }
+
+
 @dataclass
 class SuiteResult:
     """All programs' summaries plus suite-level throughput numbers."""
@@ -84,6 +136,26 @@ class SuiteResult:
     interpreter: Optional[str] = None
     wall_seconds: float = 0.0
     cache_dir: Optional[str] = None
+    #: quarantined tasks by name (empty unless ``keep_going`` saved a
+    #: partially failing run)
+    failures: Dict[str, TaskFailure] = field(default_factory=dict)
+
+    @property
+    def quarantined(self) -> List[str]:
+        """Names of the tasks that failed every attempt."""
+        return sorted(self.failures)
+
+    def failure_manifest(self) -> Dict[str, object]:
+        """JSON-able digest of what completed and what was quarantined."""
+        return {
+            "schemes": list(self.schemes),
+            "jobs": self.jobs,
+            "completed": sorted(self.programs),
+            "quarantined": self.quarantined,
+            "failures": [
+                self.failures[name].to_dict() for name in self.quarantined
+            ],
+        }
 
     @property
     def cache_hits(self) -> int:
@@ -186,6 +258,287 @@ def _measure_one(
     return summarize_measurement(measurement, time.perf_counter() - start)
 
 
+# -- the crash-resilient task engine --------------------------------------------
+
+
+def backoff_delay(
+    seed: int, name: str, attempt: int, base: float, cap: float
+) -> float:
+    """Exponential backoff with deterministic jitter.
+
+    The jitter factor (0.5x-1.0x of the exponential step) comes from a
+    string-seeded RNG over ``(seed, task, attempt)``, so two runs of
+    the same suite pace their retries identically -- chaos runs stay
+    reproducible down to the scheduling.
+    """
+    import random
+
+    step = min(cap, base * (2.0 ** (attempt - 1)))
+    return step * (0.5 + 0.5 * random.Random(f"{seed}:{name}:{attempt}").random())
+
+
+def _child_main(conn, worker: Callable[[Any], Any], payload: Any) -> None:
+    """Worker-process entry: run one attempt, report over the pipe.
+
+    Exceptions are flattened to ``(type name, message, repro frames)``
+    -- picklable, and exactly what the parent needs to build a triage
+    fingerprint.  A worker that dies before sending anything (hard
+    crash, ``os._exit``) is detected by the parent via its exit code.
+    """
+    try:
+        result = worker(payload)
+    except BaseException as exc:  # noqa: BLE001 - the whole point is containment
+        from ..robustness.triage import repro_frames
+
+        # Drop this harness frame so cross-process fingerprints match
+        # what an in-process run of the same worker would produce.
+        frames = [f for f in repro_frames(exc) if f != "_child_main"]
+        try:
+            conn.send(("error", type(exc).__name__, str(exc), frames))
+        except (BrokenPipeError, OSError):
+            pass
+    else:
+        try:
+            conn.send(("ok", result))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Attempt:
+    """One in-flight subprocess attempt."""
+
+    process: multiprocessing.Process
+    conn: Any
+    payload: Any
+    attempt: int
+    deadline: Optional[float]
+
+
+def _failure(
+    name: str,
+    status: str,
+    attempt: int,
+    message: str,
+    exc_type: str = "",
+    fingerprint: str = "",
+) -> TaskFailure:
+    return TaskFailure(
+        name=name,
+        status=status,
+        attempts=attempt,
+        message=message,
+        exc_type=exc_type,
+        fingerprint=fingerprint,
+    )
+
+
+def _run_tasks_inline(
+    tasks: Sequence[Tuple[str, Any]],
+    worker: Callable[[Any], Any],
+    retries: int,
+    keep_going: bool,
+    seed: int,
+    backoff_base: float,
+    backoff_cap: float,
+) -> Tuple[Dict[str, Any], Dict[str, TaskFailure]]:
+    """Serial in-process execution (no timeout enforcement possible)."""
+    results: Dict[str, Any] = {}
+    failures: Dict[str, TaskFailure] = {}
+    for name, payload in tasks:
+        last: Optional[BaseException] = None
+        for attempt in range(1, retries + 2):
+            try:
+                results[name] = worker(payload)
+                last = None
+                break
+            except Exception as exc:  # noqa: BLE001 - quarantine, don't die
+                last = exc
+                if attempt <= retries:
+                    time.sleep(
+                        backoff_delay(seed, name, attempt, backoff_base, backoff_cap)
+                    )
+        if last is not None:
+            failures[name] = _failure(
+                name,
+                "error",
+                retries + 1,
+                f"{type(last).__name__}: {last}",
+                exc_type=type(last).__name__,
+                fingerprint=crash_fingerprint(last),
+            )
+            if not keep_going:
+                raise SuiteError(
+                    f"task {name!r} failed after {retries + 1} attempt(s): "
+                    f"{type(last).__name__}: {last}"
+                ) from last
+    return results, failures
+
+
+def run_tasks(
+    tasks: Sequence[Tuple[str, Any]],
+    worker: Callable[[Any], Any],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    keep_going: bool = False,
+    seed: int = 0,
+    backoff_base: float = 0.25,
+    backoff_cap: float = 8.0,
+) -> Tuple[Dict[str, Any], Dict[str, TaskFailure]]:
+    """Run named tasks through ``worker`` with containment guarantees.
+
+    Returns ``(results, failures)``: results by task name for every
+    attempt that succeeded, and a :class:`TaskFailure` per quarantined
+    task.  With ``keep_going=False`` (the default) the first
+    quarantined task raises :class:`SuiteError` instead -- but other
+    tasks' completed results are still lost only for the caller that
+    didn't ask to keep going; in-flight workers are terminated cleanly
+    either way.
+
+    Execution modes:
+
+    - ``jobs == 1`` and no ``timeout``: in-process (fast path; a crash
+      of the Python process itself is obviously not survivable);
+    - otherwise: **one forked process per attempt**.  Fork (not spawn)
+      so arbitrary worker callables -- including test closures -- need
+      no pickling; only results cross the pipe.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    tasks = list(tasks)
+    if jobs == 1 and timeout is None:
+        return _run_tasks_inline(
+            tasks, worker, retries, keep_going, seed, backoff_base, backoff_cap
+        )
+
+    ctx = multiprocessing.get_context("fork")
+    results: Dict[str, Any] = {}
+    failures: Dict[str, TaskFailure] = {}
+    #: (name, payload, attempt, not-before monotonic time)
+    pending: deque = deque((name, payload, 1, 0.0) for name, payload in tasks)
+    running: Dict[str, _Attempt] = {}
+
+    def launch(name: str, payload: Any, attempt: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_child_main, args=(child_conn, worker, payload), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        running[name] = _Attempt(process, parent_conn, payload, attempt, deadline)
+
+    def reap(name: str) -> None:
+        attempt = running.pop(name)
+        attempt.conn.close()
+        if attempt.process.is_alive():
+            attempt.process.terminate()
+        attempt.process.join()
+
+    def settle(name: str, failure: TaskFailure, payload: Any, attempt: int) -> None:
+        """Requeue a failed attempt or quarantine the task."""
+        if attempt <= retries:
+            ready = time.monotonic() + backoff_delay(
+                seed, name, attempt, backoff_base, backoff_cap
+            )
+            pending.append((name, payload, attempt + 1, ready))
+            return
+        failures[name] = failure
+        if not keep_going:
+            for other in list(running):
+                reap(other)
+            pending.clear()
+            raise SuiteError(
+                f"task {name!r} quarantined after {attempt} attempt(s) "
+                f"({failure.status}): {failure.message}"
+            )
+
+    try:
+        while pending or running:
+            now = time.monotonic()
+            # Launch every ready task while worker slots are free.
+            if pending and len(running) < jobs:
+                for _ in range(len(pending)):
+                    name, payload, attempt, ready = pending.popleft()
+                    if ready <= now and len(running) < jobs:
+                        launch(name, payload, attempt)
+                    else:
+                        pending.append((name, payload, attempt, ready))
+                    if len(running) >= jobs:
+                        break
+            # Sweep the in-flight attempts.
+            for name in list(running):
+                attempt = running[name]
+                message = None
+                if attempt.conn.poll():
+                    try:
+                        message = attempt.conn.recv()
+                    except (EOFError, OSError):
+                        message = None
+                if message is not None:
+                    payload, number = attempt.payload, attempt.attempt
+                    reap(name)
+                    if message[0] == "ok":
+                        results[name] = message[1]
+                    else:
+                        _tag, exc_type, text, frames = message
+                        settle(
+                            name,
+                            _failure(
+                                name,
+                                "error",
+                                number,
+                                f"{exc_type}: {text}",
+                                exc_type=exc_type,
+                                fingerprint=fingerprint_from_frames(exc_type, frames),
+                            ),
+                            payload,
+                            number,
+                        )
+                elif not attempt.process.is_alive():
+                    payload, number = attempt.payload, attempt.attempt
+                    code = attempt.process.exitcode
+                    reap(name)
+                    settle(
+                        name,
+                        _failure(
+                            name,
+                            "crash",
+                            number,
+                            f"worker exited with code {code} before reporting",
+                        ),
+                        payload,
+                        number,
+                    )
+                elif attempt.deadline is not None and now >= attempt.deadline:
+                    payload, number = attempt.payload, attempt.attempt
+                    reap(name)
+                    settle(
+                        name,
+                        _failure(
+                            name,
+                            "timeout",
+                            number,
+                            f"attempt exceeded the {timeout}s task timeout",
+                        ),
+                        payload,
+                        number,
+                    )
+            if pending or running:
+                time.sleep(0.005)
+    finally:
+        for name in list(running):
+            reap(name)
+    return results, failures
+
+
 def run_suite(
     names: Optional[Sequence[str]] = None,
     schemes: Sequence[str] = SCHEMES,
@@ -193,6 +546,9 @@ def run_suite(
     jobs: int = 1,
     interpreter: Optional[str] = None,
     cache_dir: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    keep_going: bool = False,
 ) -> SuiteResult:
     """Measure ``names`` (default: every profile) under ``schemes``.
 
@@ -203,25 +559,36 @@ def run_suite(
     ``cache_dir`` enables the on-disk compilation cache (workers share
     it safely: entry writes are atomic renames, and a racing write of
     the same key lands the same content either way).
+
+    ``timeout``/``retries``/``keep_going`` configure the resilience
+    engine (:func:`run_tasks`): a benchmark whose attempts all fail is
+    quarantined into ``result.failures`` when ``keep_going`` is set,
+    and raises :class:`SuiteError` otherwise.
     """
     if names is None:
         names = profile_names()
     names = list(names)
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
-    tasks = [(name, tuple(schemes), seed, interpreter, cache_dir) for name in names]
+    tasks = [
+        (name, (name, tuple(schemes), seed, interpreter, cache_dir))
+        for name in names
+    ]
     start = time.perf_counter()
-    if jobs == 1 or len(tasks) <= 1:
-        summaries = [_measure_one(task) for task in tasks]
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-            summaries = list(pool.map(_measure_one, tasks))
+    results, failures = run_tasks(
+        tasks,
+        _measure_one,
+        jobs=min(jobs, len(tasks)) if tasks else jobs,
+        timeout=timeout,
+        retries=retries,
+        keep_going=keep_going,
+        seed=seed,
+    )
     wall = time.perf_counter() - start
     return SuiteResult(
-        programs={summary.name: summary for summary in summaries},
+        programs={name: results[name] for name in names if name in results},
         schemes=tuple(schemes),
         jobs=jobs,
         interpreter=interpreter,
         wall_seconds=wall,
         cache_dir=cache_dir,
+        failures=failures,
     )

@@ -1,0 +1,80 @@
+"""repro.robustness -- failure as a first-class, testable input.
+
+- :mod:`~repro.robustness.faults`: deterministic, seeded fault
+  injection into the simulated hardware and the compilation cache;
+- :mod:`~repro.robustness.triage`: crash bucketing by exception
+  fingerprint;
+- :mod:`~repro.robustness.reduce`: delta-debugging minimizer for
+  crashing MiniC sources;
+- :mod:`~repro.robustness.chaos`: the harness asserting the defense
+  contract under injected faults (``python -m repro chaos``).
+
+``chaos`` and ``reduce`` are loaded lazily (PEP 562): ``chaos`` pulls
+in the perf layer, whose suite runner in turn imports
+:mod:`~repro.robustness.triage` from here -- eager imports would tie
+the two packages into a cycle.
+"""
+
+from __future__ import annotations
+
+from .faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    smoke_plan,
+)
+from .triage import (
+    CrashRecord,
+    TriageReport,
+    crash_fingerprint,
+    fingerprint_from_frames,
+    record_crash,
+    triage,
+    triage_exceptions,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "smoke_plan",
+    "CrashRecord",
+    "TriageReport",
+    "crash_fingerprint",
+    "fingerprint_from_frames",
+    "record_crash",
+    "triage",
+    "triage_exceptions",
+    # lazy (PEP 562): chaos / reduce submodule attributes
+    "ChaosCase",
+    "ChaosReport",
+    "run_chaos",
+    "ddmin",
+    "make_crash_predicate",
+    "reduce_source",
+]
+
+_LAZY = {
+    "ChaosCase": "chaos",
+    "ChaosReport": "chaos",
+    "run_chaos": "chaos",
+    "ddmin": "reduce",
+    "make_crash_predicate": "reduce",
+    "reduce_source": "reduce",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,329 @@
+"""Deterministic, seeded fault injection for the simulated machine.
+
+A :class:`FaultPlan` names *where* failure strikes; a
+:class:`FaultInjector` built from it plugs into the hook points the
+hardware and cache layers expose and fires each fault at its configured
+trigger.  Everything is derived from the plan seed and the spec's index
+in the plan -- never from wall-clock time or global RNG state -- so the
+same seed and plan reproduce the exact same fault sites, which the
+chaos harness asserts run over run.
+
+Fault kinds and their injection sites:
+
+===================  ==========================================================
+kind                 effect
+===================  ==========================================================
+``mem.flip``         flip one bit of the payload of the Nth memory write
+                     (:meth:`repro.hardware.memory.Memory.write_bytes` /
+                     ``write_int`` hook)
+``pac.bits``         flip one bit inside the PAC field of the Nth signed
+                     value (:meth:`repro.hardware.pac.PointerAuthentication.sign`
+                     hook) -- models in-memory tampering with a signed pointer
+``pac.key``          flip one bit of a PA key after the Nth sign -- every
+                     later authentication of an earlier signature must trap
+``alloc.header``     tamper the chunk-size metadata of the Nth allocation
+                     (:meth:`repro.hardware.allocator.HeapAllocator.malloc`
+                     hook), corrupting free-list coalescing downstream
+``dfi.shadow``       record a bogus writer id for the Nth instrumented
+                     ``dfi.setdef`` (the runtime definitions table hook)
+``cache.corrupt``    garble the payload of the Nth compilation-cache load
+``cache.truncate``   truncate the serialized entry of the Nth cache store
+``cache.oserror``    raise ``OSError`` inside the Nth cache store (disk
+                     full / permission loss)
+===================  ==========================================================
+
+The contract each kind must satisfy is checked by
+:mod:`repro.robustness.chaos`: PAC faults surface as authentication
+traps, DFI faults as DFI violations, cache faults as silent recompiles.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..hardware.pac import PAC_BITS, VA_BITS
+
+#: Every fault kind the engine knows how to inject, mapped to the
+#: event stream whose counter drives its trigger.
+FAULT_KINDS: Dict[str, str] = {
+    "mem.flip": "write",
+    "pac.bits": "sign",
+    "pac.key": "sign",
+    "alloc.header": "malloc",
+    "dfi.shadow": "setdef",
+    "cache.corrupt": "cache.load",
+    "cache.truncate": "cache.store",
+    "cache.oserror": "cache.store",
+}
+
+#: Writer-id base for corrupted DFI definitions: far above any def id
+#: the instrumentation assigns, so the bogus writer is never allowed.
+_BOGUS_DFI_WRITER = 0x7FFF0000
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection site: a kind plus when (and how often) it fires.
+
+    ``trigger`` counts *eligible events* of the spec's stream (1-based):
+    memory writes for ``mem.flip``, PAC signs for ``pac.*``,
+    allocations for ``alloc.header``, instrumented setdefs for
+    ``dfi.shadow``, cache loads/stores for ``cache.*``.  ``count``
+    consecutive events starting at the trigger are corrupted
+    (``pac.key`` corrupts the key once, at the trigger).
+    """
+
+    kind: str
+    trigger: int = 1
+    count: int = 1
+    key_id: str = "da"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {tuple(FAULT_KINDS)}"
+            )
+        if self.trigger < 1:
+            raise ValueError(f"trigger must be >= 1, got {self.trigger}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "trigger": self.trigger,
+            "count": self.count,
+            "key_id": self.key_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        return cls(
+            kind=data["kind"],
+            trigger=int(data.get("trigger", 1)),
+            count=int(data.get("count", 1)),
+            key_id=data.get("key_id", "da"),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered tuple of fault specs."""
+
+    seed: int
+    specs: Tuple[FaultSpec, ...]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed, "specs": [spec.to_dict() for spec in self.specs]},
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        if not isinstance(data, dict) or not isinstance(data.get("specs"), list):
+            raise ValueError("fault plan must be an object with a 'specs' list")
+        return cls(
+            seed=int(data.get("seed", 0)),
+            specs=tuple(FaultSpec.from_dict(spec) for spec in data["specs"]),
+        )
+
+
+def smoke_plan(seed: int = 2024) -> FaultPlan:
+    """The built-in chaos smoke plan: one fault of every kind.
+
+    Triggers are small so every fault actually fires on the default
+    workload; the CI chaos job runs exactly this plan at a fixed seed.
+    """
+    return FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec("pac.bits", trigger=1),
+            FaultSpec("pac.key", trigger=1),
+            FaultSpec("dfi.shadow", trigger=1),
+            FaultSpec("mem.flip", trigger=64),
+            FaultSpec("alloc.header", trigger=1),
+            FaultSpec("cache.corrupt", trigger=1),
+            FaultSpec("cache.truncate", trigger=1),
+            FaultSpec("cache.oserror", trigger=1),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired, with its reproducible site."""
+
+    spec_index: int
+    kind: str
+    event_index: int
+    site: str
+
+    def describe(self) -> str:
+        return f"{self.kind}#{self.event_index} {self.site} (spec {self.spec_index})"
+
+
+class FaultInjector:
+    """Live injection state for one execution under a plan.
+
+    Construct one injector per run and attach it with :meth:`arm`
+    (simulated CPU) and/or by passing it as a
+    :class:`~repro.perf.cache.CompilationCache` ``fault_hook``.  Event
+    counters are per *stream* and shared by all specs of that stream,
+    so a spec's trigger means "the Nth event of this stream in this
+    run" regardless of how other streams interleave.  ``only``
+    restricts the injector to a single spec (by plan index) without
+    changing that spec's derived randomness -- the chaos harness uses
+    this to attribute each fault to its own execution.
+    """
+
+    def __init__(self, plan: FaultPlan, only: Optional[int] = None):
+        self.plan = plan
+        self.events: List[FaultEvent] = []
+        self._counters: Dict[str, int] = {}
+        self._active = [
+            (index, spec)
+            for index, spec in enumerate(plan.specs)
+            if only is None or index == only
+        ]
+        self._keys_corrupted: set = set()
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _rng(self, spec_index: int, event_index: int) -> random.Random:
+        """Per-(spec, event) randomness, independent of interleaving.
+
+        String seeding hashes with SHA-512 internally, so the derived
+        stream is identical across processes and runs.
+        """
+        return random.Random(f"{self.plan.seed}:{spec_index}:{event_index}")
+
+    def _firing(self, stream: str) -> List[Tuple[int, FaultSpec, int]]:
+        """Advance the stream counter; return the specs firing now."""
+        event = self._counters.get(stream, 0) + 1
+        self._counters[stream] = event
+        return [
+            (index, spec, event)
+            for index, spec in self._active
+            if FAULT_KINDS[spec.kind] == stream
+            and spec.trigger <= event < spec.trigger + spec.count
+        ]
+
+    def _record(self, spec_index: int, kind: str, event: int, site: str) -> None:
+        self.events.append(FaultEvent(spec_index, kind, event, site))
+
+    @property
+    def fired(self) -> bool:
+        return bool(self.events)
+
+    def event_log(self) -> Tuple[str, ...]:
+        """The reproducibility artifact: every fired fault, in order."""
+        return tuple(event.describe() for event in self.events)
+
+    # -- attachment -----------------------------------------------------------
+
+    def arm(self, cpu) -> None:
+        """Attach this injector to every hook point of a CPU."""
+        cpu.memory.fault_hook = self
+        cpu.pac.fault_hook = self
+        cpu.heap.shared.fault_hook = self
+        cpu.heap.isolated.fault_hook = self
+        cpu.dfi_shadow.fault_hook = self
+
+    # -- hardware hooks -------------------------------------------------------
+
+    def on_memory_write(self, address: int, payload: bytes) -> bytes:
+        for index, spec, event in self._firing("write"):
+            if spec.kind != "mem.flip":
+                continue
+            bit = self._rng(index, event).randrange(len(payload) * 8)
+            data = bytearray(payload)
+            data[bit // 8] ^= 1 << (bit % 8)
+            payload = bytes(data)
+            self._record(index, "mem.flip", event, f"addr={address:#x} bit={bit}")
+        return payload
+
+    def on_pac_sign(self, pac, signed: int, modifier: int, key_id: str) -> int:
+        for index, spec, event in self._firing("sign"):
+            rng = self._rng(index, event)
+            if spec.kind == "pac.bits":
+                bit = VA_BITS + rng.randrange(PAC_BITS)
+                signed ^= 1 << bit
+                self._record(
+                    index, "pac.bits", event, f"value={signed:#018x} bit={bit}"
+                )
+            elif spec.kind == "pac.key" and index not in self._keys_corrupted:
+                self._keys_corrupted.add(index)
+                bit = rng.randrange(128)
+                pac.corrupt_key(spec.key_id, bit)
+                self._record(index, "pac.key", event, f"key={spec.key_id} bit={bit}")
+        return signed
+
+    def on_malloc(self, allocator, address: int, payload: int) -> None:
+        for index, spec, event in self._firing("malloc"):
+            if spec.kind != "alloc.header":
+                continue
+            bogus = 16 * self._rng(index, event).randrange(1, 9)
+            # Smash both views of the metadata: the in-memory size word
+            # and the allocator's own live-size record, so the lie
+            # propagates into free-list coalescing like a real heap
+            # metadata attack.
+            allocator.memory.write_int(address - 16, bogus, 8)
+            allocator.live[address] = bogus
+            self._record(
+                index,
+                "alloc.header",
+                event,
+                f"{allocator.name} addr={address:#x} size={payload}->{bogus}",
+            )
+
+    def on_dfi_setdef(self, address: int, size: int, def_id: int) -> int:
+        for index, spec, event in self._firing("setdef"):
+            if spec.kind != "dfi.shadow":
+                continue
+            bogus = _BOGUS_DFI_WRITER + index
+            self._record(
+                index, "dfi.shadow", event, f"addr={address:#x} def={def_id}->{bogus}"
+            )
+            def_id = bogus
+        return def_id
+
+    # -- cache hooks ----------------------------------------------------------
+
+    def on_cache_load(self, key: str, entry: Dict[str, Any]) -> Dict[str, Any]:
+        for index, spec, event in self._firing("cache.load"):
+            if spec.kind != "cache.corrupt":
+                continue
+            payload = entry.get("payload")
+            if isinstance(payload, dict) and payload.get("module"):
+                module_text = payload["module"]
+                pos = self._rng(index, event).randrange(len(module_text))
+                corrupted = (
+                    module_text[:pos]
+                    + chr(ord(module_text[pos]) ^ 1)
+                    + module_text[pos + 1 :]
+                )
+                entry = dict(entry)
+                entry["payload"] = dict(payload, module=corrupted)
+                self._record(
+                    index, "cache.corrupt", event, f"key={key[:12]} pos={pos}"
+                )
+        return entry
+
+    def on_cache_store(self, key: str, text: str) -> str:
+        for index, spec, event in self._firing("cache.store"):
+            if spec.kind == "cache.truncate":
+                keep = self._rng(index, event).randrange(1, max(2, len(text) // 2))
+                text = text[:keep]
+                self._record(
+                    index, "cache.truncate", event, f"key={key[:12]} keep={keep}"
+                )
+            elif spec.kind == "cache.oserror":
+                self._record(index, "cache.oserror", event, f"key={key[:12]}")
+                raise OSError(28, "injected disk failure (fault plan)")
+        return text

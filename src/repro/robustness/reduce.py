@@ -1,0 +1,152 @@
+"""Delta-debugging minimizer for crashing MiniC sources.
+
+When a chaos run (or a fuzzer, or a user) finds a MiniC program that
+crashes the compiler or the interpreter, the full program is rarely the
+smallest one that does.  :func:`reduce_source` shrinks it with the
+classic ddmin algorithm [Zeller & Hildebrandt 2002]: split the line
+list into chunks, try dropping each chunk (and each complement), keep
+any candidate that still reproduces the crash, and double the
+granularity when nothing sticks.
+
+"Reproduces" is a caller-supplied predicate over source text.  The
+usual predicate is *same triage fingerprint*:
+:func:`make_crash_predicate` runs the original source, captures its
+crash signature (see :mod:`repro.robustness.triage`), and accepts a
+candidate only when it fails the same way -- candidates that merely
+fail to parse after a bad cut are rejected and ddmin moves on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from .triage import crash_fingerprint
+
+T = TypeVar("T")
+
+#: Hard cap on predicate evaluations per reduction, so a pathological
+#: predicate cannot run ddmin forever.
+MAX_TESTS = 2000
+
+
+def ddmin(
+    items: Sequence[T],
+    predicate: Callable[[List[T]], bool],
+    max_tests: int = MAX_TESTS,
+) -> List[T]:
+    """Minimize ``items`` while ``predicate`` holds.
+
+    Returns a 1-minimal subsequence: removing any single remaining item
+    makes the predicate fail (up to the test budget).  The predicate
+    must hold for the full input; that is asserted up front because a
+    non-reproducing input would silently "minimize" to garbage.
+    """
+    items = list(items)
+    if not predicate(items):
+        raise ValueError("predicate does not hold for the unreduced input")
+    tests = 0
+    granularity = 2
+    while len(items) >= 2 and tests < max_tests:
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        start = 0
+        while start < len(items) and tests < max_tests:
+            candidate = items[:start] + items[start + chunk :]
+            tests += 1
+            if candidate and predicate(candidate):
+                items = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # stay at the same start: the next chunk shifted in
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def reduce_source(
+    source: str,
+    predicate: Callable[[str], bool],
+    max_tests: int = MAX_TESTS,
+) -> str:
+    """Shrink a MiniC source to a minimal crash reproducer.
+
+    Operates on lines; blank lines are dropped eagerly since they never
+    affect compilation.  The returned source still satisfies the
+    predicate.
+    """
+    lines = [line for line in source.splitlines() if line.strip()]
+
+    def line_predicate(candidate: List[str]) -> bool:
+        return predicate("\n".join(candidate) + "\n")
+
+    if not line_predicate(lines):
+        # Whitespace mattered after all (string literals spanning
+        # lines do not exist in MiniC, but be conservative).
+        lines = source.splitlines()
+    reduced = ddmin(lines, line_predicate, max_tests=max_tests)
+    return "\n".join(reduced) + "\n"
+
+
+def crash_signature(
+    source: str,
+    inputs: Sequence[bytes] = (),
+    seed: int = 2024,
+    scheme: Optional[str] = None,
+) -> Optional[str]:
+    """The failure signature of compiling + running ``source``, if any.
+
+    Three failure layers, in order:
+
+    - front-end / verifier / protection errors -> the exception's
+      triage fingerprint;
+    - an interpreter-level trap (memory fault, security trap, step
+      limit) -> ``status:<status>|<trap type>``;
+    - an uncaught interpreter bug -> its triage fingerprint.
+
+    A clean run returns ``None``.  Imports are local so this module
+    stays importable without dragging in the whole compile pipeline.
+    """
+    from ..frontend import compile_source
+    from ..hardware.cpu import CPU
+
+    try:
+        module = compile_source(source)
+        if scheme is not None:
+            from ..core.framework import protect
+
+            module = protect(module, scheme=scheme).module
+        result = CPU(module, seed=seed).run(inputs=list(inputs))
+    except Exception as exc:
+        return crash_fingerprint(exc)
+    if result.ok:
+        return None
+    return f"status:{result.status}|{type(result.trap).__name__}"
+
+
+def make_crash_predicate(
+    source: str,
+    inputs: Sequence[bytes] = (),
+    seed: int = 2024,
+    scheme: Optional[str] = None,
+) -> Tuple[Callable[[str], bool], Optional[str]]:
+    """Build a same-signature predicate from an original crasher.
+
+    Returns ``(predicate, signature)``; ``signature`` is ``None`` when
+    the original source does not crash (then there is nothing to
+    reduce and the predicate always returns ``False``).
+    """
+    signature = crash_signature(source, inputs=inputs, seed=seed, scheme=scheme)
+
+    def predicate(candidate: str) -> bool:
+        if signature is None:
+            return False
+        return (
+            crash_signature(candidate, inputs=inputs, seed=seed, scheme=scheme)
+            == signature
+        )
+
+    return predicate, signature

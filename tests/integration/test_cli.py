@@ -113,3 +113,80 @@ class TestAttackAndBench:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestExitCodes:
+    """Failures exit with one-line diagnostics and layered codes."""
+
+    def test_missing_file_exits_3(self, capsys):
+        code, _, err = run_cli(["run", "/no/such/file.c"], capsys)
+        assert code == 3
+        assert err.startswith("repro: error:")
+        assert "Traceback" not in err
+
+    def test_parse_error_exits_4(self, tmp_path, capsys):
+        path = tmp_path / "bad.c"
+        path.write_text("int main( {")
+        code, _, err = run_cli(["compile", str(path)], capsys)
+        assert code == 4
+        assert "repro: error:" in err
+        assert "expected a type" in err
+
+    def test_sema_error_exits_4(self, tmp_path, capsys):
+        path = tmp_path / "sema.c"
+        path.write_text("int main() { return bogus; }")
+        code, _, err = run_cli(["compile", str(path)], capsys)
+        assert code == 4
+        assert "undeclared identifier" in err
+
+    def test_missing_fault_plan_exits_3(self, capsys):
+        code, _, err = run_cli(["chaos", "--plan", "/no/such/plan.json"], capsys)
+        assert code == 3
+        assert "repro: error:" in err
+
+
+class TestChaos:
+    def test_smoke_plan_passes_and_writes_manifest(self, tmp_path, capsys):
+        import json
+
+        manifest = tmp_path / "chaos.json"
+        code, out, _ = run_cli(
+            ["chaos", "--seed", "2024", "--manifest", str(manifest)], capsys
+        )
+        assert code == 0
+        assert "OK: every injected fault stayed within its defense contract" in out
+        data = json.loads(manifest.read_text())
+        assert data["ok"] is True
+        assert data["violations"] == []
+        assert len(data["cases"]) == len(data["plan"])
+
+    def test_custom_plan_file(self, tmp_path, capsys):
+        import json
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps(
+                {"seed": 11, "specs": [{"kind": "pac.bits", "trigger": 1}]}
+            )
+        )
+        code, out, _ = run_cli(["chaos", "--plan", str(plan)], capsys)
+        assert code == 0
+        assert "pac.bits" in out
+        assert "contained" in out
+
+    def test_untriggered_strict_fault_fails(self, tmp_path, capsys):
+        import json
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps(
+                {
+                    "seed": 11,
+                    "specs": [{"kind": "dfi.shadow", "trigger": 999999999}],
+                }
+            )
+        )
+        code, out, _ = run_cli(["chaos", "--plan", str(plan)], capsys)
+        assert code == 2
+        assert "FAIL" in out
+        assert "not-triggered" in out

@@ -174,3 +174,63 @@ def test_cached_modules_print_identically_to_recompiled(tmp_path):
         assert print_module(warm_run.protection.module) == print_module(
             cold.runs[scheme].protection.module
         )
+
+
+# -- degrade-to-off on I/O failure ---------------------------------------------
+
+
+def unwritable_cache(tmp_path):
+    """A cache whose root can never materialize: its parent is a file."""
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+    return CompilationCache(str(blocker / "cache"))
+
+
+def test_store_oserror_degrades_to_cache_off(tmp_path, caplog):
+    import logging
+
+    cache = unwritable_cache(tmp_path)
+    key = cache.key_for("module text", DefenseConfig(scheme="pythia"))
+    with caplog.at_level(logging.WARNING, logger="repro.perf.cache"):
+        cache.store(key, "pythia", "text", {})
+    assert cache.disabled
+    assert cache.stats.io_errors == 1
+    assert cache.stats.stores == 0
+    # later operations are silent no-ops / misses
+    cache.store(key, "pythia", "text", {})
+    assert cache.load(key) is None
+    assert cache.stats.misses == 1
+
+
+def test_degrade_warns_exactly_once(tmp_path, caplog):
+    import logging
+
+    cache = unwritable_cache(tmp_path)
+    key = cache.key_for("module text", DefenseConfig(scheme="pythia"))
+    with caplog.at_level(logging.WARNING, logger="repro.perf.cache"):
+        cache.store(key, "pythia", "text", {})
+        cache.store(key, "pythia", "other", {})
+        cache.load(key)
+    warnings = [r for r in caplog.records if "disabling the cache" in r.message]
+    assert len(warnings) == 1
+
+
+def test_read_oserror_degrades_to_cache_off(tmp_path, caplog):
+    import logging
+
+    cache = unwritable_cache(tmp_path)
+    key = cache.key_for("module text", DefenseConfig(scheme="pythia"))
+    with caplog.at_level(logging.WARNING, logger="repro.perf.cache"):
+        assert cache.load(key) is None
+    assert cache.disabled
+    assert cache.stats.io_errors == 1
+    assert cache.stats.misses == 1
+
+
+def test_missing_entry_is_a_plain_miss_not_a_degrade(tmp_path):
+    cache = CompilationCache(str(tmp_path))
+    key = cache.key_for("module text", DefenseConfig(scheme="pythia"))
+    assert cache.load(key) is None
+    assert not cache.disabled
+    assert cache.stats.io_errors == 0
+    assert cache.stats.misses == 1

@@ -1,0 +1,115 @@
+"""Fault-plan plumbing and injection determinism."""
+
+import pytest
+
+from repro.core import protect
+from repro.frontend import compile_source
+from repro.hardware import CPU
+from repro.robustness import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    smoke_plan,
+)
+
+#: gets() feeds a branch through buf, so cpa signs its accesses and the
+#: PAC sign stream has events for pac.* specs to fire on.
+VICTIM = """
+int main() {
+    char buf[16];
+    gets(buf);
+    if (strncmp(buf, "key", 3) == 0) { printf("yes\\n"); return 1; }
+    printf("no\\n");
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def cpa_module():
+    return protect(compile_source(VICTIM), scheme="cpa").module
+
+
+def run_with_injector(module, plan, only=None, seed=2024):
+    injector = FaultInjector(plan, only=only)
+    cpu = CPU(module, seed=seed)
+    injector.arm(cpu)
+    result = cpu.run(inputs=[b"nope"])
+    return injector, result
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("pac.typo")
+
+    def test_trigger_must_be_positive(self):
+        with pytest.raises(ValueError, match="trigger"):
+            FaultSpec("mem.flip", trigger=0)
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError, match="count"):
+            FaultSpec("mem.flip", count=0)
+
+    def test_every_kind_has_a_stream(self):
+        for kind in FAULT_KINDS:
+            FaultSpec(kind)  # does not raise
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = smoke_plan(7)
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone == plan
+
+    def test_from_json_rejects_non_plan(self):
+        with pytest.raises(ValueError, match="specs"):
+            FaultPlan.from_json("[1, 2, 3]")
+
+    def test_smoke_plan_covers_every_kind(self):
+        kinds = {spec.kind for spec in smoke_plan().specs}
+        assert kinds == set(FAULT_KINDS)
+
+
+class TestDeterminism:
+    PLAN = FaultPlan(
+        seed=99,
+        specs=(
+            FaultSpec("pac.bits", trigger=1),
+            FaultSpec("mem.flip", trigger=1, count=2),
+        ),
+    )
+
+    def test_same_plan_same_fault_sites(self, cpa_module):
+        first, _ = run_with_injector(cpa_module, self.PLAN)
+        second, _ = run_with_injector(cpa_module, self.PLAN)
+        assert first.fired
+        assert first.event_log() == second.event_log()
+
+    def test_only_restricts_to_one_spec(self, cpa_module):
+        injector, _ = run_with_injector(cpa_module, self.PLAN, only=1)
+        assert injector.fired
+        assert {event.kind for event in injector.events} == {"mem.flip"}
+        assert {event.spec_index for event in injector.events} == {1}
+
+    def test_only_is_deterministic_too(self, cpa_module):
+        first, _ = run_with_injector(cpa_module, self.PLAN, only=1)
+        second, _ = run_with_injector(cpa_module, self.PLAN, only=1)
+        assert first.event_log() == second.event_log()
+
+    def test_pac_bit_fault_traps(self, cpa_module):
+        plan = FaultPlan(seed=5, specs=(FaultSpec("pac.bits", trigger=1),))
+        injector, result = run_with_injector(cpa_module, plan)
+        assert injector.fired
+        assert result.status == "pac_trap"
+
+    def test_pac_key_fault_traps(self, cpa_module):
+        plan = FaultPlan(seed=5, specs=(FaultSpec("pac.key", trigger=1),))
+        injector, result = run_with_injector(cpa_module, plan)
+        assert injector.fired
+        assert result.status == "pac_trap"
+
+    def test_unarmed_run_is_clean(self, cpa_module):
+        result = CPU(cpa_module, seed=2024).run(inputs=[b"nope"])
+        assert result.status == "ok"

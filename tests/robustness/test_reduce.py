@@ -1,0 +1,84 @@
+"""Delta-debugging minimization."""
+
+import pytest
+
+from repro.robustness import ddmin, make_crash_predicate, reduce_source
+
+
+class TestDdmin:
+    def test_minimizes_to_the_interesting_subset(self):
+        items = list(range(20))
+
+        def predicate(candidate):
+            return 3 in candidate and 15 in candidate
+
+        assert ddmin(items, predicate) == [3, 15]
+
+    def test_single_interesting_item(self):
+        assert ddmin(list(range(32)), lambda c: 17 in c) == [17]
+
+    def test_preserves_order(self):
+        result = ddmin(list(range(10)), lambda c: {2, 5, 8} <= set(c))
+        assert result == [2, 5, 8]
+
+    def test_rejects_non_reproducing_input(self):
+        with pytest.raises(ValueError, match="does not hold"):
+            ddmin([1, 2, 3], lambda c: False)
+
+    def test_respects_the_test_budget(self):
+        calls = []
+
+        def predicate(candidate):
+            calls.append(1)
+            return 0 in candidate
+
+        ddmin(list(range(64)), predicate, max_tests=10)
+        # initial sanity check + at most max_tests probes
+        assert len(calls) <= 11
+
+
+class TestReduceSource:
+    #: The sema failure lives on one line; the padding is droppable.
+    CRASHER = """
+int helper(int x) {
+    int doubled = x * 2;
+    return doubled;
+}
+
+int main() {
+    int a = 1;
+    int b = 2;
+    int c = a + b;
+    printf("%d\\n", c);
+    return undeclared_name;
+}
+"""
+
+    def test_reduces_to_a_minimal_same_signature_crasher(self):
+        predicate, signature = make_crash_predicate(self.CRASHER)
+        assert signature is not None
+        assert signature.startswith("SemaError|")
+        reduced = reduce_source(self.CRASHER, predicate)
+        # Still the same bug...
+        assert predicate(reduced)
+        # ...in a fraction of the source: the helper and the padding
+        # statements are gone, the failing return remains.
+        assert "undeclared_name" in reduced
+        assert "helper" not in reduced
+        assert "printf" not in reduced
+        assert len(reduced.splitlines()) <= 4
+
+    def test_clean_source_has_no_signature(self):
+        predicate, signature = make_crash_predicate(
+            "int main() { return 0; }"
+        )
+        assert signature is None
+        assert predicate("int main() { return bogus; }") is False
+
+    def test_trap_signature_distinguishes_status(self):
+        from repro.robustness.reduce import crash_signature
+
+        clean = crash_signature("int main() { return 0; }")
+        assert clean is None
+        sema = crash_signature("int main() { return bogus; }")
+        assert sema is not None and sema.startswith("SemaError|")
