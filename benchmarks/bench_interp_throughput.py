@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Interpreter throughput: pre-decoded dispatch vs reference loop.
+"""Interpreter throughput: the three execution tiers compared.
 
-Runs one generated benchmark under every scheme with both CPU backends,
-verifies their architectural counters are bit-identical, and reports the
-decoded/reference speedup.  Also times a small suite serially vs with
-two worker processes to exercise the ``repro.perf`` fan-out.
+Runs one generated benchmark under every scheme with all three CPU
+backends (reference isinstance loop, pre-decoded dispatch, and the
+block-compiled tier), verifies their architectural counters are
+bit-identical, and reports the decoded/reference and block/decoded
+speedups.  Also times a small suite serially vs with two worker
+processes to exercise the ``repro.perf`` fan-out.
 
 Wall-clock in shared containers is noisy (same code can swing tens of
 percent between batches), so each scheme is measured as *interleaved*
@@ -13,7 +15,9 @@ minima -- the minimum estimates the noise-free cost, and interleaving
 keeps slow phases from landing on one side only.
 
 Appends one entry to ``BENCH_interp.json`` (see repro.perf.trajectory)
-so throughput can be tracked across commits.
+so throughput can be tracked across commits, and fails when the block
+tier's geomean steps/s regresses more than ``--max-block-regression``
+below the trajectory's previous block-tier entry.
 
 Usage::
 
@@ -38,8 +42,8 @@ if _SRC not in sys.path:
 
 from repro.core.config import SCHEMES
 from repro.core.framework import protect
-from repro.hardware import CPU, decode_module, invalidate_decode_cache
-from repro.perf import append_entry, run_suite
+from repro.hardware import CPU, block_compile, decode_module, invalidate_decode_cache
+from repro.perf import append_entry, check_block_regression, load_entries, run_suite
 from repro.workloads import generate_program, get_profile, profile_names
 
 #: Architectural counters that must match between backends exactly.
@@ -57,35 +61,43 @@ COMPARED_FIELDS = (
 )
 
 
-def _check_identical(name, reference, decoded):
+def _check_identical(name, reference, other, tier):
     for field in COMPARED_FIELDS:
         ref_value = getattr(reference, field)
-        dec_value = getattr(decoded, field)
-        if ref_value != dec_value:
+        other_value = getattr(other, field)
+        if ref_value != other_value:
             raise AssertionError(
                 f"{name}: {field} diverged: reference={ref_value!r} "
-                f"decoded={dec_value!r}"
+                f"{tier}={other_value!r}"
             )
-    if reference.opcode_counts != decoded.opcode_counts:
-        raise AssertionError(f"{name}: opcode_counts diverged")
+    if reference.opcode_counts != other.opcode_counts:
+        raise AssertionError(f"{name}: opcode_counts diverged ({tier})")
+
+
+TIERS = ("reference", "decoded", "block")
 
 
 def measure_scheme(module, inputs, seed, repeat):
-    """Interleaved min-of-``repeat`` timing of both backends."""
+    """Interleaved min-of-``repeat`` timing of all three backends."""
     invalidate_decode_cache(module)
     _, decode_seconds = decode_module(module)
+    _, block_seconds = block_compile(module)
 
-    best = {"reference": math.inf, "decoded": math.inf}
+    best = {tier: math.inf for tier in TIERS}
     results = {}
     for _ in range(repeat):
-        for interpreter in ("reference", "decoded"):
+        for interpreter in TIERS:
             cpu = CPU(module, seed=seed, interpreter=interpreter)
             start = time.perf_counter()
             result = cpu.run(inputs=list(inputs))
             elapsed = time.perf_counter() - start
             best[interpreter] = min(best[interpreter], elapsed)
             results[interpreter] = result
-    return best, results, decode_seconds
+    return best, results, decode_seconds, block_seconds
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
 def main(argv=None) -> int:
@@ -100,7 +112,27 @@ def main(argv=None) -> int:
         "--min-speedup",
         type=float,
         default=3.0,
-        help="fail if the geomean decoded speedup falls below this",
+        help="fail if the geomean decoded/reference speedup falls below this",
+    )
+    parser.add_argument(
+        "--min-block-speedup",
+        type=float,
+        default=1.8,
+        help="fail if the geomean block/decoded speedup falls below this",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="trajectory file to check block-tier regression against "
+        "(defaults to --out)",
+    )
+    parser.add_argument(
+        "--max-block-regression",
+        type=float,
+        default=0.10,
+        help="fail if block-tier steps/s drops more than this fraction "
+        "below the baseline trajectory's last block entry (negative "
+        "disables the check)",
     )
     parser.add_argument(
         "--suite-size",
@@ -122,34 +154,50 @@ def main(argv=None) -> int:
 
     scheme_entries = {}
     speedups = []
+    block_speedups = []
     for scheme in SCHEMES:
         protected = protect(module, scheme=scheme)
-        best, results, decode_seconds = measure_scheme(
+        best, results, decode_seconds, block_seconds = measure_scheme(
             protected.module, program.inputs, args.seed, args.repeat
         )
-        _check_identical(f"{args.profile}/{scheme}", *results.values())
+        name = f"{args.profile}/{scheme}"
+        _check_identical(name, results["reference"], results["decoded"], "decoded")
+        _check_identical(name, results["reference"], results["block"], "block")
         speedup = best["reference"] / best["decoded"]
+        block_speedup = best["decoded"] / best["block"]
         steps = results["decoded"].steps
         steps_per_second = steps / best["decoded"]
+        block_steps_per_second = steps / best["block"]
         speedups.append(speedup)
+        block_speedups.append(block_speedup)
         scheme_entries[scheme] = {
             "reference_seconds": round(best["reference"], 6),
             "decoded_seconds": round(best["decoded"], 6),
+            "block_seconds": round(best["block"], 6),
             "decode_seconds": round(decode_seconds, 6),
+            "block_compile_seconds": round(block_seconds, 6),
             "speedup": round(speedup, 3),
+            "block_speedup": round(block_speedup, 3),
             "steps": steps,
             "steps_per_second": round(steps_per_second, 1),
+            "block_steps_per_second": round(block_steps_per_second, 1),
         }
         print(
             f"  {scheme:8s} reference={best['reference'] * 1e3:8.2f}ms "
             f"decoded={best['decoded'] * 1e3:8.2f}ms "
-            f"speedup={speedup:5.2f}x "
-            f"({steps_per_second:,.0f} steps/s, "
-            f"decode {decode_seconds * 1e3:.2f}ms) counters identical"
+            f"block={best['block'] * 1e3:8.2f}ms "
+            f"decoded/ref={speedup:5.2f}x block/decoded={block_speedup:5.2f}x "
+            f"({block_steps_per_second:,.0f} steps/s block) counters identical"
         )
 
-    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
-    print(f"geomean speedup: {geomean:.2f}x (min {min(speedups):.2f}x)")
+    geomean_speedup = geomean(speedups)
+    geomean_block = geomean(block_speedups)
+    print(
+        f"geomean decoded/reference: {geomean_speedup:.2f}x "
+        f"(min {min(speedups):.2f}x); "
+        f"geomean block/decoded: {geomean_block:.2f}x "
+        f"(min {min(block_speedups):.2f}x)"
+    )
 
     entry = {
         "label": "interp-throughput",
@@ -157,8 +205,10 @@ def main(argv=None) -> int:
         "profile": args.profile,
         "repeat": args.repeat,
         "schemes": scheme_entries,
-        "geomean_speedup": round(geomean, 3),
+        "geomean_speedup": round(geomean_speedup, 3),
         "min_speedup": round(min(speedups), 3),
+        "geomean_block_speedup": round(geomean_block, 3),
+        "min_block_speedup": round(min(block_speedups), 3),
     }
 
     if not args.skip_suite:
@@ -187,17 +237,35 @@ def main(argv=None) -> int:
             "decode_seconds": round(serial.decode_seconds, 6),
         }
 
+    regression = None
+    if args.max_block_regression >= 0:
+        baseline = load_entries(args.baseline or args.out)
+        regression = check_block_regression(
+            baseline, entry, tolerance=args.max_block_regression
+        )
+
     append_entry(args.out, entry)
     print(f"appended trajectory entry to {args.out}")
 
-    if geomean < args.min_speedup:
+    failed = False
+    if geomean_speedup < args.min_speedup:
         print(
-            f"FAIL: geomean speedup {geomean:.2f}x below "
+            f"FAIL: geomean decoded speedup {geomean_speedup:.2f}x below "
             f"threshold {args.min_speedup:.2f}x",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if geomean_block < args.min_block_speedup:
+        print(
+            f"FAIL: geomean block speedup {geomean_block:.2f}x below "
+            f"threshold {args.min_block_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    if regression is not None:
+        print(f"FAIL: {regression}", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -6,6 +6,7 @@ C library models, and the IR interpreter (CPU) tying them together.
 """
 
 from .allocator import HeapAllocator, OutOfMemoryError, SectionedHeap
+from .blockc import BlockProgram, block_compile
 from .cache import CacheModel
 from .cpu import (
     CPU,
@@ -51,6 +52,8 @@ from .timing import (
 
 __all__ = [
     "ADDR_MASK",
+    "block_compile",
+    "BlockProgram",
     "CacheModel",
     "CanaryRng",
     "CanaryTrap",

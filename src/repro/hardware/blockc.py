@@ -1,0 +1,1066 @@
+"""Block-compiled execution engine: tier 3 of the interpreter stack.
+
+The decoded tier (:mod:`repro.hardware.decoder`) removed operand and
+opcode dispatch but still pays one Python call per dynamic instruction
+(``handler(cpu, frame)``) plus per-instruction step/timing bookkeeping
+in the interpreter loop.  This module removes both: every decoded basic
+block is fused into a *single generated Python function* that
+
+- inlines the straight-line handler bodies (loads, stores, geps, int
+  arithmetic, compares, casts, selects, PAC and DFI intrinsics) as
+  plain statements over ``frame[...]`` slots;
+- batches the step count, instruction count, opcode counts and the
+  bounded-width issue model into one update per *chunk* (a maximal run
+  of ops with no interpreter re-entry), using tables precomputed for
+  every possible entry state of the cheap-op run counter;
+- folds phi routing into per-CFG-edge closures doing one parallel
+  tuple assignment;
+- direct-threads control flow: each generated function returns the
+  pre-built ``(successor, edge)`` pair, so the driver loop in
+  :meth:`CPU._interpret_block` is two tuple indexings per block.
+
+Bit-identity with the reference interpreter
+-------------------------------------------
+
+The reference interpreter charges each op *before* executing it, so a
+trap mid-block must observe the counters exactly as if every op after
+the trapping one had never been charged.  Batched accounting applies a
+chunk's charges up front; the generated function therefore wraps its
+body in ``except BaseException`` and repairs the counters before
+re-raising: the traceback's line number (every generated line is mapped
+to its op index at compile time) identifies the trapping op, the
+chunk's recorded entry state ``_r0`` replays the issue model up to that
+op, and the overshoot is subtracted.  Order of cycle accumulation
+within a chunk differs from the reference, but every charge in the
+model is a dyadic rational (integer costs, 0.25-per-byte library
+calls), so float accumulation is exact and order-insensitive.
+
+Batched accounting bakes in ``DEFAULT_COSTS`` and the default issue
+width; :meth:`CPU._call` only dispatches here while the timing model
+still matches, and falls back to the decoded tier otherwise.  A block
+whose execution could cross the step limit is delegated, pending phi
+routing included, to the decoded loop, which raises
+``StepLimitExceeded`` at exactly the right op.
+
+Like the decoded tier, compiled programs are cached on the module
+(fingerprint-guarded) and dropped by
+:func:`repro.hardware.decoder.invalidate_decode_cache`.  The deliberate
+divergence on *malformed, unverified* IR is shared with the decoded
+tier (``KeyError`` instead of the reference ``RuntimeError``), with one
+addition: a phi-routing ``KeyError`` on a malformed edge surfaces with
+the whole edge's phi charges applied rather than a prefix.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import (
+    Alloca,
+    BinOp,
+    Call,
+    Cast,
+    CondBranch,
+    DfiChkDef,
+    DfiSetDef,
+    GetElementPtr,
+    ICmp,
+    Jump,
+    Load,
+    PacAuth,
+    PacSign,
+    Ret,
+    SecAssert,
+    Select,
+    Store,
+)
+from ..ir.module import Module
+from ..ir.types import IntType
+from .decoder import (
+    DecodedBlock,
+    _DECODED_MODULES,
+    _fingerprint,
+    _gep_plan,
+    _spec,
+    decode_module,
+)
+from .errors import CanaryTrap, DfiTrap, NullPointerTrap
+from .memory import MemoryFault
+from .timing import DEFAULT_COSTS
+
+_MASK64 = (1 << 64) - 1
+
+#: The issue width the chunk tables are computed for (the TimingModel
+#: default); the CPU only dispatches to this tier when its timing model
+#: still uses this width and DEFAULT_COSTS.
+BLOCK_ISSUE_WIDTH = 4
+
+#: Sentinel: generated functions return ``(BLOCK_RET, value)`` from
+#: ``ret`` terminators and the successor's ``(BlockCode, None)``
+#: ``self_pair`` otherwise (phi routing runs inline in the terminator
+#: before the pair is returned).
+BLOCK_RET = object()
+
+#: Attribute under which a module carries its cached block compile
+#: (mirrors ``decoder._DECODE_ATTR``; see the comment there for why the
+#: cache lives on the module).
+_BLOCK_ATTR = "_block_program"
+
+
+class BlockCode:
+    """One basic block compiled to a fused function."""
+
+    __slots__ = ("fn", "dblock", "nsteps", "meta", "self_pair")
+
+    def __init__(self, dblock: DecodedBlock, nsteps: int):
+        self.fn = None
+        #: the decoded twin, for step-limit delegation
+        self.dblock = dblock
+        #: dynamic steps one full execution of this block retires
+        self.nsteps = nsteps
+        self.meta: Optional["_BlockMeta"] = None
+        #: the ``(self, None)`` pair terminators and entries hand the driver
+        self.self_pair = (self, None)
+
+
+class BlockProgram:
+    """All defined functions of one module, block-compiled."""
+
+    __slots__ = ("functions", "fingerprint", "compile_seconds", "issue_width", "sources")
+
+    def __init__(self, fingerprint: tuple):
+        #: Function -> entry BlockCode
+        self.functions: Dict[Function, BlockCode] = {}
+        self.fingerprint = fingerprint
+        self.compile_seconds = 0.0
+        self.issue_width = BLOCK_ISSUE_WIDTH
+        #: Function -> generated source, kept for debugging
+        self.sources: Dict[Function, str] = {}
+
+
+class _BlockMeta:
+    """Per-block data for the trap-time counter fixup."""
+
+    __slots__ = ("ops", "line_map")
+
+    def __init__(self):
+        #: per op index: (opcode, cost, impure, chunk_start, chunk_end)
+        self.ops: Tuple[Tuple[str, int, bool, int, int], ...] = ()
+        #: generated lineno -> op index; -1 means "read the ``_k`` local"
+        self.line_map: Dict[int, int] = {}
+
+
+def _simulate(costs, width: int, r0: int) -> Tuple[int, int]:
+    """Replay the bounded-width issue model over a cost sequence."""
+    cycles = 0
+    r = r0
+    for cost in costs:
+        if cost <= 1:
+            r += 1
+            if r >= width:
+                cycles += 1
+                r = 0
+        else:
+            cycles += cost
+            r = 0
+    return cycles, r
+
+
+def _trap_fixup(cpu, timing, counts, meta: _BlockMeta, exc: BaseException) -> None:
+    """Undo the not-yet-executed tail of the trapping op's chunk.
+
+    Called from the generated ``except`` clause; the traceback's head
+    frame is the generated function's own invocation, so its lineno and
+    locals identify the trapping op and the chunk entry state.
+    """
+    tb = exc.__traceback__
+    if tb is None:
+        return
+    k = meta.line_map.get(tb.tb_lineno)
+    if k is None:
+        return
+    frame_locals = tb.tb_frame.f_locals
+    if k < 0:
+        k = frame_locals.get("_k")
+        if k is None:
+            return
+    ops = meta.ops
+    opcode, cost, impure, s, e = ops[k]
+    if impure:
+        # Calls and fallback handlers are their own chunk and were
+        # accounted exactly before re-entry; the callee owns anything
+        # charged since.
+        return
+    r0 = frame_locals.get("_r0")
+    if r0 is None:
+        return
+    width = timing.issue_width
+    applied = 0
+    actual = 0
+    r_actual = r0
+    r = r0
+    for i in range(s, e):
+        cost_i = ops[i][1]
+        if cost_i <= 1:
+            r += 1
+            if r >= width:
+                applied += 1
+                r = 0
+        else:
+            applied += cost_i
+            r = 0
+        if i == k:
+            actual = applied
+            r_actual = r
+    timing.cycles -= applied - actual
+    timing._cheap_run = r_actual
+    over = e - 1 - k
+    if over:
+        timing.instructions -= over
+        cpu.steps -= over
+        for i in range(k + 1, e):
+            name = ops[i][0]
+            n = counts.get(name, 0) - 1
+            if n <= 0:
+                counts.pop(name, None)
+            else:
+                counts[name] = n
+
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+
+_CMP_PYOPS = {
+    "eq": "==",
+    "ne": "!=",
+    "slt": "<",
+    "sle": "<=",
+    "sgt": ">",
+    "sge": ">=",
+    "ult": "<",
+    "ule": "<=",
+    "ugt": ">",
+    "uge": ">=",
+}
+_SIGNED_PREDICATES = ("slt", "sle", "sgt", "sge")
+
+
+class _FnGen:
+    """Accumulates the generated source for one function."""
+
+    def __init__(self, filename: str):
+        self.filename = filename
+        self.lines: List[str] = []
+        self.consts: List[object] = []
+        self.const_names: List[str] = []
+        self._by_id: Dict[int, str] = {}
+        self.fn_names: List[str] = []
+        #: line_map of the block currently being generated
+        self.current_map: Optional[Dict[int, int]] = None
+        #: id(value) -> Python local name for block-private SSA values
+        #: of the block currently being generated (see _plan_locals)
+        self.block_locals: Dict[int, str] = {}
+
+    def bind(self, obj: object, prefix: str) -> str:
+        name = self._by_id.get(id(obj))
+        if name is None:
+            name = f"_{prefix}{len(self.consts)}"
+            self._by_id[id(obj)] = name
+            self.consts.append(obj)
+            self.const_names.append(name)
+        return name
+
+    def emit(self, text: str, indent: int = 2, op: Optional[int] = None) -> None:
+        self.lines.append("    " * indent + text)
+        if op is not None and self.current_map is not None:
+            self.current_map[len(self.lines)] = op
+
+    def operand(self, spec) -> str:
+        constant, value = spec
+        if constant:
+            return repr(value)
+        name = self.block_locals.get(id(value))
+        if name is not None:
+            return name
+        return f"frame[{self.bind(value, 'V')}]"
+
+    def target(self, inst) -> str:
+        """Assignment target for ``inst``'s result: local or frame slot."""
+        name = self.block_locals.get(id(inst))
+        if name is not None:
+            return name
+        return f"frame[{self.bind(inst, 'V')}]"
+
+
+def _signed_lines(gen: _FnGen, temp: str, expr: str, bits: int, op: int) -> None:
+    """Emit ``temp = to_signed_bits(expr)`` matching IntType.to_signed."""
+    if bits >= 64:
+        # Frame values and folded constants are always < 2**64, so the
+        # to_signed mask is a no-op at 64 bits.
+        gen.emit(f"{temp} = {expr}", op=op)
+    else:
+        gen.emit(f"{temp} = ({expr}) & {(1 << bits) - 1}", op=op)
+    gen.emit(f"if {temp} > {(1 << (bits - 1)) - 1}: {temp} -= {1 << bits}", op=op)
+
+
+def _signed_const(value: int, bits: int) -> int:
+    value &= (1 << bits) - 1
+    if value > (1 << (bits - 1)) - 1:
+        value -= 1 << bits
+    return value
+
+
+def _int_params(vtype) -> Tuple[int, int]:
+    """(wrap mask, bits) for a value type, pointer arithmetic included."""
+    if isinstance(vtype, IntType):
+        return (1 << vtype.bits) - 1, vtype.bits
+    return _MASK64, 64
+
+
+def _gen_pointer(gen: _FnGen, spec, message: str, k: int) -> Optional[str]:
+    """Emit the null check for a pointer operand; None when it raises."""
+    constant, value = spec
+    if constant:
+        if value == 0:
+            gen.emit(f"raise _NPT({message!r})", op=k)
+            return None
+        return repr(value)
+    pointer = gen.operand(spec)
+    if pointer.startswith("frame["):
+        gen.emit(f"_p = {pointer}", op=k)
+        pointer = "_p"
+    gen.emit(f"if {pointer} == 0: raise _NPT({message!r})", op=k)
+    return pointer
+
+
+def _gen_load(gen: _FnGen, inst: Load, layout, k: int) -> None:
+    size = max(1, inst.type.size)
+    message = f"load through null in {inst}"
+    pointer = _gen_pointer(gen, _spec(inst.pointer, layout), message, k)
+    if pointer is None:
+        return
+    gen.emit(f"if cpu.cache is not None: cpu._cache_access({pointer}, {size})", op=k)
+    gen.emit(f"{gen.target(inst)} = mem.read_int({pointer}, {size})", op=k)
+
+
+def _gen_store(gen: _FnGen, inst: Store, layout, k: int) -> None:
+    value_expr = gen.operand(_spec(inst.value, layout))
+    size = max(1, inst.value.type.size)
+    message = f"store through null in {inst}"
+    pointer = _gen_pointer(gen, _spec(inst.pointer, layout), message, k)
+    if pointer is None:
+        return
+    gen.emit(f"if cpu.cache is not None: cpu._cache_access({pointer}, {size})", op=k)
+    gen.emit(f"mem.write_int({pointer}, {value_expr}, {size})", op=k)
+
+
+def _gen_gep(gen: _FnGen, inst: GetElementPtr, layout, k: int) -> bool:
+    plan = _gep_plan(inst, layout)
+    if plan is None:
+        gen.emit(f"raise RuntimeError({f'malformed gep: {inst}'!r})", op=k)
+        return True
+    base_c, base_v, const_off, dyn = plan
+    target = gen.target(inst)
+    if not dyn:
+        if base_c:
+            gen.emit(f"{target} = {(base_v + const_off) & _MASK64}", op=k)
+        else:
+            base = gen.operand((False, base_v))
+            off = f" + {const_off}" if const_off else ""
+            gen.emit(f"{target} = ({base}{off}) & {_MASK64}", op=k)
+        return True
+    terms = []
+    for i, (key, stride) in enumerate(dyn):
+        temp = f"_x{i}"
+        _signed_lines(gen, temp, gen.operand((False, key)), 64, k)
+        terms.append(f"{temp} * {stride}")
+    if base_c:
+        base = repr((base_v + const_off) & _MASK64)
+    else:
+        base = gen.operand((False, base_v))
+        if const_off:
+            base = f"{base} + {const_off}"
+    gen.emit(f"{target} = ({base} + {' + '.join(terms)}) & {_MASK64}", op=k)
+    return True
+
+
+def _gen_binop(gen: _FnGen, inst: BinOp, layout, k: int) -> bool:
+    op = inst.op
+    mask, bits = _int_params(inst.type)
+    lspec = _spec(inst.lhs, layout)
+    rspec = _spec(inst.rhs, layout)
+    target = gen.target(inst)
+    if op in ("add", "sub", "mul", "and", "or", "xor"):
+        py = {"add": "+", "sub": "-", "mul": "*", "and": "&", "or": "|", "xor": "^"}[op]
+        lhs, rhs = gen.operand(lspec), gen.operand(rspec)
+        gen.emit(f"{target} = (({lhs}) {py} ({rhs})) & {mask}", op=k)
+        return True
+    if op in ("shl", "lshr"):
+        py = "<<" if op == "shl" else ">>"
+        lhs = gen.operand(lspec)
+        shift = repr(rspec[1] % bits) if rspec[0] else f"({gen.operand(rspec)}) % {bits}"
+        gen.emit(f"{target} = (({lhs}) {py} ({shift})) & {mask}", op=k)
+        return True
+    if op == "ashr":
+        if lspec[0]:
+            lhs = repr(_signed_const(lspec[1], bits))
+        else:
+            _signed_lines(gen, "_a", gen.operand(lspec), bits, k)
+            lhs = "_a"
+        shift = repr(rspec[1] % bits) if rspec[0] else f"({gen.operand(rspec)}) % {bits}"
+        gen.emit(f"{target} = (({lhs}) >> ({shift})) & {mask}", op=k)
+        return True
+    if op in ("sdiv", "srem"):
+        if lspec[0]:
+            lhs = repr(_signed_const(lspec[1], bits))
+        else:
+            _signed_lines(gen, "_a", gen.operand(lspec), bits, k)
+            lhs = "_a"
+        if rspec[0]:
+            rhs = repr(_signed_const(rspec[1], bits))
+        else:
+            _signed_lines(gen, "_b", gen.operand(rspec), bits, k)
+            rhs = "_b"
+        kind = "divide" if op == "sdiv" else "remainder"
+        gen.emit(f"if ({rhs}) == 0: raise _MF(0, 0, 'integer {kind} by zero')", op=k)
+        if op == "sdiv":
+            gen.emit(f"{target} = (int(({lhs}) / ({rhs}))) & {mask}", op=k)
+        else:
+            gen.emit(
+                f"{target} = (({lhs}) - int(({lhs}) / ({rhs})) * ({rhs})) & {mask}",
+                op=k,
+            )
+        return True
+    gen.emit(f"raise RuntimeError({f'unknown binop {op}'!r})", op=k)
+    return True
+
+
+def _gen_icmp(gen: _FnGen, inst: ICmp, layout, k: int) -> bool:
+    predicate = inst.predicate
+    pyop = _CMP_PYOPS.get(predicate)
+    if pyop is None:
+        return False
+    vtype = inst.lhs.type
+    lspec = _spec(inst.lhs, layout)
+    rspec = _spec(inst.rhs, layout)
+    target = gen.target(inst)
+    if predicate in _SIGNED_PREDICATES and isinstance(vtype, IntType):
+        bits = vtype.bits
+        if lspec[0]:
+            lhs = repr(_signed_const(lspec[1], bits))
+        else:
+            _signed_lines(gen, "_a", gen.operand(lspec), bits, k)
+            lhs = "_a"
+        if rspec[0]:
+            rhs = repr(_signed_const(rspec[1], bits))
+        else:
+            _signed_lines(gen, "_b", gen.operand(rspec), bits, k)
+            rhs = "_b"
+    else:
+        lhs, rhs = gen.operand(lspec), gen.operand(rspec)
+    gen.emit(f"{target} = 1 if ({lhs}) {pyop} ({rhs}) else 0", op=k)
+    return True
+
+
+def _gen_cast(gen: _FnGen, inst: Cast, layout, k: int) -> bool:
+    op = inst.op
+    mask, _ = _int_params(inst.type)
+    spec = _spec(inst.value, layout)
+    target = gen.target(inst)
+    if op in ("trunc", "zext", "ptrtoint", "inttoptr", "bitcast"):
+        gen.emit(f"{target} = ({gen.operand(spec)}) & {mask}", op=k)
+        return True
+    if op == "sext":
+        source = inst.value.type
+        if isinstance(source, IntType):
+            if spec[0]:
+                value = repr(_signed_const(spec[1], source.bits))
+            else:
+                _signed_lines(gen, "_a", gen.operand(spec), source.bits, k)
+                value = "_a"
+        else:
+            value = gen.operand(spec)
+        gen.emit(f"{target} = ({value}) & {mask}", op=k)
+        return True
+    gen.emit(f"raise RuntimeError({f'unknown cast {op}'!r})", op=k)
+    return True
+
+
+def _gen_select(gen: _FnGen, inst: Select, layout, k: int) -> None:
+    cond = gen.operand(_spec(inst.condition, layout))
+    true = gen.operand(_spec(inst.true_value, layout))
+    false = gen.operand(_spec(inst.false_value, layout))
+    target = gen.target(inst)
+    gen.emit(f"{target} = ({true}) if (({cond}) & 1) else ({false})", op=k)
+
+
+def _gen_call(gen: _FnGen, inst: Call, layout, k: int) -> None:
+    args = ", ".join(gen.operand(_spec(a, layout)) for a in inst.args)
+    callee = gen.bind(inst.callee, "F")
+    if inst.type.is_void:
+        gen.emit(f"cpu._call({callee}, [{args}])", op=k)
+    else:
+        target = gen.target(inst)
+        gen.emit(f"_t = cpu._call({callee}, [{args}])", op=k)
+        gen.emit(f"{target} = 0 if _t is None else _t", op=k)
+
+
+def _gen_pac(gen: _FnGen, inst, layout, k: int, method: str) -> None:
+    value = gen.operand(_spec(inst.value, layout))
+    modifier = gen.operand(_spec(inst.modifier, layout))
+    target = gen.target(inst)
+    gen.emit(
+        f"{target} = pac.{method}({value}, {modifier}, {inst.key_id!r})", op=k
+    )
+
+
+def _gen_sec_assert(gen: _FnGen, inst: SecAssert, layout, k: int) -> None:
+    cond = gen.operand(_spec(inst.condition, layout))
+    message = f"{inst.kind} check failed"
+    gen.emit(f"if not (({cond}) & 1): raise _CT({message!r})", op=k)
+
+
+def _gen_dfi_setdef(gen: _FnGen, inst: DfiSetDef, layout, k: int) -> None:
+    pointer = gen.operand(_spec(inst.pointer, layout))
+    gen.emit(f"dfi.set_range({pointer}, {inst.size}, {inst.def_id})", op=k)
+
+
+def _gen_dfi_chk_one(gen: _FnGen, inst: DfiChkDef, layout, k: int) -> None:
+    pointer = gen.operand(_spec(inst.pointer, layout))
+    allowed = gen.bind(inst.allowed, "A")
+    gen.emit(f"_v = dfi.check_range({pointer}, {inst.size}, {allowed})", op=k)
+    gen.emit(f"if _v is not None: raise _DT(_v[0], _v[1], {allowed})", op=k)
+
+
+def _gen_dfi_chk_batch(gen: _FnGen, run: List[Tuple[int, DfiChkDef]], layout) -> None:
+    """A run of >= 2 consecutive dfi.chkdef ops: one batched check."""
+    base = run[0][0]
+    specs = []
+    for _, inst in run:
+        constant, value = _spec(inst.pointer, layout)
+        specs.append((constant, value, inst.size, inst.allowed))
+    name = gen.bind(tuple(specs), "B")
+    gen.emit(f"_v = dfi.check_batch({name}, frame)", op=base)
+    gen.emit("if _v is not None:", op=base)
+    # The trapping element is only known at runtime; the fixup reads the
+    # ``_k`` local (line_map sentinel -1).
+    gen.emit(f"    _k = {base} + _v[0]", op=base)
+    line = "    raise _DT(_v[1], _v[2], _v[3])"
+    gen.emit(line)
+    if gen.current_map is not None:
+        gen.current_map[len(gen.lines)] = -1
+
+
+def _emit_op(gen: _FnGen, inst, decoded_op, layout, k: int) -> None:
+    opcode, cost, impure, handler = decoded_op
+    if isinstance(inst, Call):
+        _gen_call(gen, inst, layout, k)
+        return
+    if impure:
+        # Decode-time fallback: reuse the decoded tier's handler so both
+        # tiers agree on everything the specialisers decline.
+        gen.emit(f"{gen.bind(handler, 'H')}(cpu, frame)", op=k)
+        return
+    if isinstance(inst, Alloca):
+        return  # space assigned at frame layout; charge only
+    if isinstance(inst, Load):
+        _gen_load(gen, inst, layout, k)
+        return
+    if isinstance(inst, Store):
+        _gen_store(gen, inst, layout, k)
+        return
+    if isinstance(inst, GetElementPtr) and _gen_gep(gen, inst, layout, k):
+        return
+    if isinstance(inst, BinOp) and _gen_binop(gen, inst, layout, k):
+        return
+    if isinstance(inst, ICmp) and _gen_icmp(gen, inst, layout, k):
+        return
+    if isinstance(inst, Cast) and _gen_cast(gen, inst, layout, k):
+        return
+    if isinstance(inst, Select):
+        _gen_select(gen, inst, layout, k)
+        return
+    if isinstance(inst, PacSign):
+        _gen_pac(gen, inst, layout, k, "sign")
+        return
+    if isinstance(inst, PacAuth):
+        _gen_pac(gen, inst, layout, k, "auth")
+        return
+    if isinstance(inst, SecAssert):
+        _gen_sec_assert(gen, inst, layout, k)
+        return
+    if isinstance(inst, DfiSetDef):
+        _gen_dfi_setdef(gen, inst, layout, k)
+        return
+    if isinstance(inst, DfiChkDef):
+        _gen_dfi_chk_one(gen, inst, layout, k)
+        return
+    # Anything else executes through the (pure) decoded handler.
+    gen.emit(f"{gen.bind(handler, 'H')}(cpu, frame)", op=k)
+
+
+def _body_instructions(dblock: DecodedBlock) -> List[object]:
+    source = dblock.source
+    body: List[object] = []
+    for inst in source.instructions[source.first_non_phi_index():]:
+        if isinstance(inst, (Ret, Jump, CondBranch)):
+            break
+        body.append(inst)
+    if len(body) != len(dblock.ops):
+        raise RuntimeError(
+            f"decoded block %{source.name} does not match its source block"
+        )
+    return body
+
+
+def _classify(inst, impure: bool) -> Tuple[bool, tuple, bool]:
+    """How ``_emit_op`` will treat ``inst``: (def_ok, reads, via_frame).
+
+    ``def_ok``: the result is assigned by generated code (so it *may*
+    become a Python local).  ``reads``: the values the generated code
+    reads as operands.  ``via_frame``: the op resolves its operands
+    through the ``frame`` dict at runtime (decoded-handler fallbacks and
+    batched DFI checks), so those reads pin their values to the frame.
+    """
+    if isinstance(inst, Call):
+        return (not inst.type.is_void), tuple(inst.args), False
+    if impure:
+        return False, tuple(inst.operands), True
+    if isinstance(inst, Alloca):
+        return False, (), False
+    if isinstance(inst, Load):
+        return True, (inst.pointer,), False
+    if isinstance(inst, Store):
+        return False, (inst.value, inst.pointer), False
+    if isinstance(inst, GetElementPtr):
+        return True, tuple(inst.operands), False
+    if isinstance(inst, BinOp):
+        return True, (inst.lhs, inst.rhs), False
+    if isinstance(inst, ICmp):
+        if inst.predicate in _CMP_PYOPS:
+            return True, (inst.lhs, inst.rhs), False
+        return False, tuple(inst.operands), True
+    if isinstance(inst, Cast):
+        return True, (inst.value,), False
+    if isinstance(inst, Select):
+        return True, (inst.condition, inst.true_value, inst.false_value), False
+    if isinstance(inst, (PacSign, PacAuth)):
+        return True, (inst.value, inst.modifier), False
+    if isinstance(inst, SecAssert):
+        return False, (inst.condition,), False
+    if isinstance(inst, DfiSetDef):
+        return False, (inst.pointer,), False
+    if isinstance(inst, DfiChkDef):
+        # A run of chkdefs batches into dfi.check_batch(specs, frame),
+        # which resolves pointers through the frame at runtime.
+        return False, (inst.pointer,), True
+    return False, tuple(inst.operands), True
+
+
+def _plan_locals(order: List[DecodedBlock]) -> Dict[int, Dict[int, str]]:
+    """Decide which SSA values become Python locals, per block.
+
+    A value qualifies when its defining op assigns it from generated
+    code and every read happens inside the defining block's own
+    generated function (body operands, the terminator's payloads, and
+    the phi routes *this* block applies on its outgoing edges).  Reads
+    from another block, from a decoded-handler fallback, or from a
+    batched DFI check keep the value in the frame dict.  Allocas,
+    params and phis are frame-resident by construction (the frame
+    layout / caller / predecessor edges write them), as is everything a
+    step-limit delegation to the decoded tier might need -- locals
+    never outlive one generated call, and delegation happens only at
+    block entry, before any local exists.
+    """
+    candidates: Dict[int, int] = {}  # id(inst) -> id(defining dblock)
+    pinned: set = set()  # id(value) read through the frame
+    read_in: Dict[int, set] = {}  # id(value) -> {id(dblock) reading it}
+    per_block: Dict[int, List[object]] = {}
+
+    def read(value, bid: int) -> None:
+        read_in.setdefault(id(value), set()).add(bid)
+
+    for dblock in order:
+        bid = id(dblock)
+        body = _body_instructions(dblock)
+        block_defs: List[object] = []
+        for i, inst in enumerate(body):
+            impure = dblock.ops[i][2]
+            def_ok, reads, via_frame = _classify(inst, impure)
+            for value in reads:
+                if via_frame:
+                    pinned.add(id(value))
+                else:
+                    read(value, bid)
+            if def_ok:
+                candidates[id(inst)] = bid
+                block_defs.append(inst)
+        term = dblock.term
+        if term[0] == "ret":
+            spec = term[1]
+            if spec is not None and not spec[0]:
+                read(spec[1], bid)
+        elif term[0] == "br" and not term[1][0]:
+            read(term[1][1], bid)
+        if term[0] == "jump":
+            successors = (term[1],)
+        elif term[0] == "br":
+            successors = (term[2], term[3])
+        else:
+            successors = ()
+        for successor in successors:
+            route = successor.phi_routes.get(dblock)
+            if isinstance(route, tuple):
+                # applied inline in *this* block's terminator
+                for _, constant, payload in route:
+                    if not constant:
+                        read(payload, bid)
+        per_block[bid] = block_defs
+
+    plan: Dict[int, Dict[int, str]] = {}
+    for bid, block_defs in per_block.items():
+        block_locals: Dict[int, str] = {}
+        for inst in block_defs:
+            key = id(inst)
+            if key in pinned:
+                continue
+            readers = read_in.get(key)
+            if readers is not None and readers != {bid}:
+                continue
+            block_locals[key] = f"_l{len(block_locals)}"
+        plan[bid] = block_locals
+    return plan
+
+
+def _gen_block(
+    gen: _FnGen,
+    fn_name: str,
+    dblock: DecodedBlock,
+    layout,
+    meta: _BlockMeta,
+    pairs: Dict[tuple, str],
+    routes: Dict[tuple, object],
+    ret_pairs: Dict[DecodedBlock, str],
+    block_locals: Dict[int, str],
+) -> None:
+    body = _body_instructions(dblock)
+    term = dblock.term
+    # Op metadata: the body ops plus (for br/jump/ret) one terminator
+    # pseudo-op whose charge the decoded loop applies identically.
+    op_info: List[List[object]] = [
+        [opcode, cost, impure] for opcode, cost, impure, _ in dblock.ops
+    ]
+    if term[0] == "ret":
+        op_info.append(["ret", DEFAULT_COSTS["ret"], False])
+    elif term[0] in ("jump", "br"):
+        op_info.append(["br", DEFAULT_COSTS["br"], False])
+    # Chunking: impure ops isolate themselves.
+    chunks: List[Tuple[int, int]] = []
+    start = 0
+    for i, info in enumerate(op_info):
+        if info[2]:
+            if i > start:
+                chunks.append((start, i))
+            chunks.append((i, i + 1))
+            start = i + 1
+    if start < len(op_info):
+        chunks.append((start, len(op_info)))
+    chunk_of = {}
+    for s, e in chunks:
+        for i in range(s, e):
+            chunk_of[i] = (s, e)
+    meta.ops = tuple(
+        (info[0], info[1], info[2]) + chunk_of[i] for i, info in enumerate(op_info)
+    )
+
+    uses_mem = any(isinstance(i, (Load, Store)) for i in body)
+    uses_pac = any(isinstance(i, (PacSign, PacAuth)) for i in body)
+    uses_dfi = any(isinstance(i, (DfiSetDef, DfiChkDef)) for i in body)
+
+    meta_name = gen.bind(meta, "M")
+    gen.fn_names.append(fn_name)
+    gen.current_map = meta.line_map
+    gen.block_locals = block_locals
+    gen.emit(f"def {fn_name}(cpu, frame, timing, counts):", indent=1)
+    gen.emit("try:", indent=2)
+    if uses_mem:
+        gen.emit("mem = cpu.memory", indent=3)
+    if uses_pac:
+        gen.emit("pac = cpu.pac", indent=3)
+    if uses_dfi:
+        gen.emit("dfi = cpu.dfi_shadow", indent=3)
+
+    old_emit = gen.emit
+
+    def emit3(text, indent=3, op=None):
+        old_emit(text, indent=indent, op=op)
+
+    gen.emit = emit3  # type: ignore[method-assign]
+    try:
+        for s, e in chunks:
+            costs = [info[1] for info in op_info[s:e]]
+            cycles_table = tuple(
+                _simulate(costs, BLOCK_ISSUE_WIDTH, r)[0]
+                for r in range(BLOCK_ISSUE_WIDTH)
+            )
+            cheap_table = tuple(
+                _simulate(costs, BLOCK_ISSUE_WIDTH, r)[1]
+                for r in range(BLOCK_ISSUE_WIDTH)
+            )
+            n = e - s
+            gen.emit("_r0 = timing._cheap_run")
+            gen.emit(f"timing.cycles += {gen.bind(cycles_table, 'T')}[_r0]")
+            gen.emit(f"timing._cheap_run = {gen.bind(cheap_table, 'T')}[_r0]")
+            gen.emit(f"timing.instructions += {n}")
+            gen.emit(f"cpu.steps += {n}")
+            tallies: Dict[str, int] = {}
+            for info in op_info[s:e]:
+                tallies[info[0]] = tallies.get(info[0], 0) + 1
+            # counts is TimingModel's defaultdict(int): += needs no probe
+            for name, count in tallies.items():
+                gen.emit(f"counts[{name!r}] += {count}")
+            # Statements, with dfi.chkdef runs batched.
+            i = s
+            nbody = len(body)
+            while i < e:
+                if i >= nbody:
+                    _emit_term(
+                        gen, dblock, term, layout, pairs, routes, ret_pairs, i
+                    )
+                    i += 1
+                    continue
+                inst = body[i]
+                if isinstance(inst, DfiChkDef):
+                    run = [(i, inst)]
+                    j = i + 1
+                    while j < e and j < nbody and isinstance(body[j], DfiChkDef):
+                        run.append((j, body[j]))
+                        j += 1
+                    if len(run) >= 2:
+                        _gen_dfi_chk_batch(gen, run, layout)
+                        i = j
+                        continue
+                _emit_op(gen, inst, dblock.ops[i], layout, i)
+                i += 1
+        if term[0] == "fall":
+            source = dblock.source
+            owner = source.parent.name if source.parent is not None else "?"
+            message = f"block %{source.name} in @{owner} fell through"
+            gen.emit(f"raise RuntimeError({message!r})")
+    finally:
+        gen.emit = old_emit  # type: ignore[method-assign]
+    gen.emit("except BaseException as _exc:", indent=2)
+    gen.emit(f"    _FIX(cpu, timing, counts, {meta_name}, _exc)", indent=2)
+    gen.emit("    raise", indent=2)
+    gen.current_map = None
+    gen.block_locals = {}
+
+
+def _emit_phi_edge(gen: _FnGen, route, indent: int) -> bool:
+    """Emit the phi routing for one taken CFG edge, inline.
+
+    The predecessor knows which edge it takes, so the successor's phi
+    batch (batched accounting: phis are zero-cost under DEFAULT_COSTS,
+    so a run of n phis is n cheap issue slots) plus one parallel
+    assignment compile straight into the terminator -- no per-edge
+    closure, no driver routing.  Returns True when the edge is an
+    unresolvable route and the emitted code raises instead of falling
+    through to the ``return``.
+    """
+    if isinstance(route, str):
+        gen.emit(f"raise KeyError({route!r})", indent=indent)
+        return True
+    n = len(route)
+    gen.emit(f"timing.instructions += {n}", indent=indent)
+    gen.emit(f"counts['phi'] += {n}", indent=indent)
+    gen.emit(f"_pr = timing._cheap_run + {n}", indent=indent)
+    gen.emit(f"timing.cycles += _pr // {BLOCK_ISSUE_WIDTH}", indent=indent)
+    gen.emit(f"timing._cheap_run = _pr % {BLOCK_ISSUE_WIDTH}", indent=indent)
+    targets = ", ".join(f"frame[{gen.bind(phi, 'V')}]" for phi, _, _ in route)
+    values = ", ".join(
+        gen.operand((constant, payload)) for _, constant, payload in route
+    )
+    gen.emit(f"{targets} = {values}", indent=indent)
+    return False
+
+
+def _emit_goto(
+    gen: _FnGen, pair_name: str, route, k: int, indent: int = 3
+) -> None:
+    if route is not None and _emit_phi_edge(gen, route, indent):
+        return
+    gen.emit(f"return {pair_name}", indent=indent, op=k)
+
+
+def _emit_term(
+    gen: _FnGen,
+    dblock: DecodedBlock,
+    term: tuple,
+    layout,
+    pairs: Dict[tuple, str],
+    routes: Dict[tuple, object],
+    ret_pairs: Dict[DecodedBlock, str],
+    k: int,
+) -> None:
+    kind = term[0]
+    if kind == "ret":
+        spec = term[1]
+        if spec is None or spec[0]:
+            gen.emit(f"return {ret_pairs[dblock]}", op=k)
+        else:
+            gen.emit(f"return (_RET, {gen.operand(spec)})", op=k)
+    elif kind == "jump":
+        _emit_goto(gen, pairs[(dblock, 0)], routes.get((dblock, 0)), k)
+    elif kind == "br":
+        constant, payload = term[1]
+        if constant:
+            slot = 0 if payload & 1 else 1
+            _emit_goto(gen, pairs[(dblock, slot)], routes.get((dblock, slot)), k)
+            return
+        cond = gen.operand(term[1])
+        true_route = routes.get((dblock, 0))
+        false_route = routes.get((dblock, 1))
+        if true_route is None and false_route is None:
+            gen.emit(
+                f"return {pairs[(dblock, 0)]} if (({cond}) & 1) "
+                f"else {pairs[(dblock, 1)]}",
+                op=k,
+            )
+            return
+        gen.emit(f"if (({cond}) & 1):", op=k)
+        _emit_goto(gen, pairs[(dblock, 0)], true_route, k, indent=4)
+        _emit_goto(gen, pairs[(dblock, 1)], false_route, k)
+
+
+def _compile_function(
+    function: Function, entry: DecodedBlock, layout
+) -> Tuple[BlockCode, str]:
+    # Collect every decoded block reachable from the entry, in a stable
+    # order, plus the phi edges between them.
+    order: List[DecodedBlock] = []
+    seen = {id(entry)}
+    worklist = [entry]
+    while worklist:
+        dblock = worklist.pop(0)
+        order.append(dblock)
+        term = dblock.term
+        successors = ()
+        if term[0] == "jump":
+            successors = (term[1],)
+        elif term[0] == "br":
+            successors = (term[2], term[3])
+        for successor in successors:
+            if id(successor) not in seen:
+                seen.add(id(successor))
+                worklist.append(successor)
+
+    codes: Dict[int, BlockCode] = {}
+    for dblock in order:
+        nsteps = len(dblock.ops) + (0 if dblock.term[0] == "fall" else 1)
+        codes[id(dblock)] = BlockCode(dblock, nsteps)
+
+    gen = _FnGen(f"<blockc:{function.name}>")
+    gen.lines.append("def _make_blocks(_C):")
+    gen.lines.append("")  # placeholder: unpack of _C, patched below
+
+    # Shared helpers come first so their names are stable.
+    for helper, name in (
+        (_trap_fixup, "_FIX"),
+        (BLOCK_RET, "_RET"),
+        (NullPointerTrap, "_NPT"),
+        (CanaryTrap, "_CT"),
+        (DfiTrap, "_DT"),
+        (MemoryFault, "_MF"),
+    ):
+        gen.consts.append(helper)
+        gen.const_names.append(name)
+        gen._by_id[id(helper)] = name
+
+    # Successor pairs, pre-built so the generated terminators return
+    # them directly; phi routes compile inline into the terminators.
+    pairs: Dict[tuple, str] = {}
+    routes: Dict[tuple, object] = {}
+    ret_pairs: Dict[DecodedBlock, str] = {}
+    for dblock in order:
+        term = dblock.term
+        if term[0] == "ret":
+            spec = term[1]
+            if spec is None:
+                ret_pairs[dblock] = gen.bind((BLOCK_RET, None), "R")
+            elif spec[0]:
+                ret_pairs[dblock] = gen.bind((BLOCK_RET, spec[1]), "R")
+            continue
+        if term[0] == "jump":
+            successors = (term[1],)
+        elif term[0] == "br":
+            successors = (term[2], term[3])
+        else:
+            continue
+        for slot, successor in enumerate(successors):
+            route = successor.phi_routes.get(dblock)
+            if route is not None:
+                routes[(dblock, slot)] = route
+            pairs[(dblock, slot)] = gen.bind(
+                codes[id(successor)].self_pair, "S"
+            )
+
+    # Generate the block functions.
+    local_plan = _plan_locals(order)
+    targets: List[BlockCode] = []
+    for index, dblock in enumerate(order):
+        meta = _BlockMeta()
+        code = codes[id(dblock)]
+        code.meta = meta
+        _gen_block(
+            gen,
+            f"_b{index}",
+            dblock,
+            layout,
+            meta,
+            pairs,
+            routes,
+            ret_pairs,
+            local_plan[id(dblock)],
+        )
+        targets.append(code)
+
+    gen.emit(f"return ({', '.join(gen.fn_names)},)", indent=1)
+    gen.lines[1] = "    ({},) = _C".format(", ".join(gen.const_names))
+
+    source = "\n".join(gen.lines)
+    namespace: Dict[str, object] = {}
+    exec(compile(source, gen.filename, "exec"), namespace)
+    functions = namespace["_make_blocks"](tuple(gen.consts))
+    for target, fn in zip(targets, functions):
+        target.fn = fn
+
+    return codes[id(entry)], source
+
+
+def block_compile(module: Module) -> Tuple[BlockProgram, float]:
+    """Block-compile ``module`` (or return the cached program).
+
+    Returns ``(program, seconds)`` where ``seconds`` is the compile time
+    spent by *this* call -- ``0.0`` on a cache hit.  Decoding happens
+    first (and is itself cached); the block tier compiles *from* the
+    decoded program so both tiers agree on specialisation decisions.
+    """
+    fingerprint = _fingerprint(module)
+    cached = getattr(module, _BLOCK_ATTR, None)
+    if cached is not None and cached.fingerprint == fingerprint:
+        return cached, 0.0
+    start = time.perf_counter()
+    decoded, _ = decode_module(module)
+    program = BlockProgram(fingerprint)
+    for function, entry in decoded.functions.items():
+        code, source = _compile_function(function, entry, decoded.global_layout)
+        program.functions[function] = code
+        program.sources[function] = source
+    elapsed = time.perf_counter() - start
+    program.compile_seconds = elapsed
+    setattr(module, _BLOCK_ATTR, program)
+    _DECODED_MODULES.add(module)
+    return program, elapsed

@@ -61,6 +61,7 @@ from ..ir.module import Module
 from ..ir.types import ArrayType, I64, IntType, PointerType, StructType
 from ..ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
 from .allocator import OutOfMemoryError, SectionedHeap
+from .blockc import BLOCK_RET, block_compile
 from .cache import CacheModel
 from .decoder import DecodedBlock, compute_global_layout, decode_module
 from .errors import (
@@ -82,7 +83,7 @@ from .timing import DEFAULT_COSTS, TimingModel
 _MASK64 = (1 << 64) - 1
 
 #: Interpreter backends accepted by :class:`CPU`.
-INTERPRETERS = ("decoded", "reference")
+INTERPRETERS = ("decoded", "reference", "block")
 
 
 class DfiShadow:
@@ -111,7 +112,7 @@ class DfiShadow:
         if size == 1:
             self._map[address] = def_id
         else:
-            self._map.update(dict.fromkeys(range(address, address + size), def_id))
+            self._map.update(zip(range(address, address + size), repeat(def_id)))
 
     def check_range(
         self, address: int, size: int, allowed: frozenset
@@ -121,15 +122,38 @@ class DfiShadow:
         if size == 1:
             writer = get(address, DFI_EXTERNAL_WRITER)
             return None if writer in allowed else (address, writer)
-        end = address + size
-        writers = set(map(get, range(address, end), repeat(DFI_EXTERNAL_WRITER, size)))
-        if writers <= allowed:
-            return None
-        for byte_address in range(address, end):
+        for byte_address in range(address, address + size):
             writer = get(byte_address, DFI_EXTERNAL_WRITER)
             if writer not in allowed:
                 return byte_address, writer
-        return None  # pragma: no cover - unreachable
+        return None
+
+    def check_batch(
+        self, specs: tuple, frame: Dict[Value, int]
+    ) -> Optional[Tuple[int, int, int, frozenset]]:
+        """Check a run of same-block ``dfi.chkdef`` ops in one call.
+
+        ``specs`` is a tuple of ``(is_const, pointer, size, allowed)``
+        entries (pointer is a folded address or a frame key); the block
+        tier emits one batched call per run instead of one call per op.
+        Returns ``(index, address, writer, allowed)`` for the first
+        violating element, or ``None``.
+        """
+        get = self._map.get
+        index = 0
+        for constant, pointer, size, allowed in specs:
+            address = pointer if constant else frame[pointer]
+            if size == 1:
+                writer = get(address, DFI_EXTERNAL_WRITER)
+                if writer not in allowed:
+                    return index, address, writer, allowed
+            else:
+                for byte_address in range(address, address + size):
+                    writer = get(byte_address, DFI_EXTERNAL_WRITER)
+                    if writer not in allowed:
+                        return index, byte_address, writer, allowed
+            index += 1
+        return None
 
     # dict-like helpers kept for tests and debugging
     def get(self, address: int, default: int = DFI_EXTERNAL_WRITER) -> int:
@@ -239,6 +263,8 @@ class CPU:
         self.frames: List[Tuple[Function, Dict[Value, int]]] = []
         #: per-frame alloca name -> address index, parallel to ``frames``
         self.frame_slots: List[Dict[str, int]] = []
+        #: per-function frame layout plans (relative offsets), built lazily
+        self._frame_plans: Dict[Function, tuple] = {}
         self.dfi_shadow = DfiShadow()
         self.dfi_active = any(
             isinstance(inst, (DfiSetDef, DfiChkDef))
@@ -254,8 +280,16 @@ class CPU:
         self.interpreter = interpreter
         self.decode_seconds = 0.0
         self._decoded = None
+        self._block = None
         if interpreter == "decoded":
             self._decoded, self.decode_seconds = decode_module(module)
+        elif interpreter == "block":
+            # The block tier compiles from the decoded program and falls
+            # back to it whenever batched accounting cannot be trusted
+            # (non-default costs or issue width, step-limit crossings).
+            self._decoded, decode_seconds = decode_module(module)
+            self._block, compile_seconds = block_compile(module)
+            self.decode_seconds = decode_seconds + compile_seconds
         self._layout_globals()
 
     # -- setup -----------------------------------------------------------------
@@ -398,6 +432,16 @@ class CPU:
                 # in the simulated program recurses through here, and
                 # the simulated 256-frame stack limit must fire before
                 # Python's own recursion limit does.
+                block = self._block
+                if block is not None:
+                    timing = self.timing
+                    if (
+                        timing.issue_width == block.issue_width
+                        and timing.costs == DEFAULT_COSTS
+                    ):
+                        bentry = block.functions.get(function)
+                        if bentry is not None:
+                            return self._interpret_block(bentry, frame)
                 decoded = self._decoded
                 if decoded is not None:
                     entry = decoded.functions.get(function)
@@ -419,18 +463,25 @@ class CPU:
         to each other in memory.  Returns the name -> address index used
         by :meth:`stack_slot_address`.
         """
+        plan = self._frame_plans.get(function)
+        if plan is None:
+            offset = 0
+            rel: List[Tuple[Alloca, int]] = []
+            named: Dict[str, int] = {}
+            for alloca in function.allocas():
+                alignment = max(1, alloca.allocated_type.alignment)
+                offset = (offset + alignment - 1) // alignment * alignment
+                rel.append((alloca, offset))
+                if alloca.name not in named:
+                    named[alloca.name] = offset
+                offset += max(1, alloca.allocated_type.size)
+            plan = (tuple(rel), tuple(named.items()), (offset + 15) // 16 * 16)
+            self._frame_plans[function] = plan
         base = (self.stack_top + 15) // 16 * 16
-        offset = 0
-        slots: Dict[str, int] = {}
-        for alloca in function.allocas():
-            alignment = max(1, alloca.allocated_type.alignment)
-            offset = (offset + alignment - 1) // alignment * alignment
-            address = base + offset
-            frame[alloca] = address
-            if alloca.name not in slots:
-                slots[alloca.name] = address
-            offset += max(1, alloca.allocated_type.size)
-        self.stack_top = base + (offset + 15) // 16 * 16
+        for alloca, offset in plan[0]:
+            frame[alloca] = base + offset
+        slots = {name: base + offset for name, offset in plan[1]}
+        self.stack_top = base + plan[2]
         return slots
 
     def _call_external(self, function: Function, args: List[int]) -> Optional[int]:
@@ -450,10 +501,37 @@ class CPU:
                 return self._interpret_decoded(entry, frame)
         return self._interpret_reference(function, frame)
 
+    # -- block-compiled backend --------------------------------------------------
+
+    def _interpret_block(self, entry, frame: Dict[Value, int]) -> Optional[int]:
+        # Direct-threaded driver: each generated block function applies
+        # its own batched accounting *and* the phi routing of the edge
+        # it takes (the predecessor knows which edge that is), then
+        # returns the successor's pre-built (BlockCode, None) pair; this
+        # loop only guards the step limit and dispatches.  A block whose
+        # execution could cross the limit is delegated to the decoded
+        # loop -- with no ``previous``, since any pending phi edge has
+        # already been applied inline -- which raises StepLimitExceeded
+        # at exactly the right op.
+        timing = self.timing
+        counts = timing.opcode_counts
+        max_steps = self.max_steps
+        pair = entry.self_pair
+        while True:
+            code = pair[0]
+            if self.steps + code.nsteps > max_steps:
+                return self._interpret_decoded(code.dblock, frame)
+            pair = code.fn(self, frame, timing, counts)
+            if pair[0] is BLOCK_RET:
+                return pair[1]
+
     # -- decoded backend ---------------------------------------------------------
 
     def _interpret_decoded(
-        self, block: DecodedBlock, frame: Dict[Value, int]
+        self,
+        block: DecodedBlock,
+        frame: Dict[Value, int],
+        previous: Optional[DecodedBlock] = None,
     ) -> Optional[int]:
         # The per-step timing charge is inlined below: the same
         # arithmetic as TimingModel.charge, but against local mirrors of
@@ -473,7 +551,6 @@ class CPU:
         # while this timing model still uses the default table
         default_costs = timing.costs == DEFAULT_COSTS
         max_steps = self.max_steps
-        previous: Optional[DecodedBlock] = None
         steps = self.steps
         instructions = timing.instructions
         cheap = timing._cheap_run

@@ -210,7 +210,16 @@ def _make_store(inst: Store, layout: Dict[str, int]) -> Handler:
     return handler
 
 
-def _make_gep(inst: GetElementPtr, layout: Dict[str, int]) -> Handler:
+def _gep_plan(
+    inst: GetElementPtr, layout: Dict[str, int]
+) -> Optional[Tuple[bool, object, int, Tuple[Tuple[Value, int], ...]]]:
+    """Resolve a gep to ``(base_c, base_v, const_off, dyn_terms)``.
+
+    Shared by the decoded and block tiers so both make identical
+    specialisation decisions.  Returns ``None`` for a malformed gep
+    (the reference interpreter raises at runtime) and raises
+    ``_DecodeFallback`` for a dynamic struct index.
+    """
     base_c, base_v = _spec(inst.pointer, layout)
     pointee = inst.pointer.type.pointee  # type: ignore[union-attr]
     const_off = 0
@@ -240,11 +249,19 @@ def _make_gep(inst: GetElementPtr, layout: Dict[str, int]) -> Handler:
             const_off += current.field_offset(v)
             current = current.field_type(v)
         else:
-            # malformed gep: the reference interpreter raises at runtime
-            def handler(cpu, frame, inst=inst):
-                raise RuntimeError(f"malformed gep: {inst}")
+            return None
+    return base_c, base_v, const_off, tuple(dyn)
 
-            return handler
+
+def _make_gep(inst: GetElementPtr, layout: Dict[str, int]) -> Handler:
+    plan = _gep_plan(inst, layout)
+    if plan is None:
+        # malformed gep: the reference interpreter raises at runtime
+        def handler(cpu, frame, inst=inst):
+            raise RuntimeError(f"malformed gep: {inst}")
+
+        return handler
+    base_c, base_v, const_off, dyn = plan
 
     if not dyn:
         if base_c:
@@ -643,8 +660,13 @@ def _fingerprint(module: Module) -> tuple:
 #: would keep every decoded module alive for the life of the process.
 _DECODE_ATTR = "_decoded_program"
 
-#: Weak registry of modules carrying a cached decode, for whole-process
-#: invalidation.
+#: Every per-module execution cache dropped by invalidation: the decode
+#: itself plus the block compile layered on top of it (see
+#: :mod:`repro.hardware.blockc`).
+_CACHE_ATTRS = (_DECODE_ATTR, "_block_program")
+
+#: Weak registry of modules carrying a cached decode or block compile,
+#: for whole-process invalidation.
 _DECODED_MODULES: "WeakSet[Module]" = WeakSet()
 
 
@@ -681,8 +703,10 @@ def invalidate_decode_cache(module: Optional[Module] = None) -> None:
     """
     if module is None:
         for registered in list(_DECODED_MODULES):
-            registered.__dict__.pop(_DECODE_ATTR, None)
+            for attr in _CACHE_ATTRS:
+                registered.__dict__.pop(attr, None)
         _DECODED_MODULES.clear()
     else:
-        module.__dict__.pop(_DECODE_ATTR, None)
+        for attr in _CACHE_ATTRS:
+            module.__dict__.pop(attr, None)
         _DECODED_MODULES.discard(module)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from ..ir.types import FunctionType, I64, I8, PointerType, VOID, pointer
+from .timing import RNG_CALL_CYCLES
 
 if TYPE_CHECKING:  # pragma: no cover
     from .cpu import CPU
@@ -463,8 +464,6 @@ def _atoi(cpu: "CPU", args: Sequence[int]) -> int:
 @_register("pythia_random", FunctionType(I64, []))
 def _pythia_random(cpu: "CPU", args: Sequence[int]) -> int:
     """The canary RNG library call (one per (re-)randomisation)."""
-    from .timing import RNG_CALL_CYCLES
-
     cpu.timing.charge_cycles(RNG_CALL_CYCLES, "lib.pythia_random")
     return cpu.rng.next_canary()
 

@@ -21,9 +21,23 @@ raised for addresses outside any mapped segment.
 
 from __future__ import annotations
 
+from struct import Struct
 from typing import Dict, List, Optional, Tuple
 
 from .errors import ReproError
+
+# Pre-compiled codecs for the power-of-two access sizes the interpreter
+# issues: they pack/unpack against the segment bytearray in place, so
+# the hot load/store path allocates no intermediate ``bytes`` object.
+_U16 = Struct("<H")
+_U32 = Struct("<I")
+_U64 = Struct("<Q")
+_unpack_u16 = _U16.unpack_from
+_unpack_u32 = _U32.unpack_from
+_unpack_u64 = _U64.unpack_from
+_pack_u16 = _U16.pack_into
+_pack_u32 = _U32.pack_into
+_pack_u64 = _U64.pack_into
 
 GLOBAL_BASE = 0x01_0000_0000
 STACK_BASE = 0x02_0000_0000
@@ -136,26 +150,60 @@ class Memory:
         """
         self.reads += 1
         segment = self._window.get(address >> 32)
-        if segment is None or not segment.contains(address, size):
+        if segment is None:
             segment = self.segment_for(address, size, "read")
+        # Segment bases sit exactly on 4 GiB boundaries, so a window hit
+        # guarantees offset >= 0; only the upper bound needs checking.
         offset = address - segment.base
-        data = segment.data
         end = offset + size
+        if end > segment.capacity:
+            segment = self.segment_for(address, size, "read")
+            offset = address - segment.base
+            end = offset + size
+        data = segment.data
         if end > len(data):
             segment._ensure(end)
+        if size == 8:
+            return _unpack_u64(data, offset)[0]
+        if size == 4:
+            return _unpack_u32(data, offset)[0]
+        if size == 1:
+            return data[offset]
+        if size == 2:
+            return _unpack_u16(data, offset)[0]
         return int.from_bytes(data[offset:end], "little")
 
     def write_int(self, address: int, value: int, size: int) -> None:
         """Write a little-endian unsigned integer of ``size`` bytes."""
         self.writes += 1
         segment = self._window.get(address >> 32)
-        if segment is None or not segment.contains(address, size):
+        if segment is None:
             segment = self.segment_for(address, size, "write")
         offset = address - segment.base
-        data = segment.data
         end = offset + size
+        if end > segment.capacity:
+            segment = self.segment_for(address, size, "write")
+            offset = address - segment.base
+            end = offset + size
+        data = segment.data
         if end > len(data):
             segment._ensure(end)
+        if self.fault_hook is None:
+            # Fast path: pack straight into the segment bytearray.  The
+            # fault-hook path below keeps materialising a ``bytes``
+            # payload so chaos runs see the exact same write sites.
+            if size == 8:
+                _pack_u64(data, offset, value & 0xFFFFFFFFFFFFFFFF)
+                return
+            if size == 4:
+                _pack_u32(data, offset, value & 0xFFFFFFFF)
+                return
+            if size == 1:
+                data[offset] = value & 0xFF
+                return
+            if size == 2:
+                _pack_u16(data, offset, value & 0xFFFF)
+                return
         mask = (1 << (8 * size)) - 1
         payload = (value & mask).to_bytes(size, "little")
         if self.fault_hook is not None:
@@ -165,19 +213,28 @@ class Memory:
     # -- C string helpers ---------------------------------------------------------
 
     def read_cstring(self, address: int, limit: int = 1 << 16) -> bytes:
-        """Read a NUL-terminated string (without the terminator)."""
+        """Read a NUL-terminated string (without the terminator).
+
+        Scans the segment bytearray with ``find`` instead of reading one
+        byte at a time.  Bytes beyond the materialised data are zeros,
+        so the string implicitly terminates at the data's edge -- unless
+        that edge is the segment boundary, which faults exactly like the
+        byte-at-a-time walk did.
+        """
         segment = self.segment_for(address, 1, "read")
-        out = bytearray()
-        cursor = address
-        while len(out) < limit:
-            if not segment.contains(cursor, 1):
-                raise MemoryFault(cursor, 1, "read")
-            byte = segment.read(cursor, 1)[0]
-            if byte == 0:
-                return bytes(out)
-            out.append(byte)
-            cursor += 1
-        return bytes(out)
+        data = segment.data
+        start = address - segment.base
+        stop = min(len(data), start + limit, segment.capacity)
+        nul = data.find(0, start, stop)
+        if nul >= 0:
+            return bytes(data[start:nul])
+        scanned = stop - start
+        if scanned >= limit:
+            return bytes(data[start : start + limit])
+        if stop >= segment.capacity:
+            raise MemoryFault(segment.base + segment.capacity, 1, "read")
+        # Ran off the end of materialised data: implicit NUL there.
+        return bytes(data[start:stop])
 
     def write_cstring(self, address: int, text: bytes) -> None:
         """Write ``text`` followed by a NUL terminator."""

@@ -99,15 +99,14 @@ class PointerAuthentication:
 
     def __init__(self, seed: int = 0x5EED):
         self.keys: Dict[str, int] = {}
-        state = (seed * 0x2545F4914F6CDD1D + 0x9E3779B9) & _MASK64
-        for key_id in self.KEY_IDS:
-            lo = _mix(state, 0xA5A5A5A5A5A5A5A5)
-            hi = _mix(lo, 0xC3C3C3C3C3C3C3C3)
-            self.keys[key_id] = (hi << 64) | lo
-            state = hi
+        self._derive_keys(seed)
         self.sign_count = 0
         self.auth_count = 0
         self.auth_failures = 0
+        #: bumped whenever any key changes (:meth:`corrupt_key`,
+        #: :meth:`rekey`); part of the MAC memo key so a cached PAC can
+        #: never survive its key
+        self.key_epoch = 0
         #: optional fault injector (see :mod:`repro.robustness.faults`);
         #: when set, every signed value passes through
         #: ``fault_hook.on_pac_sign(self, signed, modifier, key_id)``
@@ -117,6 +116,14 @@ class PointerAuthentication:
         # already computed.  Bounded by the number of distinct signed
         # (pointer, modifier) pairs in one execution.
         self._pac_cache: Dict[tuple, int] = {}
+
+    def _derive_keys(self, seed: int) -> None:
+        state = (seed * 0x2545F4914F6CDD1D + 0x9E3779B9) & _MASK64
+        for key_id in self.KEY_IDS:
+            lo = _mix(state, 0xA5A5A5A5A5A5A5A5)
+            hi = _mix(lo, 0xC3C3C3C3C3C3C3C3)
+            self.keys[key_id] = (hi << 64) | lo
+            state = hi
 
     def _key(self, key_id: str) -> int:
         try:
@@ -131,13 +138,21 @@ class PointerAuthentication:
         MAC covers only the low address bits.
         """
         self.sign_count += 1
-        signed = (value & ADDR_MASK) | (self._pac(key_id, value, modifier) << VA_BITS)
+        # _pac flattened inline: sign/auth run once per protected memory
+        # access under the cpa scheme, so the extra call frame shows up.
+        cache_key = (key_id, value & ADDR_MASK, modifier & _MASK64, self.key_epoch)
+        pac = self._pac_cache.get(cache_key)
+        if pac is None:
+            pac = self._pac_cache[cache_key] = compute_pac(
+                self._key(key_id), value, modifier
+            )
+        signed = (value & ADDR_MASK) | (pac << VA_BITS)
         if self.fault_hook is not None:
             signed = self.fault_hook.on_pac_sign(self, signed, modifier, key_id)
         return signed
 
     def _pac(self, key_id: str, value: int, modifier: int) -> int:
-        cache_key = (key_id, value & ADDR_MASK, modifier & _MASK64)
+        cache_key = (key_id, value & ADDR_MASK, modifier & _MASK64, self.key_epoch)
         pac = self._pac_cache.get(cache_key)
         if pac is None:
             pac = self._pac_cache[cache_key] = compute_pac(
@@ -148,11 +163,23 @@ class PointerAuthentication:
     def corrupt_key(self, key_id: str, bit: int) -> None:
         """Flip one bit of a key (fault injection / chaos testing only).
 
-        The MAC memo is keyed on ``(key_id, value, modifier)`` and so
-        would keep returning PACs derived from the *old* key; it must be
-        dropped or a corrupted key would go unnoticed by ``auth``.
+        The MAC memo includes :attr:`key_epoch`, so bumping the epoch
+        invalidates every cached PAC derived from the old key; the dict
+        is also cleared so stale entries do not accumulate.
         """
         self.keys[key_id] = self._key(key_id) ^ (1 << (bit % 128))
+        self.key_epoch += 1
+        self._pac_cache.clear()
+
+    def rekey(self, seed: int) -> None:
+        """Re-derive all five keys from a fresh ``seed``.
+
+        Models a process-lifetime key rotation.  Bumps
+        :attr:`key_epoch` (and drops the MAC memo) so previously signed
+        pointers no longer authenticate.
+        """
+        self._derive_keys(seed)
+        self.key_epoch += 1
         self._pac_cache.clear()
 
     def auth(self, value: int, modifier: int, key_id: str = "da") -> int:
@@ -161,7 +188,12 @@ class PointerAuthentication:
         Raises :class:`PacAuthError` on mismatch.
         """
         self.auth_count += 1
-        expected = self._pac(key_id, value, modifier)
+        cache_key = (key_id, value & ADDR_MASK, modifier & _MASK64, self.key_epoch)
+        expected = self._pac_cache.get(cache_key)
+        if expected is None:
+            expected = self._pac_cache[cache_key] = compute_pac(
+                self._key(key_id), value, modifier
+            )
         embedded = (value >> VA_BITS) & ((1 << PAC_BITS) - 1)
         if embedded != expected:
             self.auth_failures += 1

@@ -21,6 +21,7 @@ ARM-PA directly leverages hardware support".
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -88,7 +89,9 @@ class TimingModel:
 
     cycles: float = 0.0
     instructions: int = 0
-    opcode_counts: Dict[str, int] = field(default_factory=dict)
+    #: a defaultdict so hot paths can use ``counts[op] += n`` without a
+    #: ``.get`` probe; ExecutionResult copies it into a plain dict
+    opcode_counts: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     #: single-cycle ops eligible for multi-issue this "window"
     _cheap_run: int = 0
 

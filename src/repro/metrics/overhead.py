@@ -97,15 +97,34 @@ class BenchmarkMeasurement:
         return self._run(scheme).execution.isolated_allocations
 
 
+#: (cache root, cache key) -> protected Module, already parsed.  Keys
+#: are content addresses, so a memoized module is exactly what parsing
+#: the (digest-verified) entry text would produce; reusing the object
+#: also carries over its attached decode/block caches, so warm runs
+#: skip re-decoding too.  Never consulted when the cache has a fault
+#: hook (chaos runs must see every deserialize).
+_PARSED_MODULES: Dict[tuple, Module] = {}
+_PARSED_MODULES_CAP = 128
+
+
+def _memo_module(cache, key: str, module: Module) -> Module:
+    if len(_PARSED_MODULES) >= _PARSED_MODULES_CAP:
+        _PARSED_MODULES.pop(next(iter(_PARSED_MODULES)))
+    _PARSED_MODULES[(cache.root, key)] = module
+    return module
+
+
 def _protect_schemes(module: Module, schemes: Sequence[str], cache):
     """Protect ``module`` under every scheme, through ``cache`` if given.
 
     Returns ``(results, hit_flags)``.  With a cache, the key is the
     printed *input* module plus each scheme's config; a full set of
     valid entries skips compilation entirely (entries carry the printed
-    protected module, re-parsed here).  On any miss the whole scheme
-    set is recompiled via the shared-analysis pipeline and the missing
-    entries are stored.
+    protected module, re-parsed here -- or served from the in-process
+    parsed-module memo, which is seeded on store so a warm run never
+    re-parses what this process just compiled).  On any miss the whole
+    scheme set is recompiled via the shared-analysis pipeline and the
+    missing entries are stored.
     """
     schemes = tuple(schemes)
     entries = None
@@ -113,6 +132,7 @@ def _protect_schemes(module: Module, schemes: Sequence[str], cache):
         from ..ir.parser import parse_module
         from ..ir.printer import print_module
 
+        use_memo = cache.fault_hook is None
         text = print_module(module)
         keys = {
             scheme: cache.key_for(text, DefenseConfig(scheme=scheme))
@@ -120,16 +140,21 @@ def _protect_schemes(module: Module, schemes: Sequence[str], cache):
         }
         entries = {scheme: cache.load(keys[scheme]) for scheme in schemes}
         if all(entry is not None for entry in entries.values()):
-            results = {
-                scheme: ProtectionResult(
-                    module=parse_module(entries[scheme]["module"]),
+            results = {}
+            for scheme in schemes:
+                key = keys[scheme]
+                parsed = _PARSED_MODULES.get((cache.root, key)) if use_memo else None
+                if parsed is None:
+                    parsed = parse_module(entries[scheme]["module"])
+                    if use_memo:
+                        _memo_module(cache, key, parsed)
+                results[scheme] = ProtectionResult(
+                    module=parsed,
                     scheme=scheme,
                     report=None,
                     pass_stats=entries[scheme]["pass_stats"],
                     timings=dict(entries[scheme].get("timings", {})),
                 )
-                for scheme in schemes
-            }
             return results, {scheme: True for scheme in schemes}
 
     results = protect_all(module, schemes=schemes)
@@ -144,6 +169,8 @@ def _protect_schemes(module: Module, schemes: Sequence[str], cache):
                 results[scheme].pass_stats,
                 results[scheme].timings,
             )
+            if cache.fault_hook is None and not cache.disabled:
+                _memo_module(cache, keys[scheme], results[scheme].module)
     return results, {scheme: entries[scheme] is not None for scheme in schemes}
 
 

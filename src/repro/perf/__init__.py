@@ -6,11 +6,17 @@ from .runner import (
     SuiteError,
     SuiteResult,
     TaskFailure,
+    plan_jobs,
     run_suite,
     run_tasks,
     summarize_measurement,
 )
-from .trajectory import append_entry, load_entries
+from .trajectory import (
+    append_entry,
+    block_throughput,
+    check_block_regression,
+    load_entries,
+)
 
 __all__ = [
     "ProgramSummary",
@@ -18,6 +24,9 @@ __all__ = [
     "SuiteError",
     "SuiteResult",
     "TaskFailure",
+    "block_throughput",
+    "check_block_regression",
+    "plan_jobs",
     "run_suite",
     "run_tasks",
     "summarize_measurement",

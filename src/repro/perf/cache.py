@@ -38,10 +38,13 @@ import json
 import logging
 import os
 import tempfile
-from typing import Any, Dict, Optional
+from functools import lru_cache
+from typing import Any, Dict, Optional, Tuple
 
 #: Bump to invalidate every existing cache entry (key prefix).
-CACHE_FORMAT = "repro-compile-cache-v1"
+#: v2: keys hash a memoized digest of the module text instead of
+#: re-hashing the full text once per scheme.
+CACHE_FORMAT = "repro-compile-cache-v2"
 
 logger = logging.getLogger(__name__)
 
@@ -70,10 +73,21 @@ def config_token(config: Any) -> str:
     return json.dumps(dataclasses.asdict(config), sort_keys=True)
 
 
+@lru_cache(maxsize=64)
+def _text_digest(module_text: str) -> str:
+    """Digest of one printed module, memoized.
+
+    A measurement computes one key per scheme over the *same* module
+    text; memoizing the text's digest makes those repeat keyings hash a
+    64-char digest instead of the whole printed module each time.
+    """
+    return hashlib.sha256(module_text.encode("utf-8")).hexdigest()
+
+
 def compute_key(module_text: str, scheme: str, token: str) -> str:
     """The content address of one (module, scheme, config) compilation."""
     digest = hashlib.sha256()
-    for part in (CACHE_FORMAT, scheme, token, module_text):
+    for part in (CACHE_FORMAT, scheme, token, _text_digest(module_text)):
         digest.update(part.encode("utf-8"))
         digest.update(b"\0")
     return digest.hexdigest()
@@ -82,6 +96,14 @@ def compute_key(module_text: str, scheme: str, token: str) -> str:
 def _payload_digest(payload: Dict[str, Any]) -> str:
     canonical = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+#: (root, key) -> (digest of the raw entry text, verified payload).
+#: Re-loading an unchanged entry skips the JSON deserialize and the
+#: canonical-payload re-hash; the raw-text digest still covers every
+#: byte on disk, so tampering since the first load is still a miss.
+_LOAD_MEMO: Dict[Tuple[str, str], Tuple[str, Dict[str, Any]]] = {}
+_LOAD_MEMO_CAP = 256
 
 
 class CompilationCache:
@@ -128,15 +150,24 @@ class CompilationCache:
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
+                text = handle.read()
         except FileNotFoundError:
-            self.stats.misses += 1
-            return None
-        except ValueError:
             self.stats.misses += 1
             return None
         except OSError as exc:
             self._degrade("read", exc)
+            self.stats.misses += 1
+            return None
+        memo_key = (self.root, key)
+        if self.fault_hook is None:
+            text_digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            memo = _LOAD_MEMO.get(memo_key)
+            if memo is not None and memo[0] == text_digest:
+                self.stats.hits += 1
+                return memo[1]
+        try:
+            entry = json.loads(text)
+        except ValueError:
             self.stats.misses += 1
             return None
         if self.fault_hook is not None:
@@ -151,6 +182,10 @@ class CompilationCache:
             self.stats.corrupt += 1
             self.stats.misses += 1
             return None
+        if self.fault_hook is None:
+            if len(_LOAD_MEMO) >= _LOAD_MEMO_CAP:
+                _LOAD_MEMO.pop(next(iter(_LOAD_MEMO)))
+            _LOAD_MEMO[memo_key] = (text_digest, payload)
         self.stats.hits += 1
         return payload
 

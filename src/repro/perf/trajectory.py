@@ -12,8 +12,9 @@ envelope so unrelated tools (CI, plots) can parse the file blindly.
 from __future__ import annotations
 
 import json
+import math
 import os
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Sequence
 
 
 def load_entries(path: str) -> List[Dict[str, Any]]:
@@ -36,3 +37,54 @@ def append_entry(path: str, entry: Dict[str, Any]) -> List[Dict[str, Any]]:
         json.dump({"entries": entries}, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return entries
+
+
+def block_throughput(entry: Dict[str, Any]) -> Optional[float]:
+    """Geomean block-tier steps/s across an entry's schemes.
+
+    Returns ``None`` for entries without block-tier data (written
+    before the block interpreter existed, or by other benchmarks).
+    """
+    schemes = entry.get("schemes")
+    if not isinstance(schemes, dict):
+        return None
+    rates = [
+        scheme.get("block_steps_per_second")
+        for scheme in schemes.values()
+        if isinstance(scheme, dict)
+    ]
+    rates = [rate for rate in rates if isinstance(rate, (int, float)) and rate > 0]
+    if not rates:
+        return None
+    return math.exp(sum(math.log(rate) for rate in rates) / len(rates))
+
+
+def check_block_regression(
+    entries: Sequence[Dict[str, Any]],
+    entry: Dict[str, Any],
+    tolerance: float = 0.10,
+) -> Optional[str]:
+    """Compare ``entry``'s block throughput to the trajectory's last one.
+
+    Returns a human-readable failure message when the new entry's
+    geomean block-tier steps/s falls more than ``tolerance`` below the
+    most recent prior entry that has block data, and ``None`` when there
+    is no regression (or nothing to compare against).
+    """
+    current = block_throughput(entry)
+    if current is None:
+        return None
+    baseline = None
+    for previous in reversed(entries):
+        baseline = block_throughput(previous)
+        if baseline is not None:
+            break
+    if baseline is None:
+        return None
+    if current < baseline * (1.0 - tolerance):
+        return (
+            f"block tier regressed: {current:,.0f} steps/s vs "
+            f"{baseline:,.0f} baseline ({current / baseline - 1.0:+.1%}, "
+            f"tolerance -{tolerance:.0%})"
+        )
+    return None

@@ -253,3 +253,74 @@ class TestCounters:
         CPU(listing1_module, attack=Probe()).run(inputs=[b"x"])
         assert seen["str"] is not None and seen["user"] is not None
         assert seen["user"] - seen["str"] == 16  # adjacent arrays
+
+
+class TestDfiShadow:
+    """The bulk range/batch operations on the DFI definitions table."""
+
+    def _shadow(self):
+        from repro.hardware.cpu import DFI_EXTERNAL_WRITER, DfiShadow
+
+        return DfiShadow(), DFI_EXTERNAL_WRITER
+
+    def test_set_range_covers_every_byte(self):
+        shadow, _ = self._shadow()
+        shadow.set_range(0x1000, 8, def_id=3)
+        assert len(shadow) == 8
+        for offset in range(8):
+            assert shadow[0x1000 + offset] == 3
+
+    def test_check_range_reports_first_violating_byte(self):
+        shadow, external = self._shadow()
+        shadow.set_range(0x1000, 8, def_id=3)
+        shadow.set_range(0x1004, 2, def_id=9)
+        allowed = frozenset({3})
+        assert shadow.check_range(0x1000, 4, allowed) is None
+        assert shadow.check_range(0x1000, 8, allowed) == (0x1004, 9)
+        # Untouched bytes read as the external writer.
+        assert shadow.check_range(0x2000, 1, allowed) == (0x2000, external)
+
+    def test_check_batch_mixes_const_and_frame_pointers(self):
+        shadow, _ = self._shadow()
+        shadow.set_range(0x1000, 8, def_id=3)
+        shadow.set_range(0x2000, 4, def_id=5)
+        frame = {"p": 0x2000}
+        allowed3 = frozenset({3})
+        allowed5 = frozenset({5})
+        specs = (
+            (True, 0x1000, 8, allowed3),
+            (False, "p", 4, allowed5),
+        )
+        assert shadow.check_batch(specs, frame) is None
+        # Poison one byte in the middle of the second run: the batch
+        # reports the element index and the exact violating byte.
+        shadow[0x2002] = 7
+        assert shadow.check_batch(specs, frame) == (1, 0x2002, 7, allowed5)
+
+    def test_check_batch_stops_at_first_violation(self):
+        shadow, external = self._shadow()
+        allowed = frozenset({1})
+        specs = (
+            (True, 0x1000, 1, allowed),
+            (True, 0x2000, 1, allowed),
+        )
+        assert shadow.check_batch(specs, {}) == (0, 0x1000, external, allowed)
+
+    def test_set_range_fault_hook_exempts_external_writer(self):
+        shadow, external = self._shadow()
+
+        class Hook:
+            def __init__(self):
+                self.calls = []
+
+            def on_dfi_setdef(self, address, size, def_id):
+                self.calls.append((address, size, def_id))
+                return def_id + 100
+
+        hook = Hook()
+        shadow.fault_hook = hook
+        shadow.set_range(0x1000, 2, def_id=3)
+        shadow.set_range(0x2000, 2, def_id=external)
+        assert hook.calls == [(0x1000, 2, 3)]
+        assert shadow[0x1000] == 103
+        assert shadow[0x2000] == external

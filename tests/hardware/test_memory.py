@@ -100,3 +100,85 @@ class TestCStrings:
     def test_limit(self, mem):
         mem.write_bytes(STACK_BASE, b"x" * 64)
         assert len(mem.read_cstring(STACK_BASE, limit=16)) == 16
+
+
+class TestIntFastPaths:
+    """The struct-codec int paths must behave exactly like the general
+    byte-string path -- including near segment boundaries and under a
+    fault hook (which forces the payload-materialising slow path)."""
+
+    def test_all_codec_sizes_roundtrip(self, mem):
+        for size in (1, 2, 4, 8):
+            value = (0x0123456789ABCDEF >> (8 * (8 - size))) & ((1 << (8 * size)) - 1)
+            mem.write_int(STACK_BASE + 128, value, size)
+            assert mem.read_int(STACK_BASE + 128, size) == value
+            assert mem.read_bytes(STACK_BASE + 128, size) == value.to_bytes(
+                size, "little"
+            )
+
+    def test_odd_size_uses_generic_path(self, mem):
+        mem.write_int(STACK_BASE, 0x010203, 3)
+        assert mem.read_int(STACK_BASE, 3) == 0x010203
+        assert mem.read_bytes(STACK_BASE, 3) == b"\x03\x02\x01"
+
+    def test_write_past_capacity_faults(self):
+        mem = Memory(segment_size=64)
+        with pytest.raises(MemoryFault):
+            mem.write_int(STACK_BASE + 60, 1, 8)
+        with pytest.raises(MemoryFault):
+            mem.read_int(STACK_BASE + 60, 8)
+
+    def test_last_full_word_before_capacity(self):
+        mem = Memory(segment_size=64)
+        mem.write_int(STACK_BASE + 56, 0xDEADBEEFCAFEF00D, 8)
+        assert mem.read_int(STACK_BASE + 56, 8) == 0xDEADBEEFCAFEF00D
+
+    def test_fault_hook_sees_codec_sized_writes(self, mem):
+        class Recorder:
+            def __init__(self):
+                self.writes = []
+
+            def on_memory_write(self, address, payload):
+                self.writes.append((address, payload))
+                return payload
+
+        hook = Recorder()
+        mem.fault_hook = hook
+        mem.write_int(STACK_BASE, 0xAABBCCDD, 4)
+        # The hook path materialises the exact little-endian payload the
+        # fast path would have packed in place.
+        assert hook.writes == [(STACK_BASE, b"\xdd\xcc\xbb\xaa")]
+        assert mem.read_int(STACK_BASE, 4) == 0xAABBCCDD
+
+    def test_fault_hook_transform_is_honoured(self, mem):
+        class Flipper:
+            def on_memory_write(self, address, payload):
+                return bytes(b ^ 0xFF for b in payload)
+
+        mem.fault_hook = Flipper()
+        mem.write_int(STACK_BASE, 0x00000000, 4)
+        mem.fault_hook = None
+        assert mem.read_int(STACK_BASE, 4) == 0xFFFFFFFF
+
+
+class TestCStringEdges:
+    def test_implicit_nul_at_data_edge(self, mem):
+        # No NUL inside the materialised bytes: the unmaterialised tail
+        # is all zeros, so the string terminates at the data's edge.
+        mem.write_bytes(GLOBAL_BASE, b"abc")
+        assert mem.read_cstring(GLOBAL_BASE) == b"abc"
+
+    def test_limit_exactly_at_nul(self, mem):
+        mem.write_cstring(STACK_BASE, b"abcd")
+        assert mem.read_cstring(STACK_BASE, limit=4) == b"abcd"
+
+    def test_unterminated_at_capacity_faults(self):
+        mem = Memory(segment_size=64)
+        mem.write_bytes(STACK_BASE + 56, b"\xff" * 8)
+        with pytest.raises(MemoryFault):
+            mem.read_cstring(STACK_BASE + 56)
+
+    def test_limit_stops_before_capacity_fault(self):
+        mem = Memory(segment_size=64)
+        mem.write_bytes(STACK_BASE + 56, b"\xff" * 8)
+        assert mem.read_cstring(STACK_BASE + 56, limit=8) == b"\xff" * 8

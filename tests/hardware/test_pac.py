@@ -134,3 +134,49 @@ class TestPacProperties:
         if a == b:
             c = compute_pac(pa.keys["da"], value ^ 2, modifier)
             assert a != c or value & 3 == 3  # extremely unlikely double collision
+
+
+class TestKeyEpoch:
+    """The MAC memo is keyed on ``key_epoch`` so no cached PAC can
+    outlive the key that produced it."""
+
+    def test_rekey_invalidates_old_signatures(self, pa):
+        signed = pa.sign(0x1000, 7)
+        assert pa.auth(signed, 7) == 0x1000
+        pa.rekey(seed=4242)
+        assert pa.key_epoch == 1
+        with pytest.raises(PacAuthError):
+            pa.auth(signed, 7)
+
+    def test_rekey_with_same_seed_rederives_same_keys(self, pa):
+        signed = pa.sign(0x1000, 7)
+        pa.rekey(seed=42)
+        # Same seed, same keys: the epoch bump must not change the MAC
+        # itself, only force it to be recomputed.
+        assert pa.key_epoch == 1
+        assert pa.auth(signed, 7) == 0x1000
+
+    def test_corrupt_key_drops_the_memo(self, pa):
+        signed = pa.sign(0x2000, 9)
+        assert pa._pac_cache
+        pa.corrupt_key("da", bit=5)
+        assert pa.key_epoch == 1
+        assert not pa._pac_cache
+        with pytest.raises(PacAuthError):
+            pa.auth(signed, 9)
+
+    def test_memoized_auth_matches_fresh_auth(self, pa):
+        # First sign populates the memo; the auth must hit it and still
+        # agree with a fresh authority that never cached anything.
+        signed = pa.sign(0x3000, 11)
+        assert pa.auth(signed, 11) == 0x3000
+        fresh = PointerAuthentication(seed=42)
+        assert fresh.auth(signed, 11) == 0x3000
+
+    def test_repeat_signs_reuse_the_memo(self, pa):
+        first = pa.sign(0x4000, 13)
+        before = dict(pa._pac_cache)
+        second = pa.sign(0x4000, 13)
+        assert first == second
+        assert pa._pac_cache == before
+        assert pa.sign_count == 2

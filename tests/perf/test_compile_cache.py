@@ -234,3 +234,78 @@ def test_missing_entry_is_a_plain_miss_not_a_degrade(tmp_path):
     assert not cache.disabled
     assert cache.stats.io_errors == 0
     assert cache.stats.misses == 1
+
+
+# -- the warm-load memo: fast, but never a tamper loophole ---------------------
+
+
+def test_reload_of_unchanged_entry_serves_the_memo(tmp_path):
+    cache = CompilationCache(str(tmp_path))
+    config = DefenseConfig(scheme="pythia")
+    key = cache.key_for("memo module", config)
+    cache.store(key, "pythia", "define i64 @main() { ret 0 }", {})
+    first = cache.load(key)
+    second = cache.load(key)
+    # The raw-text digest matched, so the second load skipped the JSON
+    # deserialize and returned the identical verified payload object.
+    assert second is first
+    assert cache.stats.hits == 2
+
+
+def test_tamper_after_first_load_is_still_rejected(tmp_path):
+    cache = CompilationCache(str(tmp_path))
+    config = DefenseConfig(scheme="pythia")
+    key = cache.key_for("tamper-after-load module", config)
+    cache.store(key, "pythia", "define i64 @main() { ret 0 }", {})
+    assert cache.load(key) is not None
+    path = entry_files(tmp_path)[0]
+    with open(path, "r", encoding="utf-8") as handle:
+        entry = json.load(handle)
+    entry["payload"]["module"] = "define i64 @main() { ret 666 }"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entry, handle)
+    # The memo is keyed on the digest of the raw file text, so any
+    # on-disk change since the first load misses it and falls through
+    # to full digest validation -- which rejects the entry.
+    assert cache.load(key) is None
+    assert cache.stats.corrupt == 1
+
+
+def test_fault_hook_bypasses_the_memo(tmp_path):
+    class CountingHook:
+        def __init__(self):
+            self.loads = 0
+
+        def on_cache_load(self, key, entry):
+            self.loads += 1
+            return entry
+
+        def on_cache_store(self, key, text):
+            return text
+
+    hook = CountingHook()
+    cache = CompilationCache(str(tmp_path), fault_hook=hook)
+    config = DefenseConfig(scheme="pythia")
+    key = cache.key_for("hooked module", config)
+    cache.store(key, "pythia", "define i64 @main() { ret 0 }", {})
+    assert cache.load(key) is not None
+    assert cache.load(key) is not None
+    # Chaos runs must observe every deserialize, so both loads went
+    # through the hook instead of the memo.
+    assert hook.loads == 2
+
+
+def test_warm_measurement_reuses_the_parsed_module(tmp_path):
+    from repro.metrics import measure_program
+
+    program = generate_program(get_profile(NAME))
+    schemes = ("vanilla", "pythia")
+    cold = measure_program(program, schemes=schemes, cache_dir=str(tmp_path))
+    warm = measure_program(program, schemes=schemes, cache_dir=str(tmp_path))
+    for scheme in schemes:
+        assert not cold.runs[scheme].cache_hit
+        assert warm.runs[scheme].cache_hit
+        # The store seeded the in-process parsed-module memo, so the
+        # warm run skipped parse_module entirely and got the exact
+        # module object the cold run compiled.
+        assert warm.runs[scheme].protection.module is cold.runs[scheme].protection.module

@@ -7,7 +7,15 @@ import json
 import pytest
 
 from repro.metrics import measure_program
-from repro.perf import append_entry, load_entries, run_suite, summarize_measurement
+from repro.perf import (
+    append_entry,
+    block_throughput,
+    check_block_regression,
+    load_entries,
+    plan_jobs,
+    run_suite,
+    summarize_measurement,
+)
 from repro.workloads import generate_program, get_profile
 
 NAMES = ["505.mcf_r", "519.lbm_r"]
@@ -102,3 +110,95 @@ def test_trajectory_rejects_bad_envelope(tmp_path):
     path.write_text('{"entries": 42}')
     with pytest.raises(ValueError, match="entries"):
         load_entries(str(path))
+
+
+# -- fan-out planning: degrade instead of forking without parallelism ----------
+
+
+def test_plan_jobs_serial_is_untouched():
+    assert plan_jobs(1, 8) == (1, None)
+
+
+def test_plan_jobs_clamps_to_task_count():
+    effective, reason = plan_jobs(4, 1)
+    assert effective == 1
+    assert "nothing to overlap" in reason
+
+
+def test_plan_jobs_zero_tasks_keeps_requested_jobs_valid():
+    # run_tasks([]) is a no-op either way; the plan must not emit 0.
+    effective, reason = plan_jobs(1, 0)
+    assert effective == 1
+    assert reason is None
+
+
+def test_plan_jobs_clamps_to_cpu_count(monkeypatch):
+    monkeypatch.setattr("repro.perf.runner.os.cpu_count", lambda: 1)
+    effective, reason = plan_jobs(2, 8)
+    assert effective == 1
+    assert "1 CPU(s)" in reason and "degraded to 1" in reason
+
+
+def test_plan_jobs_keeps_parallelism_when_cpus_allow(monkeypatch):
+    monkeypatch.setattr("repro.perf.runner.os.cpu_count", lambda: 16)
+    assert plan_jobs(2, 8) == (2, None)
+
+
+def test_suite_records_degrade_decision(monkeypatch):
+    monkeypatch.setattr("repro.perf.runner.os.cpu_count", lambda: 1)
+    result = run_suite(names=[NAMES[0]], jobs=2)
+    assert result.jobs == 2
+    assert result.jobs_effective == 1
+    assert result.degraded is not None
+    manifest = result.failure_manifest()
+    assert manifest["jobs"] == 2
+    assert manifest["jobs_effective"] == 1
+    assert manifest["degraded"] == result.degraded
+
+
+def test_suite_without_degrade_records_none(serial_suite):
+    assert serial_suite.jobs_effective == 1
+    assert serial_suite.degraded is None
+    assert serial_suite.failure_manifest()["degraded"] is None
+
+
+# -- block-tier regression tracking --------------------------------------------
+
+
+def _entry(rate):
+    return {
+        "schemes": {
+            "vanilla": {"block_steps_per_second": rate},
+            "pythia": {"block_steps_per_second": rate * 4},
+        }
+    }
+
+
+def test_block_throughput_is_the_scheme_geomean():
+    assert block_throughput(_entry(1000.0)) == pytest.approx(2000.0)
+
+
+def test_block_throughput_none_without_block_data():
+    assert block_throughput({"schemes": {"vanilla": {"steps_per_second": 5.0}}}) is None
+    assert block_throughput({"label": "other-bench"}) is None
+
+
+def test_regression_within_tolerance_passes():
+    baseline = [_entry(1000.0)]
+    assert check_block_regression(baseline, _entry(950.0)) is None
+    assert check_block_regression(baseline, _entry(1200.0)) is None
+
+
+def test_regression_beyond_tolerance_fails():
+    message = check_block_regression([_entry(1000.0)], _entry(800.0))
+    assert message is not None
+    assert "block tier regressed" in message
+
+
+def test_regression_skips_entries_without_block_data():
+    # The comparison reaches past legacy (pre-block) entries to the
+    # last one that actually has block throughput.
+    entries = [_entry(1000.0), {"label": "legacy"}]
+    assert check_block_regression(entries, _entry(800.0)) is not None
+    assert check_block_regression([{"label": "legacy"}], _entry(800.0)) is None
+    assert check_block_regression([], _entry(800.0)) is None
