@@ -43,7 +43,7 @@ if _SRC not in sys.path:
 from repro.core.config import SCHEMES
 from repro.core.framework import protect
 from repro.hardware import CPU, block_compile, decode_module, invalidate_decode_cache
-from repro.perf import append_entry, check_block_regression, load_entries, run_suite
+from repro.perf import append_entry, check_block_regression_file, run_suite
 from repro.workloads import generate_program, get_profile, profile_names
 
 #: Architectural counters that must match between backends exactly.
@@ -239,10 +239,11 @@ def main(argv=None) -> int:
 
     regression = None
     if args.max_block_regression >= 0:
-        baseline = load_entries(args.baseline or args.out)
-        regression = check_block_regression(
-            baseline, entry, tolerance=args.max_block_regression
+        regression, skip_note = check_block_regression_file(
+            args.baseline or args.out, entry, tolerance=args.max_block_regression
         )
+        if skip_note is not None:
+            print(skip_note)
 
     append_entry(args.out, entry)
     print(f"appended trajectory entry to {args.out}")

@@ -9,7 +9,13 @@ Subcommands:
 ``bench``     run one generated benchmark under every scheme
 ``suite``     measure many benchmarks, optionally across worker processes
 ``chaos``     inject a fault plan and assert the defense contract
+``profile``   execute a program under the profiler, print hot spots
 ``scenarios`` list the built-in attack scenarios
+
+``run``, ``bench``, ``suite``, and ``chaos`` accept ``--trace-out FILE``
+(a Chrome-trace / Perfetto JSON of the command's spans) and
+``--metrics-out FILE`` (the ``repro-metrics-v1`` counters snapshot);
+see :mod:`repro.observability`.
 
 Failures exit with a one-line ``repro: error:`` diagnostic and a
 distinct code per failure layer (see :data:`EXIT_CODES`) -- never a
@@ -37,6 +43,18 @@ from .hardware import CPU, INTERPRETERS
 from .hardware.errors import ReproError
 from .ir import print_module
 from .ir.verifier import VerificationError
+from .observability import (
+    ExecutionProfiler,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    format_report,
+    get_metrics,
+    publish_execution,
+    reset_metrics,
+    write_metrics,
+    write_trace,
+)
 from .transforms import Mem2Reg
 from .workloads import generate_program, get_profile, profile_names
 
@@ -79,14 +97,24 @@ def cmd_run(args: argparse.Namespace) -> int:
     config = DefenseConfig(scheme=args.scheme, protect_fields=args.fields)
     protected = protect(module, config=config)
     if args.timings:
-        total = sum(protected.timings.values())
-        for phase, seconds in sorted(
-            protected.timings.items(), key=lambda item: -item[1]
-        ):
+        # Read the phases back from the metrics snapshot rather than
+        # ``protected.timings``: both views are fed by the same
+        # ``phase_span`` clock readings, so stderr and ``--metrics-out``
+        # can never disagree.
+        prefix = "compile.phase."
+        phases = {
+            name[len(prefix):]: stats["sum"]
+            for name, stats in get_metrics().snapshot()["histograms"].items()
+            if name.startswith(prefix)
+        }
+        total = sum(phases.values())
+        for phase, seconds in sorted(phases.items(), key=lambda item: -item[1]):
             print(f"[timing] {phase:24s} {seconds * 1e3:8.2f}ms", file=sys.stderr)
         print(f"[timing] {'total':24s} {total * 1e3:8.2f}ms", file=sys.stderr)
     cpu = CPU(protected.module, seed=args.seed, interpreter=args.interpreter)
-    result = cpu.run(inputs=_parse_inputs(args.input))
+    with current_tracer().span(f"execute:{args.scheme}", "exec"):
+        result = cpu.run(inputs=_parse_inputs(args.input))
+    publish_execution(get_metrics(), result, scheme=args.scheme)
     sys.stdout.write(result.output.decode("utf-8", "replace"))
     print(
         f"[{args.scheme}] status={result.status} return={result.return_value} "
@@ -149,9 +177,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"{args.benchmark}: {module.instruction_count()} IR instructions")
     for scheme in SCHEMES:
         protected = protect(module, scheme=scheme)
-        result = CPU(
-            protected.module, seed=args.seed, interpreter=args.interpreter
-        ).run(inputs=list(program.inputs))
+        with current_tracer().span(f"execute:{scheme}", "exec", benchmark=args.benchmark):
+            result = CPU(
+                protected.module, seed=args.seed, interpreter=args.interpreter
+            ).run(inputs=list(program.inputs))
+        publish_execution(get_metrics(), result, scheme=scheme)
         if not result.ok:
             print(f"  {scheme:8s} FAILED: {result.status}")
             return 2
@@ -267,6 +297,23 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    module = compile_source(_read_source(args.source), name=args.name)
+    protected = protect(module, scheme=args.scheme)
+    profiler = ExecutionProfiler()
+    cpu = CPU(
+        protected.module,
+        seed=args.seed,
+        interpreter=args.interpreter or "block",
+        profiler=profiler,
+    )
+    result = cpu.run(inputs=_parse_inputs(args.input))
+    sys.stdout.write(result.output.decode("utf-8", "replace"))
+    for line in format_report(profiler.report(result, top=args.top)):
+        print(line)
+    return 0 if result.ok else 2
+
+
 def cmd_scenarios(args: argparse.Namespace) -> int:
     for name, scenario in build_scenarios().items():
         detected = ",".join(scenario.detected_by) or "-"
@@ -276,6 +323,21 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
 
 
 # -- parser ---------------------------------------------------------------
+
+
+def _add_observability_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome-trace / Perfetto JSON of this command's spans",
+    )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the repro-metrics-v1 counters snapshot as JSON",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -311,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-phase compile timings to stderr",
     )
+    _add_observability_args(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("analyze", help="print the vulnerability analysis")
@@ -332,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="CPU backend (default: pre-decoded dispatch)",
     )
+    _add_observability_args(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -390,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the completion/quarantine manifest as JSON",
     )
+    _add_observability_args(p)
     p.set_defaults(func=cmd_suite)
 
     p = sub.add_parser(
@@ -423,7 +488,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the full chaos manifest (cases, violations, triage) as JSON",
     )
+    _add_observability_args(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "profile", help="execute under the profiler and print hot spots"
+    )
+    p.add_argument("source")
+    p.add_argument("--name", default="module")
+    p.add_argument("--scheme", choices=SCHEMES, default="pythia")
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument(
+        "--input", action="append", help="queue a benign input line (repeatable)"
+    )
+    p.add_argument(
+        "--interpreter",
+        choices=INTERPRETERS,
+        default=None,
+        help="CPU backend (default: block, the fastest tier)",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="rows per hot-spot table (default: 10)",
+    )
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("scenarios", help="list the built-in attack scenarios")
     p.set_defaults(func=cmd_scenarios)
@@ -442,8 +532,7 @@ def _fail(exc: BaseException, code: int) -> int:
     return code
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     try:
         return args.func(args)
     except _FRONTEND_ERRORS as exc:
@@ -456,3 +545,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _fail(exc, EXIT_CODES["io"])
     except OSError as exc:
         return _fail(exc, EXIT_CODES["io"])
+
+
+def _export_observability(
+    trace_out: Optional[str], metrics_out: Optional[str]
+) -> int:
+    """Write ``--trace-out`` / ``--metrics-out`` files; 0 on success.
+
+    Runs even when the command itself failed, so a crashing suite still
+    leaves its partial trace and counters behind for triage.
+    """
+    try:
+        if trace_out:
+            write_trace(trace_out, current_tracer().events)
+            print(f"trace written to {trace_out}", file=sys.stderr)
+        if metrics_out:
+            write_metrics(metrics_out, get_metrics().snapshot())
+            print(f"metrics written to {metrics_out}", file=sys.stderr)
+    except OSError as exc:
+        return _fail(exc, EXIT_CODES["io"])
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    reset_metrics()
+    if trace_out:
+        enable_tracing()
+    try:
+        code = _dispatch(args)
+        export_code = _export_observability(trace_out, metrics_out)
+        return code if code != 0 else export_code
+    finally:
+        disable_tracing()

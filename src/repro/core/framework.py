@@ -15,7 +15,6 @@ oracle in the test suite.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Dict, Optional
@@ -28,6 +27,7 @@ from ..ir.module import Module
 from ..ir.parser import parse_module
 from ..ir.printer import print_module
 from ..ir.verifier import VerificationError, verify_module
+from ..observability import phase_span
 from ..transforms.cpa import CompletePointerAuthentication
 from ..transforms.dfi import DataFlowIntegrityPass
 from ..transforms.field_protect import FieldProtectionPass
@@ -156,17 +156,14 @@ def protect(
 
     if not prepared:
         if config.verify:
-            start = time.perf_counter()
-            verify_module(target)
-            timings["verify"] = time.perf_counter() - start
-        if config.run_mem2reg:
-            start = time.perf_counter()
-            Mem2Reg().run(target)
-            timings["mem2reg"] = time.perf_counter() - start
-            if config.verify:
-                start = time.perf_counter()
+            with phase_span("verify", timings):
                 verify_module(target)
-                timings["verify"] += time.perf_counter() - start
+        if config.run_mem2reg:
+            with phase_span("mem2reg", timings):
+                Mem2Reg().run(target)
+            if config.verify:
+                with phase_span("verify", timings):
+                    verify_module(target)
             # mem2reg runs outside the PassManager, so drop any stale
             # pre-decoded program and cached analyses explicitly
             invalidate_decode_cache(target)
@@ -178,9 +175,8 @@ def protect(
         )
 
     if report is None:
-        start = time.perf_counter()
-        report = VulnerabilityAnalysis(target).analyze()
-        timings["analysis"] = time.perf_counter() - start
+        with phase_span("analysis", timings):
+            report = VulnerabilityAnalysis(target).analyze()
     passes = _build_passes(config, report)
 
     # The incoming module was verified above (or by the prepared
@@ -251,24 +247,20 @@ def protect_all(
 
     prep_timings: Dict[str, float] = {}
     prepared = module if consume else clone_module(module)
-    start = time.perf_counter()
-    verify_module(prepared)
-    prep_timings["verify"] = time.perf_counter() - start
-    start = time.perf_counter()
-    Mem2Reg().run(prepared)
-    prep_timings["mem2reg"] = time.perf_counter() - start
-    start = time.perf_counter()
-    verify_module(prepared)
-    prep_timings["verify"] += time.perf_counter() - start
+    with phase_span("verify", prep_timings):
+        verify_module(prepared)
+    with phase_span("mem2reg", prep_timings):
+        Mem2Reg().run(prepared)
+    with phase_span("verify", prep_timings):
+        verify_module(prepared)
     invalidate_decode_cache(prepared)
     invalidate_analyses(prepared)
 
     needs_analysis = any(scheme != "vanilla" for scheme in schemes)
     report = None
     if needs_analysis:
-        start = time.perf_counter()
-        report = get_manager().vulnerability_report(prepared)
-        prep_timings["analysis"] = time.perf_counter() - start
+        with phase_span("analysis", prep_timings):
+            report = get_manager().vulnerability_report(prepared)
 
     results: Dict[str, ProtectionResult] = {}
     for scheme in schemes:
@@ -281,9 +273,9 @@ def protect_all(
             )
             continue
         target, vmap = prepared.clone(value_map=True)
-        start = time.perf_counter()
-        remapped = remap_report(report, vmap)
-        remap_seconds = time.perf_counter() - start
+        remap_timings: Dict[str, float] = {}
+        with phase_span("remap", remap_timings):
+            remapped = remap_report(report, vmap)
         result = protect(
             target,
             config=DefenseConfig(scheme=scheme),
@@ -291,6 +283,6 @@ def protect_all(
             report=remapped,
             prepared=True,
         )
-        result.timings["remap"] = remap_seconds
+        result.timings["remap"] = remap_timings["remap"]
         results[scheme] = result
     return results

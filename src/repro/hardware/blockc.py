@@ -112,9 +112,9 @@ _BLOCK_ATTR = "_block_program"
 class BlockCode:
     """One basic block compiled to a fused function."""
 
-    __slots__ = ("fn", "dblock", "nsteps", "meta", "self_pair")
+    __slots__ = ("fn", "dblock", "nsteps", "meta", "self_pair", "label")
 
-    def __init__(self, dblock: DecodedBlock, nsteps: int):
+    def __init__(self, dblock: DecodedBlock, nsteps: int, label: str = ""):
         self.fn = None
         #: the decoded twin, for step-limit delegation
         self.dblock = dblock
@@ -123,6 +123,8 @@ class BlockCode:
         self.meta: Optional["_BlockMeta"] = None
         #: the ``(self, None)`` pair terminators and entries hand the driver
         self.self_pair = (self, None)
+        #: ``function:block`` tag the profiled block driver attributes to
+        self.label = label
 
 
 class BlockProgram:
@@ -960,7 +962,9 @@ def _compile_function(
     codes: Dict[int, BlockCode] = {}
     for dblock in order:
         nsteps = len(dblock.ops) + (0 if dblock.term[0] == "fall" else 1)
-        codes[id(dblock)] = BlockCode(dblock, nsteps)
+        codes[id(dblock)] = BlockCode(
+            dblock, nsteps, f"{function.name}:{dblock.source.name}"
+        )
 
     gen = _FnGen(f"<blockc:{function.name}>")
     gen.lines.append("def _make_blocks(_C):")

@@ -23,6 +23,13 @@ Two interpreter backends execute the same semantics:
 
 Select with ``CPU(..., interpreter="reference")`` or the
 ``REPRO_INTERPRETER`` environment variable.
+
+Passing ``profiler=ExecutionProfiler()`` attributes retired steps and
+cycles per function (all tiers; counter deltas read once per dynamic
+call) and per basic block (block tier only, one delta per block
+execution).  The ``profiler is None`` check sits in :meth:`_call` and
+in the block-driver selection -- never inside a per-instruction loop --
+so an unprofiled run keeps the block tier's throughput.
 """
 
 from __future__ import annotations
@@ -241,8 +248,11 @@ class CPU:
         heap_capacity: int = 8 * 1024 * 1024,
         cache: Optional[CacheModel] = None,
         interpreter: Optional[str] = None,
+        profiler: Optional[object] = None,
     ):
         self.module = module
+        #: optional :class:`repro.observability.ExecutionProfiler`
+        self.profiler = profiler
         self.memory = Memory()
         self.pac = PointerAuthentication(seed)
         self.rng = CanaryRng(seed ^ 0xCA11A57)
@@ -390,6 +400,17 @@ class CPU:
         except ProgramExit as exc:
             return_value = exc.code
         wall = time.perf_counter() - start
+        if trap is not None:
+            # Trap-only instrumentation: nothing here runs on the hot
+            # ok path.  Imported lazily so the hardware layer has no
+            # module-level dependency on observability.
+            from ..observability import current_tracer
+
+            current_tracer().instant(
+                f"trap.{status}", "exec", detail=str(trap)
+            )
+            if self.profiler is not None:
+                self.profiler.trap(status, str(trap))
         return ExecutionResult(
             status=status,
             return_value=return_value,
@@ -421,6 +442,9 @@ class CPU:
             self.call_depth -= 1
             raise MemoryFault(self.stack_top, 0, "stack overflow")
         saved_top = self.stack_top
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.enter(function.name, self.steps, self.timing.cycles)
         try:
             frame: Dict[Value, int] = {}
             for argument, value in zip(function.args, args):
@@ -441,6 +465,10 @@ class CPU:
                     ):
                         bentry = block.functions.get(function)
                         if bentry is not None:
+                            if profiler is not None:
+                                return self._interpret_block_profiled(
+                                    bentry, frame
+                                )
                             return self._interpret_block(bentry, frame)
                 decoded = self._decoded
                 if decoded is not None:
@@ -454,6 +482,8 @@ class CPU:
         finally:
             self.stack_top = saved_top
             self.call_depth -= 1
+            if profiler is not None:
+                profiler.exit(self.steps, self.timing.cycles)
 
     def _layout_frame(self, function: Function, frame: Dict[Value, int]) -> Dict[str, int]:
         """Assign frame addresses to allocas in *program order*.
@@ -522,6 +552,29 @@ class CPU:
             if self.steps + code.nsteps > max_steps:
                 return self._interpret_decoded(code.dblock, frame)
             pair = code.fn(self, frame, timing, counts)
+            if pair[0] is BLOCK_RET:
+                return pair[1]
+
+    def _interpret_block_profiled(self, entry, frame: Dict[Value, int]) -> Optional[int]:
+        # The profiled twin of _interpret_block: identical dispatch, but
+        # the architectural counters are read around each generated
+        # block function and the delta attributed to that block -- still
+        # one batched attribution per block execution, never per op.  A
+        # block containing a call attributes the callee's retirement
+        # inclusively (the callee's own blocks are attributed too).
+        timing = self.timing
+        counts = timing.opcode_counts
+        max_steps = self.max_steps
+        block_hook = self.profiler.block
+        pair = entry.self_pair
+        while True:
+            code = pair[0]
+            if self.steps + code.nsteps > max_steps:
+                return self._interpret_decoded(code.dblock, frame)
+            steps0 = self.steps
+            cycles0 = timing.cycles
+            pair = code.fn(self, frame, timing, counts)
+            block_hook(code.label, self.steps - steps0, timing.cycles - cycles0)
             if pair[0] is BLOCK_RET:
                 return pair[1]
 

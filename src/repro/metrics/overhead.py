@@ -16,6 +16,7 @@ from ..core.config import DefenseConfig, SCHEMES
 from ..core.framework import ProtectionResult, protect_all
 from ..hardware.cpu import CPU, ExecutionResult
 from ..ir.module import Module
+from ..observability import current_tracer, get_metrics, publish_execution
 from ..workloads.generator import GeneratedProgram
 
 
@@ -197,12 +198,17 @@ def measure_module(
         from ..perf.cache import CompilationCache
 
         cache = CompilationCache(cache_dir)
-    protections, hit_flags = _protect_schemes(module, schemes, cache)
+    tracer = current_tracer()
+    metrics = get_metrics()
+    with tracer.span(f"compile:{name}", "compile", schemes=",".join(schemes)):
+        protections, hit_flags = _protect_schemes(module, schemes, cache)
     measurement = BenchmarkMeasurement(name=name)
     for scheme in schemes:
         protection = protections[scheme]
         cpu = CPU(protection.module, seed=seed, interpreter=interpreter)
-        execution = cpu.run(inputs=list(inputs or []))
+        with tracer.span(f"execute:{scheme}", "exec", benchmark=name):
+            execution = cpu.run(inputs=list(inputs or []))
+        publish_execution(metrics, execution, scheme=scheme)
         if not execution.ok:
             raise RuntimeError(
                 f"{name}/{scheme}: benign execution failed "

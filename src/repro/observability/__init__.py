@@ -1,0 +1,156 @@
+"""Unified tracing, metrics, and profiling (`repro.observability`).
+
+One subsystem replaces the repo's bespoke reporting paths:
+
+- :mod:`repro.observability.trace` -- nested spans + instants with a
+  Chrome trace-event / Perfetto JSON exporter (``--trace-out``);
+- :mod:`repro.observability.metrics` -- counters / gauges / histograms
+  with one snapshot schema (``--metrics-out``, suite manifests, CI);
+- :mod:`repro.observability.profile` -- per-function / per-block
+  step-and-cycle attribution over the interpreter tiers
+  (``python -m repro profile``).
+
+The module keeps one process-global tracer and one process-global
+metrics registry.  Tracing defaults to :data:`NULL_TRACER` (disabled,
+near-zero cost); metrics collection is always on because its call
+sites sit on compile/measure boundaries, and "disabled" just means the
+snapshot is never exported.  Suite workers install fresh local
+instances per task so parent-side merging never double-counts
+(see ``perf/runner.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from .metrics import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    publish_execution,
+    validate_snapshot,
+    write_metrics,
+)
+from .profile import PROFILE_SCHEMA, ExecutionProfiler, format_report
+from .trace import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    NullTracer,
+    Tracer,
+    chrome_trace,
+    write_trace,
+)
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "PROFILE_SCHEMA",
+    "TRACE_SCHEMA",
+    "ExecutionProfiler",
+    "MetricsRegistry",
+    "NullTracer",
+    "NULL_TRACER",
+    "Tracer",
+    "chrome_trace",
+    "current_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "format_report",
+    "get_metrics",
+    "install_metrics",
+    "install_tracer",
+    "phase_span",
+    "publish_execution",
+    "reset_metrics",
+    "validate_snapshot",
+    "write_metrics",
+    "write_trace",
+]
+
+_tracer: "Tracer | NullTracer" = NULL_TRACER
+_metrics = MetricsRegistry()
+
+
+def current_tracer() -> "Tracer | NullTracer":
+    """The process-global tracer (:data:`NULL_TRACER` when disabled)."""
+    return _tracer
+
+
+def install_tracer(tracer: "Tracer | NullTracer") -> "Tracer | NullTracer":
+    """Swap in ``tracer`` globally; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+def enable_tracing(process_name: str = "repro") -> Tracer:
+    """Install (and return) a fresh live tracer."""
+    tracer = Tracer(process_name)
+    install_tracer(tracer)
+    return tracer
+
+
+def disable_tracing() -> None:
+    """Return to the no-op tracer."""
+    install_tracer(NULL_TRACER)
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _metrics
+
+
+def install_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap in ``registry`` globally; returns the previous one."""
+    global _metrics
+    previous = _metrics
+    _metrics = registry
+    return previous
+
+
+def reset_metrics() -> MetricsRegistry:
+    """Install (and return) an empty registry."""
+    return_value = MetricsRegistry()
+    install_metrics(return_value)
+    return return_value
+
+
+class phase_span:
+    """Time one pipeline phase into *both* a timings dict and the trace.
+
+    The clock is read exactly once at entry and once at exit, and the
+    same delta feeds ``timings[key]``, the ``compile.phase.<name>``
+    histogram, and the emitted span -- which is what lets ``--timings``
+    stderr output and ``--metrics-out`` JSON never disagree (they are
+    two views of one measurement).  ``key`` defaults to ``name`` but
+    may differ: ``PassManager.timings`` keys bare pass names while the
+    span (and the metric) is named ``pass:<name>``, matching the keys
+    :class:`repro.core.framework.ProtectionResult.timings` reports.
+    """
+
+    __slots__ = ("name", "timings", "key", "category", "_start")
+
+    def __init__(
+        self,
+        name: str,
+        timings: Optional[Dict[str, float]] = None,
+        key: Optional[str] = None,
+        category: str = "compile",
+    ):
+        self.name = name
+        self.timings = timings
+        self.key = key if key is not None else name
+        self.category = category
+        self._start = 0
+
+    def __enter__(self) -> "phase_span":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration_ns = time.perf_counter_ns() - self._start
+        seconds = duration_ns / 1e9
+        if self.timings is not None:
+            self.timings[self.key] = self.timings.get(self.key, 0.0) + seconds
+        _metrics.observe(f"compile.phase.{self.name}", seconds)
+        _tracer.add_complete(self.name, self.category, self._start, duration_ns)

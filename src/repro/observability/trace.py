@@ -1,0 +1,213 @@
+"""Nested-span tracing with a Chrome trace-event / Perfetto exporter.
+
+One :class:`Tracer` collects **spans** (timed regions: compile phases,
+per-scheme executions, suite tasks) and **instants** (point events:
+cache hits, fault sites, traps) for one process.  Spans nest through a
+context-manager API; timestamps come from :func:`time.perf_counter_ns`
+(monotonic, immune to wall-clock steps) and every event carries the
+recording process and thread id, so traces gathered in suite worker
+processes merge into one coherent timeline (fork shares the monotonic
+epoch on the platforms this repo targets).
+
+The disabled path is the common one and must cost nearly nothing: the
+process-global tracer defaults to :data:`NULL_TRACER`, whose ``span``
+returns one shared no-op context manager -- entering a span when
+tracing is off is two trivial method calls and allocates nothing.
+
+Export is the Chrome trace-event JSON array format (wrapped in a
+``traceEvents`` object), loadable directly in Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing``:
+
+- spans become complete events (``"ph": "X"``) with microsecond
+  ``ts``/``dur``;
+- instants become ``"ph": "i"`` events with process scope;
+- per-process metadata events (``"ph": "M"``) name each process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Top-level schema tag stamped into exported trace files (the
+#: observability checker and CI validate against it).
+TRACE_SCHEMA = "repro-trace-v1"
+
+
+class Span:
+    """One open span; records itself on the tracer when exited."""
+
+    __slots__ = ("_tracer", "name", "category", "args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, args):
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.args = args
+        self._start = 0
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.perf_counter_ns()
+        self._tracer.add_complete(
+            self.name, self.category, self._start, end - self._start, self.args
+        )
+
+
+class _NullSpan:
+    """The shared no-op span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects trace events for one process.
+
+    Events are stored as plain dicts in Chrome trace-event shape (with
+    nanosecond ``ts``/``dur``; the exporter converts to microseconds),
+    so worker processes can pickle them back verbatim and
+    :func:`chrome_trace` needs no per-event translation beyond units.
+    """
+
+    enabled = True
+
+    def __init__(self, process_name: str = "repro"):
+        self.process_name = process_name
+        self.pid = os.getpid()
+        self.events: List[Dict[str, Any]] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, category: str = "repro", **args) -> Span:
+        """A context manager timing one nested region."""
+        return Span(self, name, category, args or None)
+
+    def add_complete(
+        self,
+        name: str,
+        category: str,
+        start_ns: int,
+        duration_ns: int,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record one finished span (used by :class:`Span` and by the
+        phase helper, which measures once and feeds both the timings
+        dict and the trace)."""
+        event = {
+            "name": name,
+            "cat": category,
+            "ph": "X",
+            "ts": start_ns,
+            "dur": duration_ns,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if args:
+            event["args"] = dict(args)
+        self.events.append(event)
+
+    def instant(self, name: str, category: str = "repro", **args) -> None:
+        """Record one point event (cache hit, fault site, trap)."""
+        event = {
+            "name": name,
+            "cat": category,
+            "ph": "i",
+            "s": "p",
+            "ts": time.perf_counter_ns(),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if args:
+            event["args"] = dict(args)
+        self.events.append(event)
+
+    # -- merging -----------------------------------------------------------
+
+    def adopt(self, events: Sequence[Dict[str, Any]]) -> None:
+        """Merge events recorded by another tracer (a worker process)."""
+        self.events.extend(events)
+
+
+class NullTracer:
+    """Tracing turned off: every operation is a near-free no-op."""
+
+    enabled = False
+    events: List[Dict[str, Any]] = []
+
+    def span(self, name: str, category: str = "repro", **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add_complete(self, name, category, start_ns, duration_ns, args=None) -> None:
+        return None
+
+    def instant(self, name: str, category: str = "repro", **args) -> None:
+        return None
+
+    def adopt(self, events) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+def chrome_trace(
+    events: Sequence[Dict[str, Any]], process_names: Optional[Dict[int, str]] = None
+) -> Dict[str, Any]:
+    """Convert recorded events to a Chrome trace-event JSON object.
+
+    Timestamps are rebased to the earliest event and converted from
+    nanoseconds to the microseconds the format specifies.  Process
+    metadata events name each pid (``repro[<pid>]`` by default) so
+    Perfetto groups worker tracks legibly.
+    """
+    base = min((event["ts"] for event in events), default=0)
+    out: List[Dict[str, Any]] = []
+    pids = sorted({event["pid"] for event in events})
+    for pid in pids:
+        name = (process_names or {}).get(pid, f"repro[{pid}]")
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    for event in events:
+        converted = dict(event)
+        converted["ts"] = (event["ts"] - base) / 1000.0
+        if "dur" in converted:
+            converted["dur"] = converted["dur"] / 1000.0
+        out.append(converted)
+    return {
+        "schema": TRACE_SCHEMA,
+        "displayTimeUnit": "ms",
+        "traceEvents": out,
+    }
+
+
+def write_trace(
+    path: str,
+    events: Sequence[Dict[str, Any]],
+    process_names: Optional[Dict[int, str]] = None,
+) -> None:
+    """Write ``events`` as a Chrome-trace JSON file at ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(events, process_names), handle, indent=2)
+        handle.write("\n")

@@ -15,7 +15,9 @@ from .trajectory import (
     append_entry,
     block_throughput,
     check_block_regression,
+    check_block_regression_file,
     load_entries,
+    safe_load_entries,
 )
 
 __all__ = [
@@ -26,7 +28,9 @@ __all__ = [
     "TaskFailure",
     "block_throughput",
     "check_block_regression",
+    "check_block_regression_file",
     "plan_jobs",
+    "safe_load_entries",
     "run_suite",
     "run_tasks",
     "summarize_measurement",

@@ -25,9 +25,15 @@ lookup misses and every later store is a no-op.  An optional
 ``fault_hook`` (see :mod:`repro.robustness.faults`) lets chaos runs
 inject exactly those failures plus corrupted/truncated entries.
 
-This module is deliberately dependency-free (stdlib only): callers in
+This module is deliberately light on dependencies (stdlib plus the
+stdlib-only :mod:`repro.observability`): callers in
 :mod:`repro.metrics.overhead` import it lazily to keep the metrics
-layer importable without dragging in the perf package.
+layer importable without dragging in the perf package.  Every lookup
+outcome is published twice -- into the per-instance :class:`CacheStats`
+(the legacy per-run view) and into the global metrics registry /
+tracer as ``cache.*`` counters and instant events, which is how suite
+manifests keep the final statistics even after an instance degrades to
+cache-off.
 """
 
 from __future__ import annotations
@@ -40,6 +46,8 @@ import os
 import tempfile
 from functools import lru_cache
 from typing import Any, Dict, Optional, Tuple
+
+from ..observability import current_tracer, get_metrics
 
 #: Bump to invalidate every existing cache entry (key prefix).
 #: v2: keys hash a memoized digest of the module text instead of
@@ -122,9 +130,19 @@ class CompilationCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], f"{key}.json")
 
+    def _miss(self) -> None:
+        self.stats.misses += 1
+        get_metrics().inc("cache.misses")
+
     def _degrade(self, operation: str, exc: OSError) -> None:
         """Demote to cache-off after an I/O failure, warning once."""
         self.stats.io_errors += 1
+        metrics = get_metrics()
+        metrics.inc("cache.io_errors")
+        metrics.set_gauge("cache.degraded", 1)
+        current_tracer().instant(
+            "cache.io_error", "cache", operation=operation, error=str(exc)
+        )
         if not self.disabled:
             self.disabled = True
             logger.warning(
@@ -145,18 +163,19 @@ class CompilationCache:
         module), ``pass_stats``, and ``timings`` keys.
         """
         if self.disabled:
-            self.stats.misses += 1
+            self._miss()
             return None
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 text = handle.read()
         except FileNotFoundError:
-            self.stats.misses += 1
+            self._miss()
+            current_tracer().instant("cache.miss", "cache", key=key[:12])
             return None
         except OSError as exc:
             self._degrade("read", exc)
-            self.stats.misses += 1
+            self._miss()
             return None
         memo_key = (self.root, key)
         if self.fault_hook is None:
@@ -164,11 +183,14 @@ class CompilationCache:
             memo = _LOAD_MEMO.get(memo_key)
             if memo is not None and memo[0] == text_digest:
                 self.stats.hits += 1
+                get_metrics().inc("cache.hits")
+                current_tracer().instant("cache.hit", "cache", key=key[:12])
                 return memo[1]
         try:
             entry = json.loads(text)
         except ValueError:
-            self.stats.misses += 1
+            self._miss()
+            current_tracer().instant("cache.miss", "cache", key=key[:12], reason="unparsable")
             return None
         if self.fault_hook is not None:
             entry = self.fault_hook.on_cache_load(key, entry)
@@ -180,13 +202,17 @@ class CompilationCache:
             or entry.get("digest") != _payload_digest(payload)
         ):
             self.stats.corrupt += 1
-            self.stats.misses += 1
+            get_metrics().inc("cache.corrupt")
+            self._miss()
+            current_tracer().instant("cache.corrupt", "cache", key=key[:12])
             return None
         if self.fault_hook is None:
             if len(_LOAD_MEMO) >= _LOAD_MEMO_CAP:
                 _LOAD_MEMO.pop(next(iter(_LOAD_MEMO)))
             _LOAD_MEMO[memo_key] = (text_digest, payload)
         self.stats.hits += 1
+        get_metrics().inc("cache.hits")
+        current_tracer().instant("cache.hit", "cache", key=key[:12])
         return payload
 
     def store(
@@ -237,3 +263,5 @@ class CompilationCache:
             self._degrade("write", exc)
             return
         self.stats.stores += 1
+        get_metrics().inc("cache.stores")
+        current_tracer().instant("cache.store", "cache", key=key[:12])

@@ -38,6 +38,14 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.config import SCHEMES
 from ..hardware.errors import ReproError
 from ..metrics.overhead import BenchmarkMeasurement, measure_program, mean
+from ..observability import (
+    MetricsRegistry,
+    Tracer,
+    current_tracer,
+    get_metrics,
+    install_metrics,
+    install_tracer,
+)
 from ..robustness.triage import crash_fingerprint, fingerprint_from_frames
 from ..workloads.generator import generate_program
 from ..workloads.profiles import get_profile, profile_names
@@ -146,6 +154,16 @@ class SuiteResult:
     #: quarantined tasks by name (empty unless ``keep_going`` saved a
     #: partially failing run)
     failures: Dict[str, TaskFailure] = field(default_factory=dict)
+    #: merged metrics snapshot (schema ``repro-metrics-v1``): every
+    #: completed worker's counters/gauges/histograms folded together
+    #: plus the suite-level ``suite.*`` entries.  Survives cache
+    #: degradation -- the final cache.* counters land here even when
+    #: the cache turned itself off mid-run.
+    metrics: Optional[Dict[str, Any]] = None
+    #: trace events merged from every worker (empty unless the suite
+    #: ran with tracing enabled); Chrome-trace-shaped dicts with ns
+    #: timestamps, exported via ``repro.observability.write_trace``
+    trace_events: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def quarantined(self) -> List[str]:
@@ -164,6 +182,7 @@ class SuiteResult:
             "failures": [
                 self.failures[name].to_dict() for name in self.quarantined
             ],
+            "metrics": self.metrics,
         }
 
     @property
@@ -246,25 +265,47 @@ def summarize_measurement(
     )
 
 
-def _measure_one(
-    task: Tuple[str, Tuple[str, ...], int, Optional[str], Optional[str]]
-) -> ProgramSummary:
+def _measure_one(task: Tuple) -> Tuple[ProgramSummary, Dict[str, Any]]:
     """Worker entry point: regenerate one benchmark and measure it.
 
     Module-level (and tuple-argumented) so it pickles under the default
     process-pool start methods.
+
+    Returns ``(summary, telemetry)``: the telemetry dict carries the
+    attempt's metrics snapshot and (when the suite traces) its span
+    events.  A **fresh** local tracer and metrics registry are
+    installed for the attempt and restored afterwards -- forked workers
+    inherit the parent's globals and inline (``jobs=1``) workers *are*
+    the parent process, so recording into the inherited objects would
+    double-count once the parent merges the returned telemetry.
     """
-    name, schemes, seed, interpreter, cache_dir = task
-    start = time.perf_counter()
-    program = generate_program(get_profile(name))
-    measurement = measure_program(
-        program,
-        schemes=schemes,
-        seed=seed,
-        interpreter=interpreter,
-        cache_dir=cache_dir,
-    )
-    return summarize_measurement(measurement, time.perf_counter() - start)
+    name, schemes, seed, interpreter, cache_dir = task[:5]
+    trace = bool(task[5]) if len(task) > 5 else False
+    registry = MetricsRegistry()
+    previous_metrics = install_metrics(registry)
+    previous_tracer = install_tracer(Tracer(f"task:{name}")) if trace else None
+    try:
+        tracer = current_tracer()
+        start = time.perf_counter()
+        with tracer.span(f"task:{name}", "suite"):
+            program = generate_program(get_profile(name))
+            measurement = measure_program(
+                program,
+                schemes=schemes,
+                seed=seed,
+                interpreter=interpreter,
+                cache_dir=cache_dir,
+            )
+        summary = summarize_measurement(measurement, time.perf_counter() - start)
+        telemetry = {
+            "metrics": registry.snapshot(),
+            "events": list(tracer.events) if trace else [],
+        }
+        return summary, telemetry
+    finally:
+        install_metrics(previous_metrics)
+        if previous_tracer is not None:
+            install_tracer(previous_tracer)
 
 
 def plan_jobs(
@@ -618,8 +659,9 @@ def run_suite(
     if names is None:
         names = profile_names()
     names = list(names)
+    trace = current_tracer().enabled
     tasks = [
-        (name, (name, tuple(schemes), seed, interpreter, cache_dir))
+        (name, (name, tuple(schemes), seed, interpreter, cache_dir, trace))
         for name in names
     ]
     effective, degraded = plan_jobs(jobs, len(tasks), timeout)
@@ -634,8 +676,32 @@ def run_suite(
         seed=seed,
     )
     wall = time.perf_counter() - start
+
+    # Merge worker telemetry: span events into the parent tracer (one
+    # coherent timeline -- fork shares the monotonic epoch) and metrics
+    # snapshots into one suite-level aggregate, which is also folded
+    # into the process-global registry for ``--metrics-out``.
+    tracer = current_tracer()
+    aggregate = MetricsRegistry()
+    programs: Dict[str, ProgramSummary] = {}
+    trace_events: List[Dict[str, Any]] = []
+    for name in names:
+        if name not in results:
+            continue
+        summary, telemetry = results[name]
+        programs[name] = summary
+        aggregate.merge_snapshot(telemetry["metrics"])
+        if telemetry["events"]:
+            tracer.adopt(telemetry["events"])
+            trace_events.extend(telemetry["events"])
+    aggregate.inc("suite.tasks_completed", len(programs))
+    aggregate.inc("suite.tasks_quarantined", len(failures))
+    aggregate.set_gauge("suite.jobs_effective", effective)
+    snapshot = aggregate.snapshot()
+    get_metrics().merge_snapshot(snapshot)
+
     return SuiteResult(
-        programs={name: results[name] for name in names if name in results},
+        programs=programs,
         schemes=tuple(schemes),
         jobs=jobs,
         jobs_effective=effective,
@@ -644,4 +710,6 @@ def run_suite(
         wall_seconds=wall,
         cache_dir=cache_dir,
         failures=failures,
+        metrics=snapshot,
+        trace_events=trace_events,
     )

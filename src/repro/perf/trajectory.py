@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 import math
 import os
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 
 def load_entries(path: str) -> List[Dict[str, Any]]:
@@ -27,6 +27,20 @@ def load_entries(path: str) -> List[Dict[str, Any]]:
     if not isinstance(entries, list):
         raise ValueError(f"{path}: 'entries' must be a list")
     return entries
+
+
+def safe_load_entries(path: str) -> Optional[List[Dict[str, Any]]]:
+    """Read the trajectory entries, tolerating a corrupt file too.
+
+    Returns ``None`` when the file exists but cannot be parsed (broken
+    JSON, wrong envelope shape, unreadable).  :func:`load_entries` stays
+    strict on purpose: the *append* path must crash rather than quietly
+    rewrite a corrupt trajectory with only the new entry.
+    """
+    try:
+        return load_entries(path)
+    except (OSError, ValueError):
+        return None
 
 
 def append_entry(path: str, entry: Dict[str, Any]) -> List[Dict[str, Any]]:
@@ -88,3 +102,31 @@ def check_block_regression(
             f"tolerance -{tolerance:.0%})"
         )
     return None
+
+
+def check_block_regression_file(
+    path: str,
+    entry: Dict[str, Any],
+    tolerance: float = 0.10,
+) -> Tuple[Optional[str], Optional[str]]:
+    """Gate ``entry`` against the trajectory at ``path``, never crashing.
+
+    Returns ``(failure, skip_note)``.  ``failure`` is the regression
+    message from :func:`check_block_regression` (``None`` when the
+    check passed).  When no comparison is possible -- the file is
+    missing, empty, corrupt, or no entry on either side carries
+    block-tier fields -- the check is *skipped* and ``skip_note`` says
+    why; a fresh checkout must not fail its first benchmark run over an
+    absent baseline.
+    """
+    skip = "no baseline, skipping block-regression check"
+    entries = safe_load_entries(path)
+    if entries is None:
+        return None, f"{skip} ({path}: unreadable or corrupt)"
+    if not entries:
+        return None, f"{skip} ({path}: missing or empty)"
+    if block_throughput(entry) is None:
+        return None, f"{skip} (new entry lacks block-tier fields)"
+    if all(block_throughput(previous) is None for previous in entries):
+        return None, f"{skip} ({path}: no prior entry has block-tier fields)"
+    return check_block_regression(entries, entry, tolerance), None

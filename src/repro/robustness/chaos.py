@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.framework import protect
 from ..hardware.cpu import CPU
 from ..ir.printer import print_module
+from ..observability import current_tracer, get_metrics
 from ..perf.cache import CompilationCache
 from ..workloads.generator import generate_program
 from ..workloads.profiles import get_profile
@@ -349,24 +350,34 @@ def run_chaos(
         print_module(protections["pythia"].module) if cache_specs else ""
     )
 
+    tracer = current_tracer()
+    metrics = get_metrics()
     for index, spec in enumerate(plan.specs):
-        if spec.kind in CACHE_KINDS:
-            with tempfile.TemporaryDirectory(prefix="repro-chaos-cache-") as root:
-                case, crash = _run_cache_case(
-                    index, spec, plan, module_text, protected_text, root
+        with tracer.span(f"chaos:{spec.kind}", "chaos", index=index):
+            if spec.kind in CACHE_KINDS:
+                with tempfile.TemporaryDirectory(
+                    prefix="repro-chaos-cache-"
+                ) as root:
+                    case, crash = _run_cache_case(
+                        index, spec, plan, module_text, protected_text, root
+                    )
+            else:
+                scheme = EXECUTION_SCHEME[spec.kind]
+                case, crash = _run_execution_case(
+                    index,
+                    spec,
+                    plan,
+                    protections[scheme].module,
+                    baselines[scheme],
+                    program.inputs,
+                    seed,
+                    interpreter,
                 )
-        else:
-            scheme = EXECUTION_SCHEME[spec.kind]
-            case, crash = _run_execution_case(
-                index,
-                spec,
-                plan,
-                protections[scheme].module,
-                baselines[scheme],
-                program.inputs,
-                seed,
-                interpreter,
-            )
+            for event in case.events:
+                tracer.instant("fault", "chaos", kind=spec.kind, site=event)
+        metrics.inc("chaos.cases")
+        metrics.inc("chaos.faults_fired", len(case.events))
+        metrics.inc(f"chaos.classification.{case.classification}")
         report.cases.append(case)
         if crash is not None:
             report.crashes.append(crash)

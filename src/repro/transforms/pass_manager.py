@@ -15,16 +15,19 @@ not verified twice in a row.
 ``run`` records wall time per pass in :attr:`timings` (verification
 time is accumulated separately under ``"verify"``), and invalidates
 both the pre-decoded execution program and the cached module analyses
-once the pipeline has mutated the module.
+once the pipeline has mutated the module.  Each phase is measured via
+:class:`repro.observability.phase_span`, so the same clock reading
+feeds :attr:`timings`, the global metrics registry, and (when tracing
+is enabled) a ``pass:<name>`` span in the trace.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Protocol, Sequence
 
 from ..ir.module import Module
 from ..ir.verifier import verify_module
+from ..observability import phase_span
 
 
 class ModulePass(Protocol):
@@ -55,19 +58,15 @@ class PassManager:
         self.timings: Dict[str, float] = {}
 
     def _verify(self, module: Module) -> None:
-        start = time.perf_counter()
-        verify_module(module)
-        self.timings["verify"] = (
-            self.timings.get("verify", 0.0) + time.perf_counter() - start
-        )
+        with phase_span("verify", self.timings):
+            verify_module(module)
 
     def run(self, module: Module) -> Dict[str, Dict[str, object]]:
         if self.verify and self.verify_input:
             self._verify(module)
         for pass_ in self.passes:
-            start = time.perf_counter()
-            self.stats[pass_.name] = pass_.run(module) or {}
-            self.timings[pass_.name] = time.perf_counter() - start
+            with phase_span(f"pass:{pass_.name}", self.timings, key=pass_.name):
+                self.stats[pass_.name] = pass_.run(module) or {}
             if self.verify and self.verify_each:
                 self._verify(module)
         if self.passes:

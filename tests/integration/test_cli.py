@@ -190,3 +190,163 @@ class TestChaos:
         assert code == 2
         assert "FAIL" in out
         assert "not-triggered" in out
+
+
+class TestObservabilityFlags:
+    def test_run_writes_valid_trace_and_metrics(self, victim_path, tmp_path, capsys):
+        import json
+
+        from repro.observability import TRACE_SCHEMA, validate_snapshot
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        code, _, err = run_cli(
+            [
+                "run", victim_path, "--input", "x",
+                "--trace-out", str(trace), "--metrics-out", str(metrics),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert f"trace written to {trace}" in err
+        assert f"metrics written to {metrics}" in err
+
+        loaded = json.loads(trace.read_text())
+        assert loaded["schema"] == TRACE_SCHEMA
+        names = {event["name"] for event in loaded["traceEvents"]}
+        assert "verify" in names and "mem2reg" in names  # compile phases
+        assert "execute:pythia" in names
+
+        snapshot = json.loads(metrics.read_text())
+        assert validate_snapshot(snapshot) is None
+        assert snapshot["counters"]["exec.runs"] == 1
+        assert any(
+            name.startswith("compile.phase.") for name in snapshot["histograms"]
+        )
+
+    def test_metrics_without_trace(self, victim_path, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        code, _, err = run_cli(
+            ["run", victim_path, "--input", "x", "--metrics-out", str(metrics)],
+            capsys,
+        )
+        assert code == 0
+        assert metrics.exists()
+        assert "trace written" not in err
+
+    def test_metrics_reset_between_invocations(self, victim_path, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        argv = ["run", victim_path, "--input", "x", "--metrics-out", str(metrics)]
+        run_cli(argv, capsys)
+        run_cli(argv, capsys)
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["exec.runs"] == 1  # not 2: no carry-over
+
+    def test_timings_stderr_matches_metrics_exactly(
+        self, victim_path, tmp_path, capsys
+    ):
+        """Satellite: --timings is a *view* of the span data, so the
+        stderr table must be reproducible byte-for-byte from the
+        exported metrics snapshot."""
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        code, _, err = run_cli(
+            [
+                "run", victim_path, "--input", "x", "--timings",
+                "--metrics-out", str(metrics),
+            ],
+            capsys,
+        )
+        assert code == 0
+        timing_lines = [
+            line for line in err.splitlines() if line.startswith("[timing]")
+        ]
+        assert timing_lines[-1].startswith("[timing] total")
+
+        snapshot = json.loads(metrics.read_text())
+        prefix = "compile.phase."
+        phases = {
+            name[len(prefix):]: stats["sum"]
+            for name, stats in snapshot["histograms"].items()
+            if name.startswith(prefix)
+        }
+        expected = [
+            f"[timing] {phase:24s} {seconds * 1e3:8.2f}ms"
+            for phase, seconds in sorted(phases.items(), key=lambda item: -item[1])
+        ]
+        expected.append(f"[timing] {'total':24s} {sum(phases.values()) * 1e3:8.2f}ms")
+        assert timing_lines == expected
+
+    def test_suite_merges_worker_telemetry(self, tmp_path, capsys):
+        import json
+
+        from repro.observability import validate_snapshot
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        code, _, _ = run_cli(
+            [
+                "suite", "505.mcf_r", "--jobs", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--trace-out", str(trace), "--metrics-out", str(metrics),
+            ],
+            capsys,
+        )
+        assert code == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        names = {event["name"] for event in events}
+        assert "task:505.mcf_r" in names  # per-task span
+        assert "verify" in names  # compile phases from the worker
+        assert any(name.startswith("execute:") for name in names)
+        assert any(name.startswith("cache.") for name in names)  # cache events
+
+        snapshot = json.loads(metrics.read_text())
+        assert validate_snapshot(snapshot) is None
+        assert snapshot["counters"]["suite.tasks_completed"] == 1
+        assert snapshot["counters"]["cache.misses"] > 0
+
+    def test_unwritable_trace_out_exits_3(self, victim_path, tmp_path, capsys):
+        code, _, err = run_cli(
+            [
+                "run", victim_path, "--input", "x",
+                "--trace-out", str(tmp_path / "no" / "such" / "dir" / "t.json"),
+            ],
+            capsys,
+        )
+        assert code == 3
+        assert "repro: error:" in err
+
+
+class TestProfileCommand:
+    def test_prints_hot_spot_tables(self, victim_path, capsys):
+        code, out, _ = run_cli(["profile", victim_path, "--input", "x"], capsys)
+        assert code == 0
+        assert "run: status=ok interpreter=block" in out
+        assert "hot functions (by self cycles):" in out
+        assert "hot blocks (block tier, by cycles):" in out
+        assert "opcode histogram (top):" in out
+        assert "main" in out
+
+    def test_top_caps_table_rows(self, victim_path, capsys):
+        _, full, _ = run_cli(["profile", victim_path, "--input", "x"], capsys)
+        _, capped, _ = run_cli(
+            ["profile", victim_path, "--input", "x", "--top", "1"], capsys
+        )
+        def opcode_rows(text):
+            lines = text.splitlines()
+            start = lines.index("opcode histogram (top):")
+            return [l for l in lines[start + 1:] if l.startswith("  ")]
+        assert len(opcode_rows(capped)) == 1
+        assert len(opcode_rows(full)) > 1
+
+    def test_non_block_tier_profiles_functions_only(self, victim_path, capsys):
+        code, out, _ = run_cli(
+            ["profile", victim_path, "--input", "x", "--interpreter", "decoded"],
+            capsys,
+        )
+        assert code == 0
+        assert "hot functions (by self cycles):" in out
+        assert "hot blocks" not in out

@@ -1,0 +1,157 @@
+"""The metrics registry: snapshots, associative merging, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    get_metrics,
+    install_metrics,
+    reset_metrics,
+    validate_snapshot,
+    write_metrics,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_registry():
+    previous = get_metrics()
+    yield
+    install_metrics(previous)
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("cache.hits")
+        registry.inc("cache.hits", 4)
+        assert registry.snapshot()["counters"] == {"cache.hits": 5}
+
+    def test_gauges_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("jobs", 4)
+        registry.set_gauge("jobs", 1)
+        assert registry.snapshot()["gauges"] == {"jobs": 1}
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in (3.0, 1.0, 2.0):
+            registry.observe("phase", value)
+        stats = registry.snapshot()["histograms"]["phase"]
+        assert stats == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+
+    def test_snapshot_is_detached(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        snapshot = registry.snapshot()
+        registry.inc("a")
+        assert snapshot["counters"]["a"] == 1
+
+    def test_snapshot_validates(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.set_gauge("g", 0.5)
+        registry.observe("h", 1.0)
+        assert validate_snapshot(registry.snapshot()) is None
+
+
+class TestMerge:
+    def make(self, hits, gauge, obs):
+        registry = MetricsRegistry()
+        registry.inc("hits", hits)
+        registry.set_gauge("state", gauge)
+        for value in obs:
+            registry.observe("seconds", value)
+        return registry
+
+    def test_merge_adds_counters_and_histograms(self):
+        left = self.make(2, 0, [1.0])
+        right = self.make(3, 1, [4.0, 2.0])
+        left.merge_snapshot(right.snapshot())
+        merged = left.snapshot()
+        assert merged["counters"]["hits"] == 5
+        assert merged["gauges"]["state"] == 1  # incoming gauge wins
+        stats = merged["histograms"]["seconds"]
+        assert (stats["count"], stats["sum"]) == (3, 7.0)
+        assert (stats["min"], stats["max"]) == (1.0, 4.0)
+
+    def test_merge_is_associative_across_orders(self):
+        parts = [self.make(1, 0, [1.0]), self.make(2, 1, [2.0]), self.make(4, 2, [0.5])]
+        forward = MetricsRegistry()
+        for part in parts:
+            forward.merge_snapshot(part.snapshot())
+        backward = MetricsRegistry()
+        for part in reversed(parts):
+            backward.merge_snapshot(part.snapshot())
+        a, b = forward.snapshot(), backward.snapshot()
+        assert a["counters"] == b["counters"]
+        assert a["histograms"] == b["histograms"]
+
+    def test_merge_into_empty_equals_source(self):
+        source = self.make(7, 3, [1.0, 2.0])
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+
+class TestValidate:
+    def valid(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.observe("h", 1.0)
+        return registry.snapshot()
+
+    def test_rejects_non_dict(self):
+        assert validate_snapshot([]) is not None
+
+    def test_rejects_wrong_schema(self):
+        snapshot = self.valid()
+        snapshot["schema"] = "nope"
+        assert "schema" in validate_snapshot(snapshot)
+
+    def test_rejects_negative_counter(self):
+        snapshot = self.valid()
+        snapshot["counters"]["c"] = -1
+        assert "non-negative" in validate_snapshot(snapshot)
+
+    def test_rejects_bool_counter(self):
+        snapshot = self.valid()
+        snapshot["counters"]["c"] = True
+        assert validate_snapshot(snapshot) is not None
+
+    def test_rejects_non_finite_gauge(self):
+        snapshot = self.valid()
+        snapshot["gauges"]["g"] = float("inf")
+        assert "finite" in validate_snapshot(snapshot)
+
+    def test_rejects_malformed_histogram(self):
+        snapshot = self.valid()
+        del snapshot["histograms"]["h"]["mean"]
+        assert "mean" in validate_snapshot(snapshot)
+
+    def test_rejects_min_above_max(self):
+        snapshot = self.valid()
+        snapshot["histograms"]["h"]["min"] = 9.0
+        assert "min > max" in validate_snapshot(snapshot)
+
+
+class TestGlobalRegistry:
+    def test_reset_installs_fresh(self):
+        get_metrics().inc("stale")
+        fresh = reset_metrics()
+        assert get_metrics() is fresh
+        assert fresh.snapshot()["counters"] == {}
+
+    def test_write_metrics_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("a", 2)
+        path = tmp_path / "metrics.json"
+        write_metrics(str(path), registry.snapshot())
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == METRICS_SCHEMA
+        assert loaded["counters"] == {"a": 2}
+        assert validate_snapshot(loaded) is None

@@ -1,0 +1,72 @@
+"""phase_span: one clock reading feeding timings, metrics, and trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import protect
+from repro.frontend import compile_source
+from repro.observability import (
+    MetricsRegistry,
+    Tracer,
+    current_tracer,
+    get_metrics,
+    install_metrics,
+    install_tracer,
+    phase_span,
+)
+
+PREFIX = "compile.phase."
+
+
+@pytest.fixture(autouse=True)
+def _fresh_globals():
+    previous_metrics = install_metrics(MetricsRegistry())
+    previous_tracer = install_tracer(Tracer("test"))
+    yield
+    install_metrics(previous_metrics)
+    install_tracer(previous_tracer)
+
+
+def test_all_three_views_agree():
+    timings = {}
+    with phase_span("verify", timings):
+        pass
+    (event,) = current_tracer().events
+    stats = get_metrics().snapshot()["histograms"][f"{PREFIX}verify"]
+    assert event["name"] == "verify"
+    # one clock delta, three sinks: the values are float-identical
+    assert timings["verify"] == stats["sum"]
+    assert event["dur"] == pytest.approx(stats["sum"] * 1e9)
+
+
+def test_key_may_differ_from_metric_name():
+    timings = {}
+    with phase_span("pass:mem2reg", timings, key="mem2reg"):
+        pass
+    assert list(timings) == ["mem2reg"]
+    assert list(get_metrics().snapshot()["histograms"]) == [f"{PREFIX}pass:mem2reg"]
+
+
+def test_repeated_phases_accumulate():
+    timings = {}
+    for _ in range(3):
+        with phase_span("verify", timings):
+            pass
+    stats = get_metrics().snapshot()["histograms"][f"{PREFIX}verify"]
+    assert stats["count"] == 3
+    assert timings["verify"] == pytest.approx(stats["sum"])
+
+
+def test_protect_phase_metrics_match_protection_timings():
+    """The instrumented pipeline reports the same phases both ways --
+    the invariant the ``--timings`` port relies on."""
+    module = compile_source("int main() { return 0; }", name="t")
+    protected = protect(module, scheme="pythia")
+    histograms = get_metrics().snapshot()["histograms"]
+    phases = {
+        name[len(PREFIX):]: stats["sum"]
+        for name, stats in histograms.items()
+        if name.startswith(PREFIX)
+    }
+    assert phases == protected.timings

@@ -1,0 +1,158 @@
+"""The tracer: spans, instants, merging, and the Chrome-trace export."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.observability import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    NullTracer,
+    Tracer,
+    chrome_trace,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    install_tracer,
+    write_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_tracer():
+    previous = current_tracer()
+    yield
+    install_tracer(previous)
+
+
+class TestTracer:
+    def test_span_records_complete_event(self):
+        tracer = Tracer()
+        with tracer.span("work", "compile", detail="x"):
+            pass
+        (event,) = tracer.events
+        assert event["name"] == "work"
+        assert event["cat"] == "compile"
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0
+        assert event["pid"] == os.getpid()
+        assert event["tid"] == threading.get_ident()
+        assert event["args"] == {"detail": "x"}
+
+    def test_spans_nest_and_order_by_timestamp(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.events  # inner *exits* (and records) first
+        assert inner["name"] == "inner"
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_span_records_on_exception_too(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert [event["name"] for event in tracer.events] == ["doomed"]
+
+    def test_instant_shape(self):
+        tracer = Tracer()
+        tracer.instant("cache.hit", "cache", key="abc")
+        (event,) = tracer.events
+        assert event["ph"] == "i"
+        assert event["s"] == "p"
+        assert "dur" not in event
+        assert event["args"] == {"key": "abc"}
+
+    def test_adopt_merges_worker_events(self):
+        parent, worker = Tracer(), Tracer()
+        with worker.span("task"):
+            pass
+        parent.adopt(worker.events)
+        assert [event["name"] for event in parent.events] == ["task"]
+
+
+class TestNullTracer:
+    def test_disabled_operations_record_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("ignored", "x", a=1):
+            pass
+        tracer.instant("ignored")
+        tracer.add_complete("ignored", "x", 0, 1)
+        tracer.adopt([{"name": "ignored"}])
+        assert tracer.events == []
+        assert not tracer.enabled
+
+    def test_span_is_the_shared_singleton(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestGlobalInstall:
+    def test_default_is_the_null_tracer(self):
+        disable_tracing()
+        assert current_tracer() is NULL_TRACER
+
+    def test_enable_then_disable(self):
+        tracer = enable_tracing("test-proc")
+        assert current_tracer() is tracer
+        assert tracer.process_name == "test-proc"
+        disable_tracing()
+        assert current_tracer() is NULL_TRACER
+
+    def test_install_returns_previous(self):
+        mine = Tracer()
+        previous = install_tracer(mine)
+        assert current_tracer() is mine
+        assert install_tracer(previous) is mine
+
+
+class TestChromeExport:
+    def events(self):
+        tracer = Tracer()
+        with tracer.span("phase", "compile"):
+            tracer.instant("hit", "cache")
+        return tracer.events
+
+    def test_schema_and_rebased_microseconds(self):
+        events = self.events()
+        out = chrome_trace(events)
+        assert out["schema"] == TRACE_SCHEMA
+        assert out["displayTimeUnit"] == "ms"
+        spans = [e for e in out["traceEvents"] if e.get("ph") == "X"]
+        base = min(e["ts"] for e in events)
+        for original, converted in zip(
+            [e for e in events if e["ph"] == "X"], spans
+        ):
+            assert converted["ts"] == (original["ts"] - base) / 1000.0
+            assert converted["dur"] == original["dur"] / 1000.0
+
+    def test_process_metadata_per_pid(self):
+        events = self.events() + [
+            {"name": "w", "cat": "x", "ph": "X", "ts": 5, "dur": 1,
+             "pid": 99999, "tid": 1}
+        ]
+        out = chrome_trace(events, process_names={99999: "worker"})
+        meta = {
+            e["pid"]: e["args"]["name"]
+            for e in out["traceEvents"]
+            if e.get("ph") == "M"
+        }
+        assert meta[99999] == "worker"
+        assert meta[os.getpid()] == f"repro[{os.getpid()}]"
+
+    def test_write_trace_round_trips(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace(str(path), self.events())
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == TRACE_SCHEMA
+        assert {e["ph"] for e in loaded["traceEvents"]} == {"M", "X", "i"}
+
+    def test_empty_events_still_export(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace(str(path), [])
+        assert json.loads(path.read_text())["traceEvents"] == []

@@ -227,6 +227,29 @@ def test_read_oserror_degrades_to_cache_off(tmp_path, caplog):
     assert cache.stats.misses == 1
 
 
+def test_suite_manifest_records_cache_stats_after_degrade(tmp_path):
+    """Even a cache that turned itself off mid-run must leave evidence.
+
+    The suite's failure manifest carries the merged metrics snapshot,
+    and the cache publishes every outcome into it in lockstep with
+    ``CacheStats`` -- so the final counters (including the ``io_errors``
+    that triggered the degrade) survive into the manifest.
+    """
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+    result = run_suite(names=[NAME], cache_dir=str(blocker / "cache"))
+
+    manifest = result.failure_manifest()
+    metrics = manifest["metrics"]
+    counters = metrics["counters"]
+    assert counters["cache.io_errors"] >= 1
+    assert counters.get("cache.hits", 0) == 0
+    # every scheme fell through to a recompile-and-drop miss
+    assert counters["cache.misses"] >= len(result.schemes)
+    assert counters.get("cache.stores", 0) == 0
+    assert metrics["gauges"]["cache.degraded"] == 1
+
+
 def test_missing_entry_is_a_plain_miss_not_a_degrade(tmp_path):
     cache = CompilationCache(str(tmp_path))
     key = cache.key_for("module text", DefenseConfig(scheme="pythia"))

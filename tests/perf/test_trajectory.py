@@ -1,0 +1,127 @@
+"""The trajectory file and the tolerant block-regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import (
+    append_entry,
+    block_throughput,
+    check_block_regression,
+    check_block_regression_file,
+    load_entries,
+    safe_load_entries,
+)
+
+
+def entry(rate=1000.0):
+    return {
+        "label": "interp-throughput",
+        "schemes": {
+            "vanilla": {"block_steps_per_second": rate},
+            "pythia": {"block_steps_per_second": rate * 0.8},
+        },
+    }
+
+
+def legacy_entry():
+    """Written before the block tier existed: no block fields at all."""
+    return {"label": "interp-throughput", "schemes": {"vanilla": {"speedup": 3.0}}}
+
+
+class TestLoadEntries:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_entries(str(tmp_path / "none.json")) == []
+
+    def test_strict_load_raises_on_corrupt_json(self, tmp_path):
+        path = tmp_path / "BENCH_interp.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError):
+            load_entries(str(path))
+
+    def test_safe_load_returns_none_on_corrupt_json(self, tmp_path):
+        path = tmp_path / "BENCH_interp.json"
+        path.write_text("{not json")
+        assert safe_load_entries(str(path)) is None
+
+    def test_safe_load_returns_none_on_wrong_envelope(self, tmp_path):
+        path = tmp_path / "BENCH_interp.json"
+        path.write_text(json.dumps({"entries": "oops"}))
+        assert safe_load_entries(str(path)) is None
+
+    def test_append_still_refuses_to_clobber_corrupt_file(self, tmp_path):
+        path = tmp_path / "BENCH_interp.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError):
+            append_entry(str(path), entry())
+        assert path.read_text() == "{not json"  # nothing rewritten
+
+
+class TestCheckBlockRegressionFile:
+    def test_missing_file_skips_with_note(self, tmp_path):
+        failure, note = check_block_regression_file(
+            str(tmp_path / "BENCH_interp.json"), entry()
+        )
+        assert failure is None
+        assert "no baseline, skipping" in note
+
+    def test_empty_file_skips_with_note(self, tmp_path):
+        path = tmp_path / "BENCH_interp.json"
+        path.write_text(json.dumps({"entries": []}))
+        failure, note = check_block_regression_file(str(path), entry())
+        assert failure is None
+        assert "no baseline, skipping" in note
+
+    def test_corrupt_file_skips_with_note(self, tmp_path):
+        path = tmp_path / "BENCH_interp.json"
+        path.write_text("{not json")
+        failure, note = check_block_regression_file(str(path), entry())
+        assert failure is None
+        assert "no baseline, skipping" in note
+
+    def test_entry_without_block_fields_skips_with_note(self, tmp_path):
+        path = tmp_path / "BENCH_interp.json"
+        append_entry(str(path), entry())
+        failure, note = check_block_regression_file(str(path), legacy_entry())
+        assert failure is None
+        assert "no baseline, skipping" in note
+
+    def test_baseline_without_block_fields_skips_with_note(self, tmp_path):
+        path = tmp_path / "BENCH_interp.json"
+        append_entry(str(path), legacy_entry())
+        failure, note = check_block_regression_file(str(path), entry())
+        assert failure is None
+        assert "no baseline, skipping" in note
+
+    def test_regression_still_detected(self, tmp_path):
+        path = tmp_path / "BENCH_interp.json"
+        append_entry(str(path), entry(1000.0))
+        failure, note = check_block_regression_file(
+            str(path), entry(500.0), tolerance=0.10
+        )
+        assert note is None
+        assert "block tier regressed" in failure
+
+    def test_within_tolerance_passes(self, tmp_path):
+        path = tmp_path / "BENCH_interp.json"
+        append_entry(str(path), entry(1000.0))
+        failure, note = check_block_regression_file(
+            str(path), entry(950.0), tolerance=0.10
+        )
+        assert failure is None and note is None
+
+
+class TestBlockThroughput:
+    def test_geomean_over_schemes(self):
+        value = block_throughput(entry(1000.0))
+        assert value == pytest.approx((1000.0 * 800.0) ** 0.5)
+
+    def test_none_without_block_fields(self):
+        assert block_throughput(legacy_entry()) is None
+
+    def test_sequence_api_still_skips_quietly(self):
+        # the low-level check keeps its old contract for callers that
+        # already hold entries in memory
+        assert check_block_regression([legacy_entry()], entry()) is None

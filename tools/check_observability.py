@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate exported observability artifacts (CI gate).
+
+Checks a ``--trace-out`` Chrome-trace JSON and/or a ``--metrics-out``
+snapshot against the schemas in :mod:`repro.observability`, plus
+optional presence assertions so CI can require specific spans and
+counters (e.g. that a suite trace really covers compile phases and
+cache events from its workers).
+
+Usage::
+
+    python tools/check_observability.py --trace trace.json \
+        --metrics metrics.json \
+        --expect-span verify --expect-span "task:505.mcf_r" \
+        --expect-counter cache.misses
+
+Exits 0 when every check passes, 1 with one diagnostic line per
+problem otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.observability import TRACE_SCHEMA, validate_snapshot
+
+#: Event fields every span/instant must carry; metadata ("M") events
+#: are exempt from ts.
+REQUIRED_EVENT_FIELDS = ("name", "ph", "pid", "tid")
+
+
+def check_trace(payload: Any, expected_spans: List[str]) -> List[str]:
+    """Every problem with a Chrome-trace JSON object, as strings."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["trace: top level is not an object"]
+    if payload.get("schema") != TRACE_SCHEMA:
+        problems.append(
+            f"trace: schema is {payload.get('schema')!r}, "
+            f"expected {TRACE_SCHEMA!r}"
+        )
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return problems + ["trace: 'traceEvents' missing or not a list"]
+    names = set()
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"trace: event #{index} is not an object")
+            continue
+        for field in REQUIRED_EVENT_FIELDS:
+            if field not in event:
+                problems.append(f"trace: event #{index} lacks {field!r}")
+        ph = event.get("ph")
+        if ph not in ("X", "i", "M"):
+            problems.append(f"trace: event #{index} has unknown ph {ph!r}")
+        if ph == "X":
+            if not isinstance(event.get("dur"), (int, float)) or event["dur"] < 0:
+                problems.append(f"trace: span #{index} has bad 'dur'")
+            if not isinstance(event.get("ts"), (int, float)) or event["ts"] < 0:
+                problems.append(f"trace: span #{index} has bad 'ts'")
+        names.add(event.get("name"))
+    for name in expected_spans:
+        if name not in names:
+            problems.append(f"trace: expected span/event {name!r} not present")
+    return problems
+
+
+def check_metrics(payload: Any, expected_counters: List[str]) -> List[str]:
+    problems: List[str] = []
+    error = validate_snapshot(payload)
+    if error is not None:
+        return [f"metrics: {error}"]
+    for name in expected_counters:
+        if name not in payload["counters"]:
+            problems.append(f"metrics: expected counter {name!r} not present")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", help="Chrome-trace JSON to validate")
+    parser.add_argument("--metrics", help="metrics snapshot JSON to validate")
+    parser.add_argument(
+        "--expect-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require an event with this name in the trace (repeatable)",
+    )
+    parser.add_argument(
+        "--expect-counter",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require this counter in the metrics snapshot (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    if not args.trace and not args.metrics:
+        parser.error("nothing to check: pass --trace and/or --metrics")
+
+    problems: List[str] = []
+    summary: List[str] = []
+    if args.trace:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            payload: Dict[str, Any] = json.load(handle)
+        problems += check_trace(payload, args.expect_span)
+        events = payload.get("traceEvents") or []
+        spans = sum(1 for e in events if isinstance(e, dict) and e.get("ph") == "X")
+        pids = {e.get("pid") for e in events if isinstance(e, dict)}
+        summary.append(
+            f"{args.trace}: {len(events)} events ({spans} spans) "
+            f"from {len(pids)} process(es)"
+        )
+    if args.metrics:
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        problems += check_metrics(snapshot, args.expect_counter)
+        if isinstance(snapshot, dict):
+            summary.append(
+                f"{args.metrics}: "
+                f"{len(snapshot.get('counters') or {})} counters, "
+                f"{len(snapshot.get('gauges') or {})} gauges, "
+                f"{len(snapshot.get('histograms') or {})} histograms"
+            )
+
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    for line in summary:
+        print(f"ok: {line}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
