@@ -17,6 +17,10 @@ Subcommands:
 ``--metrics-out FILE`` (the ``repro-metrics-v1`` counters snapshot);
 see :mod:`repro.observability`.
 
+``run --profile-out`` / ``profile --profile-out`` save an execution
+profile whose per-block counts ``run``/``bench`` ``--profile-in`` feed
+back into trace-tier region selection (``--interpreter trace``).
+
 Failures exit with a one-line ``repro: error:`` diagnostic and a
 distinct code per failure layer (see :data:`EXIT_CODES`) -- never a
 traceback: 2 for an undetected attack / broken contract / suite
@@ -44,12 +48,14 @@ from .hardware.errors import ReproError
 from .ir import print_module
 from .ir.verifier import VerificationError
 from .observability import (
+    PROFILE_SCHEMA,
     ExecutionProfiler,
     current_tracer,
     disable_tracing,
     enable_tracing,
     format_report,
     get_metrics,
+    hot_block_counts,
     publish_execution,
     reset_metrics,
     write_metrics,
@@ -79,6 +85,33 @@ def _read_source(path: str) -> str:
 
 def _parse_inputs(items: Optional[List[str]]) -> List[bytes]:
     return [item.encode("utf-8") for item in (items or [])]
+
+
+def _load_trace_profile(path: str) -> dict:
+    """Read a ``--profile-out`` report back as trace-tier block counts."""
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            report = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"invalid profile JSON in {path}: {exc}") from exc
+    counts = hot_block_counts(report)
+    if counts is None:
+        raise ReproError(
+            f"{path} carries no per-block execution counts (expected a "
+            f"{PROFILE_SCHEMA} report from --profile-out under the block "
+            f"or trace tier)"
+        )
+    return counts
+
+
+def _write_profile_report(path: str, report: dict) -> None:
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"profile written to {path}", file=sys.stderr)
 
 
 # -- subcommands ---------------------------------------------------------------
@@ -111,10 +144,22 @@ def cmd_run(args: argparse.Namespace) -> int:
         for phase, seconds in sorted(phases.items(), key=lambda item: -item[1]):
             print(f"[timing] {phase:24s} {seconds * 1e3:8.2f}ms", file=sys.stderr)
         print(f"[timing] {'total':24s} {total * 1e3:8.2f}ms", file=sys.stderr)
-    cpu = CPU(protected.module, seed=args.seed, interpreter=args.interpreter)
+    trace_profile = (
+        _load_trace_profile(args.profile_in) if args.profile_in else None
+    )
+    profiler = ExecutionProfiler() if args.profile_out else None
+    cpu = CPU(
+        protected.module,
+        seed=args.seed,
+        interpreter=args.interpreter,
+        profiler=profiler,
+        trace_profile=trace_profile,
+    )
     with current_tracer().span(f"execute:{args.scheme}", "exec"):
         result = cpu.run(inputs=_parse_inputs(args.input))
     publish_execution(get_metrics(), result, scheme=args.scheme)
+    if profiler is not None:
+        _write_profile_report(args.profile_out, profiler.report(result))
     sys.stdout.write(result.output.decode("utf-8", "replace"))
     print(
         f"[{args.scheme}] status={result.status} return={result.return_value} "
@@ -173,13 +218,19 @@ def cmd_attack(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     program = generate_program(get_profile(args.benchmark))
     module = program.compile()
+    trace_profile = (
+        _load_trace_profile(args.profile_in) if args.profile_in else None
+    )
     base = None
     print(f"{args.benchmark}: {module.instruction_count()} IR instructions")
     for scheme in SCHEMES:
         protected = protect(module, scheme=scheme)
         with current_tracer().span(f"execute:{scheme}", "exec", benchmark=args.benchmark):
             result = CPU(
-                protected.module, seed=args.seed, interpreter=args.interpreter
+                protected.module,
+                seed=args.seed,
+                interpreter=args.interpreter,
+                trace_profile=trace_profile,
             ).run(inputs=list(program.inputs))
         publish_execution(get_metrics(), result, scheme=scheme)
         if not result.ok:
@@ -309,8 +360,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
     )
     result = cpu.run(inputs=_parse_inputs(args.input))
     sys.stdout.write(result.output.decode("utf-8", "replace"))
-    for line in format_report(profiler.report(result, top=args.top)):
+    report = profiler.report(result, top=args.top)
+    for line in format_report(report):
         print(line)
+    if args.profile_out:
+        _write_profile_report(args.profile_out, report)
     return 0 if result.ok else 2
 
 
@@ -373,6 +427,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-phase compile timings to stderr",
     )
+    p.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="FILE",
+        help="run under the execution profiler and write its report "
+        "(per-block counts need --interpreter block or trace)",
+    )
+    p.add_argument(
+        "--profile-in",
+        default=None,
+        metavar="FILE",
+        help="feed a saved --profile-out report to trace-tier region "
+        "selection (only the trace interpreter consumes it)",
+    )
     _add_observability_args(p)
     p.set_defaults(func=cmd_run)
 
@@ -394,6 +462,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=INTERPRETERS,
         default=None,
         help="CPU backend (default: pre-decoded dispatch)",
+    )
+    p.add_argument(
+        "--profile-in",
+        default=None,
+        metavar="FILE",
+        help="feed a saved --profile-out report to trace-tier region "
+        "selection (only the trace interpreter consumes it)",
     )
     _add_observability_args(p)
     p.set_defaults(func=cmd_bench)
@@ -512,6 +587,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=10,
         help="rows per hot-spot table (default: 10)",
+    )
+    p.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="FILE",
+        help="also write the report as JSON (feeds run/bench --profile-in)",
     )
     p.set_defaults(func=cmd_profile)
 

@@ -22,7 +22,8 @@ from .cpu import (
     UnknownExternalError,
 )
 from .decoder import decode_module, invalidate_decode_cache
-from .errors import ReproError
+from .errors import ReproError, UnknownInterpreterError
+from .tracec import TraceProgram, trace_compile
 from .libc import LIBRARY, LibFunction, declare_library
 from .memory import (
     GLOBAL_BASE,
@@ -90,7 +91,10 @@ __all__ = [
     "STACK_BASE",
     "StepLimitExceeded",
     "TimingModel",
+    "trace_compile",
+    "TraceProgram",
     "UnknownExternalError",
+    "UnknownInterpreterError",
     "VA_BITS",
     "compute_pac",
 ]

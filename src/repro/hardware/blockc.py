@@ -221,14 +221,20 @@ def _trap_fixup(cpu, timing, counts, meta: _BlockMeta, exc: BaseException) -> No
     over = e - 1 - k
     if over:
         timing.instructions -= over
-        cpu.steps -= over
+        # Trace-tier chunks interleave 'phi' pseudo-ops (edge-routing
+        # charges: instructions and issue slots, but no step), so the
+        # step overshoot counts only the real ops past the trap.
+        steps_over = over
         for i in range(k + 1, e):
             name = ops[i][0]
+            if name == "phi":
+                steps_over -= 1
             n = counts.get(name, 0) - 1
             if n <= 0:
                 counts.pop(name, None)
             else:
                 counts[name] = n
+        cpu.steps -= steps_over
 
 
 # ---------------------------------------------------------------------------
@@ -338,6 +344,12 @@ def _gen_pointer(gen: _FnGen, spec, message: str, k: int) -> Optional[str]:
     return pointer
 
 
+#: Compile-time-constant access widths with a dedicated Memory fast
+#: path; other sizes go through the generic read_int/write_int.
+_SIZED_READ = {1: "read_u8", 2: "read_u16", 4: "read_u32", 8: "read_u64"}
+_SIZED_WRITE = {1: "write_u8", 2: "write_u16", 4: "write_u32", 8: "write_u64"}
+
+
 def _gen_load(gen: _FnGen, inst: Load, layout, k: int) -> None:
     size = max(1, inst.type.size)
     message = f"load through null in {inst}"
@@ -345,7 +357,11 @@ def _gen_load(gen: _FnGen, inst: Load, layout, k: int) -> None:
     if pointer is None:
         return
     gen.emit(f"if cpu.cache is not None: cpu._cache_access({pointer}, {size})", op=k)
-    gen.emit(f"{gen.target(inst)} = mem.read_int({pointer}, {size})", op=k)
+    reader = _SIZED_READ.get(size)
+    if reader is not None:
+        gen.emit(f"{gen.target(inst)} = mem.{reader}({pointer})", op=k)
+    else:
+        gen.emit(f"{gen.target(inst)} = mem.read_int({pointer}, {size})", op=k)
 
 
 def _gen_store(gen: _FnGen, inst: Store, layout, k: int) -> None:
@@ -356,7 +372,11 @@ def _gen_store(gen: _FnGen, inst: Store, layout, k: int) -> None:
     if pointer is None:
         return
     gen.emit(f"if cpu.cache is not None: cpu._cache_access({pointer}, {size})", op=k)
-    gen.emit(f"mem.write_int({pointer}, {value_expr}, {size})", op=k)
+    writer = _SIZED_WRITE.get(size)
+    if writer is not None:
+        gen.emit(f"mem.{writer}({pointer}, {value_expr})", op=k)
+    else:
+        gen.emit(f"mem.write_int({pointer}, {value_expr}, {size})", op=k)
 
 
 def _gen_gep(gen: _FnGen, inst: GetElementPtr, layout, k: int) -> bool:
@@ -502,11 +522,17 @@ def _gen_select(gen: _FnGen, inst: Select, layout, k: int) -> None:
 def _gen_call(gen: _FnGen, inst: Call, layout, k: int) -> None:
     args = ", ".join(gen.operand(_spec(a, layout)) for a in inst.args)
     callee = gen.bind(inst.callee, "F")
+    # Declarations are static: _call's first action for one is to tail
+    # into _call_external, so jump there directly and save a Python
+    # frame per library call.
+    dispatch = (
+        "cpu._call_external" if inst.callee.is_declaration else "cpu._call"
+    )
     if inst.type.is_void:
-        gen.emit(f"cpu._call({callee}, [{args}])", op=k)
+        gen.emit(f"{dispatch}({callee}, [{args}])", op=k)
     else:
         target = gen.target(inst)
-        gen.emit(f"_t = cpu._call({callee}, [{args}])", op=k)
+        gen.emit(f"_t = {dispatch}({callee}, [{args}])", op=k)
         gen.emit(f"{target} = 0 if _t is None else _t", op=k)
 
 

@@ -70,7 +70,13 @@ from ..ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
 from .allocator import OutOfMemoryError, SectionedHeap
 from .blockc import BLOCK_RET, block_compile
 from .cache import CacheModel
-from .decoder import DecodedBlock, compute_global_layout, decode_module
+from .decoder import (
+    DecodedBlock,
+    _DECODED_MODULES,
+    _fingerprint as _module_fingerprint,
+    compute_global_layout,
+    decode_module,
+)
 from .errors import (
     DFI_EXTERNAL_WRITER,
     CanaryTrap,
@@ -80,7 +86,9 @@ from .errors import (
     SecurityTrap,
     StepLimitExceeded,
     UnknownExternalError,
+    UnknownInterpreterError,
 )
+from .tracec import trace_compile
 from .libc import LIBRARY
 from .memory import GLOBAL_BASE, Memory, MemoryFault, STACK_BASE
 from .pac import PacAuthError, PointerAuthentication
@@ -90,7 +98,37 @@ from .timing import DEFAULT_COSTS, TimingModel
 _MASK64 = (1 << 64) - 1
 
 #: Interpreter backends accepted by :class:`CPU`.
-INTERPRETERS = ("decoded", "reference", "block")
+INTERPRETERS = ("decoded", "reference", "block", "trace")
+
+#: Shared infinite default-writer iterator for bulk shadow lookups
+#: (``map`` stops at the shortest input, so sharing one is safe).
+_EXTERNAL = repeat(DFI_EXTERNAL_WRITER)
+
+
+def _module_meta(module: Module) -> tuple:
+    """Per-module interpreter metadata, cached on the module.
+
+    ``(fingerprint, dfi_active, frame_plans)`` -- whether any function
+    carries DFI instrumentation (a whole-module instruction scan), and
+    the shared per-function frame-layout plan cache, both of which are
+    pure functions of the IR and therefore safe to share across every
+    CPU instance running the module.  Guarded by the same structural
+    fingerprint as the decode cache and dropped by the same
+    invalidation hook (``_cpu_meta`` is in ``_CACHE_ATTRS``).
+    """
+    fingerprint = _module_fingerprint(module)
+    cached = getattr(module, "_cpu_meta", None)
+    if cached is not None and cached[0] == fingerprint:
+        return cached
+    dfi_active = any(
+        isinstance(inst, (DfiSetDef, DfiChkDef))
+        for function in module.defined_functions()
+        for inst in function.instructions()
+    )
+    meta = (fingerprint, dfi_active, {})
+    setattr(module, "_cpu_meta", meta)
+    _DECODED_MODULES.add(module)
+    return meta
 
 
 class DfiShadow:
@@ -116,19 +154,52 @@ class DfiShadow:
         """Record ``def_id`` as the last writer of ``size`` bytes."""
         if self.fault_hook is not None and def_id != DFI_EXTERNAL_WRITER:
             def_id = self.fault_hook.on_dfi_setdef(address, size, def_id)
+        shadow = self._map
         if size == 1:
-            self._map[address] = def_id
+            shadow[address] = def_id
+        elif size == 8:
+            # Unrolled stores beat the iterator-pair bulk update ~3x at
+            # pointer width, the dominant instrumented access size.
+            shadow[address] = def_id
+            shadow[address + 1] = def_id
+            shadow[address + 2] = def_id
+            shadow[address + 3] = def_id
+            shadow[address + 4] = def_id
+            shadow[address + 5] = def_id
+            shadow[address + 6] = def_id
+            shadow[address + 7] = def_id
         else:
-            self._map.update(zip(range(address, address + size), repeat(def_id)))
+            shadow.update(zip(range(address, address + size), repeat(def_id)))
 
     def check_range(
         self, address: int, size: int, allowed: frozenset
     ) -> Optional[Tuple[int, int]]:
         """First ``(address, writer)`` violating ``allowed``, or ``None``."""
         get = self._map.get
+        external = DFI_EXTERNAL_WRITER
         if size == 1:
-            writer = get(address, DFI_EXTERNAL_WRITER)
+            writer = get(address, external)
             return None if writer in allowed else (address, writer)
+        # Passing checks (the overwhelmingly common case) resolve without
+        # a Python-level loop: pointer-width checks unroll into straight
+        # membership tests (~2x faster than building the writer set),
+        # other sizes collect the distinct writers in one C-level sweep.
+        # Only a failing check pays the per-byte scan to locate the
+        # first violating address.
+        if size == 8:
+            if (
+                get(address, external) in allowed
+                and get(address + 1, external) in allowed
+                and get(address + 2, external) in allowed
+                and get(address + 3, external) in allowed
+                and get(address + 4, external) in allowed
+                and get(address + 5, external) in allowed
+                and get(address + 6, external) in allowed
+                and get(address + 7, external) in allowed
+            ):
+                return None
+        elif set(map(get, range(address, address + size), _EXTERNAL)) <= allowed:
+            return None
         for byte_address in range(address, address + size):
             writer = get(byte_address, DFI_EXTERNAL_WRITER)
             if writer not in allowed:
@@ -147,16 +218,32 @@ class DfiShadow:
         violating element, or ``None``.
         """
         get = self._map.get
+        external = DFI_EXTERNAL_WRITER
         index = 0
         for constant, pointer, size, allowed in specs:
             address = pointer if constant else frame[pointer]
             if size == 1:
-                writer = get(address, DFI_EXTERNAL_WRITER)
+                writer = get(address, external)
                 if writer not in allowed:
                     return index, address, writer, allowed
-            else:
+            elif size == 8 and (
+                get(address, external) in allowed
+                and get(address + 1, external) in allowed
+                and get(address + 2, external) in allowed
+                and get(address + 3, external) in allowed
+                and get(address + 4, external) in allowed
+                and get(address + 5, external) in allowed
+                and get(address + 6, external) in allowed
+                and get(address + 7, external) in allowed
+            ):
+                pass
+            elif (
+                size == 8
+                or not set(map(get, range(address, address + size), _EXTERNAL))
+                <= allowed
+            ):
                 for byte_address in range(address, address + size):
-                    writer = get(byte_address, DFI_EXTERNAL_WRITER)
+                    writer = get(byte_address, external)
                     if writer not in allowed:
                         return index, byte_address, writer, allowed
             index += 1
@@ -249,6 +336,7 @@ class CPU:
         cache: Optional[CacheModel] = None,
         interpreter: Optional[str] = None,
         profiler: Optional[object] = None,
+        trace_profile: Optional[Dict[str, float]] = None,
     ):
         self.module = module
         #: optional :class:`repro.observability.ExecutionProfiler`
@@ -273,18 +361,16 @@ class CPU:
         self.frames: List[Tuple[Function, Dict[Value, int]]] = []
         #: per-frame alloca name -> address index, parallel to ``frames``
         self.frame_slots: List[Dict[str, int]] = []
-        #: per-function frame layout plans (relative offsets), built lazily
-        self._frame_plans: Dict[Function, tuple] = {}
+        meta = _module_meta(module)
+        #: per-function frame layout plans (relative offsets), built
+        #: lazily and shared across CPU instances via the module cache
+        self._frame_plans: Dict[Function, tuple] = meta[2]
         self.dfi_shadow = DfiShadow()
-        self.dfi_active = any(
-            isinstance(inst, (DfiSetDef, DfiChkDef))
-            for function in module.defined_functions()
-            for inst in function.instructions()
-        )
+        self.dfi_active = meta[1]
         if interpreter is None:
             interpreter = os.environ.get("REPRO_INTERPRETER", "decoded")
         if interpreter not in INTERPRETERS:
-            raise ValueError(
+            raise UnknownInterpreterError(
                 f"unknown interpreter {interpreter!r}; expected one of {INTERPRETERS}"
             )
         self.interpreter = interpreter
@@ -300,7 +386,34 @@ class CPU:
             self._decoded, decode_seconds = decode_module(module)
             self._block, compile_seconds = block_compile(module)
             self.decode_seconds = decode_seconds + compile_seconds
+        elif interpreter == "trace":
+            # The trace tier reuses the block drivers (RegionCode mirrors
+            # BlockCode), so it plugs into the same dispatch slot and
+            # inherits the same decoded-tier fallbacks.  ``trace_profile``
+            # is the warmup run's per-block execution counts; without it,
+            # regions are selected statically.
+            self._decoded, decode_seconds = decode_module(module)
+            self._block, compile_seconds = trace_compile(module, trace_profile)
+            self.decode_seconds = decode_seconds + compile_seconds
+        self._refresh_block_fast()
         self._layout_globals()
+
+    def _refresh_block_fast(self) -> None:
+        """Cache whether the block/trace program's batched accounting
+        matches this CPU's timing model.
+
+        The comparison includes a dict equality over the full cost
+        table, far too expensive for every ``_call``; tests that
+        customise ``timing.costs``/``issue_width`` mutate them between
+        construction and :meth:`run`, so recomputing at both points
+        keeps the documented fallback-to-decoded contract.
+        """
+        block = self._block
+        self._block_fast = (
+            block is not None
+            and self.timing.issue_width == block.issue_width
+            and self.timing.costs == DEFAULT_COSTS
+        )
 
     # -- setup -----------------------------------------------------------------
 
@@ -377,6 +490,7 @@ class CPU:
         inputs: Optional[Sequence[bytes]] = None,
     ) -> ExecutionResult:
         """Execute ``function_name`` to completion or trap."""
+        self._refresh_block_fast()
         if inputs:
             self.input_queue.extend(inputs)
         status = "ok"
@@ -417,7 +531,14 @@ class CPU:
             cycles=self.timing.cycles,
             instructions=self.timing.instructions,
             ipc=self.timing.ipc,
-            opcode_counts=dict(self.timing.opcode_counts),
+            # Zero entries mean "never executed" and must read as absent:
+            # the trace tier's batched tally flush adds += 0 for region
+            # chunks a trap or side exit skipped entirely.
+            opcode_counts={
+                name: count
+                for name, count in self.timing.opcode_counts.items()
+                if count
+            },
             output=b"".join(self.output),
             steps=self.steps,
             trap=trap,
@@ -446,9 +567,10 @@ class CPU:
         if profiler is not None:
             profiler.enter(function.name, self.steps, self.timing.cycles)
         try:
-            frame: Dict[Value, int] = {}
-            for argument, value in zip(function.args, args):
-                frame[argument] = value & _MASK64
+            frame: Dict[Value, int] = {
+                argument: value & _MASK64
+                for argument, value in zip(function.args, args)
+            }
             self.frame_slots.append(self._layout_frame(function, frame))
             self.frames.append((function, frame))
             try:
@@ -456,20 +578,14 @@ class CPU:
                 # in the simulated program recurses through here, and
                 # the simulated 256-frame stack limit must fire before
                 # Python's own recursion limit does.
-                block = self._block
-                if block is not None:
-                    timing = self.timing
-                    if (
-                        timing.issue_width == block.issue_width
-                        and timing.costs == DEFAULT_COSTS
-                    ):
-                        bentry = block.functions.get(function)
-                        if bentry is not None:
-                            if profiler is not None:
-                                return self._interpret_block_profiled(
-                                    bentry, frame
-                                )
-                            return self._interpret_block(bentry, frame)
+                if self._block_fast:
+                    bentry = self._block.functions.get(function)
+                    if bentry is not None:
+                        if profiler is not None:
+                            return self._interpret_block_profiled(
+                                bentry, frame
+                            )
+                        return self._interpret_block(bentry, frame)
                 decoded = self._decoded
                 if decoded is not None:
                     entry = decoded.functions.get(function)

@@ -661,9 +661,9 @@ def _fingerprint(module: Module) -> tuple:
 _DECODE_ATTR = "_decoded_program"
 
 #: Every per-module execution cache dropped by invalidation: the decode
-#: itself plus the block compile layered on top of it (see
-#: :mod:`repro.hardware.blockc`).
-_CACHE_ATTRS = (_DECODE_ATTR, "_block_program")
+#: itself plus the block and trace compiles layered on top of it (see
+#: :mod:`repro.hardware.blockc` and :mod:`repro.hardware.tracec`).
+_CACHE_ATTRS = (_DECODE_ATTR, "_block_program", "_trace_program", "_cpu_meta")
 
 #: Weak registry of modules carrying a cached decode or block compile,
 #: for whole-process invalidation.

@@ -72,3 +72,15 @@ class ProgramExit(Exception):
 
 class UnknownExternalError(ReproError):
     """Call to a declaration with no library model."""
+
+
+class UnknownInterpreterError(ReproError, ValueError):
+    """An interpreter name outside :data:`repro.hardware.INTERPRETERS`.
+
+    Doubles as a ``ValueError`` for API callers probing with
+    ``except ValueError`` while routing through the CLI's ``ReproError``
+    handler, so a typo in ``--interpreter``/``REPRO_INTERPRETER`` prints
+    a one-line diagnostic (usage exit code 2) instead of a traceback.
+    """
+
+    exit_code = 2

@@ -173,6 +173,102 @@ class Memory:
             return _unpack_u16(data, offset)[0]
         return int.from_bytes(data[offset:end], "little")
 
+    # Sized fast paths: the block/trace tiers emit these when the access
+    # width is a compile-time constant, skipping read_int's size
+    # dispatch and one argument per call.  The guard (window hit and the
+    # span already materialised) implies the access is in bounds, so any
+    # miss -- unmapped address, segment boundary, lazily grown tail --
+    # falls through to the generic path and faults or grows there with
+    # byte-identical behaviour.
+
+    def read_u64(self, address: int) -> int:
+        segment = self._window.get(address >> 32)
+        if segment is not None:
+            offset = address - segment.base
+            data = segment.data
+            if offset + 8 <= len(data):
+                self.reads += 1
+                return _unpack_u64(data, offset)[0]
+        return self.read_int(address, 8)
+
+    def read_u32(self, address: int) -> int:
+        segment = self._window.get(address >> 32)
+        if segment is not None:
+            offset = address - segment.base
+            data = segment.data
+            if offset + 4 <= len(data):
+                self.reads += 1
+                return _unpack_u32(data, offset)[0]
+        return self.read_int(address, 4)
+
+    def read_u16(self, address: int) -> int:
+        segment = self._window.get(address >> 32)
+        if segment is not None:
+            offset = address - segment.base
+            data = segment.data
+            if offset + 2 <= len(data):
+                self.reads += 1
+                return _unpack_u16(data, offset)[0]
+        return self.read_int(address, 2)
+
+    def read_u8(self, address: int) -> int:
+        segment = self._window.get(address >> 32)
+        if segment is not None:
+            offset = address - segment.base
+            data = segment.data
+            if offset < len(data):
+                self.reads += 1
+                return data[offset]
+        return self.read_int(address, 1)
+
+    def write_u64(self, address: int, value: int) -> None:
+        if self.fault_hook is None:
+            segment = self._window.get(address >> 32)
+            if segment is not None:
+                offset = address - segment.base
+                data = segment.data
+                if offset + 8 <= len(data):
+                    self.writes += 1
+                    _pack_u64(data, offset, value & 0xFFFFFFFFFFFFFFFF)
+                    return
+        self.write_int(address, value, 8)
+
+    def write_u32(self, address: int, value: int) -> None:
+        if self.fault_hook is None:
+            segment = self._window.get(address >> 32)
+            if segment is not None:
+                offset = address - segment.base
+                data = segment.data
+                if offset + 4 <= len(data):
+                    self.writes += 1
+                    _pack_u32(data, offset, value & 0xFFFFFFFF)
+                    return
+        self.write_int(address, value, 4)
+
+    def write_u16(self, address: int, value: int) -> None:
+        if self.fault_hook is None:
+            segment = self._window.get(address >> 32)
+            if segment is not None:
+                offset = address - segment.base
+                data = segment.data
+                if offset + 2 <= len(data):
+                    self.writes += 1
+                    _pack_u16(data, offset, value & 0xFFFF)
+                    return
+        self.write_int(address, value, 2)
+
+    def write_u8(self, address: int, value: int) -> None:
+        if self.fault_hook is None:
+            segment = self._window.get(address >> 32)
+            if segment is not None:
+                offset = address - segment.base
+                data = segment.data
+                if offset < len(data):
+                    self.writes += 1
+                    data[offset] = value & 0xFF
+                    return
+        self.write_int(address, value, 1)
+
     def write_int(self, address: int, value: int, size: int) -> None:
         """Write a little-endian unsigned integer of ``size`` bytes."""
         self.writes += 1

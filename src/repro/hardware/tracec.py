@@ -1,0 +1,1677 @@
+"""Trace/superblock execution engine: tier 4 ("trace") of the stack.
+
+The block tier (:mod:`repro.hardware.blockc`) fused each basic block
+into one generated function but still pays a driver round-trip -- one
+Python call, one step-limit guard, two tuple indexings -- per dynamic
+*block*.  This module fuses whole **regions**: natural loops (plus the
+superblock chains hanging off their headers) and, for small functions,
+the entire function body, selected with the per-block hot-spot counts
+an :class:`~repro.observability.ExecutionProfiler` collected under the
+block tier (or statically, when no profile is given).  One generated
+function per region
+
+- inlines every member block's handler statements, so a loop iteration
+  runs without leaving the generated code;
+- keeps SSA values whose every read sits inside the region in Python
+  *locals* instead of ``frame`` dict slots, including loop-carried
+  header phis (pre-loaded from the frame at region entry, routed
+  between locals on the back edge);
+- loads loop-invariant operands into locals once, in the region
+  preamble (the frame copy stays authoritative: nothing re-writes it
+  while the region runs);
+- routes internal CFG edges with inline parallel assignments and a
+  small ``_n`` chain dispatch (direct branches between fused chains
+  never return to the driver);
+- hoists provably loop-invariant ``dfi.chkdef`` runs into a single
+  :meth:`DfiShadow.check_batch` at region entry -- legal only when the
+  region contains no ``dfi.setdef``, no calls and no fallback handlers
+  (the shadow is frozen for the whole invocation) and each hoisted
+  pointer is region-invariant and set on every path to the header; a
+  failing entry check *deopts* the whole invocation to the decoded
+  tier before any charge is applied, so trap sites and counters stay
+  bit-identical;
+- memoizes loop-invariant PAC ``sign``/``auth`` results keyed on
+  :attr:`PointerAuthentication.key_epoch`: ``corrupt_key``/``rekey``
+  bump the epoch, so the memo can never replay a stale MAC, and both
+  the hit test and the store require ``pac.fault_hook is None`` so
+  chaos injection always sees the real call.
+
+Side exits fall back exactly like the block tier: a block whose
+execution could cross the step limit first spills its live region
+locals back to the frame, then delegates the rest of the call to the
+decoded loop, which raises ``StepLimitExceeded`` at precisely the
+right op.  Batched accounting and the traceback-line trap fixup are
+shared with the block tier (:func:`blockc._trap_fixup`); a region
+carries one :class:`blockc._BlockMeta` whose op table concatenates all
+member blocks, so the existing fixup repairs a trapping chunk no
+matter which fused block it came from.
+
+Region selection is profile-guided: ``trace_compile(module, profile)``
+takes the ``"function:block" -> executions`` map exported by
+:func:`repro.observability.profile.hot_block_counts` and skips cold
+functions and cold loops; chains are laid out hottest-successor-first.
+Compiled programs are cached on the module keyed on the structural
+fingerprint *and* a digest of the profile
+(:func:`repro.perf.regions.profile_digest`), and dropped by
+:func:`repro.hardware.decoder.invalidate_decode_cache`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.cfg import DominatorTree
+from ..ir.function import Function
+from ..ir.instructions import (
+    Alloca,
+    DfiChkDef,
+    DfiSetDef,
+    Instruction,
+    Load,
+    PacAuth,
+    PacSign,
+    Phi,
+    Store,
+)
+from ..ir.module import Module
+from ..ir.values import Argument
+from .blockc import (
+    BLOCK_ISSUE_WIDTH,
+    BLOCK_RET,
+    BlockCode,
+    _BlockMeta,
+    _FnGen,
+    _body_instructions,
+    _classify,
+    _emit_op,
+    _gen_block,
+    _gen_dfi_chk_batch,
+    _plan_locals,
+    _simulate,
+    _trap_fixup,
+)
+from .decoder import (
+    DecodedBlock,
+    _DECODED_MODULES,
+    _fingerprint,
+    _spec,
+    decode_module,
+)
+from .errors import CanaryTrap, DfiTrap, NullPointerTrap
+from .memory import MemoryFault
+from .pac import ADDR_MASK, PAC_BITS, VA_BITS
+from .timing import DEFAULT_COSTS
+
+#: Attribute under which a module carries its cached trace compile.
+_TRACE_ATTR = "_trace_program"
+
+#: Hard cap on blocks fused into one region; oversized loops are left
+#: to the per-block functions rather than truncated (truncation would
+#: break the single-entry property region codegen relies on).
+MAX_REGION_BLOCKS = 48
+
+#: Functions at or below this many blocks compile as one whole-function
+#: region (header = entry), subsuming their loops entirely.
+WHOLE_FUNCTION_BLOCKS = 24
+
+
+class RegionCode:
+    """One region (superblock set) compiled to a fused function.
+
+    Mirrors :class:`blockc.BlockCode` slot-for-slot so the existing
+    block drivers (:meth:`CPU._interpret_block` and its profiled twin)
+    dispatch regions without modification: ``nsteps`` is the *header*
+    block's step count (the driver's entry guard; every fused block
+    repeats the same guard inside the generated function), ``dblock``
+    is the header's decoded twin (the deopt target), and ``self_pair``
+    is what side exits of other code hand the driver.
+    """
+
+    __slots__ = ("fn", "dblock", "nsteps", "meta", "self_pair", "label", "blocks")
+
+    def __init__(self, dblock: DecodedBlock, nsteps: int, label: str = "",
+                 blocks: int = 1):
+        self.fn = None
+        self.dblock = dblock
+        self.nsteps = nsteps
+        self.meta: Optional[_BlockMeta] = None
+        self.self_pair = (self, None)
+        #: header's ``function:block`` tag, so a trace-tier profile can
+        #: be fed back into region selection (which keys on the header)
+        self.label = label
+        #: number of basic blocks fused into this region
+        self.blocks = blocks
+
+
+class TraceProgram:
+    """All defined functions of one module, trace-compiled."""
+
+    __slots__ = (
+        "functions",
+        "fingerprint",
+        "profile_digest",
+        "compile_seconds",
+        "issue_width",
+        "sources",
+        "region_count",
+        "fused_blocks",
+    )
+
+    def __init__(self, fingerprint: tuple, profile_digest: Optional[str]):
+        #: Function -> entry code (RegionCode or BlockCode)
+        self.functions: Dict[Function, object] = {}
+        self.fingerprint = fingerprint
+        self.profile_digest = profile_digest
+        self.compile_seconds = 0.0
+        self.issue_width = BLOCK_ISSUE_WIDTH
+        #: Function -> generated source, kept for debugging
+        self.sources: Dict[Function, str] = {}
+        self.region_count = 0
+        self.fused_blocks = 0
+
+
+class _Region:
+    """One selected region before code generation."""
+
+    __slots__ = ("header", "blocks", "ids", "chains", "head_index")
+
+    def __init__(self, header: DecodedBlock, blocks: List[DecodedBlock]):
+        self.header = header
+        self.blocks = blocks
+        self.ids: Set[int] = {id(b) for b in blocks}
+        #: superblock chains; chain 0 starts at the header
+        self.chains: List[List[DecodedBlock]] = []
+        #: id(chain head) -> chain number, the ``_n`` dispatch table
+        self.head_index: Dict[int, int] = {}
+
+
+class _RegionPlan:
+    """Per-region analysis results consumed by the generator."""
+
+    __slots__ = (
+        "locals_map",
+        "spill",
+        "invariants",
+        "header_phis",
+        "dfi_specs",
+        "dfi_skip",
+        "pac_sites",
+        "has_loop",
+    )
+
+    def __init__(self):
+        #: id(value) -> Python local name (region locals + invariants)
+        self.locals_map: Dict[int, str] = {}
+        #: (value, local name) pairs flushed to the frame before a deopt
+        self.spill: List[Tuple[object, str]] = []
+        #: (value, local name) preamble loads of loop-invariant operands
+        self.invariants: List[Tuple[object, str]] = []
+        #: (phi, local name) preamble loads of localized header phis
+        self.header_phis: List[Tuple[Phi, str]] = []
+        #: hoisted dfi.chkdef specs, check_batch format (deduplicated)
+        self.dfi_specs: List[tuple] = []
+        #: (id(dblock), body index) of hoisted sites (skipped inline)
+        self.dfi_skip: Set[Tuple[int, int]] = set()
+        #: (id(dblock), body index) -> memo index for PAC sign/auth
+        self.pac_sites: Dict[Tuple[int, int], int] = {}
+        self.has_loop = False
+
+
+def _successors(dblock: DecodedBlock) -> tuple:
+    term = dblock.term
+    if term[0] == "jump":
+        return (term[1],)
+    if term[0] == "br":
+        return (term[2], term[3])
+    return ()
+
+
+def _function_order(entry: DecodedBlock) -> List[DecodedBlock]:
+    """Reachable decoded blocks, BFS from the entry (stable order)."""
+    order: List[DecodedBlock] = []
+    seen = {id(entry)}
+    worklist = [entry]
+    while worklist:
+        dblock = worklist.pop(0)
+        order.append(dblock)
+        for successor in _successors(dblock):
+            if id(successor) not in seen:
+                seen.add(id(successor))
+                worklist.append(successor)
+    return order
+
+
+def _block_steps(dblock: DecodedBlock) -> int:
+    return len(dblock.ops) + (0 if dblock.term[0] == "fall" else 1)
+
+
+# ---------------------------------------------------------------------------
+# Region selection
+# ---------------------------------------------------------------------------
+
+
+def _natural_loops(
+    order: List[DecodedBlock], dom: DominatorTree
+) -> List[Tuple[DecodedBlock, Dict[int, DecodedBlock]]]:
+    """Natural loops over the decoded CFG, merged per header.
+
+    A back edge is ``X -> H`` with ``H.source`` dominating ``X.source``;
+    the loop body is every block that reaches ``X`` backwards without
+    passing ``H``.  Natural loops are single-entry: every predecessor
+    of a non-header member is itself a member, which is exactly the
+    property region codegen needs (outside code can only ever jump to
+    the header).
+    """
+    preds: Dict[int, List[DecodedBlock]] = {}
+    for dblock in order:
+        for successor in _successors(dblock):
+            preds.setdefault(id(successor), []).append(dblock)
+    loops: Dict[int, Tuple[DecodedBlock, Dict[int, DecodedBlock]]] = {}
+    for dblock in order:
+        for successor in _successors(dblock):
+            if not dom.dominates(successor.source, dblock.source):
+                continue
+            header = successor
+            entry = loops.get(id(header))
+            if entry is None:
+                entry = loops[id(header)] = (header, {id(header): header})
+            body = entry[1]
+            stack = [dblock]
+            while stack:
+                member = stack.pop()
+                if id(member) in body:
+                    continue
+                body[id(member)] = member
+                stack.extend(preds.get(id(member), ()))
+    return list(loops.values())
+
+
+def _select_regions(
+    function: Function,
+    order: List[DecodedBlock],
+    dom: DominatorTree,
+    counts: Optional[Dict[str, float]],
+) -> List[_Region]:
+    def execs(dblock: DecodedBlock) -> float:
+        if counts is None:
+            return 0.0
+        return counts.get(f"{function.name}:{dblock.source.name}", 0.0)
+
+    if len(order) <= WHOLE_FUNCTION_BLOCKS:
+        # Small function: one region covering everything, rooted at the
+        # entry block.  With a profile, skip functions that never ran.
+        if counts is not None and execs(order[0]) <= 0:
+            return []
+        return [_Region(order[0], list(order))]
+
+    pos = {id(d): i for i, d in enumerate(order)}
+    candidates: List[_Region] = []
+    for header, body in _natural_loops(order, dom):
+        if len(body) > MAX_REGION_BLOCKS:
+            continue
+        if counts is not None and execs(header) <= 0:
+            continue
+        blocks = sorted(body.values(), key=lambda d: pos[id(d)])
+        candidates.append(_Region(header, blocks))
+    # Outermost loops first; nested/overlapping ones are dropped so the
+    # chosen regions stay disjoint (single-entry is per region).
+    candidates.sort(key=lambda r: (-len(r.blocks), pos[id(r.header)]))
+    chosen: List[_Region] = []
+    taken: Set[int] = set()
+    for region in candidates:
+        if region.ids & taken:
+            continue
+        taken |= region.ids
+        chosen.append(region)
+    return chosen
+
+
+#: Largest block (in decoded ops) tail duplication may copy into a chain.
+DUPLICATE_OPS = 12
+
+#: Emitted-ops growth factor tail duplication may cost per region.
+DUPLICATE_GROWTH = 2
+
+
+def _build_chains(region: _Region, hotness, pos: Dict[int, int]) -> None:
+    """Greedy superblock layout: fall-through chains, hot successor first.
+
+    A block extends a chain when it is internal, not the header, and
+    either unplaced with exactly one internal in-edge, or small enough
+    for *tail duplication*: join blocks (several in-edges) are copied
+    into each predecessor's chain instead of forcing a trip through the
+    ``_n`` dispatch ladder, so a loop iteration spanning an if/else
+    diamond fuses into one straight-line segment per path.  Duplication
+    is exact -- every copy retires the same ops and resolves its phi
+    routes against its actual static predecessor -- and is bounded by
+    :data:`DUPLICATE_OPS` per block, :data:`DUPLICATE_GROWTH` per
+    region, and a no-revisit rule per chain (which also breaks cycles;
+    the back edge to the header always ends the chain).  Chains whose
+    head no emitted edge can reach anymore (every predecessor
+    duplicated its own copy) are dropped.
+    """
+    ids = region.ids
+    edge_count: Dict[int, int] = {id(b): 0 for b in region.blocks}
+    for dblock in region.blocks:
+        for successor in _successors(dblock):
+            if id(successor) in ids:
+                edge_count[id(successor)] += 1
+
+    placed: Set[int] = set()
+    budget = DUPLICATE_GROWTH * sum(
+        _block_steps(dblock) for dblock in region.blocks
+    )
+
+    def eligible(successor: DecodedBlock, chain_ids: Set[int]) -> bool:
+        if id(successor) not in ids or successor is region.header:
+            return False
+        if id(successor) in chain_ids:
+            return False  # no revisits: breaks cycles not through the header
+        if edge_count[id(successor)] == 1 and id(successor) not in placed:
+            return True
+        return (
+            len(successor.ops) <= DUPLICATE_OPS
+            and successor.term[0] != "fall"
+            and budget - _block_steps(successor) >= 0
+        )
+
+    def fallthrough(
+        current: DecodedBlock, chain_ids: Set[int]
+    ) -> Optional[DecodedBlock]:
+        term = current.term
+        if term[0] == "jump":
+            targets = [term[1]]
+        elif term[0] == "br":
+            constant, payload = term[1]
+            if constant:
+                targets = [term[2] if payload & 1 else term[3]]
+            else:
+                # hotter arm becomes the fall-through; false arm on ties
+                targets = sorted(
+                    (term[3], term[2]), key=lambda s: (-hotness(s), pos[id(s)])
+                )
+        else:
+            return None
+        for target in targets:
+            if eligible(target, chain_ids):
+                return target
+        return None
+
+    def goto_targets(
+        dblock: DecodedBlock, nxt: Optional[DecodedBlock]
+    ) -> List[DecodedBlock]:
+        """Internal successors the emitted code dispatches to by goto.
+
+        Mirrors :func:`_emit_region_term`: static transfers (jump /
+        constant branch / degenerate branch) reference only their one
+        target; the fall-through into the next chain position is not a
+        goto at all.
+        """
+        target = _static_target(dblock)
+        if target is not None:
+            succs = [target]
+        elif dblock.term[0] == "br":
+            succs = [dblock.term[2], dblock.term[3]]
+        else:
+            return []
+        return [s for s in succs if s is not nxt and id(s) in ids]
+
+    chains: List[List[DecodedBlock]] = []
+
+    def build_chain(seed: DecodedBlock) -> None:
+        chain = [seed]
+        chain_ids = {id(seed)}
+        placed.add(id(seed))
+        current = seed
+        while True:
+            nxt = fallthrough(current, chain_ids)
+            if nxt is None:
+                break
+            if edge_count[id(nxt)] == 1 and id(nxt) not in placed:
+                placed.add(id(nxt))
+            else:
+                nonlocal budget
+                budget -= _block_steps(nxt)
+            chain.append(nxt)
+            chain_ids.add(id(nxt))
+            current = nxt
+        chains.append(chain)
+
+    seeds = [region.header] + sorted(
+        (b for b in region.blocks if b is not region.header),
+        key=lambda b: (-hotness(b), pos[id(b)]),
+    )
+    for seed in seeds:
+        if id(seed) not in placed:
+            build_chain(seed)
+
+    # Duplication can leave a goto dangling: a copied predecessor may
+    # branch to a single-in-edge block that sits mid-chain elsewhere and
+    # so heads no chain.  Seed forced chains (correctness beats budget)
+    # until every emitted goto target is dispatchable.
+    while True:
+        head_ids = {id(chain[0]) for chain in chains}
+        missing: Optional[DecodedBlock] = None
+        for chain in chains:
+            for position, dblock in enumerate(chain):
+                nxt = (
+                    chain[position + 1] if position + 1 < len(chain) else None
+                )
+                for successor in goto_targets(dblock, nxt):
+                    if id(successor) not in head_ids:
+                        missing = successor
+                        break
+                if missing is not None:
+                    break
+            if missing is not None:
+                break
+        if missing is None:
+            break
+        build_chain(missing)
+
+    # Drop chains nothing dispatches to anymore: once every predecessor
+    # carries its own duplicated copy of a join block, the join's own
+    # chain (seeded because duplication never marks a block placed) is
+    # dead weight in the dispatch ladder.
+    head_of = {id(chain[0]): index for index, chain in enumerate(chains)}
+    adjacency: List[Set[int]] = []
+    for chain in chains:
+        targets: Set[int] = set()
+        for position, dblock in enumerate(chain):
+            nxt = chain[position + 1] if position + 1 < len(chain) else None
+            for successor in goto_targets(dblock, nxt):
+                index = head_of.get(id(successor))
+                if index is not None:
+                    targets.add(index)
+        adjacency.append(targets)
+    keep = {0}
+    worklist = [0]
+    while worklist:
+        for index in adjacency[worklist.pop()]:
+            if index not in keep:
+                keep.add(index)
+                worklist.append(index)
+    region.chains = [chain for i, chain in enumerate(chains) if i in keep]
+    region.head_index = {
+        id(chain[0]): i for i, chain in enumerate(region.chains)
+    }
+
+
+# ---------------------------------------------------------------------------
+# Region analysis: locals, invariants, hoisting, memoization
+# ---------------------------------------------------------------------------
+
+
+def _function_reads(
+    order: List[DecodedBlock],
+) -> Tuple[Set[int], Dict[int, Set[int]]]:
+    """(pinned ids, value id -> reader block ids) over a whole function.
+
+    Readers cover body operands, terminator payloads, and the phi
+    routes a block applies on its *outgoing* edges (routing runs in the
+    predecessor's generated code).  ``pinned`` values are read through
+    the frame dict at runtime (fallback handlers, batched DFI checks)
+    and can never live in a Python local.
+    """
+    pinned: Set[int] = set()
+    read_in: Dict[int, Set[int]] = {}
+
+    for dblock in order:
+        bid = id(dblock)
+
+        def read(value, via_frame=False, bid=bid):
+            read_in.setdefault(id(value), set()).add(bid)
+            if via_frame:
+                pinned.add(id(value))
+
+        body = _body_instructions(dblock)
+        for i, inst in enumerate(body):
+            impure = dblock.ops[i][2]
+            _, reads, via_frame = _classify(inst, impure)
+            for value in reads:
+                read(value, via_frame)
+        term = dblock.term
+        if term[0] == "ret":
+            spec = term[1]
+            if spec is not None and not spec[0]:
+                read(spec[1])
+        elif term[0] == "br" and not term[1][0]:
+            read(term[1][1])
+        for successor in _successors(dblock):
+            route = successor.phi_routes.get(dblock)
+            if isinstance(route, tuple):
+                for _, constant, payload in route:
+                    if not constant:
+                        read(payload)
+    return pinned, read_in
+
+
+def _make_spiller(slots: Tuple[Tuple[object, str], ...]):
+    """Closure flushing bound region locals back into the frame dict.
+
+    Called right before a mid-region deopt to the decoded tier; locals
+    not yet bound on this path are simply absent from ``locals()`` and
+    skipped.
+    """
+
+    def _spill(frame, loc):
+        for value, name in slots:
+            bound = loc.get(name)
+            if bound is not None:
+                frame[value] = bound
+
+    return _spill
+
+
+def _plan_region(
+    function: Function,
+    order: List[DecodedBlock],
+    region: _Region,
+    dom: DominatorTree,
+    layout,
+) -> _RegionPlan:
+    plan = _RegionPlan()
+    by_id = {id(d): d for d in order}
+    pinned, read_in = _function_reads(order)
+    header_source = region.header.source
+
+    backedge_sources = [
+        dblock
+        for dblock in region.blocks
+        for successor in _successors(dblock)
+        if id(successor) in region.ids
+        and dom.dominates(successor.source, dblock.source)
+    ]
+    plan.has_loop = bool(backedge_sources)
+
+    # Everything a region invocation may (re)define: body results --
+    # def_ok or not, since fallback handlers write their result through
+    # the frame mid-region -- plus the region's own phis.  Allocas are
+    # exempt: their frame slot is assigned once at call layout and the
+    # generated code never writes it.
+    region_defined: Set[int] = set()
+    region_bodies: Dict[int, List[object]] = {}
+    for dblock in region.blocks:
+        body = _body_instructions(dblock)
+        region_bodies[id(dblock)] = body
+        for inst in body:
+            if not isinstance(inst, Alloca):
+                region_defined.add(id(inst))
+        for phi in dblock.source.phis:
+            region_defined.add(id(phi))
+
+    def always_set_at_entry(value) -> bool:
+        """Frame slot guaranteed bound whenever the region is entered."""
+        if isinstance(value, (Argument, Alloca)):
+            return True
+        if isinstance(value, Instruction) and value.parent is not None:
+            return dom.dominates(value.parent, header_source)
+        return False
+
+    # -- region locals ------------------------------------------------------
+    def consider(value, dblock) -> None:
+        if id(value) in pinned or id(value) in plan.locals_map:
+            return
+        readers = read_in.get(id(value), set())
+        if not readers <= region.ids:
+            return
+        # SSA guarantees def-dominates-use; checking it keeps malformed
+        # IR on the (accepted) divergence path instead of silently
+        # reading a stale local from a previous iteration.
+        if not all(
+            dom.dominates(dblock.source, by_id[r].source) for r in readers
+        ):
+            return
+        name = f"_l{len(plan.spill)}"
+        plan.locals_map[id(value)] = name
+        plan.spill.append((value, name))
+        if isinstance(value, Phi) and dblock is region.header:
+            plan.header_phis.append((value, name))
+
+    for dblock in region.blocks:
+        for phi in dblock.source.phis:
+            consider(phi, dblock)
+        body = region_bodies[id(dblock)]
+        for i, inst in enumerate(body):
+            impure = dblock.ops[i][2]
+            def_ok, _, _ = _classify(inst, impure)
+            if def_ok:
+                consider(inst, dblock)
+
+    region_pure = True
+    for dblock in region.blocks:
+        for i, inst in enumerate(region_bodies[id(dblock)]):
+            if dblock.ops[i][2] or isinstance(inst, DfiSetDef):
+                region_pure = False
+                break
+        if not region_pure:
+            break
+
+    if not plan.has_loop:
+        return plan
+
+    # -- loop-invariant operand loads ---------------------------------------
+    def invariant(value) -> bool:
+        return id(value) not in region_defined and always_set_at_entry(value)
+
+    seen_inv: Set[int] = set()
+    for dblock in region.blocks:
+        body = region_bodies[id(dblock)]
+        sources: List[object] = []
+        for i, inst in enumerate(body):
+            impure = dblock.ops[i][2]
+            _, reads, via_frame = _classify(inst, impure)
+            if not via_frame:
+                sources.extend(reads)
+        term = dblock.term
+        if term[0] == "ret" and term[1] is not None and not term[1][0]:
+            sources.append(term[1][1])
+        elif term[0] == "br" and not term[1][0]:
+            sources.append(term[1][1])
+        for successor in _successors(dblock):
+            route = successor.phi_routes.get(dblock)
+            if isinstance(route, tuple):
+                for _, constant, payload in route:
+                    if not constant:
+                        sources.append(payload)
+        for value in sources:
+            if id(value) in seen_inv or id(value) in plan.locals_map:
+                continue
+            seen_inv.add(id(value))
+            if _spec(value, layout)[0]:
+                continue  # folds to a literal anyway
+            if not invariant(value):
+                continue
+            name = f"_i{len(plan.invariants)}"
+            plan.invariants.append((value, name))
+            plan.locals_map[id(value)] = name
+
+    # -- hoisted DFI checks -------------------------------------------------
+    if region_pure:
+        seen_specs: Set[tuple] = set()
+        for dblock in region.blocks:
+            # Only sites that run on every completed iteration (their
+            # block dominates a back edge) are worth hoisting; others
+            # would risk deopting on checks the program never executes.
+            if not any(
+                dom.dominates(dblock.source, x.source) for x in backedge_sources
+            ):
+                continue
+            body = region_bodies[id(dblock)]
+            for i, inst in enumerate(body):
+                if not isinstance(inst, DfiChkDef) or dblock.ops[i][2]:
+                    continue
+                constant, pointer = _spec(inst.pointer, layout)
+                if not constant and not invariant(pointer):
+                    continue
+                plan.dfi_skip.add((id(dblock), i))
+                key = (
+                    constant,
+                    pointer if constant else id(pointer),
+                    inst.size,
+                    inst.allowed,
+                )
+                if key in seen_specs:
+                    continue
+                seen_specs.add(key)
+                plan.dfi_specs.append(
+                    (constant, pointer, inst.size, inst.allowed)
+                )
+
+    # -- PAC sign/auth memoization ------------------------------------------
+    for dblock in region.blocks:
+        body = region_bodies[id(dblock)]
+        for i, inst in enumerate(body):
+            if not isinstance(inst, (PacSign, PacAuth)) or dblock.ops[i][2]:
+                continue
+            vconst, vvalue = _spec(inst.value, layout)
+            mconst, mvalue = _spec(inst.modifier, layout)
+            if not vconst and id(vvalue) in region_defined:
+                continue
+            if not mconst and id(mvalue) in region_defined:
+                continue
+            plan.pac_sites[(id(dblock), i)] = len(plan.pac_sites)
+
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Region code generation
+# ---------------------------------------------------------------------------
+
+
+def _emit_region_phi_edge(gen: _FnGen, route, indent: int) -> bool:
+    """Inline phi routing for one region edge; targets may be locals.
+
+    Charges go to the region's local accumulators (``_cy``/``_in``/
+    ``_cr``), not to ``timing`` -- region code flushes those at every
+    exit (see _gen_region).
+    """
+    if isinstance(route, str):
+        gen.emit(f"raise KeyError({route!r})", indent=indent)
+        return True
+    n = len(route)
+    gen.emit(f"_in += {n}", indent=indent)
+    gen.emit(f"counts['phi'] += {n}", indent=indent)
+    gen.emit(f"_pr = _cr + {n}", indent=indent)
+    gen.emit(f"_cy += _pr // {BLOCK_ISSUE_WIDTH}", indent=indent)
+    gen.emit(f"_cr = _pr % {BLOCK_ISSUE_WIDTH}", indent=indent)
+    targets = ", ".join(gen.target(phi) for phi, _, _ in route)
+    values = ", ".join(
+        gen.operand((constant, payload)) for _, constant, payload in route
+    )
+    gen.emit(f"{targets} = {values}", indent=indent)
+    return False
+
+
+def _emit_region_goto(
+    gen: _FnGen,
+    region: _Region,
+    dblock: DecodedBlock,
+    target: DecodedBlock,
+    k: int,
+    indent: int,
+    next_block: Optional[DecodedBlock],
+    codes: Dict[int, object],
+    merged: bool,
+    flush,
+) -> None:
+    route = target.phi_routes.get(dblock)
+    if route is not None:
+        if merged:
+            # The edge's charges ride in the op stream as 'phi'
+            # pseudo-ops; only the parallel register moves remain.
+            targets = ", ".join(gen.target(phi) for phi, _, _ in route)
+            values = ", ".join(
+                gen.operand((constant, payload))
+                for _, constant, payload in route
+            )
+            gen.emit(f"{targets} = {values}", indent=indent)
+        elif _emit_region_phi_edge(gen, route, indent):
+            return
+    if id(target) in region.ids:
+        if target is next_block:
+            return  # fall through into the next fused block
+        if len(region.chains) > 1:
+            gen.emit(f"_n = {region.head_index[id(target)]}", indent=indent)
+        gen.emit("continue", indent=indent, op=k)
+    else:
+        pair = gen.bind(codes[id(target)].self_pair, "S")
+        flush(indent)
+        gen.emit(f"return {pair}", indent=indent, op=k)
+
+
+def _emit_region_term(
+    gen: _FnGen,
+    region: _Region,
+    dblock: DecodedBlock,
+    k: int,
+    d: int,
+    next_block: Optional[DecodedBlock],
+    codes: Dict[int, object],
+    static_merged: bool,
+    fall_merged: bool,
+    flush,
+) -> None:
+    term = dblock.term
+    kind = term[0]
+    if kind == "ret":
+        spec = term[1]
+        flush(d)
+        if spec is None:
+            gen.emit(f"return {gen.bind((BLOCK_RET, None), 'R')}", indent=d, op=k)
+        elif spec[0]:
+            gen.emit(
+                f"return {gen.bind((BLOCK_RET, spec[1]), 'R')}", indent=d, op=k
+            )
+        else:
+            gen.emit(f"return (_RET, {gen.operand(spec)})", indent=d, op=k)
+        return
+    if kind == "jump":
+        _emit_region_goto(
+            gen, region, dblock, term[1], k, d, next_block, codes,
+            static_merged, flush,
+        )
+        return
+    constant, payload = term[1]
+    t_true, t_false = term[2], term[3]
+    if constant:
+        target = t_true if payload & 1 else t_false
+        _emit_region_goto(
+            gen, region, dblock, target, k, d, next_block, codes,
+            static_merged, flush,
+        )
+        return
+    if t_true is t_false:
+        # Degenerate branch: both arms coincide, so the transfer is
+        # static (see _static_target) and the pure condition operand
+        # need not be evaluated.
+        _emit_region_goto(
+            gen, region, dblock, t_true, k, d, next_block, codes,
+            static_merged, flush,
+        )
+        return
+    cond = gen.operand(term[1])
+    if t_false is next_block and t_true is not next_block:
+        gen.emit(f"if (({cond}) & 1):", indent=d, op=k)
+        _emit_region_goto(
+            gen, region, dblock, t_true, k, d + 1, None, codes, False, flush
+        )
+        _emit_region_goto(
+            gen, region, dblock, t_false, k, d, next_block, codes,
+            fall_merged, flush,
+        )
+    elif t_true is next_block and t_false is not next_block:
+        gen.emit(f"if not (({cond}) & 1):", indent=d, op=k)
+        _emit_region_goto(
+            gen, region, dblock, t_false, k, d + 1, None, codes, False, flush
+        )
+        _emit_region_goto(
+            gen, region, dblock, t_true, k, d, next_block, codes,
+            fall_merged, flush,
+        )
+    else:
+        gen.emit(f"if (({cond}) & 1):", indent=d, op=k)
+        _emit_region_goto(
+            gen, region, dblock, t_true, k, d + 1, None, codes, False, flush
+        )
+        _emit_region_goto(
+            gen, region, dblock, t_false, k, d, None, codes, False, flush
+        )
+
+
+def _emit_pac_memo(
+    gen: _FnGen, inst, layout, k: int, d: int, memo: int
+) -> None:
+    value = gen.operand(_spec(inst.value, layout))
+    modifier = gen.operand(_spec(inst.modifier, layout))
+    target = gen.target(inst)
+    method = "sign" if isinstance(inst, PacSign) else "auth"
+    gen.emit(
+        f"if _pe{memo} == pac.key_epoch and pac.fault_hook is None:", indent=d
+    )
+    gen.emit(f"    pac.{method}_count += 1", indent=d)
+    gen.emit(f"    {target} = _pv{memo}", indent=d)
+    gen.emit("else:", indent=d)
+    gen.emit(
+        f"    _t = pac.{method}({value}, {modifier}, {inst.key_id!r})",
+        indent=d,
+        op=k,
+    )
+    gen.emit(f"    {target} = _t", indent=d)
+    gen.emit("    if pac.fault_hook is None:", indent=d)
+    gen.emit(f"        _pe{memo} = pac.key_epoch", indent=d)
+    gen.emit(f"        _pv{memo} = _t", indent=d)
+
+
+_PAC_FIELD = (1 << PAC_BITS) - 1
+_U64_MASK = (1 << 64) - 1
+
+
+def _emit_pac_inline_auth(gen: _FnGen, inst, layout, k: int, d: int) -> None:
+    """Open-code the MAC-memo probe of :meth:`PointerAuthentication.auth`.
+
+    Sites whose operands vary across iterations cannot use the
+    loop-invariant memo slot, but the authenticated value is often
+    dynamically stable, so the shared ``_pac_cache`` usually holds the
+    expected PAC already.  The probe replicates auth's own hit path --
+    same key tuple, same counter bump, same strip -- and any miss or
+    mismatch defers to the real method, which recomputes, stores, and
+    raises exactly as before.
+    """
+    value = gen.operand(_spec(inst.value, layout))
+    modifier = gen.operand(_spec(inst.modifier, layout))
+    target = gen.target(inst)
+    gen.emit(
+        f"_t = _pg(({inst.key_id!r}, ({value}) & {ADDR_MASK}, "
+        f"({modifier}) & {_U64_MASK}, pac.key_epoch))",
+        indent=d,
+        op=k,
+    )
+    gen.emit(
+        f"if _t is not None and ((({value}) >> {VA_BITS}) & {_PAC_FIELD}) == _t:",
+        indent=d,
+    )
+    gen.emit("    pac.auth_count += 1", indent=d)
+    gen.emit(f"    {target} = ({value}) & {ADDR_MASK}", indent=d)
+    gen.emit("else:", indent=d)
+    gen.emit(
+        f"    {target} = _pa({value}, {modifier}, {inst.key_id!r})",
+        indent=d,
+        op=k,
+    )
+
+
+def _emit_pac_inline_sign(gen: _FnGen, inst, layout, k: int, d: int) -> None:
+    """Open-code the MAC-memo probe of ``sign``; see the auth twin.
+
+    Sign additionally routes through the fault hook when one is
+    installed, so the probe only fires for hook-free runs -- chaos runs
+    take the full method call at every site.
+    """
+    value = gen.operand(_spec(inst.value, layout))
+    modifier = gen.operand(_spec(inst.modifier, layout))
+    target = gen.target(inst)
+    gen.emit(
+        f"_t = None if pac.fault_hook is not None else "
+        f"_pg(({inst.key_id!r}, ({value}) & {ADDR_MASK}, "
+        f"({modifier}) & {_U64_MASK}, pac.key_epoch))",
+        indent=d,
+        op=k,
+    )
+    gen.emit("if _t is None:", indent=d)
+    gen.emit(
+        f"    {target} = _ps({value}, {modifier}, {inst.key_id!r})",
+        indent=d,
+        op=k,
+    )
+    gen.emit("else:", indent=d)
+    gen.emit("    pac.sign_count += 1", indent=d)
+    gen.emit(
+        f"    {target} = (({value}) & {ADDR_MASK}) | (_t << {VA_BITS})",
+        indent=d,
+    )
+
+
+def _chain_segments(chain: List[DecodedBlock]) -> List[Tuple[int, int]]:
+    """Split a chain into guard segments at call-carrying blocks.
+
+    Returns ``(start, end)`` position ranges.  A segment is the unit of
+    step-limit guarding: one check at the segment head covers every
+    step its fused chunks charge.  A block whose ops include an impure
+    op (a call) ends its segment, because the callee retires an unknown
+    number of steps -- the next block must re-check against
+    ``max_steps`` before charging anything, which is exactly where the
+    block tier's per-block guard would re-check.  A triggered guard
+    deopts the whole segment to the decoded oracle from the segment
+    head, whose replay retires bit-identical state to running the fused
+    blocks one tier down.
+    """
+    segments: List[Tuple[int, int]] = []
+    start = 0
+    for position, dblock in enumerate(chain):
+        if any(op[2] for op in dblock.ops):
+            segments.append((start, position + 1))
+            start = position + 1
+    if start < len(chain):
+        segments.append((start, len(chain)))
+    return segments
+
+
+def _static_target(dblock: DecodedBlock) -> Optional[DecodedBlock]:
+    """The successor an emitted block reaches unconditionally, if any.
+
+    Jumps, constant-condition branches, and degenerate branches whose
+    arms coincide all transfer control to one statically-known block;
+    their outgoing phi routing can therefore charge inside the
+    preceding chunk (the condition operand of a degenerate branch is
+    pure, so not evaluating it is unobservable).
+    """
+    term = dblock.term
+    if term[0] == "jump":
+        return term[1]
+    if term[0] == "br":
+        constant, payload = term[1]
+        if constant:
+            return term[2] if payload & 1 else term[3]
+        if term[2] is term[3]:
+            return term[2]
+    return None
+
+
+def _chunk_tables(all_info, s: int, e: int) -> Tuple[tuple, tuple]:
+    costs = [all_info[i][1] for i in range(s, e)]
+    cycles_table = tuple(
+        _simulate(costs, BLOCK_ISSUE_WIDTH, r)[0]
+        for r in range(BLOCK_ISSUE_WIDTH)
+    )
+    cheap_table = tuple(
+        _simulate(costs, BLOCK_ISSUE_WIDTH, r)[1]
+        for r in range(BLOCK_ISSUE_WIDTH)
+    )
+    return cycles_table, cheap_table
+
+
+def _emit_chunk_charges(
+    gen: _FnGen, all_info, s: int, e: int, kvar: str
+) -> None:
+    """Batched retirement for one (possibly cross-block) pure chunk.
+
+    A chunk may span every block fused between two impure ops or
+    conditional branches, plus the 'phi' pseudo-ops of statically-taken
+    edges inside that span.  All charges land in the region's local
+    accumulators (``_cy`` cycles, ``_cr`` issue residue, ``_in``
+    instructions, ``_st`` steps -- phi routing retires instructions and
+    issue slots but no steps) plus one execution counter per chunk
+    (``kvar``), from which exits reconstruct the opcode histogram; only
+    the chunk-entry residue ``_r0`` stays materialised because the trap
+    fixup reads it from the frame.
+    """
+    cycles_table, cheap_table = _chunk_tables(all_info, s, e)
+    n = e - s
+    nsteps = sum(1 for i in range(s, e) if all_info[i][0] != "phi")
+    gen.emit("_r0 = _cr")
+    parts = [
+        f"_cy += {gen.bind(cycles_table, 'T')}[_r0]",
+        f"_cr = {gen.bind(cheap_table, 'T')}[_r0]",
+        f"_in += {n}",
+    ]
+    if nsteps:
+        parts.append(f"_st += {nsteps}")
+    parts.append(f"{kvar} += 1")
+    gen.emit("; ".join(parts))
+
+
+def _emit_impure_charges(gen: _FnGen, all_info, s: int) -> None:
+    """Flush-and-charge for an impure single-op chunk.
+
+    The callee (or fallback handler) reads and charges ``cpu.steps``,
+    ``timing.cycles`` and ``timing._cheap_run`` itself, so the pending
+    local accumulators for those must flush *before* re-entry -- this
+    is also what keeps a step-limit or trap raised inside the callee
+    bit-identical to the block tier.  Pending instructions and opcode
+    tallies stay local: the callee only ever adds to them, so the sums
+    commute, and every region exit (including the exception handler)
+    flushes them.  The caller emits the op statement itself, then
+    re-reads ``_cr`` (the callee moved the residue).
+    """
+    name = all_info[s][0]
+    cycles_table, cheap_table = _chunk_tables(all_info, s, s + 1)
+    gen.emit(f"timing.cycles += _cy + {gen.bind(cycles_table, 'T')}[_cr]")
+    gen.emit(f"timing._cheap_run = {gen.bind(cheap_table, 'T')}[_cr]")
+    gen.emit("_cy = 0")
+    gen.emit("cpu.steps += _st + 1; _st = 0")
+    gen.emit("_in += 1")
+    gen.emit(f"counts[{name!r}] += 1")
+
+
+def _gen_region(
+    gen: _FnGen,
+    fn_name: str,
+    region: _Region,
+    layout,
+    meta: _BlockMeta,
+    codes: Dict[int, object],
+    plan: _RegionPlan,
+) -> None:
+    phi_cost = DEFAULT_COSTS["phi"]
+
+    # -- superblock charge planning -------------------------------------
+    # Chains split into guard segments (see _chain_segments); within a
+    # segment the charges of consecutive fused blocks merge into
+    # cross-block chunks, splitting only at impure ops (their own chunk,
+    # as in the block tier) and *after* an unresolved conditional branch
+    # (ops beyond it are path-dependent).  Phi routing on edges whose
+    # traversal is certain once a chunk runs -- the static (jump /
+    # constant-branch) edge out of a block, or the conditional
+    # fall-through into the next fused block of the same segment --
+    # charges as 'phi' pseudo-ops inside the op stream, leaving only the
+    # parallel register moves at the edge itself.  A conditional
+    # fall-through crossing a segment boundary keeps the full inline
+    # edge: its charges must land *before* the next segment's guard can
+    # deopt to the decoded oracle, which replays from the target block
+    # and would never re-charge the already-traversed edge.
+    # Tail duplication means one block may be emitted several times, so
+    # every per-emission structure below keys on the *position*
+    # (chain index, index within the chain), never on the block object.
+    chains_segments = [_chain_segments(chain) for chain in region.chains]
+    seg_steps: Dict[Tuple[int, int], int] = {}  # (ci, start pos) -> steps
+    for ci, segments in enumerate(chains_segments):
+        chain = region.chains[ci]
+        for start, end in segments:
+            seg_steps[(ci, start)] = sum(
+                _block_steps(chain[p]) for p in range(start, end)
+            )
+
+    trailing_merge: Dict[Tuple[int, int], object] = {}  # static-edge route
+    leading_merge: Dict[Tuple[int, int], object] = {}  # fall-in route
+    for ci, chain in enumerate(region.chains):
+        for position, dblock in enumerate(chain):
+            next_block = (
+                chain[position + 1] if position + 1 < len(chain) else None
+            )
+            target = _static_target(dblock)
+            if target is not None:
+                route = target.phi_routes.get(dblock)
+                if route is not None and not isinstance(route, str) and route:
+                    trailing_merge[(ci, position)] = route
+                continue
+            if (
+                dblock.term[0] == "br"
+                and next_block is not None
+                and not any(op[2] for op in dblock.ops)
+            ):
+                route = next_block.phi_routes.get(dblock)
+                if route is not None and not isinstance(route, str) and route:
+                    leading_merge[(ci, position + 1)] = route
+
+    # Concatenated op metadata: merged leading phis, body ops, one
+    # terminator pseudo-op per block (br/jump/ret), merged trailing
+    # phis -- with *global* indices and chunk bounds so the shared trap
+    # fixup replays the right chunk wherever it trapped.  Every emission
+    # of a duplicated block gets its own index range and chunk bounds.
+    infos = []
+    all_info: List[List[object]] = []
+    info_by_pos: Dict[Tuple[int, int], tuple] = {}
+    base = 0
+    for ci, chain in enumerate(region.chains):
+        for position, dblock in enumerate(chain):
+            body = _body_instructions(dblock)
+            lead = leading_merge.get((ci, position))
+            nlead = len(lead) if lead else 0
+            op_info: List[List[object]] = [
+                ["phi", phi_cost, False] for _ in range(nlead)
+            ]
+            op_info.extend(
+                [opcode, cost, impure]
+                for opcode, cost, impure, _ in dblock.ops
+            )
+            term = dblock.term
+            if term[0] == "ret":
+                op_info.append(["ret", DEFAULT_COSTS["ret"], False])
+            elif term[0] in ("jump", "br"):
+                op_info.append(["br", DEFAULT_COSTS["br"], False])
+            trail = trailing_merge.get((ci, position))
+            op_info.extend(
+                ["phi", phi_cost, False]
+                for _ in range(len(trail) if trail else 0)
+            )
+            item = (dblock, body, op_info, base, nlead, len(body))
+            infos.append(item)
+            info_by_pos[(ci, position)] = item
+            all_info.extend(op_info)
+            base += len(op_info)
+
+    chunk_at: Dict[int, Tuple[int, int]] = {}  # chunk start -> (s, e)
+    chunk_of: Dict[int, Tuple[int, int]] = {}  # any op index -> its chunk
+    for ci, segments in enumerate(chains_segments):
+        chain = region.chains[ci]
+        for start, end in segments:
+            first = info_by_pos[(ci, start)]
+            last = info_by_pos[(ci, end - 1)]
+            s0 = first[3]
+            e0 = last[3] + len(last[2])
+            splits: Set[int] = set()
+            for p in range(start, end):
+                term = chain[p].term
+                if (
+                    term[0] == "br"
+                    and not term[1][0]
+                    and term[2] is not term[3]
+                ):
+                    item = info_by_pos[(ci, p)]
+                    splits.add(item[3] + item[4] + item[5])
+            chunks: List[Tuple[int, int]] = []
+            start = s0
+            for g in range(s0, e0):
+                if all_info[g][2]:
+                    if g > start:
+                        chunks.append((start, g))
+                    chunks.append((g, g + 1))
+                    start = g + 1
+                elif g in splits:
+                    chunks.append((start, g + 1))
+                    start = g + 1
+            if start < e0:
+                chunks.append((start, e0))
+            for s, e in chunks:
+                chunk_at[s] = (s, e)
+                for g in range(s, e):
+                    chunk_of[g] = (s, e)
+    meta.ops = tuple(
+        (info[0], info[1], info[2]) + chunk_of[g]
+        for g, info in enumerate(all_info)
+    )
+
+    # One local execution counter per pure chunk; exits rebuild the
+    # opcode histogram as counts[name] += sum(counter * multiplicity).
+    chunk_no: Dict[int, str] = {}
+    tally_terms: Dict[str, List[str]] = {}
+    for s in sorted(chunk_at):
+        e = chunk_at[s][1]
+        if all_info[s][2]:
+            continue  # impure chunks charge counts directly
+        kvar = f"_k{len(chunk_no)}"
+        chunk_no[s] = kvar
+        tallies: Dict[str, int] = {}
+        for i in range(s, e):
+            name = all_info[i][0]
+            tallies[name] = tallies.get(name, 0) + 1
+        for name, count in tallies.items():
+            tally_terms.setdefault(name, []).append(
+                kvar if count == 1 else f"{kvar}*{count}"
+            )
+    tally_flush = [
+        (name, " + ".join(terms)) for name, terms in tally_terms.items()
+    ]
+
+    uses_mem = uses_pac = uses_dfi = False
+    for _, body, _, _, _, _ in infos:
+        for inst in body:
+            if isinstance(inst, (Load, Store)):
+                uses_mem = True
+            elif isinstance(inst, (PacSign, PacAuth)):
+                uses_pac = True
+            elif isinstance(inst, (DfiSetDef, DfiChkDef)):
+                uses_dfi = True
+    if plan.dfi_specs:
+        uses_dfi = True
+
+    spill_name = None
+    if plan.spill:
+        spill_name = gen.bind(_make_spiller(tuple(plan.spill)), "P")
+
+    meta_name = gen.bind(meta, "M")
+    gen.fn_names.append(fn_name)
+    gen.current_map = meta.line_map
+    gen.block_locals = plan.locals_map
+    gen.emit(f"def {fn_name}(cpu, frame, timing, counts):", indent=1)
+    gen.emit("try:", indent=2)
+    # Local accounting accumulators (initialised before anything that
+    # can raise -- the except clause flushes them unconditionally):
+    # _cy cycles, _in instructions, _st steps, _cr issue residue, _kN
+    # per-chunk execution counters.  Hot-loop chunks touch only these
+    # locals; attribute and dict traffic happens once per region exit.
+    gen.emit("_cy = 0; _in = 0; _st = 0", indent=3)
+    kvars = list(chunk_no.values())
+    for at in range(0, len(kvars), 20):
+        gen.emit(" = ".join(kvars[at:at + 20]) + " = 0", indent=3)
+    gen.emit("_cr = timing._cheap_run", indent=3)
+
+    def flush(indent: int) -> None:
+        gen.emit("timing.cycles += _cy", indent=indent)
+        gen.emit("timing.instructions += _in", indent=indent)
+        gen.emit("cpu.steps += _st", indent=indent)
+        gen.emit("timing._cheap_run = _cr", indent=indent)
+        for name, expr in tally_flush:
+            gen.emit(f"counts[{name!r}] += {expr}", indent=indent)
+
+    # Loop-invariant aliases: generated op bodies are rewritten (see
+    # emit_default below) to call these pre-bound methods instead of
+    # chasing cpu.memory / cpu.pac / cpu.dfi_shadow attributes on every
+    # hot-loop iteration.  Fault hooks and key epochs stay live -- they
+    # are read inside the bound methods, not captured here.
+    if uses_mem:
+        gen.emit("mem = cpu.memory", indent=3)
+        gen.emit("_mr = mem.read_int; _mw = mem.write_int", indent=3)
+        gen.emit(
+            "_mr8 = mem.read_u64; _mr4 = mem.read_u32; "
+            "_mr2 = mem.read_u16; _mr1 = mem.read_u8",
+            indent=3,
+        )
+        gen.emit(
+            "_mw8 = mem.write_u64; _mw4 = mem.write_u32; "
+            "_mw2 = mem.write_u16; _mw1 = mem.write_u8",
+            indent=3,
+        )
+        gen.emit("_ch = cpu.cache is not None; _ca = cpu._cache_access", indent=3)
+    if uses_pac:
+        gen.emit("pac = cpu.pac", indent=3)
+        gen.emit("_ps = pac.sign; _pa = pac.auth", indent=3)
+        # _pac_cache survives corrupt_key/rekey (they clear() in place,
+        # never rebind), so a bound .get stays valid across epochs; the
+        # epoch lives in the lookup key, read live at each site.
+        gen.emit("_pg = pac._pac_cache.get", indent=3)
+    if uses_dfi:
+        gen.emit("dfi = cpu.dfi_shadow", indent=3)
+        gen.emit(
+            "_ds = dfi.set_range; _dr = dfi.check_range; _db = dfi.check_batch",
+            indent=3,
+        )
+    gen.emit("_ms = cpu.max_steps", indent=3)
+    if plan.dfi_specs:
+        # Entry check for every hoisted site; a violation deopts the
+        # whole invocation to the decoded oracle *before any charge*,
+        # which then traps at the exact site (or completes clean when
+        # the violating site turns out to be unreachable this call).
+        specs = gen.bind(tuple(plan.dfi_specs), "B")
+        header_name = gen.bind(region.header, "D")
+        gen.emit(f"_v = dfi.check_batch({specs}, frame)", indent=3)
+        gen.emit("if _v is not None:", indent=3)
+        gen.emit(
+            f"    return (_RET, cpu._interpret_decoded({header_name}, frame))",
+            indent=3,
+        )
+    for value, name in plan.invariants:
+        gen.emit(f"{name} = frame[{gen.bind(value, 'V')}]", indent=3)
+    for phi, name in plan.header_phis:
+        gen.emit(f"{name} = frame[{gen.bind(phi, 'V')}]", indent=3)
+    for memo in range(len(plan.pac_sites)):
+        gen.emit(f"_pe{memo} = -1", indent=3)
+    multi = len(region.chains) > 1
+    if multi:
+        gen.emit("_n = 0", indent=3)
+    gen.emit("while True:", indent=3)
+
+    old_emit = gen.emit
+    for ci, chain in enumerate(region.chains):
+        if multi:
+            keyword = "if" if ci == 0 else "elif"
+            old_emit(f"{keyword} _n == {ci}:", indent=4)
+            d = 5
+        else:
+            d = 4
+
+        def emit_default(text, indent=d, op=None):
+            if "(" in text:
+                text = (
+                    text.replace("mem.read_int(", "_mr(")
+                    .replace("mem.write_int(", "_mw(")
+                    .replace("mem.read_u64(", "_mr8(")
+                    .replace("mem.read_u32(", "_mr4(")
+                    .replace("mem.read_u16(", "_mr2(")
+                    .replace("mem.read_u8(", "_mr1(")
+                    .replace("mem.write_u64(", "_mw8(")
+                    .replace("mem.write_u32(", "_mw4(")
+                    .replace("mem.write_u16(", "_mw2(")
+                    .replace("mem.write_u8(", "_mw1(")
+                    .replace(
+                        "if cpu.cache is not None: cpu._cache_access(",
+                        "if _ch: _ca(",
+                    )
+                    .replace("pac.sign(", "_ps(")
+                    .replace("pac.auth(", "_pa(")
+                    .replace("dfi.set_range(", "_ds(")
+                    .replace("dfi.check_range(", "_dr(")
+                    .replace("dfi.check_batch(", "_db(")
+                )
+            old_emit(text, indent=indent, op=op)
+
+        gen.emit = emit_default  # type: ignore[method-assign]
+        try:
+            for position, dblock in enumerate(chain):
+                next_block = (
+                    chain[position + 1] if position + 1 < len(chain) else None
+                )
+                _, body, op_info, bbase, nlead, nbody = info_by_pos[
+                    (ci, position)
+                ]
+                nsteps = seg_steps.get((ci, position))
+                if nsteps is not None:
+                    # Deopt: flush what the decoded oracle reads and
+                    # charges itself (cycles, steps, residue) *before*
+                    # replay; instructions and opcode tallies commute,
+                    # so they flush after -- or, if the replay raises,
+                    # in the except clause.
+                    gen.emit(f"if cpu.steps + _st + {nsteps} > _ms:")
+                    if spill_name is not None:
+                        gen.emit(f"    {spill_name}(frame, locals())")
+                    gen.emit("    timing.cycles += _cy; _cy = 0")
+                    gen.emit("    cpu.steps += _st; _st = 0")
+                    gen.emit("    timing._cheap_run = _cr")
+                    gen.emit(
+                        "    _t = cpu._interpret_decoded("
+                        f"{gen.bind(dblock, 'D')}, frame)"
+                    )
+                    gen.emit("    timing.instructions += _in")
+                    for name, expr in tally_flush:
+                        gen.emit(f"    counts[{name!r}] += {expr}")
+                    gen.emit("    return (_RET, _t)")
+                tidx = (
+                    nlead + nbody if dblock.term[0] != "fall" else len(op_info)
+                )
+                j = 0
+                nops = len(op_info)
+                while j < nops:
+                    g = bbase + j
+                    bounds = chunk_at.get(g)
+                    if bounds is not None:
+                        if all_info[g][2]:
+                            _emit_impure_charges(gen, all_info, g)
+                        else:
+                            _emit_chunk_charges(
+                                gen, all_info, bounds[0], bounds[1],
+                                chunk_no[g],
+                            )
+                    if j < nlead or j > tidx:
+                        j += 1  # 'phi' pseudo-op: charge-only
+                        continue
+                    if j == tidx:
+                        _emit_region_term(
+                            gen,
+                            region,
+                            dblock,
+                            g,
+                            d,
+                            next_block,
+                            codes,
+                            (ci, position) in trailing_merge,
+                            (ci, position + 1) in leading_merge,
+                            flush,
+                        )
+                        j += 1
+                        continue
+                    i = j - nlead
+                    inst = body[i]
+                    if (id(dblock), i) in plan.dfi_skip:
+                        j += 1  # checked once, at region entry
+                        continue
+                    if isinstance(inst, DfiChkDef):
+                        run = [(g, inst)]
+                        nxt = i + 1
+                        while (
+                            nxt < nbody
+                            and isinstance(body[nxt], DfiChkDef)
+                            and (id(dblock), nxt) not in plan.dfi_skip
+                            and chunk_of[bbase + nlead + nxt] == chunk_of[g]
+                        ):
+                            run.append((bbase + nlead + nxt, body[nxt]))
+                            nxt += 1
+                        if len(run) >= 2:
+                            _gen_dfi_chk_batch(gen, run, layout)
+                            j = nlead + nxt
+                            continue
+                    memo = plan.pac_sites.get((id(dblock), i))
+                    if memo is not None:
+                        _emit_pac_memo(gen, inst, layout, g, d, memo)
+                        j += 1
+                        continue
+                    if isinstance(inst, PacAuth) and not dblock.ops[i][2]:
+                        _emit_pac_inline_auth(gen, inst, layout, g, d)
+                        j += 1
+                        continue
+                    if isinstance(inst, PacSign) and not dblock.ops[i][2]:
+                        _emit_pac_inline_sign(gen, inst, layout, g, d)
+                        j += 1
+                        continue
+                    _emit_op(gen, inst, dblock.ops[i], layout, g)
+                    if dblock.ops[i][2]:
+                        # The callee moved the issue residue; re-seed
+                        # the local before the next chunk charges.
+                        gen.emit("_cr = timing._cheap_run")
+                    j += 1
+                if dblock.term[0] == "fall":
+                    source = dblock.source
+                    owner = (
+                        source.parent.name if source.parent is not None else "?"
+                    )
+                    message = f"block %{source.name} in @{owner} fell through"
+                    gen.emit(f"raise RuntimeError({message!r})")
+        finally:
+            gen.emit = old_emit  # type: ignore[method-assign]
+    gen.emit("except BaseException as _exc:", indent=2)
+    # Flush pending local charges so the trap fixup reconciles against
+    # complete totals.  The issue residue is deliberately NOT flushed:
+    # for a trap at a fused op the fixup recomputes it exactly (from
+    # the _r0 frame local), and for an exception out of a callee or a
+    # decoded deopt replay, timing._cheap_run is already live (the
+    # local _cr is the stale pre-call value).
+    gen.emit("    timing.cycles += _cy", indent=2)
+    gen.emit("    timing.instructions += _in", indent=2)
+    gen.emit("    cpu.steps += _st", indent=2)
+    for name, expr in tally_flush:
+        gen.emit(f"    counts[{name!r}] += {expr}", indent=2)
+    gen.emit(f"    _FIX(cpu, timing, counts, {meta_name}, _exc)", indent=2)
+    gen.emit("    raise", indent=2)
+    gen.current_map = None
+    gen.block_locals = {}
+
+
+# ---------------------------------------------------------------------------
+# Function / module compilation
+# ---------------------------------------------------------------------------
+
+
+def _compile_function_trace(
+    function: Function,
+    entry: DecodedBlock,
+    layout,
+    counts: Optional[Dict[str, float]],
+) -> Tuple[object, str, int, int]:
+    order = _function_order(entry)
+    dom = DominatorTree(function)
+    regions = _select_regions(function, order, dom, counts)
+    pos = {id(d): i for i, d in enumerate(order)}
+
+    def hotness(dblock: DecodedBlock) -> float:
+        if counts is None:
+            return 0.0
+        return counts.get(f"{function.name}:{dblock.source.name}", 0.0)
+
+    region_of: Dict[int, _Region] = {}
+    for region in regions:
+        _build_chains(region, hotness, pos)
+        for dblock in region.blocks:
+            region_of[id(dblock)] = region
+
+    outside = [d for d in order if id(d) not in region_of]
+
+    codes: Dict[int, object] = {}
+    for dblock in outside:
+        codes[id(dblock)] = BlockCode(
+            dblock,
+            _block_steps(dblock),
+            f"{function.name}:{dblock.source.name}",
+        )
+    for region in regions:
+        header = region.header
+        codes[id(header)] = RegionCode(
+            header,
+            _block_steps(header),
+            f"{function.name}:{header.source.name}",
+            len(region.blocks),
+        )
+
+    gen = _FnGen(f"<tracec:{function.name}>")
+    gen.lines.append("def _make_blocks(_C):")
+    gen.lines.append("")  # placeholder: unpack of _C, patched below
+
+    for helper, name in (
+        (_trap_fixup, "_FIX"),
+        (BLOCK_RET, "_RET"),
+        (NullPointerTrap, "_NPT"),
+        (CanaryTrap, "_CT"),
+        (DfiTrap, "_DT"),
+        (MemoryFault, "_MF"),
+    ):
+        gen.consts.append(helper)
+        gen.const_names.append(name)
+        gen._by_id[id(helper)] = name
+
+    # Successor pairs and routes for the non-region blocks, which reuse
+    # the block tier's generator unchanged.  Regions are single-entry,
+    # so an outside block's successor is always an outside block or a
+    # region *header* -- both have codes.
+    pairs: Dict[tuple, str] = {}
+    routes: Dict[tuple, object] = {}
+    ret_pairs: Dict[DecodedBlock, str] = {}
+    for dblock in outside:
+        term = dblock.term
+        if term[0] == "ret":
+            spec = term[1]
+            if spec is None:
+                ret_pairs[dblock] = gen.bind((BLOCK_RET, None), "R")
+            elif spec[0]:
+                ret_pairs[dblock] = gen.bind((BLOCK_RET, spec[1]), "R")
+            continue
+        for slot, successor in enumerate(_successors(dblock)):
+            route = successor.phi_routes.get(dblock)
+            if route is not None:
+                routes[(dblock, slot)] = route
+            pairs[(dblock, slot)] = gen.bind(codes[id(successor)].self_pair, "S")
+
+    local_plan = _plan_locals(order)
+    targets: List[object] = []
+    for index, dblock in enumerate(outside):
+        meta = _BlockMeta()
+        code = codes[id(dblock)]
+        code.meta = meta
+        _gen_block(
+            gen,
+            f"_b{index}",
+            dblock,
+            layout,
+            meta,
+            pairs,
+            routes,
+            ret_pairs,
+            local_plan[id(dblock)],
+        )
+        targets.append(code)
+    for index, region in enumerate(regions):
+        meta = _BlockMeta()
+        code = codes[id(region.header)]
+        code.meta = meta
+        plan = _plan_region(function, order, region, dom, layout)
+        _gen_region(gen, f"_t{index}", region, layout, meta, codes, plan)
+        targets.append(code)
+
+    gen.emit(f"return ({', '.join(gen.fn_names)},)", indent=1)
+    gen.lines[1] = "    ({},) = _C".format(", ".join(gen.const_names))
+
+    source = "\n".join(gen.lines)
+    namespace: Dict[str, object] = {}
+    exec(compile(source, gen.filename, "exec"), namespace)
+    functions = namespace["_make_blocks"](tuple(gen.consts))
+    for target, fn in zip(targets, functions):
+        target.fn = fn
+
+    fused = sum(len(region.blocks) for region in regions)
+    return codes[id(entry)], source, len(regions), fused
+
+
+def trace_compile(
+    module: Module, profile: Optional[Dict[str, float]] = None
+) -> Tuple[TraceProgram, float]:
+    """Trace-compile ``module`` (or return the cached program).
+
+    ``profile`` is the ``"function:block" -> executions`` map from a
+    warmup run (:func:`repro.observability.profile.hot_block_counts`);
+    ``None`` selects regions statically (every loop plus every small
+    function).  Returns ``(program, seconds)`` where ``seconds`` is the
+    compile time spent by *this* call -- ``0.0`` on a cache hit.  The
+    cache key is the module's structural fingerprint plus the profile
+    digest, so recompiling with a different profile reselects regions.
+    """
+    digest = None
+    if profile is not None:
+        # Deliberately lazy: repro.perf owns the digest format, but the
+        # perf package imports the hardware layer at module load.
+        from ..perf.regions import profile_digest
+
+        digest = profile_digest(profile)
+    fingerprint = _fingerprint(module)
+    cached = getattr(module, _TRACE_ATTR, None)
+    if (
+        cached is not None
+        and cached.fingerprint == fingerprint
+        and cached.profile_digest == digest
+    ):
+        return cached, 0.0
+    start = time.perf_counter()
+    decoded, _ = decode_module(module)
+    program = TraceProgram(fingerprint, digest)
+    for function, entry in decoded.functions.items():
+        code, source, nregions, fused = _compile_function_trace(
+            function, entry, decoded.global_layout, profile
+        )
+        program.functions[function] = code
+        program.sources[function] = source
+        program.region_count += nregions
+        program.fused_blocks += fused
+    elapsed = time.perf_counter() - start
+    program.compile_seconds = elapsed
+    setattr(module, _TRACE_ATTR, program)
+    _DECODED_MODULES.add(module)
+    return program, elapsed

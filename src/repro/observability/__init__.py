@@ -31,7 +31,12 @@ from .metrics import (
     validate_snapshot,
     write_metrics,
 )
-from .profile import PROFILE_SCHEMA, ExecutionProfiler, format_report
+from .profile import (
+    PROFILE_SCHEMA,
+    ExecutionProfiler,
+    format_report,
+    hot_block_counts,
+)
 from .trace import (
     NULL_TRACER,
     TRACE_SCHEMA,
@@ -56,6 +61,7 @@ __all__ = [
     "enable_tracing",
     "format_report",
     "get_metrics",
+    "hot_block_counts",
     "install_metrics",
     "install_tracer",
     "phase_span",

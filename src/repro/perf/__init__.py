@@ -11,6 +11,7 @@ from .runner import (
     run_tasks,
     summarize_measurement,
 )
+from .regions import profile_digest
 from .trajectory import (
     append_entry,
     block_throughput,
@@ -18,6 +19,7 @@ from .trajectory import (
     check_block_regression_file,
     load_entries,
     safe_load_entries,
+    trace_throughput,
 )
 
 __all__ = [
@@ -30,10 +32,12 @@ __all__ = [
     "check_block_regression",
     "check_block_regression_file",
     "plan_jobs",
+    "profile_digest",
     "safe_load_entries",
     "run_suite",
     "run_tasks",
     "summarize_measurement",
+    "trace_throughput",
     "append_entry",
     "load_entries",
 ]

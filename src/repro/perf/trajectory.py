@@ -53,17 +53,13 @@ def append_entry(path: str, entry: Dict[str, Any]) -> List[Dict[str, Any]]:
     return entries
 
 
-def block_throughput(entry: Dict[str, Any]) -> Optional[float]:
-    """Geomean block-tier steps/s across an entry's schemes.
-
-    Returns ``None`` for entries without block-tier data (written
-    before the block interpreter existed, or by other benchmarks).
-    """
+def _tier_throughput(entry: Dict[str, Any], field: str) -> Optional[float]:
+    """Geomean of a per-scheme steps/s field across an entry's schemes."""
     schemes = entry.get("schemes")
     if not isinstance(schemes, dict):
         return None
     rates = [
-        scheme.get("block_steps_per_second")
+        scheme.get(field)
         for scheme in schemes.values()
         if isinstance(scheme, dict)
     ]
@@ -73,34 +69,66 @@ def block_throughput(entry: Dict[str, Any]) -> Optional[float]:
     return math.exp(sum(math.log(rate) for rate in rates) / len(rates))
 
 
+def block_throughput(entry: Dict[str, Any]) -> Optional[float]:
+    """Geomean block-tier steps/s across an entry's schemes.
+
+    Returns ``None`` for entries without block-tier data (written
+    before the block interpreter existed, or by other benchmarks).
+    """
+    return _tier_throughput(entry, "block_steps_per_second")
+
+
+def trace_throughput(entry: Dict[str, Any]) -> Optional[float]:
+    """Geomean trace-tier steps/s across an entry's schemes.
+
+    Returns ``None`` for entries without trace-tier data (written
+    before the trace interpreter existed, or by other benchmarks).
+    """
+    return _tier_throughput(entry, "trace_steps_per_second")
+
+
+#: (display name, per-entry geomean extractor) for every gated tier.
+_GATED_TIERS = (
+    ("block", block_throughput),
+    ("trace", trace_throughput),
+)
+
+
 def check_block_regression(
     entries: Sequence[Dict[str, Any]],
     entry: Dict[str, Any],
     tolerance: float = 0.10,
 ) -> Optional[str]:
-    """Compare ``entry``'s block throughput to the trajectory's last one.
+    """Compare ``entry``'s compiled-tier throughputs to the trajectory.
 
-    Returns a human-readable failure message when the new entry's
-    geomean block-tier steps/s falls more than ``tolerance`` below the
-    most recent prior entry that has block data, and ``None`` when there
-    is no regression (or nothing to compare against).
+    Gates every tier in ``_GATED_TIERS`` (block and trace).  For each,
+    returns a human-readable failure message when the new entry's
+    geomean steps/s falls more than ``tolerance`` below the most recent
+    prior entry carrying that tier's data; tiers missing on either side
+    are skipped, so entries written before a tier existed never fail
+    its gate.  Multiple regressions join into one message; ``None``
+    means no regression (or nothing to compare against).
     """
-    current = block_throughput(entry)
-    if current is None:
-        return None
-    baseline = None
-    for previous in reversed(entries):
-        baseline = block_throughput(previous)
-        if baseline is not None:
-            break
-    if baseline is None:
-        return None
-    if current < baseline * (1.0 - tolerance):
-        return (
-            f"block tier regressed: {current:,.0f} steps/s vs "
-            f"{baseline:,.0f} baseline ({current / baseline - 1.0:+.1%}, "
-            f"tolerance -{tolerance:.0%})"
-        )
+    failures = []
+    for name, throughput in _GATED_TIERS:
+        current = throughput(entry)
+        if current is None:
+            continue
+        baseline = None
+        for previous in reversed(entries):
+            baseline = throughput(previous)
+            if baseline is not None:
+                break
+        if baseline is None:
+            continue
+        if current < baseline * (1.0 - tolerance):
+            failures.append(
+                f"{name} tier regressed: {current:,.0f} steps/s vs "
+                f"{baseline:,.0f} baseline ({current / baseline - 1.0:+.1%}, "
+                f"tolerance -{tolerance:.0%})"
+            )
+    if failures:
+        return "; ".join(failures)
     return None
 
 
@@ -125,8 +153,16 @@ def check_block_regression_file(
         return None, f"{skip} ({path}: unreadable or corrupt)"
     if not entries:
         return None, f"{skip} ({path}: missing or empty)"
-    if block_throughput(entry) is None:
-        return None, f"{skip} (new entry lacks block-tier fields)"
-    if all(block_throughput(previous) is None for previous in entries):
+    # Comparable when *some* tier has data on both sides; a tier absent
+    # from either side (e.g. pre-trace entries) silently skips its gate
+    # inside check_block_regression instead of blocking the others.
+    comparable = any(
+        throughput(entry) is not None
+        and any(throughput(previous) is not None for previous in entries)
+        for _, throughput in _GATED_TIERS
+    )
+    if not comparable:
+        if all(throughput(entry) is None for _, throughput in _GATED_TIERS):
+            return None, f"{skip} (new entry lacks block-tier fields)"
         return None, f"{skip} ({path}: no prior entry has block-tier fields)"
     return check_block_regression(entries, entry, tolerance), None

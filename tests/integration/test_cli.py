@@ -144,6 +144,28 @@ class TestExitCodes:
         assert code == 3
         assert "repro: error:" in err
 
+    def test_unknown_env_interpreter_exits_2(self, victim_path, capsys, monkeypatch):
+        # --interpreter has argparse choices, but REPRO_INTERPRETER
+        # bypasses them; the CPU's UnknownInterpreterError must surface
+        # as a one-line diagnostic with the usage exit code, not a
+        # traceback.
+        monkeypatch.setenv("REPRO_INTERPRETER", "bogus")
+        code, _, err = run_cli(["run", victim_path, "--input", "x"], capsys)
+        assert code == 2
+        assert err.startswith("repro: error:")
+        assert "bogus" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_profile_in_exits_3(self, victim_path, capsys):
+        code, _, err = run_cli(
+            ["run", victim_path, "--input", "x",
+             "--interpreter", "trace", "--profile-in", "/no/such/prof.json"],
+            capsys,
+        )
+        assert code == 3
+        assert "repro: error:" in err
+
 
 class TestChaos:
     def test_smoke_plan_passes_and_writes_manifest(self, tmp_path, capsys):
@@ -350,3 +372,60 @@ class TestProfileCommand:
         assert code == 0
         assert "hot functions (by self cycles):" in out
         assert "hot blocks" not in out
+
+
+class TestProfileGuidedTrace:
+    """The --profile-out -> --profile-in flow that feeds the trace tier."""
+
+    def test_profile_out_then_trace_in_round_trip(
+        self, victim_path, tmp_path, capsys
+    ):
+        import json
+
+        prof = tmp_path / "prof.json"
+        code, block_out, err = run_cli(
+            ["run", victim_path, "--input", "x",
+             "--interpreter", "block", "--profile-out", str(prof)],
+            capsys,
+        )
+        assert code == 0
+        assert f"profile written to {prof}" in err
+
+        report = json.loads(prof.read_text())
+        assert report["block_counts"]  # per-block counts for region selection
+
+        code, trace_out, err = run_cli(
+            ["run", victim_path, "--input", "x",
+             "--interpreter", "trace", "--profile-in", str(prof)],
+            capsys,
+        )
+        assert code == 0
+        assert trace_out == block_out  # program output is bit-identical
+
+    def test_decoded_tier_profile_carries_no_block_counts(
+        self, victim_path, tmp_path, capsys
+    ):
+        prof = tmp_path / "prof.json"
+        code, _, _ = run_cli(
+            ["run", victim_path, "--input", "x",
+             "--interpreter", "decoded", "--profile-out", str(prof)],
+            capsys,
+        )
+        assert code == 0
+        code, _, err = run_cli(
+            ["run", victim_path, "--input", "x",
+             "--interpreter", "trace", "--profile-in", str(prof)],
+            capsys,
+        )
+        assert code != 0
+        assert "repro: error:" in err
+        assert "no per-block execution counts" in err
+
+    def test_trace_interpreter_without_profile(self, victim_path, capsys):
+        code, out, err = run_cli(
+            ["run", victim_path, "--input", "x", "--interpreter", "trace"],
+            capsys,
+        )
+        assert code == 0
+        assert "hi x" in out
+        assert "status=ok" in err

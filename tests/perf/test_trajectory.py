@@ -12,18 +12,23 @@ from repro.perf import (
     check_block_regression,
     check_block_regression_file,
     load_entries,
+    profile_digest,
     safe_load_entries,
+    trace_throughput,
 )
 
 
-def entry(rate=1000.0):
-    return {
-        "label": "interp-throughput",
-        "schemes": {
-            "vanilla": {"block_steps_per_second": rate},
-            "pythia": {"block_steps_per_second": rate * 0.8},
-        },
+def entry(rate=1000.0, trace_rate=None):
+    schemes = {
+        "vanilla": {"block_steps_per_second": rate},
+        "pythia": {"block_steps_per_second": rate * 0.8},
     }
+    if trace_rate is not None:
+        for name, scheme in schemes.items():
+            scheme["trace_steps_per_second"] = (
+                trace_rate if name == "vanilla" else trace_rate * 0.8
+            )
+    return {"label": "interp-throughput", "schemes": schemes}
 
 
 def legacy_entry():
@@ -125,3 +130,73 @@ class TestBlockThroughput:
         # the low-level check keeps its old contract for callers that
         # already hold entries in memory
         assert check_block_regression([legacy_entry()], entry()) is None
+
+
+class TestTraceTierGate:
+    def test_trace_throughput_geomean(self):
+        value = trace_throughput(entry(1000.0, trace_rate=4000.0))
+        assert value == pytest.approx((4000.0 * 3200.0) ** 0.5)
+
+    def test_none_for_pre_trace_entries(self):
+        # entries written before the trace tier existed never gate it
+        assert trace_throughput(entry(1000.0)) is None
+        assert trace_throughput(legacy_entry()) is None
+
+    def test_trace_regression_detected(self):
+        baseline = entry(1000.0, trace_rate=4000.0)
+        failure = check_block_regression(
+            [baseline], entry(1000.0, trace_rate=2000.0), tolerance=0.10
+        )
+        assert "trace tier regressed" in failure
+
+    def test_block_and_trace_regressions_join(self):
+        baseline = entry(1000.0, trace_rate=4000.0)
+        failure = check_block_regression(
+            [baseline], entry(500.0, trace_rate=2000.0), tolerance=0.10
+        )
+        assert "block tier regressed" in failure
+        assert "trace tier regressed" in failure
+
+    def test_pre_trace_baseline_skips_trace_gate_only(self):
+        # new entry carries trace data but no prior entry does: the
+        # trace gate skips while the block gate still fires
+        failure = check_block_regression(
+            [entry(1000.0)], entry(500.0, trace_rate=4000.0), tolerance=0.10
+        )
+        assert "block tier regressed" in failure
+        assert "trace" not in failure
+
+    def test_file_gate_covers_trace(self, tmp_path):
+        path = tmp_path / "BENCH_interp.json"
+        append_entry(str(path), entry(1000.0, trace_rate=4000.0))
+        failure, note = check_block_regression_file(
+            str(path), entry(1000.0, trace_rate=2000.0), tolerance=0.10
+        )
+        assert note is None
+        assert "trace tier regressed" in failure
+
+
+class TestProfileDigest:
+    def test_none_profile_digests_to_none(self):
+        assert profile_digest(None) is None
+
+    def test_equal_counts_equal_digest(self):
+        counts = {"main:entry": 100, "main:loop": 5000}
+        assert profile_digest(counts) == profile_digest(dict(counts))
+
+    def test_int_float_json_round_trip_stable(self):
+        # counts re-read from a --profile-out JSON file may come back
+        # as floats; that must not split the compiled-region cache
+        assert profile_digest({"main:loop": 5000}) == profile_digest(
+            {"main:loop": 5000.0}
+        )
+
+    def test_zero_and_junk_counts_ignored(self):
+        base = {"main:loop": 5000}
+        noisy = {"main:loop": 5000, "main:cold": 0, "main:bad": "n/a"}
+        assert profile_digest(base) == profile_digest(noisy)
+
+    def test_different_counts_different_digest(self):
+        assert profile_digest({"main:loop": 5000}) != profile_digest(
+            {"main:loop": 6000}
+        )
