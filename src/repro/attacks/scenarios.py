@@ -23,6 +23,24 @@ heap_overflow         overflow between adjacent heap chunks     CPA, DFI detect;
 interprocedural       callee gets() into caller's buffer,       CPA, Pythia, DFI
                       overflow spills into caller's frame
 ====================  ========================================  ==========================
+
+Beyond the paper's listings, three scenarios model the related-work
+attack families the campaign fuzzer (:mod:`repro.robustness.campaign`)
+mutates -- PACStack-style signed-pointer reuse, control-flow bending
+through corrupted call operands, and cross-heap-section confusion:
+
+====================  ========================================  ==========================
+scenario              attack                                    expected detection
+====================  ========================================  ==========================
+pac_reuse             overflow splices a pointer signed for     CPA, Pythia, DFI
+                      one slot into another slot (genuine MAC,
+                      wrong site -- reuse/substitution)
+call_bend             overflow corrupts the dispatch selector,  CPA, Pythia, DFI
+                      bending the call to the privileged
+                      handler
+heap_cross            overflow from a shared-section chunk      CPA, DFI detect;
+                      into the adjacent ACL word                Pythia *prevents* (isolation)
+====================  ========================================  ==========================
 """
 
 from __future__ import annotations
@@ -321,6 +339,134 @@ def _interproc_attack() -> AttackController:
 
 
 # ---------------------------------------------------------------------------
+# Signed-pointer reuse/substitution (PACStack's observation)
+# ---------------------------------------------------------------------------
+
+_PAC_REUSE_SOURCE = r"""
+// Signed-pointer reuse: the public and private registries hold pointers
+// into the same account record.  Under cpa both slots are value-signed
+// -- but each with its *own* modifier, so splicing the (genuinely
+// signed) private pointer into the public slot must fail to
+// authenticate.  The attacker never forges a MAC; the overflow merely
+// relocates one.
+int main() {
+    char nick[8];
+    int *pubs[1];
+    int *privs[1];
+    int acct[2];
+    acct[0] = 0;
+    acct[1] = 0;
+    pubs[0] = acct;
+    privs[0] = acct + 1;
+    gets(nick);
+    *pubs[0] = 1;
+    if (acct[1] != 0) {
+        printf("SUBSTITUTED\n");
+        return 1;
+    }
+    printf("member ok\n");
+    return 0;
+}
+"""
+
+
+def _pac_reuse_payload(cpu) -> bytes:
+    # Adaptive substitution: read the live (possibly signed) bytes of
+    # the private slot and splice them over the public slot.  Whatever
+    # signature privs[0] carries is replayed verbatim -- the classic
+    # reuse attack, no MAC forgery involved.
+    nick = cpu.stack_slot_address("nick")
+    pubs = cpu.stack_slot_address("pubs")
+    privs = cpu.stack_slot_address("privs")
+    if None in (nick, pubs, privs) or pubs <= nick:
+        return b"A" * 64
+    captured = bytes(cpu.memory.read_bytes(privs, 8))
+    return overflow_payload(b"eve", pubs - nick, captured)
+
+
+def _pac_reuse_attack() -> AttackController:
+    return AttackController().add("gets", _pac_reuse_payload)
+
+
+# ---------------------------------------------------------------------------
+# Indirect-call operand corruption (control-flow bending)
+# ---------------------------------------------------------------------------
+
+_CALL_BEND_SOURCE = r"""
+// Control-flow bending via a corrupted dispatch selector: the request
+// router picks the handler from route[0], which sits right above the
+// input buffer.  The overflow never touches a return address -- it
+// bends the *operand* of the dispatch, the non-control-data analogue
+// of an indirect-call hijack.
+void handle_public(void) { printf("public ok\n"); }
+void handle_admin(void)  { printf("CALL-BENT\n"); }
+int main() {
+    char cmd[8];
+    int route[2];
+    int i;
+    route[0] = 0;
+    route[1] = 0;
+    for (i = 0; i < 3; i = i + 1) {
+        gets(cmd);
+        if (route[0] != 0) {
+            handle_admin();
+            return 1;
+        }
+        handle_public();
+    }
+    return 0;
+}
+"""
+
+
+def _call_bend_payload(cpu) -> bytes:
+    cmd = cpu.stack_slot_address("cmd")
+    route = cpu.stack_slot_address("route")
+    if None in (cmd, route) or route <= cmd:
+        return b"A" * 64
+    return overflow_payload(b"ls", route - cmd, (1).to_bytes(8, "little"))
+
+
+def _call_bend_attack() -> AttackController:
+    return AttackController().add("gets", _call_bend_payload)
+
+
+# ---------------------------------------------------------------------------
+# Cross-heap-section confusion
+# ---------------------------------------------------------------------------
+
+_HEAP_CROSS_SOURCE = r"""
+// Cross-heap-section confusion: the request buffer and the ACL word
+// are heap neighbours in the shared section.  Pythia's sectioning
+// relocates the vulnerable buffer to the isolated arena, so the
+// overflow can no longer reach the ACL -- unless the allocation is
+// misrouted back (the campaign's heap.cross fault models exactly
+// that, and the secure allocator's section check must then trap).
+int main() {
+    char *req;
+    int *acl;
+    req = malloc(16);
+    acl = malloc(8);
+    *acl = 0;
+    gets(req);
+    if (*acl != 0) {
+        printf("CROSS-SECTION\n");
+        return 1;
+    }
+    printf("sections hold\n");
+    return 0;
+}
+"""
+
+
+def _heap_cross_attack() -> AttackController:
+    # payload(16) + chunk header(16), then 8 bytes land on *acl.
+    return AttackController().add(
+        "gets", overflow_payload(b"GET /", 32, (1).to_bytes(8, "little"))
+    )
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -385,6 +531,35 @@ def build_scenarios() -> Dict[str, Scenario]:
             make_attack=_interproc_attack,
             success_marker=b"ADMIN",
             benign_marker=b"hello",
+        ),
+        Scenario(
+            name="pac_reuse",
+            description="signed-pointer reuse: splice a signed value between slots",
+            source=_PAC_REUSE_SOURCE,
+            benign_inputs=[b"alice"],
+            make_attack=_pac_reuse_attack,
+            success_marker=b"SUBSTITUTED",
+            benign_marker=b"member ok",
+        ),
+        Scenario(
+            name="call_bend",
+            description="call bending: overflow corrupts the dispatch selector",
+            source=_CALL_BEND_SOURCE,
+            benign_inputs=[b"a", b"b", b"c"],
+            make_attack=_call_bend_attack,
+            success_marker=b"CALL-BENT",
+            benign_marker=b"public ok",
+        ),
+        Scenario(
+            name="heap_cross",
+            description="cross-section confusion: shared-heap overflow onto the ACL",
+            source=_HEAP_CROSS_SOURCE,
+            benign_inputs=[b"GET /x"],
+            make_attack=_heap_cross_attack,
+            success_marker=b"CROSS-SECTION",
+            benign_marker=b"sections hold",
+            detected_by=("cpa", "dfi"),
+            prevented_by=("pythia",),
         ),
     ]
     return {s.name: s for s in scenarios}

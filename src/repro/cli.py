@@ -9,10 +9,11 @@ Subcommands:
 ``bench``     run one generated benchmark under every scheme
 ``suite``     measure many benchmarks, optionally across worker processes
 ``chaos``     inject a fault plan and assert the defense contract
+``campaign``  fuzz attack families, emit the defense-coverage matrix
 ``profile``   execute a program under the profiler, print hot spots
-``scenarios`` list the built-in attack scenarios
+``scenarios`` list the built-in attack scenarios / campaign families
 
-``run``, ``bench``, ``suite``, and ``chaos`` accept ``--trace-out FILE``
+``run``, ``bench``, ``suite``, ``chaos``, and ``campaign`` accept ``--trace-out FILE``
 (a Chrome-trace / Perfetto JSON of the command's spans) and
 ``--metrics-out FILE`` (the ``repro-metrics-v1`` counters snapshot);
 see :mod:`repro.observability`.
@@ -317,7 +318,18 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     if args.plan:
         with open(args.plan, "r", encoding="utf-8") as handle:
-            plan = FaultPlan.from_json(handle.read())
+            text = handle.read()
+        try:
+            plan = FaultPlan.from_json(text)
+        except (ValueError, KeyError, TypeError) as exc:
+            # Bad JSON (JSONDecodeError is a ValueError), an unknown
+            # fault kind (FaultSpec validation), or a wrong schema
+            # (missing keys / mis-typed fields): all user input errors.
+            detail = str(exc) or type(exc).__name__
+            return _fail(
+                ValueError(f"invalid fault plan {args.plan}: {detail}"),
+                EXIT_CODES["io"],
+            )
     else:
         plan = smoke_plan(args.seed)
     report = run_chaos(
@@ -348,6 +360,81 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .robustness.campaign import (
+        run_campaign,
+        write_manifest,
+        write_matrix,
+    )
+
+    families = None
+    if args.families:
+        families = [name.strip() for name in args.families.split(",") if name.strip()]
+        known = build_scenarios()
+        for name in families:
+            if name not in known:
+                return _fail(
+                    ValueError(
+                        f"unknown attack family {name!r}; "
+                        f"try: {', '.join(sorted(known))}"
+                    ),
+                    2,
+                )
+    with current_tracer().span("campaign", "campaign", seed=args.seed):
+        report = run_campaign(
+            seed=args.seed,
+            budget=args.budget,
+            families=families,
+            reduce_bypasses=not args.no_reduce,
+        )
+    print(
+        f"campaign: {report.budget} mutants over {len(report.families)} "
+        f"families x {len(SCHEMES)} schemes (seed {report.seed})"
+    )
+    for line in report.render_matrix():
+        print(line)
+    buckets = report.bypass_buckets()
+    if buckets:
+        print(f"bypass buckets ({len(buckets)}):")
+        for bucket in sorted(buckets):
+            records = buckets[bucket]
+            exemplar = next(
+                (r for r in records if r.reduced_source), records[0]
+            )
+            shrink = (
+                f" (exemplar reduced {exemplar.original_lines}->"
+                f"{exemplar.reduced_lines} lines)"
+                if exemplar.reduced_lines
+                else ""
+            )
+            print(f"  {bucket}: {len(records)} mutant(s){shrink}")
+    triage = report.triage
+    if triage.total_crashes:
+        print("triage buckets (uncaught exceptions -- framework bugs):")
+        for line in triage.summary_lines():
+            print(f"  {line}")
+    if args.matrix_out:
+        write_matrix(report, args.matrix_out)
+        print(f"coverage matrix written to {args.matrix_out}")
+    if args.manifest:
+        write_manifest(report, args.manifest)
+        print(f"campaign manifest written to {args.manifest}")
+    violations = report.contract_violations()
+    if violations or report.crashes:
+        print(
+            f"FAIL: {len(violations)} contract violation(s), "
+            f"{triage.total_crashes} crash(es)"
+        )
+        for violation in violations:
+            print(
+                f"  {violation['mutant']}/{violation['scheme']}: "
+                f"{violation['reason']}"
+            )
+        return 2
+    print("OK: every vanilla bypass of the new families was trapped or detected")
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     module = compile_source(_read_source(args.source), name=args.name)
     protected = protect(module, scheme=args.scheme)
@@ -369,10 +456,22 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_scenarios(args: argparse.Namespace) -> int:
+    from .robustness.campaign import FAMILY_FAULTS, NEW_FAMILIES
+
     for name, scenario in build_scenarios().items():
         detected = ",".join(scenario.detected_by) or "-"
         prevented = ",".join(scenario.prevented_by) or "-"
-        print(f"{name:22s} detected_by={detected:16s} prevented_by={prevented}")
+        line = f"{name:22s} detected_by={detected:16s} prevented_by={prevented}"
+        if name in NEW_FAMILIES:
+            fault = FAMILY_FAULTS.get(name)
+            extra = f" + {fault} fault" if fault else ""
+            line += f"  [campaign family{extra}]"
+        print(line)
+    print(
+        "every scenario doubles as a campaign attack family "
+        "(python -m repro campaign); the [campaign family] rows are the "
+        "related-work adversaries beyond the paper's listings"
+    )
     return 0
 
 
@@ -565,6 +664,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_args(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "campaign",
+        help="fuzz attack families over every scheme and emit the "
+        "defense-coverage matrix",
+    )
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=200,
+        help="total mutants, spread over the families (default: 200)",
+    )
+    p.add_argument(
+        "--families",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="comma-separated attack families (default: all scenarios, "
+        "incl. the related-work families pac_reuse, call_bend, heap_cross)",
+    )
+    p.add_argument(
+        "--matrix-out",
+        default=None,
+        metavar="FILE",
+        help="write the scheme x family coverage matrix as JSON",
+    )
+    p.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help="write the full campaign manifest (runs, minimized "
+        "bypasses, triage) as JSON",
+    )
+    p.add_argument(
+        "--no-reduce",
+        action="store_true",
+        help="skip ddmin minimization of bypass exemplars",
+    )
+    _add_observability_args(p)
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
         "profile", help="execute under the profiler and print hot spots"

@@ -185,10 +185,21 @@ class SectionedHeap:
         self.shared = HeapAllocator(memory, HEAP_SHARED_BASE, capacity, "shared")
         self.isolated = HeapAllocator(memory, HEAP_ISOLATED_BASE, capacity, "isolated")
         self.isolated_calls = 0
+        #: optional fault injector; when set,
+        #: ``fault_hook.on_heap_route(self, size, isolated)`` runs for
+        #: every isolated request and may return ``False`` to misroute
+        #: the allocation into the shared arena (cross-heap-section
+        #: confusion).  The call counter is bumped *before* routing so
+        #: the event stream matches the timing model's charge.
+        self.fault_hook = None
 
     def malloc(self, size: int, isolated: bool = False) -> int:
         if isolated:
             self.isolated_calls += 1
+            if self.fault_hook is not None:
+                isolated = self.fault_hook.on_heap_route(self, size, True)
+            if not isolated:
+                return self.shared.malloc(size)
             return self.isolated.malloc(size)
         return self.shared.malloc(size)
 

@@ -83,6 +83,7 @@ from .errors import (
     DfiTrap,
     NullPointerTrap,
     ProgramExit,
+    SectionTrap,
     SecurityTrap,
     StepLimitExceeded,
     UnknownExternalError,
@@ -313,7 +314,12 @@ class ExecutionResult:
     @property
     def detected(self) -> bool:
         """True when a defense mechanism fired."""
-        return self.status in ("pac_trap", "canary_trap", "dfi_trap")
+        return self.status in (
+            "pac_trap",
+            "canary_trap",
+            "dfi_trap",
+            "section_trap",
+        )
 
     @property
     def pa_dynamic(self) -> int:
@@ -367,6 +373,10 @@ class CPU:
         self._frame_plans: Dict[Function, tuple] = meta[2]
         self.dfi_shadow = DfiShadow()
         self.dfi_active = meta[1]
+        #: ``call_fault_hook.on_call(cpu, function, args)`` -- the chaos
+        #: injector's indirect-call corruption point; may return a
+        #: different defined :class:`Function` to bend control flow to.
+        self.call_fault_hook = None
         if interpreter is None:
             interpreter = os.environ.get("REPRO_INTERPRETER", "decoded")
         if interpreter not in INTERPRETERS:
@@ -505,6 +515,8 @@ class CPU:
             status, trap = "canary_trap", exc
         except DfiTrap as exc:
             status, trap = "dfi_trap", exc
+        except SectionTrap as exc:
+            status, trap = "section_trap", exc
         except (MemoryFault, NullPointerTrap) as exc:
             status, trap = "fault", exc
         except OutOfMemoryError as exc:
@@ -558,6 +570,12 @@ class CPU:
     def _call(self, function: Function, args: List[int]) -> Optional[int]:
         if function.is_declaration:
             return self._call_external(function, args)
+        if self.call_fault_hook is not None:
+            # Defined-function calls only: externals dispatch straight to
+            # _call_external in the block/trace tiers, so hooking after
+            # the declaration check keeps the event stream identical
+            # across all interpreter tiers.
+            function = self.call_fault_hook.on_call(self, function, args)
         self.call_depth += 1
         if self.call_depth > self.max_call_depth:
             self.call_depth -= 1

@@ -40,6 +40,13 @@ class CanaryTrap(SecurityTrap):
     kind = "canary"
 
 
+class SectionTrap(SecurityTrap):
+    """A heap-isolation invariant failed: a secure allocation landed
+    outside the isolated section (cross-heap-section confusion)."""
+
+    kind = "section"
+
+
 class DfiTrap(SecurityTrap):
     """A ``dfi.chkdef`` found an unexpected last writer."""
 

@@ -410,11 +410,22 @@ def _secure_malloc(cpu: "CPU", args: Sequence[int]) -> int:
     """Pythia's custom allocator: allocate from the *isolated* section.
 
     Charges the heap-sectioning overhead the paper measures (~23 ns).
+    The returned chunk must actually live in the isolated arena; a
+    misrouted allocation (cross-heap-section confusion) trips a
+    :class:`~repro.hardware.errors.SectionTrap`, modelling the runtime
+    section check of the hardened allocator.
     """
+    from .errors import SectionTrap
     from .timing import HEAP_SECTIONING_CYCLES
 
     cpu.timing.charge_cycles(HEAP_SECTIONING_CYCLES, "lib.secure_malloc")
-    return cpu.heap.malloc(args[0], isolated=True)
+    address = cpu.heap.malloc(args[0], isolated=True)
+    if cpu.heap.section_of(address) != "isolated":
+        raise SectionTrap(
+            f"secure allocation at {address:#x} landed in the "
+            f"{cpu.heap.section_of(address)} section"
+        )
+    return address
 
 
 # ---------------------------------------------------------------------------

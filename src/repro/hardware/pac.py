@@ -188,6 +188,13 @@ class PointerAuthentication:
         Raises :class:`PacAuthError` on mismatch.
         """
         self.auth_count += 1
+        if self.fault_hook is not None:
+            # Signed-pointer reuse/substitution: the hook may swap in a
+            # signed value captured at an earlier sign site.  The MAC on
+            # the substituted value is genuine, so verification below
+            # only trips when the *modifier* differs between the capture
+            # and replay sites -- exactly PACStack's reuse observation.
+            value = self.fault_hook.on_pac_auth(self, value, modifier, key_id)
         cache_key = (key_id, value & ADDR_MASK, modifier & _MASK64, self.key_epoch)
         expected = self._pac_cache.get(cache_key)
         if expected is None:

@@ -918,13 +918,17 @@ def _emit_pac_inline_auth(gen: _FnGen, inst, layout, k: int, d: int) -> None:
     expected PAC already.  The probe replicates auth's own hit path --
     same key tuple, same counter bump, same strip -- and any miss or
     mismatch defers to the real method, which recomputes, stores, and
-    raises exactly as before.
+    raises exactly as before.  Like the sign twin, the probe stands down
+    whenever a fault hook is installed: auth routes substitution faults
+    (``on_pac_auth``) through the full method, so chaos runs must never
+    short-circuit an auth site.
     """
     value = gen.operand(_spec(inst.value, layout))
     modifier = gen.operand(_spec(inst.modifier, layout))
     target = gen.target(inst)
     gen.emit(
-        f"_t = _pg(({inst.key_id!r}, ({value}) & {ADDR_MASK}, "
+        f"_t = None if pac.fault_hook is not None else "
+        f"_pg(({inst.key_id!r}, ({value}) & {ADDR_MASK}, "
         f"({modifier}) & {_U64_MASK}, pac.key_epoch))",
         indent=d,
         op=k,

@@ -32,7 +32,7 @@ import multiprocessing
 import os
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import SCHEMES
@@ -122,6 +122,10 @@ class TaskFailure:
     exc_type: str = ""
     fingerprint: str = ""
     quarantined: bool = True
+    #: total seconds spent sleeping between this task's attempts --
+    #: lets the manifest distinguish "failed fast" from "burned the
+    #: whole retry budget pacing out backoff"
+    backoff_total_s: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -132,6 +136,7 @@ class TaskFailure:
             "exc_type": self.exc_type,
             "fingerprint": self.fingerprint,
             "quarantined": self.quarantined,
+            "backoff_total_s": round(self.backoff_total_s, 6),
         }
 
 
@@ -356,10 +361,14 @@ def backoff_delay(
     string-seeded RNG over ``(seed, task, attempt)``, so two runs of
     the same suite pace their retries identically -- chaos runs stay
     reproducible down to the scheduling.
+
+    The exponent is clamped before exponentiation: by attempt 64 the
+    step has saturated any realistic ``cap`` anyway, and an unclamped
+    ``2.0 ** attempt`` raises ``OverflowError`` past attempt ~1024.
     """
     import random
 
-    step = min(cap, base * (2.0 ** (attempt - 1)))
+    step = min(cap, base * (2.0 ** min(attempt - 1, 63)))
     return step * (0.5 + 0.5 * random.Random(f"{seed}:{name}:{attempt}").random())
 
 
@@ -410,6 +419,7 @@ def _failure(
     message: str,
     exc_type: str = "",
     fingerprint: str = "",
+    backoff_total_s: float = 0.0,
 ) -> TaskFailure:
     return TaskFailure(
         name=name,
@@ -418,6 +428,7 @@ def _failure(
         message=message,
         exc_type=exc_type,
         fingerprint=fingerprint,
+        backoff_total_s=backoff_total_s,
     )
 
 
@@ -435,6 +446,7 @@ def _run_tasks_inline(
     failures: Dict[str, TaskFailure] = {}
     for name, payload in tasks:
         last: Optional[BaseException] = None
+        waited = 0.0
         for attempt in range(1, retries + 2):
             try:
                 results[name] = worker(payload)
@@ -443,9 +455,11 @@ def _run_tasks_inline(
             except Exception as exc:  # noqa: BLE001 - quarantine, don't die
                 last = exc
                 if attempt <= retries:
-                    time.sleep(
-                        backoff_delay(seed, name, attempt, backoff_base, backoff_cap)
+                    delay = backoff_delay(
+                        seed, name, attempt, backoff_base, backoff_cap
                     )
+                    waited += delay
+                    time.sleep(delay)
         if last is not None:
             failures[name] = _failure(
                 name,
@@ -454,6 +468,7 @@ def _run_tasks_inline(
                 f"{type(last).__name__}: {last}",
                 exc_type=type(last).__name__,
                 fingerprint=crash_fingerprint(last),
+                backoff_total_s=waited,
             )
             if not keep_going:
                 raise SuiteError(
@@ -510,6 +525,8 @@ def run_tasks(
     #: (name, payload, attempt, not-before monotonic time)
     pending: deque = deque((name, payload, 1, 0.0) for name, payload in tasks)
     running: Dict[str, _Attempt] = {}
+    #: cumulative backoff slept per task, for the failure manifest
+    backoff_spent: Dict[str, float] = {}
 
     def launch(name: str, payload: Any, attempt: int) -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
@@ -531,12 +548,13 @@ def run_tasks(
     def settle(name: str, failure: TaskFailure, payload: Any, attempt: int) -> None:
         """Requeue a failed attempt or quarantine the task."""
         if attempt <= retries:
-            ready = time.monotonic() + backoff_delay(
-                seed, name, attempt, backoff_base, backoff_cap
-            )
-            pending.append((name, payload, attempt + 1, ready))
+            delay = backoff_delay(seed, name, attempt, backoff_base, backoff_cap)
+            backoff_spent[name] = backoff_spent.get(name, 0.0) + delay
+            pending.append((name, payload, attempt + 1, time.monotonic() + delay))
             return
-        failures[name] = failure
+        failures[name] = replace(
+            failure, backoff_total_s=backoff_spent.get(name, 0.0)
+        )
         if not keep_going:
             for other in list(running):
                 reap(other)

@@ -7,12 +7,15 @@
 - :mod:`~repro.robustness.reduce`: delta-debugging minimizer for
   crashing MiniC sources;
 - :mod:`~repro.robustness.chaos`: the harness asserting the defense
-  contract under injected faults (``python -m repro chaos``).
+  contract under injected faults (``python -m repro chaos``);
+- :mod:`~repro.robustness.campaign`: the seeded attack-campaign fuzzer
+  producing the defense-coverage matrix (``python -m repro campaign``).
 
-``chaos`` and ``reduce`` are loaded lazily (PEP 562): ``chaos`` pulls
-in the perf layer, whose suite runner in turn imports
+``chaos``, ``campaign``, and ``reduce`` are loaded lazily (PEP 562):
+``chaos`` pulls in the perf layer, whose suite runner in turn imports
 :mod:`~repro.robustness.triage` from here -- eager imports would tie
-the two packages into a cycle.
+the two packages into a cycle -- and ``campaign`` pulls in the whole
+attacks/compile pipeline.
 """
 
 from __future__ import annotations
@@ -49,10 +52,14 @@ __all__ = [
     "record_crash",
     "triage",
     "triage_exceptions",
-    # lazy (PEP 562): chaos / reduce submodule attributes
+    # lazy (PEP 562): chaos / campaign / reduce submodule attributes
     "ChaosCase",
     "ChaosReport",
     "run_chaos",
+    "CampaignReport",
+    "Mutant",
+    "MutantRun",
+    "run_campaign",
     "ddmin",
     "make_crash_predicate",
     "reduce_source",
@@ -62,6 +69,10 @@ _LAZY = {
     "ChaosCase": "chaos",
     "ChaosReport": "chaos",
     "run_chaos": "chaos",
+    "CampaignReport": "campaign",
+    "Mutant": "campaign",
+    "MutantRun": "campaign",
+    "run_campaign": "campaign",
     "ddmin": "reduce",
     "make_crash_predicate": "reduce",
     "reduce_source": "reduce",

@@ -13,13 +13,17 @@ fault kind         required containment
 =================  ==================================================
 ``pac.bits``       execution status ``pac_trap``
 ``pac.key``        execution status ``pac_trap``
+``pac.reuse``      execution status ``pac_trap`` (the replayed value's
+                   MAC is genuine; the *modifier* mismatch must trap)
 ``dfi.shadow``     execution status ``dfi_trap``
+``heap.cross``     execution status ``section_trap`` (the secure
+                   allocator's section check must catch the misroute)
 ``cache.*``        miss / cache-off and a recompile, never a wrong or
                    half-written module served
-``mem.flip``,      no strict contract (arbitrary data corruption);
-``alloc.header``   any trap, fault, divergence, or benign outcome is
-                   recorded -- only an *uncaught Python exception* is
-                   a bug
+``mem.flip``,      no strict contract (arbitrary data corruption /
+``alloc.header``,  control-flow bending); any trap, fault, divergence,
+``call.retarget``  or benign outcome is recorded -- only an *uncaught
+                   Python exception* is a bug
 =================  ==================================================
 
 Anything outside its contract -- and any uncaught exception anywhere --
@@ -52,16 +56,21 @@ from .triage import CrashRecord, TriageReport, record_crash, triage
 EXECUTION_SCHEME: Dict[str, str] = {
     "pac.bits": "cpa",
     "pac.key": "cpa",
+    "pac.reuse": "cpa",
     "dfi.shadow": "dfi",
     "mem.flip": "pythia",
     "alloc.header": "pythia",
+    "call.retarget": "vanilla",
+    "heap.cross": "pythia",
 }
 
 #: Execution status required for strict-contract kinds.
 CONTRACT_STATUS: Dict[str, str] = {
     "pac.bits": "pac_trap",
     "pac.key": "pac_trap",
+    "pac.reuse": "pac_trap",
     "dfi.shadow": "dfi_trap",
+    "heap.cross": "section_trap",
 }
 
 CACHE_KINDS = ("cache.corrupt", "cache.truncate", "cache.oserror")

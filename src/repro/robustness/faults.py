@@ -26,6 +26,19 @@ kind                 effect
                      hook), corrupting free-list coalescing downstream
 ``dfi.shadow``       record a bogus writer id for the Nth instrumented
                      ``dfi.setdef`` (the runtime definitions table hook)
+``pac.reuse``        capture the Nth *signed* value and replay it at the
+                     first later authentication of a different value
+                     (:meth:`repro.hardware.pac.PointerAuthentication.auth`
+                     hook) -- PACStack's signed-pointer reuse/substitution
+                     attack: the MAC is genuine, only the site is wrong
+``call.retarget``    bend the Nth defined-function call to a different
+                     defined function of the same arity and return type
+                     (:meth:`repro.hardware.cpu.CPU._call` hook) --
+                     indirect-call operand corruption
+``heap.cross``       misroute the Nth *isolated* allocation request into
+                     the shared arena
+                     (:meth:`repro.hardware.allocator.SectionedHeap.malloc`
+                     hook) -- cross-heap-section confusion
 ``cache.corrupt``    garble the payload of the Nth compilation-cache load
 ``cache.truncate``   truncate the serialized entry of the Nth cache store
 ``cache.oserror``    raise ``OSError`` inside the Nth cache store (disk
@@ -54,6 +67,9 @@ FAULT_KINDS: Dict[str, str] = {
     "pac.key": "sign",
     "alloc.header": "malloc",
     "dfi.shadow": "setdef",
+    "pac.reuse": "sign",
+    "call.retarget": "call",
+    "heap.cross": "isolated",
     "cache.corrupt": "cache.load",
     "cache.truncate": "cache.store",
     "cache.oserror": "cache.store",
@@ -148,6 +164,9 @@ def smoke_plan(seed: int = 2024) -> FaultPlan:
             FaultSpec("dfi.shadow", trigger=1),
             FaultSpec("mem.flip", trigger=64),
             FaultSpec("alloc.header", trigger=1),
+            FaultSpec("pac.reuse", trigger=1),
+            FaultSpec("call.retarget", trigger=2),
+            FaultSpec("heap.cross", trigger=1),
             FaultSpec("cache.corrupt", trigger=1),
             FaultSpec("cache.truncate", trigger=1),
             FaultSpec("cache.oserror", trigger=1),
@@ -192,6 +211,9 @@ class FaultInjector:
             if only is None or index == only
         ]
         self._keys_corrupted: set = set()
+        #: pac.reuse capture state: spec index -> signed value captured
+        #: at the spec's sign site, cleared once replayed (one-shot).
+        self._captured: Dict[int, int] = {}
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -231,9 +253,11 @@ class FaultInjector:
         """Attach this injector to every hook point of a CPU."""
         cpu.memory.fault_hook = self
         cpu.pac.fault_hook = self
+        cpu.heap.fault_hook = self
         cpu.heap.shared.fault_hook = self
         cpu.heap.isolated.fault_hook = self
         cpu.dfi_shadow.fault_hook = self
+        cpu.call_fault_hook = self
 
     # -- hardware hooks -------------------------------------------------------
 
@@ -262,7 +286,83 @@ class FaultInjector:
                 bit = rng.randrange(128)
                 pac.corrupt_key(spec.key_id, bit)
                 self._record(index, "pac.key", event, f"key={spec.key_id} bit={bit}")
+            elif spec.kind == "pac.reuse" and index not in self._captured:
+                # Capture only: the replay happens at a later auth site
+                # (see on_pac_auth).  Recording waits until the replay so
+                # a capture with no subsequent auth reads as not fired.
+                self._captured[index] = signed
         return signed
+
+    def on_pac_auth(self, pac, value: int, modifier: int, key_id: str) -> int:
+        """Signed-pointer reuse: substitute a captured signed value.
+
+        The replay site is the first authentication whose incoming value
+        differs from the capture -- substituting at a same-value site
+        would be a no-op.  One-shot per spec; the MAC on the substituted
+        value is genuine, so the defense only trips when sign and auth
+        sites disagree on the modifier (per-object ids under cpa,
+        canary slots under pythia).
+        """
+        event = self._counters.get("auth", 0) + 1
+        self._counters["auth"] = event
+        for index, spec in self._active:
+            if spec.kind != "pac.reuse":
+                continue
+            captured = self._captured.get(index)
+            if captured is None or captured == value:
+                continue
+            del self._captured[index]
+            self._record(
+                index,
+                "pac.reuse",
+                event,
+                f"auth#{event} value={value:#018x}->{captured:#018x}",
+            )
+            value = captured
+        return value
+
+    def on_call(self, cpu, function, args):
+        """Indirect-call operand corruption: bend the Nth defined call.
+
+        The replacement is drawn deterministically from the module's
+        other defined functions with the same arity and return type, so
+        the bent execution stays type-correct (the corruption models a
+        function-pointer swap, not a wild jump).  No candidate -> no-op.
+        """
+        for index, spec, event in self._firing("call"):
+            if spec.kind != "call.retarget":
+                continue
+            ftype = function.function_type
+            candidates = [
+                f
+                for f in cpu.module.functions.values()
+                if not f.is_declaration
+                and f is not function
+                and len(f.args) == len(function.args)
+                and f.function_type.return_type == ftype.return_type
+            ]
+            if not candidates:
+                continue
+            target = self._rng(index, event).choice(
+                sorted(candidates, key=lambda f: f.name)
+            )
+            self._record(
+                index,
+                "call.retarget",
+                event,
+                f"{function.name}->{target.name}",
+            )
+            function = target
+        return function
+
+    def on_heap_route(self, heap, size: int, isolated: bool) -> bool:
+        """Cross-heap-section confusion: misroute an isolated request."""
+        for index, spec, event in self._firing("isolated"):
+            if spec.kind != "heap.cross":
+                continue
+            self._record(index, "heap.cross", event, f"size={size} ->shared")
+            isolated = False
+        return isolated
 
     def on_malloc(self, allocator, address: int, payload: int) -> None:
         for index, spec, event in self._firing("malloc"):

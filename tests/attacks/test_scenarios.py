@@ -59,8 +59,10 @@ class TestMatrix:
 
 
 class TestScenarioShape:
-    def test_six_scenarios(self):
-        assert len(SCENARIOS) == 6
+    def test_nine_scenarios(self):
+        # the paper's six listings plus the three campaign families
+        # (signed-pointer reuse, call bending, cross-section confusion)
+        assert len(SCENARIOS) == 9
 
     def test_cpa_detects_everything_it_claims(self):
         # the conservative scheme's completeness claim (§4.2): it detects
@@ -83,6 +85,13 @@ class TestScenarioShape:
 
     def test_pythia_prevents_heap_attack(self):
         assert "pythia" in SCENARIOS["heap_overflow"].prevented_by
+        assert "pythia" in SCENARIOS["heap_cross"].prevented_by
+
+    def test_campaign_families_have_scenarios(self):
+        # one victim per campaign attack family (see
+        # repro.robustness.campaign.FAMILIES)
+        for name in ("pac_reuse", "call_bend", "heap_cross"):
+            assert name in SCENARIOS
 
     def test_dfi_misses_field_insensitive_case(self):
         assert "dfi" not in SCENARIOS["proftpd_leak"].detected_by

@@ -213,6 +213,60 @@ class TestChaos:
         assert "FAIL" in out
         assert "not-triggered" in out
 
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "{not json",
+            '{"specs": "not-a-list"}',
+            '{"seed": 1, "specs": [{"kind": "bogus.kind", "trigger": 1}]}',
+            '{"seed": 1, "specs": [{"trigger": 1}]}',
+        ],
+        ids=["bad-json", "wrong-schema", "unknown-kind", "missing-kind"],
+    )
+    def test_malformed_plan_exits_3_with_one_line(self, tmp_path, capsys, text):
+        plan = tmp_path / "plan.json"
+        plan.write_text(text)
+        code, _, err = run_cli(["chaos", "--plan", str(plan)], capsys)
+        assert code == 3
+        assert err.startswith("repro: error: invalid fault plan")
+        assert str(plan) in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+
+class TestCampaign:
+    def test_campaign_writes_matrix_and_manifest(self, tmp_path, capsys):
+        import json
+
+        matrix = tmp_path / "matrix.json"
+        manifest = tmp_path / "campaign.json"
+        code, out, _ = run_cli(
+            [
+                "campaign", "--seed", "7", "--budget", "3",
+                "--families", "pac_reuse,heap_cross,call_bend",
+                "--no-reduce",
+                "--matrix-out", str(matrix), "--manifest", str(manifest),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "OK: every vanilla bypass" in out
+        data = json.loads(matrix.read_text())
+        assert data["schema"] == "repro-campaign-matrix-v1"
+        assert data["families"] == ["call_bend", "heap_cross", "pac_reuse"]
+        full = json.loads(manifest.read_text())
+        assert full["schema"] == "repro-campaign-v1"
+        assert full["ok"] is True
+        assert full["violations"] == []
+
+    def test_unknown_family_exits_2(self, capsys):
+        code, _, err = run_cli(
+            ["campaign", "--budget", "1", "--families", "no_such_family"],
+            capsys,
+        )
+        assert code == 2
+        assert "no_such_family" in err
+
 
 class TestObservabilityFlags:
     def test_run_writes_valid_trace_and_metrics(self, victim_path, tmp_path, capsys):

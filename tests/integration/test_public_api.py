@@ -55,7 +55,7 @@ class TestPublicSurface:
 
     def test_scenarios_entry_point(self):
         scenarios = repro.build_scenarios()
-        assert len(scenarios) == 6
+        assert len(scenarios) == 9
 
     def test_ir_roundtrip_entry_points(self, listing1_module):
         text = repro.print_module(listing1_module)

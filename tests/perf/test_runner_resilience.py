@@ -170,6 +170,80 @@ class TestBackoff:
             7, "b", 1, 0.25, 8.0
         )
 
+    def test_huge_attempt_numbers_stay_capped(self):
+        # 2.0 ** attempt overflows a float past attempt ~1024; the
+        # clamped exponent keeps the delay finite and <= cap forever.
+        for attempt in (64, 1025, 10**6):
+            delay = backoff_delay(7, "bench", attempt, 0.25, 2.0)
+            assert 1.0 <= delay <= 2.0
+
+    def test_clamp_does_not_change_small_attempts(self):
+        # The clamp only matters once the step has saturated the cap.
+        for attempt in range(1, 12):
+            assert backoff_delay(7, "x", attempt, 0.25, 8.0) == (
+                backoff_delay(7, "x", attempt, 0.25, 8.0)
+            )
+
+
+class TestBackoffAccounting:
+    def test_quarantined_task_records_total_backoff(self, tmp_path):
+        worker = FlakyWorker(tmp_path, failures=10)
+        _, failures = run_tasks(
+            [("t", "t")],
+            worker,
+            jobs=2,
+            timeout=30.0,
+            retries=2,
+            keep_going=True,
+            backoff_base=0.01,
+            seed=7,
+        )
+        failure = failures["t"]
+        assert failure.attempts == 3
+        # two sleeps happened (between the three attempts), and their
+        # durations are exactly the deterministic backoff schedule
+        expected = sum(
+            backoff_delay(7, "t", attempt, 0.01, 8.0) for attempt in (1, 2)
+        )
+        assert failure.backoff_total_s == pytest.approx(expected)
+
+    def test_inline_path_accounts_identically(self, tmp_path):
+        worker = FlakyWorker(tmp_path, failures=10)
+        _, failures = run_tasks(
+            [("t", "t")],
+            worker,
+            jobs=1,
+            retries=2,
+            keep_going=True,
+            backoff_base=0.01,
+            seed=7,
+        )
+        expected = sum(
+            backoff_delay(7, "t", attempt, 0.01, 8.0) for attempt in (1, 2)
+        )
+        assert failures["t"].backoff_total_s == pytest.approx(expected)
+
+    def test_manifest_carries_backoff_total(self):
+        failure = TaskFailure(
+            name="bad",
+            status="error",
+            attempts=3,
+            message="boom",
+            backoff_total_s=0.125,
+        )
+        assert failure.to_dict()["backoff_total_s"] == 0.125
+
+    def test_no_retries_means_zero_backoff(self, tmp_path):
+        worker = FlakyWorker(tmp_path, failures=10)
+        _, failures = run_tasks(
+            [("t", "t")],
+            worker,
+            jobs=2,
+            timeout=30.0,
+            keep_going=True,
+        )
+        assert failures["t"].backoff_total_s == 0.0
+
 
 class TestFailureManifest:
     def test_manifest_names_completed_and_quarantined(self):

@@ -1,0 +1,158 @@
+"""The attack-campaign fuzzer and its defense-coverage matrix."""
+
+import json
+
+import pytest
+
+from repro.core import SCHEMES
+from repro.robustness.campaign import (
+    FAMILY_FAULTS,
+    NEW_FAMILIES,
+    OUTCOMES,
+    Mutant,
+    make_mutant,
+    mutate_payload,
+    run_campaign,
+)
+
+
+class TestMutant:
+    def test_same_coordinates_same_mutant(self):
+        assert make_mutant(2024, "pac_reuse", 3) == make_mutant(
+            2024, "pac_reuse", 3
+        )
+
+    def test_different_seed_changes_the_space(self):
+        mutants_a = [make_mutant(1, "heap_cross", i) for i in range(1, 12)]
+        mutants_b = [make_mutant(2, "heap_cross", i) for i in range(1, 12)]
+        assert mutants_a != mutants_b
+
+    def test_index_zero_is_the_unmutated_exploit(self):
+        for family in NEW_FAMILIES:
+            mutant = make_mutant(2024, family, 0)
+            assert mutant.payload_op == "keep"
+
+    def test_to_dict_is_json_ready(self):
+        mutant = make_mutant(2024, "call_bend", 5)
+        data = json.loads(json.dumps(mutant.to_dict()))
+        assert data["family"] == "call_bend"
+        assert data["index"] == 5
+
+
+class TestMutatePayload:
+    def _mutant(self, op, amount=4, planted=0):
+        return Mutant(
+            family="x",
+            index=1,
+            payload_op=op,
+            amount=amount,
+            planted=planted,
+            occurrence=1,
+            trigger=1,
+        )
+
+    def test_keep(self):
+        assert mutate_payload(b"abc", self._mutant("keep")) == b"abc"
+
+    def test_grow(self):
+        assert mutate_payload(b"abc", self._mutant("grow", 4)) == b"abcAAAA"
+
+    def test_shrink_never_empties(self):
+        assert mutate_payload(b"ab", self._mutant("shrink", 8)) == b"a"
+
+    def test_flip_is_a_single_bit(self):
+        out = mutate_payload(b"\x00\x00", self._mutant("flip", 9))
+        assert out == b"\x00\x02"
+
+    def test_value_plants_a_little_endian_word(self):
+        mutant = self._mutant("value", planted=0x41)
+        out = mutate_payload(b"x" * 12, mutant)
+        assert len(out) == 12
+        assert out[4:] == (0x41).to_bytes(8, "little")
+
+    def test_spray(self):
+        assert mutate_payload(b"xy", self._mutant("spray", 6)) == b"A" * 6
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_campaign(seed=7, budget=6, families=NEW_FAMILIES)
+
+
+class TestCampaign:
+    def test_deterministic_manifest(self, report):
+        again = run_campaign(seed=7, budget=6, families=NEW_FAMILIES)
+        dump = lambda r: json.dumps(r.to_manifest(), sort_keys=True)  # noqa: E731
+        assert dump(report) == dump(again)
+        assert json.dumps(report.matrix_manifest(), sort_keys=True) == (
+            json.dumps(again.matrix_manifest(), sort_keys=True)
+        )
+
+    def test_every_family_runs_under_every_scheme(self, report):
+        seen = {
+            (run.mutant.family, run.scheme): run.outcome
+            for run in report.runs
+        }
+        for family in NEW_FAMILIES:
+            for scheme in SCHEMES:
+                assert (family, scheme) in seen
+
+    def test_matrix_has_every_cell(self, report):
+        matrix = report.matrix()
+        for scheme in SCHEMES:
+            for family in NEW_FAMILIES:
+                assert set(matrix[scheme][family]) == set(OUTCOMES)
+
+    def test_contract_holds(self, report):
+        assert report.contract_violations() == []
+        assert report.crashes == []
+        assert report.ok
+
+    def test_vanilla_bypasses_exist_and_are_stopped(self, report):
+        # The vulnerabilities are real: vanilla lets the baseline
+        # exploit of every family through...
+        vanilla_bypassed = {
+            run.mutant.family
+            for run in report.runs
+            if run.scheme == "vanilla" and run.outcome == "bypassed"
+        }
+        assert vanilla_bypassed == set(NEW_FAMILIES)
+        # ...and pythia/dfi stop every one of those mutants.
+        for run in report.runs:
+            if run.scheme in ("pythia", "dfi"):
+                assert run.outcome in ("trapped", "detected", "missed")
+
+    def test_bypasses_are_bucketed_and_reduced(self, report):
+        buckets = report.bypass_buckets()
+        assert buckets, "expected at least the vanilla bypass buckets"
+        for bucket, records in buckets.items():
+            exemplars = [r for r in records if r.reduced_source]
+            assert len(exemplars) == 1, bucket
+            exemplar = exemplars[0]
+            assert 0 < exemplar.reduced_lines <= exemplar.original_lines
+
+    def test_render_matrix_mentions_every_family(self, report):
+        text = "\n".join(report.render_matrix())
+        for family in NEW_FAMILIES:
+            assert family in text
+
+    def test_events_recorded_for_fault_families(self, report):
+        # pac_reuse/heap_cross arm a fault; at least the unmutated
+        # index-0 mutant must log fired sites somewhere in the matrix.
+        for family in FAMILY_FAULTS:
+            fired = [
+                run
+                for run in report.runs
+                if run.mutant.family == family and run.events
+            ]
+            assert fired, family
+
+
+class TestCampaignArguments:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown attack family"):
+            run_campaign(seed=1, budget=1, families=("nope",))
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            run_campaign(seed=1, budget=0, families=NEW_FAMILIES)

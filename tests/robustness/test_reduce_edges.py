@@ -1,0 +1,105 @@
+"""Delta-debugging edge cases (satellite for the campaign PR).
+
+The campaign engine leans on :func:`reduce_source` to minimize bypass
+exemplars, so the degenerate shapes -- nothing to remove, everything
+load-bearing, reductions that mutate the failure -- must all come back
+as *valid* reproducers, never as empty or signature-shifted sources.
+"""
+
+import pytest
+
+from repro.robustness import ddmin, make_crash_predicate, reduce_source
+from repro.robustness.reduce import crash_signature
+
+
+class TestSingleStatement:
+    #: One statement, and it is the bug: there is nothing to strip.
+    CRASHER = "int main() { return undeclared_name; }"
+
+    def test_single_statement_program_survives_whole(self):
+        predicate, signature = make_crash_predicate(self.CRASHER)
+        assert signature is not None
+        reduced = reduce_source(self.CRASHER, predicate)
+        assert predicate(reduced)
+        assert "undeclared_name" in reduced
+        # A one-liner cannot shrink below itself.
+        assert reduced.strip() == self.CRASHER.strip()
+
+    def test_single_item_list_is_its_own_minimum(self):
+        assert ddmin(["only"], lambda c: c == ["only"]) == ["only"]
+
+
+class TestEveryChunkLoadBearing:
+    def test_ddmin_keeps_everything_when_all_items_matter(self):
+        items = list(range(8))
+
+        def predicate(candidate):
+            return candidate == items
+
+        assert ddmin(items, predicate) == items
+
+    def test_reduce_source_keeps_interdependent_lines(self):
+        # Every line participates in the crash: main calls helper,
+        # helper trips the sema failure.  Dropping any line either
+        # breaks the call chain (parse/sema error of a *different*
+        # signature) or removes the bug.
+        source = (
+            "int helper(int x) { return x + undeclared_name; }\n"
+            "int main() { return helper(1); }\n"
+        )
+        predicate, signature = make_crash_predicate(source)
+        assert signature is not None
+        reduced = reduce_source(source, predicate)
+        assert predicate(reduced)
+        assert "undeclared_name" in reduced
+
+
+class TestSignatureStability:
+    #: Two distinct bugs: removing the first line would "reduce" the
+    #: source to one that still crashes -- but with a different
+    #: fingerprint.  The predicate must reject such candidates so the
+    #: reduction never drifts to a different failure.
+    TWO_BUGS = (
+        "int main() {\n"
+        "    int x = first_missing_name;\n"
+        "    int y = 0;\n"
+        "    return y / 0;\n"
+        "}\n"
+    )
+
+    def test_reduction_never_changes_the_fingerprint(self):
+        predicate, signature = make_crash_predicate(self.TWO_BUGS)
+        assert signature is not None
+        reduced = reduce_source(self.TWO_BUGS, predicate)
+        # Whatever it shrank to, it reproduces the *original* failure.
+        assert crash_signature(reduced) == signature
+
+    def test_fingerprint_changing_candidate_is_rejected(self):
+        predicate, signature = make_crash_predicate(self.TWO_BUGS)
+        # A candidate exposing only the second bug has a different
+        # signature, so the predicate must say "not interesting".
+        other = "int main() { int y = 0; return y / 0; }"
+        other_sig = crash_signature(other)
+        if other_sig is not None:
+            assert other_sig != signature
+        assert predicate(other) is False
+
+    def test_original_kept_when_no_candidate_shares_the_signature(self):
+        # A predicate that holds only on the exact original forces
+        # ddmin to return the input unchanged rather than something
+        # smaller-but-different.
+        predicate, signature = make_crash_predicate(self.TWO_BUGS)
+        original_lines = self.TWO_BUGS.splitlines()
+
+        def exact(candidate):
+            return candidate == original_lines
+
+        assert ddmin(original_lines, exact) == original_lines
+
+
+class TestPredicateBudget:
+    def test_zero_budget_returns_input(self):
+        items = list(range(16))
+        result = ddmin(items, lambda c: 7 in c, max_tests=0)
+        # No probes allowed: the (verified) input is the best we have.
+        assert 7 in result

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Gate defense-coverage-matrix regressions (CI gate).
+
+Compares a freshly produced campaign coverage matrix (``python -m
+repro campaign --matrix-out``) against a checked-in baseline and fails
+when protection regresses:
+
+- any (scheme, family) cell that had zero ``bypassed`` mutants in the
+  baseline but has bypasses now (``trapped``/``detected`` coverage
+  regressed to ``bypassed``);
+- any ``crashed`` count above the baseline's;
+- schema drift or families/schemes missing from the current matrix.
+
+New families or schemes absent from the baseline are allowed (coverage
+can grow); a *larger* bypass count in a cell the baseline already saw
+bypasses in is reported as an advisory, not a failure, since mutant
+counts scale with ``--budget``.
+
+Usage::
+
+    python tools/check_coverage_matrix.py \
+        --baseline tools/coverage_matrix_baseline.json \
+        --current matrix.json
+
+Exits 0 when coverage held, 1 with one diagnostic line per regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Tuple
+
+SCHEMA = "repro-campaign-matrix-v1"
+
+
+def load_matrix(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: schema is {payload.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    if not isinstance(payload.get("matrix"), dict):
+        raise ValueError(f"{path}: 'matrix' missing or not an object")
+    return payload
+
+
+def compare(
+    baseline: Dict[str, Any], current: Dict[str, Any]
+) -> Tuple[List[str], List[str]]:
+    """(regressions, advisories) between two matrix manifests."""
+    regressions: List[str] = []
+    advisories: List[str] = []
+    base_matrix = baseline["matrix"]
+    cur_matrix = current["matrix"]
+    for scheme, families in sorted(base_matrix.items()):
+        if scheme not in cur_matrix:
+            regressions.append(f"scheme {scheme!r} missing from current matrix")
+            continue
+        for family, base_cell in sorted(families.items()):
+            cur_cell = cur_matrix[scheme].get(family)
+            if cur_cell is None:
+                regressions.append(
+                    f"{scheme}/{family}: family missing from current matrix"
+                )
+                continue
+            base_bypassed = int(base_cell.get("bypassed", 0))
+            cur_bypassed = int(cur_cell.get("bypassed", 0))
+            if base_bypassed == 0 and cur_bypassed > 0:
+                regressions.append(
+                    f"{scheme}/{family}: baseline had 0 bypasses, "
+                    f"now {cur_bypassed} -- coverage regressed to bypassed"
+                )
+            elif cur_bypassed > base_bypassed:
+                advisories.append(
+                    f"{scheme}/{family}: bypasses {base_bypassed} -> "
+                    f"{cur_bypassed} (baseline cell already leaked; "
+                    "budget-dependent)"
+                )
+            base_crashed = int(base_cell.get("crashed", 0))
+            cur_crashed = int(cur_cell.get("crashed", 0))
+            if cur_crashed > base_crashed:
+                regressions.append(
+                    f"{scheme}/{family}: crashed {base_crashed} -> {cur_crashed}"
+                )
+    return regressions, advisories
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        help="checked-in baseline coverage matrix JSON",
+    )
+    parser.add_argument(
+        "--current",
+        required=True,
+        help="freshly produced coverage matrix JSON",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_matrix(args.baseline)
+        current = load_matrix(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+
+    regressions, advisories = compare(baseline, current)
+    for line in advisories:
+        print(f"note: {line}")
+    for line in regressions:
+        print(f"FAIL: {line}", file=sys.stderr)
+    if regressions:
+        return 1
+    cells = sum(len(families) for families in baseline["matrix"].values())
+    print(
+        f"ok: {cells} baseline cell(s) held "
+        f"(baseline seed {baseline.get('seed')}, "
+        f"current seed {current.get('seed')})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
