@@ -12,6 +12,8 @@ Subcommands:
 ``campaign``  fuzz attack families, emit the defense-coverage matrix
 ``profile``   execute a program under the profiler, print hot spots
 ``scenarios`` list the built-in attack scenarios / campaign families
+``serve``     persistent compile-and-execute daemon over a local socket
+``loadgen``   fire a seeded request mix at a running serve daemon
 
 ``run``, ``bench``, ``suite``, ``chaos``, and ``campaign`` accept ``--trace-out FILE``
 (a Chrome-trace / Perfetto JSON of the command's spans) and
@@ -32,6 +34,7 @@ MiniC, 5 for IR verification and protection-pipeline bugs.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -455,6 +458,106 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0 if result.ok else 2
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.pool import WorkerPool
+    from .serve.server import ReproServer
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}")
+        return 1
+    if args.socket and args.port is not None:
+        print("pass --socket or --port, not both")
+        return 1
+    cache_dir = None if args.no_cache else args.cache_dir
+    timeout = args.timeout if args.timeout and args.timeout > 0 else None
+    pool = WorkerPool(
+        workers=args.workers,
+        capacity=args.max_modules,
+        cache_dir=cache_dir,
+        timeout=timeout,
+        trace=current_tracer().enabled,
+        debug_ops=args.debug_ops,
+    )
+    server = ReproServer(
+        pool,
+        socket_path=None if args.port is not None else (args.socket or ".repro-serve.sock"),
+        port=args.port,
+        drain_timeout=args.drain_timeout,
+    )
+
+    async def _serve() -> None:
+        await server.serve_until_stopped()
+
+    # Fork the workers before any event loop exists, so no loop or
+    # executor-thread state is duplicated into them.
+    pool.start()
+    try:
+        print(
+            f"repro serve: {pool.size} worker(s) on {server.endpoint} "
+            + (f"(timeout {timeout}s" if timeout else "(no timeout")
+            + (f", cache {cache_dir})" if cache_dir else ", cache off)"),
+            file=sys.stderr,
+            flush=True,
+        )
+        asyncio.run(_serve())
+    finally:
+        pool.stop()
+    print(
+        f"repro serve: drained after {server.requests} request(s), "
+        f"{server.coalesced} coalesced, {pool.restarts} worker restart(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from .serve.loadgen import run_load
+    from .workloads.nginx import DEFAULT_MIX, build_request_mix, parse_mix
+
+    try:
+        mix = parse_mix(args.mix) if args.mix else dict(DEFAULT_MIX)
+    except ValueError as exc:
+        return _fail(exc, 2)
+    requests = build_request_mix(
+        count=args.requests,
+        seed=args.seed,
+        mix=mix,
+        duration=args.size,
+        variants=args.variants,
+        interpreter=args.interpreter,
+    )
+    report = run_load(
+        requests,
+        concurrency=args.concurrency,
+        socket_path=None if args.port is not None else (args.socket or ".repro-serve.sock"),
+        port=args.port,
+        duration_s=args.duration,
+        connect_deadline_s=args.connect_wait,
+    )
+    for line in report.summary_lines():
+        print(line)
+    if args.report_out:
+        import json
+
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"load report written to {args.report_out}", file=sys.stderr)
+    failed = False
+    if report.failures:
+        print(f"FAIL: {report.failures} request(s) failed", file=sys.stderr)
+        failed = True
+    if args.max_p99_ms is not None and report.p99_ms() > args.max_p99_ms:
+        print(
+            f"FAIL: p99 {report.p99_ms():.1f}ms exceeds the "
+            f"--max-p99-ms bound of {args.max_p99_ms:.1f}ms",
+            file=sys.stderr,
+        )
+        failed = True
+    return 2 if failed else 0
+
+
 def cmd_scenarios(args: argparse.Namespace) -> int:
     from .robustness.campaign import FAMILY_FAULTS, NEW_FAMILIES
 
@@ -737,6 +840,149 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("scenarios", help="list the built-in attack scenarios")
     p.set_defaults(func=cmd_scenarios)
+
+    p = sub.add_parser(
+        "serve",
+        help="persistent compile-and-execute daemon over a local socket",
+    )
+    p.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="Unix-domain socket path (default: .repro-serve.sock)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="listen on loopback TCP instead of a Unix socket",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=max(2, min(4, os.cpu_count() or 2)),
+        help="persistent worker processes; requests shard across them "
+        "by content digest (default: min(4, CPUs), at least 2)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="per-request worker timeout in seconds; 0 disables "
+        "(default: 60)",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to let in-flight requests finish on shutdown "
+        "(default: 30)",
+    )
+    p.add_argument(
+        "--max-modules",
+        type=int,
+        default=32,
+        help="warm-registry capacity per worker, in distinct modules "
+        "(default: 32)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="shared on-disk compilation cache (default: .repro-cache)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk compilation cache",
+    )
+    p.add_argument(
+        "--debug-ops",
+        action="store_true",
+        help="enable the test-only _debug_crash op (crash containment "
+        "drills)",
+    )
+    _add_observability_args(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="fire a seeded nginx-style request mix at a serve daemon",
+    )
+    p.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="daemon socket path (default: .repro-serve.sock)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="connect over loopback TCP instead of a Unix socket",
+    )
+    p.add_argument(
+        "--requests",
+        type=int,
+        default=200,
+        help="requests in the mix (default: 200)",
+    )
+    p.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="concurrent client connections (default: 8)",
+    )
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="keep cycling the mix for this many seconds instead of "
+        "sending it once",
+    )
+    p.add_argument(
+        "--mix",
+        default=None,
+        metavar="OP=W[,OP=W...]",
+        help="op weights (default: run=6,compile=3,attack=2,profile=1)",
+    )
+    p.add_argument(
+        "--variants",
+        type=int,
+        default=3,
+        help="distinct generated programs in the working set (default: 3)",
+    )
+    p.add_argument(
+        "--size",
+        default="3s",
+        choices=("3s", "30s", "300s"),
+        help="nginx workload size per request (default: 3s)",
+    )
+    p.add_argument(
+        "--interpreter",
+        choices=INTERPRETERS,
+        default="block",
+        help="interpreter requested for run/profile ops (default: block)",
+    )
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument(
+        "--connect-wait",
+        type=float,
+        default=10.0,
+        help="seconds to wait for the daemon to answer ping (default: 10)",
+    )
+    p.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=None,
+        help="fail (exit 2) when overall p99 latency exceeds this bound",
+    )
+    p.add_argument(
+        "--report-out",
+        default=None,
+        metavar="FILE",
+        help="write the latency/throughput report as JSON",
+    )
+    p.set_defaults(func=cmd_loadgen)
 
     return parser
 

@@ -17,8 +17,11 @@ from .trajectory import (
     block_throughput,
     check_block_regression,
     check_block_regression_file,
+    check_serve_regression,
+    check_serve_regression_file,
     load_entries,
     safe_load_entries,
+    serve_p99,
     trace_throughput,
 )
 
@@ -31,6 +34,9 @@ __all__ = [
     "block_throughput",
     "check_block_regression",
     "check_block_regression_file",
+    "check_serve_regression",
+    "check_serve_regression_file",
+    "serve_p99",
     "plan_jobs",
     "profile_digest",
     "safe_load_entries",

@@ -156,6 +156,24 @@ class CompilationCache:
     def key_for(self, module_text: str, config: Any) -> str:
         return compute_key(module_text, config.scheme, config_token(config))
 
+    @staticmethod
+    def _valid_entry_on_disk(path: str, digest: str) -> bool:
+        """True when ``path`` already holds a verified entry for ``digest``.
+
+        Any read/parse problem just returns ``False`` -- the caller
+        then writes a fresh entry over whatever is there.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError):
+            return False
+        return (
+            isinstance(existing, dict)
+            and existing.get("format") == CACHE_FORMAT
+            and existing.get("digest") == digest
+        )
+
     def load(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored entry for ``key``, or ``None`` on miss/corruption.
 
@@ -225,6 +243,15 @@ class CompilationCache:
     ) -> None:
         """Persist one compilation result atomically.
 
+        Safe under concurrent same-key writers: the key is a content
+        address, so every writer carries an identical entry -- each
+        writes a private ``mkstemp`` file (``O_EXCL``) and publishes it
+        with an atomic ``os.replace``, and readers can never observe a
+        torn entry regardless of interleaving.  When a verified entry
+        is already on disk the store is skipped entirely, so N racing
+        writers collapse to (at most) N renames of identical bytes and
+        usually just one.
+
         I/O failure is absorbed: the entry is simply not cached and the
         instance degrades to cache-off (see :meth:`_degrade`).
         """
@@ -243,6 +270,10 @@ class CompilationCache:
             "payload": payload,
         }
         path = self._path(key)
+        if self.fault_hook is None and self._valid_entry_on_disk(path, entry["digest"]):
+            get_metrics().inc("cache.store_skips")
+            current_tracer().instant("cache.store_skip", "cache", key=key[:12])
+            return
         directory = os.path.dirname(path)
         temp_path = None
         try:

@@ -1,7 +1,9 @@
-"""Append-only performance trajectory file (``BENCH_interp.json``).
+"""Append-only performance trajectory files (``BENCH_*.json``).
 
-Each benchmark run appends one entry so interpreter throughput can be
-tracked across commits.  The file is a single JSON object::
+Each benchmark run appends one entry so performance can be tracked
+across commits -- ``BENCH_interp.json`` carries interpreter throughput,
+``BENCH_serve.json`` carries the serve daemon's request latency.  A
+file is a single JSON object::
 
     {"entries": [{"label": ..., "steps_per_second": ..., ...}, ...]}
 
@@ -166,3 +168,76 @@ def check_block_regression_file(
             return None, f"{skip} (new entry lacks block-tier fields)"
         return None, f"{skip} ({path}: no prior entry has block-tier fields)"
     return check_block_regression(entries, entry, tolerance), None
+
+
+# -- serve-daemon latency gate (BENCH_serve.json) ------------------------------
+
+
+def serve_p99(entry: Dict[str, Any]) -> Optional[float]:
+    """The warm p99 request latency (ms) of one serve-trajectory entry.
+
+    Returns ``None`` for entries without serve data (other benchmarks
+    sharing the envelope, or pre-daemon history).
+    """
+    serve = entry.get("serve")
+    if not isinstance(serve, dict):
+        return None
+    p99 = serve.get("p99_ms")
+    if isinstance(p99, (int, float)) and p99 > 0:
+        return float(p99)
+    return None
+
+
+def check_serve_regression(
+    entries: Sequence[Dict[str, Any]],
+    entry: Dict[str, Any],
+    tolerance: float = 0.10,
+) -> Optional[str]:
+    """Compare ``entry``'s serve p99 latency to the trajectory.
+
+    Latency gates in the opposite direction from throughput: a failure
+    message is returned when the new entry's p99 rises more than
+    ``tolerance`` *above* the most recent prior entry carrying serve
+    data.  ``None`` means no regression (or nothing to compare).
+    """
+    current = serve_p99(entry)
+    if current is None:
+        return None
+    baseline = None
+    for previous in reversed(entries):
+        baseline = serve_p99(previous)
+        if baseline is not None:
+            break
+    if baseline is None:
+        return None
+    if current > baseline * (1.0 + tolerance):
+        return (
+            f"serve p99 latency regressed: {current:.2f}ms vs "
+            f"{baseline:.2f}ms baseline ({current / baseline - 1.0:+.1%}, "
+            f"tolerance +{tolerance:.0%})"
+        )
+    return None
+
+
+def check_serve_regression_file(
+    path: str,
+    entry: Dict[str, Any],
+    tolerance: float = 0.10,
+) -> Tuple[Optional[str], Optional[str]]:
+    """Gate ``entry`` against the serve trajectory, never crashing.
+
+    Same contract as :func:`check_block_regression_file`: returns
+    ``(failure, skip_note)``, skipping (with a reason) when the file is
+    missing, corrupt, or no entry on either side carries serve fields.
+    """
+    skip = "no baseline, skipping serve-regression check"
+    entries = safe_load_entries(path)
+    if entries is None:
+        return None, f"{skip} ({path}: unreadable or corrupt)"
+    if not entries:
+        return None, f"{skip} ({path}: missing or empty)"
+    if serve_p99(entry) is None:
+        return None, f"{skip} (new entry lacks serve fields)"
+    if all(serve_p99(previous) is None for previous in entries):
+        return None, f"{skip} ({path}: no prior entry has serve fields)"
+    return check_serve_regression(entries, entry, tolerance), None

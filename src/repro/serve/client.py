@@ -1,0 +1,158 @@
+"""Blocking JSON-lines client for the serve daemon.
+
+Used by the load generator, the latency benchmark, and the tests.  One
+client = one connection = one outstanding request at a time; concurrent
+load uses one client per thread (the daemon multiplexes connections).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from ..hardware.errors import ReproError
+from .protocol import decode_line, encode
+
+
+class ServeClientError(ReproError):
+    """The daemon is unreachable or answered garbage."""
+
+    exit_code = 3
+
+
+class ServeClient:
+    """Synchronous request/response client over a local socket."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: float = 120.0,
+    ):
+        if (socket_path is None) == (port is None):
+            raise ValueError("pass exactly one of socket_path or port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._next_id = 0
+
+    @property
+    def endpoint(self) -> str:
+        if self.socket_path is not None:
+            return self.socket_path
+        return f"{self.host}:{self.port}"
+
+    def connect(self) -> "ServeClient":
+        try:
+            if self.socket_path is not None:
+                sock = socket.socket(socket.AF_UNIX)
+                sock.settimeout(self.timeout)
+                sock.connect(self.socket_path)
+            else:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+        except OSError as exc:
+            raise ServeClientError(
+                f"cannot connect to repro serve at {self.endpoint}: {exc}"
+            ) from exc
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        if self._sock is None:
+            self.connect()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request; returns the raw response envelope."""
+        if self._sock is None:
+            self.connect()
+        self._next_id += 1
+        message = {"id": self._next_id, "op": op}
+        message.update(fields)
+        return self.send_raw(message)
+
+    def send_raw(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send a prebuilt request dict and read its response line."""
+        return self.send_raw_line(encode(message))
+
+    def send_raw_line(self, line: bytes) -> Dict[str, Any]:
+        """Send pre-encoded bytes (tests use this to probe malformed input)."""
+        if self._sock is None:
+            self.connect()
+        try:
+            self._sock.sendall(line)
+            line = self._reader.readline()
+        except OSError as exc:
+            raise ServeClientError(
+                f"request to {self.endpoint} failed: {exc}"
+            ) from exc
+        if not line:
+            raise ServeClientError(
+                f"connection to {self.endpoint} closed before a response"
+            )
+        try:
+            return decode_line(line)
+        except ValueError as exc:
+            raise ServeClientError(
+                f"malformed response from {self.endpoint}: {exc}"
+            ) from exc
+
+
+def wait_for_server(
+    socket_path: Optional[str] = None,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    deadline_s: float = 10.0,
+    interval_s: float = 0.1,
+) -> None:
+    """Block until the daemon answers ``ping`` (or the deadline passes).
+
+    Lets scripts start ``repro serve`` in the background and fire load
+    without hand-rolling a readiness loop; raises
+    :class:`ServeClientError` (exit code 3) when the daemon never
+    comes up.
+    """
+    deadline = time.monotonic() + deadline_s
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        client = ServeClient(socket_path=socket_path, host=host, port=port, timeout=5.0)
+        try:
+            response = client.request("ping")
+            if response.get("status") == "ok":
+                return
+            last_error = ServeClientError(f"unexpected ping response: {response}")
+        except ServeClientError as exc:
+            last_error = exc
+        finally:
+            client.close()
+        time.sleep(interval_s)
+    raise ServeClientError(
+        f"repro serve at "
+        f"{socket_path or f'{host}:{port}'} not ready after {deadline_s}s: "
+        f"{last_error}"
+    )

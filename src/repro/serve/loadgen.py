@@ -1,0 +1,233 @@
+"""Load generator for the serve daemon.
+
+Drives a daemon with a deterministic request mix (built by
+:func:`repro.workloads.nginx.build_request_mix` -- the nginx workload
+scaled up to many concurrent clients) and reports latency percentiles,
+throughput, and failures.  Concurrency is thread-per-connection: each
+worker thread owns one socket, pulls the next request from a shared
+queue, and records ``(op, ok, seconds, code)`` -- mirroring how the
+paper's wrk-style generator hammers nginx with N connections.
+
+The mix itself is fully materialized and seeded before any socket
+opens, so two runs of the same spec issue byte-identical request
+bodies (only their interleaving differs); with the daemon's
+single-flight dedup this is the worst honest case for a server --
+bursts of identical hot requests -- and the realistic best case for
+its warm registry.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .client import ServeClient, ServeClientError, wait_for_server
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One request's outcome as the client saw it."""
+
+    op: str
+    ok: bool
+    seconds: float
+    #: protocol status code on error (0 on success, -1 on transport loss)
+    code: int = 0
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Linear-interpolated percentile of an unsorted sample (q in 0..100)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load run."""
+
+    records: List[RequestRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    concurrency: int = 1
+
+    @property
+    def requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for record in self.records if not record.ok)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.requests / self.wall_seconds
+
+    def latencies_ms(self, op: Optional[str] = None) -> List[float]:
+        return [
+            record.seconds * 1e3
+            for record in self.records
+            if op is None or record.op == op
+        ]
+
+    def p50_ms(self, op: Optional[str] = None) -> float:
+        return percentile(self.latencies_ms(op), 50.0)
+
+    def p99_ms(self, op: Optional[str] = None) -> float:
+        return percentile(self.latencies_ms(op), 99.0)
+
+    def ops(self) -> List[str]:
+        return sorted({record.op for record in self.records})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "failures": self.failures,
+            "concurrency": self.concurrency,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "p50_ms": round(self.p50_ms(), 3),
+            "p99_ms": round(self.p99_ms(), 3),
+            "per_op": {
+                op: {
+                    "requests": len(self.latencies_ms(op)),
+                    "p50_ms": round(self.p50_ms(op), 3),
+                    "p99_ms": round(self.p99_ms(op), 3),
+                }
+                for op in self.ops()
+            },
+        }
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"{self.requests} requests, {self.failures} failed, "
+            f"{self.concurrency} connection(s), "
+            f"{self.wall_seconds:.2f}s wall: "
+            f"{self.throughput_rps:,.1f} req/s, "
+            f"p50 {self.p50_ms():.1f}ms, p99 {self.p99_ms():.1f}ms"
+        ]
+        for op in self.ops():
+            lines.append(
+                f"  {op:10s} n={len(self.latencies_ms(op)):5d} "
+                f"p50={self.p50_ms(op):8.1f}ms p99={self.p99_ms(op):8.1f}ms"
+            )
+        return lines
+
+
+def run_load(
+    requests: List[Dict[str, Any]],
+    concurrency: int = 4,
+    socket_path: Optional[str] = None,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    connect_deadline_s: float = 10.0,
+) -> LoadReport:
+    """Fire ``requests`` at the daemon from ``concurrency`` connections.
+
+    Without ``duration_s`` the mix is sent exactly once; with it, the
+    mix is cycled until the duration expires (every started request is
+    allowed to finish, so the wall clock can overshoot by one request).
+    Waits up to ``connect_deadline_s`` for the daemon to answer
+    ``ping`` before any load is sent.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    wait_for_server(
+        socket_path=socket_path, host=host, port=port, deadline_s=connect_deadline_s
+    )
+    work: "queue.Queue[Dict[str, Any]]" = queue.Queue()
+    for request in requests:
+        work.put(request)
+    records: List[RequestRecord] = []
+    records_lock = threading.Lock()
+    stop_at = time.monotonic() + duration_s if duration_s is not None else None
+
+    def refill() -> Optional[Dict[str, Any]]:
+        """Next request, cycling the mix while in duration mode."""
+        try:
+            return work.get_nowait()
+        except queue.Empty:
+            if stop_at is None:
+                return None
+            for request in requests:
+                work.put(request)
+            try:
+                return work.get_nowait()
+            except queue.Empty:
+                return None
+
+    def client_thread(thread_index: int) -> None:
+        client = ServeClient(
+            socket_path=socket_path, host=host, port=port
+        )
+        sequence = 0
+        local: List[RequestRecord] = []
+        try:
+            client.connect()
+            while True:
+                if stop_at is not None and time.monotonic() >= stop_at:
+                    break
+                request = refill()
+                if request is None:
+                    break
+                sequence += 1
+                message = dict(request)
+                message["id"] = f"c{thread_index}-{sequence}"
+                start = time.perf_counter()
+                try:
+                    response = client.send_raw(message)
+                except ServeClientError:
+                    local.append(
+                        RequestRecord(
+                            op=str(request.get("op", "?")),
+                            ok=False,
+                            seconds=time.perf_counter() - start,
+                            code=-1,
+                        )
+                    )
+                    # The connection is gone; reconnect for the rest of
+                    # the queue rather than abandoning this thread's share.
+                    client.close()
+                    try:
+                        client.connect()
+                    except ServeClientError:
+                        break
+                    continue
+                elapsed = time.perf_counter() - start
+                ok = response.get("status") == "ok"
+                local.append(
+                    RequestRecord(
+                        op=str(request.get("op", "?")),
+                        ok=ok,
+                        seconds=elapsed,
+                        code=0 if ok else int(response.get("code", -1)),
+                    )
+                )
+        finally:
+            client.close()
+            with records_lock:
+                records.extend(local)
+
+    threads = [
+        threading.Thread(target=client_thread, args=(index,), daemon=True)
+        for index in range(concurrency)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    return LoadReport(records=records, wall_seconds=wall, concurrency=concurrency)

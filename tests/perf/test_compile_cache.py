@@ -119,6 +119,83 @@ def test_wrong_key_slot_is_rejected(tmp_path):
     assert cache.load(other) is None  # internal key disagrees with the slot
 
 
+# -- concurrent writers: atomic publish, no torn entries -----------------------
+
+
+def test_same_key_restore_is_skipped_when_valid_entry_exists(tmp_path):
+    cache = CompilationCache(str(tmp_path))
+    config = DefenseConfig(scheme="pythia")
+    key = cache.key_for("module text", config)
+    cache.store(key, "pythia", "protected text", {})
+    before = os.stat(entry_files(tmp_path)[0])
+    # A second writer arriving with the same content-addressed entry
+    # detects the verified file and skips the write entirely.
+    cache.store(key, "pythia", "protected text", {})
+    after = os.stat(entry_files(tmp_path)[0])
+    assert cache.stats.stores == 1
+    assert (before.st_ino, before.st_mtime_ns) == (after.st_ino, after.st_mtime_ns)
+    assert cache.load(key)["module"] == "protected text"
+
+
+def test_store_replaces_torn_entry(tmp_path):
+    cache = CompilationCache(str(tmp_path))
+    config = DefenseConfig(scheme="pythia")
+    key = cache.key_for("module text", config)
+    path = os.path.join(str(tmp_path), key[:2], f"{key}.json")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"format": "repro-compile-cache')  # truncated write
+    cache.store(key, "pythia", "protected text", {})
+    assert cache.stats.stores == 1
+    assert cache.load(key)["module"] == "protected text"
+
+
+def _race_store(root, key, barrier, index):
+    cache = CompilationCache(root)
+    barrier.wait(timeout=30)
+    for _ in range(20):
+        cache.store(
+            key, "pythia", "racing module text " * 100, {"pass": {"n": index}}
+        )
+
+
+def test_concurrent_same_key_stores_never_tear(tmp_path):
+    """N processes hammering one key leave exactly one valid entry.
+
+    Every writer publishes via a private O_EXCL temp file and an atomic
+    rename, so no interleaving can surface a half-written entry to a
+    reader -- the durable guarantee the serve workers' shared cache
+    directory depends on.
+    """
+    import multiprocessing
+
+    context = multiprocessing.get_context("fork")
+    cache = CompilationCache(str(tmp_path))
+    key = cache.key_for("racing module", DefenseConfig(scheme="pythia"))
+    barrier = context.Barrier(4)
+    workers = [
+        context.Process(target=_race_store, args=(str(tmp_path), key, barrier, i))
+        for i in range(4)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=60)
+        assert worker.exitcode == 0
+    files = entry_files(tmp_path)
+    assert len(files) == 1  # one slot, and no .tmp stragglers
+    leftovers = [
+        name
+        for dirpath, _, names in os.walk(tmp_path)
+        for name in names
+        if name.endswith(".tmp")
+    ]
+    assert leftovers == []
+    entry = cache.load(key)
+    assert entry is not None
+    assert entry["module"] == "racing module text " * 100
+
+
 # -- integration: the suite runner against the cache ---------------------------
 
 

@@ -11,9 +11,12 @@ from repro.perf import (
     block_throughput,
     check_block_regression,
     check_block_regression_file,
+    check_serve_regression,
+    check_serve_regression_file,
     load_entries,
     profile_digest,
     safe_load_entries,
+    serve_p99,
     trace_throughput,
 )
 
@@ -174,6 +177,67 @@ class TestTraceTierGate:
         )
         assert note is None
         assert "trace tier regressed" in failure
+
+
+def serve_entry(p99=20.0):
+    return {
+        "label": "serve-latency",
+        "serve": {"p50_ms": p99 / 3.0, "p99_ms": p99, "throughput_rps": 100.0},
+    }
+
+
+class TestServeLatencyGate:
+    def test_serve_p99_extraction(self):
+        assert serve_p99(serve_entry(42.5)) == 42.5
+        assert serve_p99(entry()) is None  # interp entries never gate serve
+        assert serve_p99({"serve": {"p99_ms": 0}}) is None
+        assert serve_p99({"serve": "oops"}) is None
+
+    def test_latency_gates_upward(self):
+        baseline = serve_entry(20.0)
+        # faster is never a regression
+        assert check_serve_regression([baseline], serve_entry(10.0)) is None
+        # within tolerance passes
+        assert (
+            check_serve_regression([baseline], serve_entry(21.9), tolerance=0.10)
+            is None
+        )
+        failure = check_serve_regression(
+            [baseline], serve_entry(30.0), tolerance=0.10
+        )
+        assert "serve p99 latency regressed" in failure
+
+    def test_baseline_is_most_recent_serve_entry(self):
+        history = [serve_entry(10.0), entry(), serve_entry(40.0)]
+        # gated against 40ms (the latest serve entry), not 10ms
+        assert check_serve_regression(history, serve_entry(43.0)) is None
+
+    def test_file_gate_skips_without_baseline(self, tmp_path):
+        path = str(tmp_path / "BENCH_serve.json")
+        failure, note = check_serve_regression_file(path, serve_entry())
+        assert failure is None and "no baseline, skipping" in note
+
+        append_entry(path, entry())  # only non-serve entries on disk
+        failure, note = check_serve_regression_file(path, serve_entry())
+        assert failure is None and "no prior entry has serve fields" in note
+
+        failure, note = check_serve_regression_file(path, entry())
+        assert failure is None and "lacks serve fields" in note
+
+    def test_file_gate_detects_regression(self, tmp_path):
+        path = str(tmp_path / "BENCH_serve.json")
+        append_entry(path, serve_entry(20.0))
+        failure, note = check_serve_regression_file(
+            path, serve_entry(30.0), tolerance=0.10
+        )
+        assert note is None
+        assert "serve p99 latency regressed" in failure
+
+    def test_file_gate_tolerates_corrupt_file(self, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text("{not json")
+        failure, note = check_serve_regression_file(str(path), serve_entry())
+        assert failure is None and "unreadable or corrupt" in note
 
 
 class TestProfileDigest:

@@ -1,0 +1,81 @@
+"""Shared fixtures for the serve-daemon tests.
+
+Most tests here exercise the real thing: a ``python -m repro serve``
+subprocess on a per-test Unix socket.  The ``daemon`` fixture starts
+one with test-friendly defaults and guarantees teardown even when the
+test dies mid-request.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.serve import wait_for_server
+
+SRC_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+#: Small MiniC program used across the daemon tests.
+TINY_SOURCE = """
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 200; i = i + 1) { acc = acc + i * 3; }
+  printf("acc=%d\\n", acc % 997);
+  return 0;
+}
+"""
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """Factory: ``daemon(*extra_args)`` -> ``(socket_path, Popen)``.
+
+    Each call boots a fresh daemon on its own socket under ``tmp_path``
+    and waits for it to answer ``ping``.  All daemons are torn down at
+    test exit, forcibly if they ignore SIGTERM.
+    """
+    procs = []
+
+    def start(*extra_args, workers=2, ready_deadline_s=30.0):
+        socket_path = str(tmp_path / f"serve{len(procs)}.sock")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--socket",
+                socket_path,
+                "--workers",
+                str(workers),
+                "--no-cache",
+                *extra_args,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        procs.append(proc)
+        wait_for_server(socket_path=socket_path, deadline_s=ready_deadline_s)
+        return socket_path, proc
+
+    yield start
+
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10)
+        if proc.stdout is not None:
+            proc.stdout.close()
+        if proc.stderr is not None:
+            proc.stderr.close()

@@ -1,0 +1,102 @@
+"""Single-flight dedup: N identical in-flight compiles, one compilation.
+
+The guarantee is observable three ways and this module checks all of
+them: every caller gets a successful, byte-identical response; the
+daemon's merged metrics show exactly one cold compile (one
+``compile.phase.frontend`` observation) and N-1 coalesced followers;
+and the merged trace contains exactly one frontend span.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.serve import ServeClient
+
+from .conftest import TINY_SOURCE
+
+CONCURRENT = 6
+
+
+def test_concurrent_identical_compiles_coalesce(daemon, tmp_path):
+    trace_out = str(tmp_path / "trace.json")
+    metrics_out = str(tmp_path / "metrics.json")
+    socket_path, proc = daemon(
+        "--trace-out", trace_out, "--metrics-out", metrics_out
+    )
+
+    responses = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(CONCURRENT)
+
+    def fire(index):
+        with ServeClient(socket_path=socket_path) as client:
+            barrier.wait(timeout=30)
+            response = client.request(
+                "compile", source=TINY_SOURCE, scheme="pythia", seed=7
+            )
+            with lock:
+                responses.append(response)
+
+    threads = [
+        threading.Thread(target=fire, args=(index,)) for index in range(CONCURRENT)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+
+    # 1. every caller succeeded with a byte-identical body
+    assert len(responses) == CONCURRENT
+    assert all(response["status"] == "ok" for response in responses)
+    digests = {response["result"]["module_digest"] for response in responses}
+    assert len(digests) == 1
+    bodies = {
+        json.dumps(
+            {k: v for k, v in response["result"].items() if k != "timings"},
+            sort_keys=True,
+        )
+        for response in responses
+    }
+    assert len(bodies) == 1
+
+    with ServeClient(socket_path=socket_path) as client:
+        stats = client.request("stats")["result"]
+        client.request("shutdown")
+    proc.wait(timeout=30)
+    assert proc.returncode == 0
+    assert stats["dedup_coalesced"] == CONCURRENT - 1
+
+    # 2. the merged metrics recorded exactly one compilation
+    with open(metrics_out, "r", encoding="utf-8") as handle:
+        metrics = json.load(handle)
+    counters = metrics["counters"]
+    histograms = metrics["histograms"]
+    assert counters["serve.requests.compile"] == CONCURRENT
+    assert counters["serve.dedup.coalesced"] == CONCURRENT - 1
+    assert histograms["compile.phase.frontend"]["count"] == 1
+    assert histograms["compile.phase.mem2reg"]["count"] == 1
+    assert counters["serve.registry.module_misses"] == 1
+    assert counters.get("serve.registry.module_hits", 0) == 0
+
+    # 3. the merged trace carries exactly one frontend span set
+    with open(trace_out, "r", encoding="utf-8") as handle:
+        trace = json.load(handle)
+    events = trace["traceEvents"] if isinstance(trace, dict) else trace
+    frontend_spans = [
+        event
+        for event in events
+        if event.get("name") == "frontend" and event.get("ph") == "X"
+    ]
+    assert len(frontend_spans) == 1
+
+
+def test_distinct_requests_do_not_coalesce(daemon):
+    socket_path, _ = daemon()
+    with ServeClient(socket_path=socket_path) as client:
+        client.request("compile", source=TINY_SOURCE, scheme="pythia")
+        client.request("compile", source=TINY_SOURCE, scheme="dfi")
+        stats = client.request("stats")["result"]
+    # sequential and/or distinct-keyed requests never count as coalesced
+    assert stats["dedup_coalesced"] == 0

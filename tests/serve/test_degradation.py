@@ -1,0 +1,129 @@
+"""Graceful degradation: worker crashes, timeouts, endpoint conflicts.
+
+A worker dying or stalling must cost its caller one structured error
+response (internal code 1) and everyone else nothing: the pool
+respawns the shard cold and keeps serving.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import repro
+from repro.serve import ServeClient
+
+from .conftest import SRC_ROOT, TINY_SOURCE
+
+#: Enough iterations that the reference interpreter cannot finish
+#: before a 1-second worker timeout.
+SLOW_SOURCE = """
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 100000000; i = i + 1) { acc = acc + i; }
+  return acc;
+}
+"""
+
+
+def test_worker_crash_is_contained(daemon):
+    socket_path, _ = daemon("--debug-ops")
+    with ServeClient(socket_path=socket_path) as client:
+        crashed = client.request("_debug_crash", source=TINY_SOURCE, exit_code=13)
+        assert crashed["status"] == "error"
+        assert crashed["code"] == 1
+        assert crashed["error"]["type"] == "WorkerCrash"
+        # the shard respawned; the next request compiles cold and succeeds
+        follow_up = client.request("run", source=TINY_SOURCE, scheme="pythia")
+        assert follow_up["status"] == "ok"
+        assert follow_up["result"]["registry"] == "cold"
+        stats = client.request("stats")["result"]
+        assert stats["worker_restarts"] == 1
+
+
+def test_worker_timeout_is_contained(daemon):
+    socket_path, _ = daemon("--timeout", "1")
+    with ServeClient(socket_path=socket_path) as client:
+        stalled = client.request(
+            "run", source=SLOW_SOURCE, scheme="vanilla", interpreter="reference"
+        )
+        assert stalled["status"] == "error"
+        assert stalled["code"] == 1
+        assert stalled["error"]["type"] == "WorkerTimeout"
+        follow_up = client.request("run", source=TINY_SOURCE, scheme="pythia")
+        assert follow_up["status"] == "ok"
+        stats = client.request("stats")["result"]
+        assert stats["worker_restarts"] == 1
+
+
+def test_crash_op_needs_debug_flag(daemon):
+    socket_path, _ = daemon()
+    with ServeClient(socket_path=socket_path) as client:
+        response = client.request("_debug_crash", source=TINY_SOURCE)
+        assert response["status"] == "error"
+        assert response["code"] == 3
+        assert client.request("stats")["result"]["worker_restarts"] == 0
+
+
+def test_socket_in_use_exits_3_with_one_line(daemon, tmp_path):
+    socket_path, _ = daemon()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    second = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--socket",
+            socket_path,
+            "--workers",
+            "1",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert second.returncode == 3
+    diagnostic = [line for line in second.stderr.splitlines() if "error" in line]
+    assert len(diagnostic) == 1
+    assert "already in use" in diagnostic[0]
+
+
+def test_stale_socket_is_reclaimed(tmp_path, daemon):
+    socket_path = str(tmp_path / "stale.sock")
+    import socket as socket_module
+
+    listener = socket_module.socket(socket_module.AF_UNIX)
+    listener.bind(socket_path)
+    listener.close()  # leaves the filesystem entry with nobody listening
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--socket",
+            socket_path,
+            "--workers",
+            "1",
+            "--no-cache",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        from repro.serve import wait_for_server
+
+        wait_for_server(socket_path=socket_path, deadline_s=30)
+        with ServeClient(socket_path=socket_path) as client:
+            assert client.request("ping")["status"] == "ok"
+    finally:
+        proc.terminate()
+        proc.wait(timeout=15)

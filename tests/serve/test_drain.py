@@ -1,0 +1,64 @@
+"""Clean shutdown: SIGTERM and the shutdown op both drain gracefully."""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+
+from repro.serve import ServeClient, ServeClientError
+
+from .conftest import TINY_SOURCE
+
+
+def test_sigterm_drains_and_exits_zero(daemon):
+    socket_path, proc = daemon()
+    with ServeClient(socket_path=socket_path) as client:
+        assert client.request("run", source=TINY_SOURCE, scheme="pythia")[
+            "status"
+        ] == "ok"
+    proc.send_signal(signal.SIGTERM)
+    proc.wait(timeout=30)
+    assert proc.returncode == 0
+    assert not os.path.exists(socket_path)  # socket unlinked on exit
+    stderr = proc.stderr.read().decode()
+    assert "drained" in stderr
+    assert "Traceback" not in stderr
+
+
+def test_shutdown_op_drains_and_exits_zero(daemon):
+    socket_path, proc = daemon()
+    with ServeClient(socket_path=socket_path) as client:
+        response = client.request("shutdown")
+        assert response["status"] == "ok"
+        assert response["result"] == {"stopping": True}
+    proc.wait(timeout=30)
+    assert proc.returncode == 0
+    assert not os.path.exists(socket_path)
+
+
+def test_draining_daemon_rejects_new_work(daemon):
+    socket_path, proc = daemon()
+    with ServeClient(socket_path=socket_path) as client:
+        client.request("shutdown")
+        # The connection is still open; worker ops are now refused with
+        # a structured error rather than hanging or crashing (the
+        # daemon may also have finished closing, which surfaces as a
+        # client-side transport error -- both are clean outcomes).
+        try:
+            response = client.request("run", source=TINY_SOURCE, scheme="pythia")
+        except ServeClientError:
+            pass
+        else:
+            assert response["status"] == "error"
+            assert response["code"] == 3
+    proc.wait(timeout=30)
+    assert proc.returncode == 0
+
+
+def test_sigint_also_drains(daemon):
+    socket_path, proc = daemon()
+    proc.send_signal(signal.SIGINT)
+    proc.wait(timeout=30)
+    assert proc.returncode == 0
+    assert not os.path.exists(socket_path)

@@ -1,0 +1,128 @@
+"""The request-mix builder and the load generator against a live daemon."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve import run_load
+from repro.serve.loadgen import percentile
+from repro.workloads.nginx import DEFAULT_MIX, build_request_mix, parse_mix
+
+from .conftest import SRC_ROOT
+
+
+# -- the deterministic mix -----------------------------------------------------
+
+
+def test_mix_is_deterministic():
+    left = build_request_mix(40, seed=7, variants=2)
+    right = build_request_mix(40, seed=7, variants=2)
+    assert left == right
+    assert left != build_request_mix(40, seed=8, variants=2)
+
+
+def test_mix_respects_weights():
+    only_runs = build_request_mix(30, mix={"run": 1}, variants=1)
+    assert {request["op"] for request in only_runs} == {"run"}
+    no_attacks = build_request_mix(
+        60, mix={"run": 1, "compile": 1}, variants=2
+    )
+    assert "attack" not in {request["op"] for request in no_attacks}
+
+
+def test_mix_bodies_are_complete_protocol_requests():
+    from repro.serve.protocol import validate_request
+
+    for request in build_request_mix(50, variants=2):
+        assert validate_request(request) is None
+        assert "seed" in request
+        if request["op"] != "attack":
+            assert request["source"].startswith("//") or request["source"]
+
+
+def test_parse_mix():
+    assert parse_mix("run=6,compile=3") == {"run": 6, "compile": 3}
+    assert parse_mix(" run=1 , profile=2 ") == {"run": 1, "profile": 2}
+    with pytest.raises(ValueError):
+        parse_mix("run")
+    with pytest.raises(ValueError):
+        parse_mix("explode=3")
+    with pytest.raises(ValueError):
+        parse_mix("run=zero")
+    with pytest.raises(ValueError):
+        parse_mix("run=0,compile=0")
+    with pytest.raises(ValueError):
+        parse_mix("run=-1")
+
+
+def test_default_mix_is_execution_heavy():
+    assert DEFAULT_MIX["run"] == max(DEFAULT_MIX.values())
+
+
+def test_percentile_interpolates():
+    assert percentile([], 50) == 0.0
+    assert percentile([5.0], 99) == 5.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+    assert percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
+    assert percentile([4.0, 1.0, 3.0, 2.0], 0) == 1.0  # sorts internally
+
+
+# -- live load -----------------------------------------------------------------
+
+
+def test_run_load_drives_a_daemon(daemon):
+    socket_path, _ = daemon()
+    mix = build_request_mix(16, seed=3, variants=1, mix={"run": 2, "compile": 1})
+    report = run_load(mix, concurrency=2, socket_path=socket_path)
+    assert report.requests == 16
+    assert report.failures == 0
+    assert report.concurrency == 2
+    assert report.throughput_rps > 0
+    assert report.p99_ms() >= report.p50_ms() > 0
+    payload = report.to_dict()
+    assert set(payload["per_op"]) == {"run", "compile"}
+    assert sum(op["requests"] for op in payload["per_op"].values()) == 16
+
+
+def test_loadgen_cli_roundtrip(daemon, tmp_path):
+    socket_path, _ = daemon()
+    report_path = str(tmp_path / "report.json")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "loadgen",
+            "--socket",
+            socket_path,
+            "--requests",
+            "12",
+            "--concurrency",
+            "2",
+            "--variants",
+            "1",
+            "--mix",
+            "run=2,compile=1",
+            "--report-out",
+            report_path,
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "12 requests, 0 failed" in completed.stdout
+
+    import json
+
+    with open(report_path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    assert report["requests"] == 12
+    assert report["failures"] == 0
