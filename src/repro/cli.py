@@ -14,11 +14,16 @@ Subcommands:
 ``scenarios`` list the built-in attack scenarios / campaign families
 ``serve``     persistent compile-and-execute daemon over a local socket
 ``loadgen``   fire a seeded request mix at a running serve daemon
+``top``       live terminal dashboard over a running serve daemon
+``audit``     offline security summary of a repro-events-v1 file
 
 ``run``, ``bench``, ``suite``, ``chaos``, and ``campaign`` accept ``--trace-out FILE``
-(a Chrome-trace / Perfetto JSON of the command's spans) and
-``--metrics-out FILE`` (the ``repro-metrics-v1`` counters snapshot);
-see :mod:`repro.observability`.
+(a Chrome-trace / Perfetto JSON of the command's spans),
+``--metrics-out FILE`` (the ``repro-metrics-v1`` counters snapshot),
+and ``--events-out FILE`` (the ``repro-events-v1`` security-event
+JSON-lines log); ``serve`` accepts all three plus ``--slo FILE``, and
+``loadgen --events-out`` pulls the daemon's ring over the ``events``
+op.  See :mod:`repro.observability`.
 
 ``run --profile-out`` / ``profile --profile-out`` save an execution
 profile whose per-block counts ``run``/``bench`` ``--profile-in`` feed
@@ -54,14 +59,21 @@ from .ir.verifier import VerificationError
 from .observability import (
     PROFILE_SCHEMA,
     ExecutionProfiler,
+    audit_events,
     current_tracer,
     disable_tracing,
     enable_tracing,
     format_report,
+    get_event_log,
     get_metrics,
     hot_block_counts,
     publish_execution,
+    read_events,
+    render_audit,
+    render_dashboard,
+    reset_event_log,
     reset_metrics,
+    write_events,
     write_metrics,
     write_trace,
 )
@@ -130,7 +142,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    module = compile_source(_read_source(args.source), name=args.name)
+    source = _read_source(args.source)
+    module = compile_source(source, name=args.name)
     config = DefenseConfig(scheme=args.scheme, protect_fields=args.fields)
     protected = protect(module, config=config)
     if args.timings:
@@ -162,6 +175,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     with current_tracer().span(f"execute:{args.scheme}", "exec"):
         result = cpu.run(inputs=_parse_inputs(args.input))
     publish_execution(get_metrics(), result, scheme=args.scheme)
+    if result.detected:
+        from .serve.registry import source_digest
+
+        get_event_log().emit(
+            "trap",
+            module_digest=source_digest(source),
+            scheme=args.scheme,
+            tier=result.interpreter,
+            status=result.status,
+            op="run",
+        )
     if profiler is not None:
         _write_profile_report(args.profile_out, profiler.report(result))
     sys.stdout.write(result.output.decode("utf-8", "replace"))
@@ -472,6 +496,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 1
     cache_dir = None if args.no_cache else args.cache_dir
     timeout = args.timeout if args.timeout and args.timeout > 0 else None
+    slo_policy = None
+    if args.slo:
+        from .observability import SloPolicy
+
+        try:
+            slo_policy = SloPolicy.from_json_file(args.slo)
+        except ValueError as exc:
+            return _fail(exc, EXIT_CODES["io"])
     pool = WorkerPool(
         workers=args.workers,
         capacity=args.max_modules,
@@ -485,6 +517,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         socket_path=None if args.port is not None else (args.socket or ".repro-serve.sock"),
         port=args.port,
         drain_timeout=args.drain_timeout,
+        slo_policy=slo_policy,
     )
 
     async def _serve() -> None:
@@ -544,6 +577,28 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         with open(args.report_out, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
         print(f"load report written to {args.report_out}", file=sys.stderr)
+    if args.events_out:
+        # The daemon owns the ring; pull it over the events op and
+        # adopt it locally, so the shared --events-out exporter writes
+        # a file carrying every worker-side trap this load drew.
+        from .serve.client import ServeClient
+
+        client = ServeClient(
+            socket_path=None
+            if args.port is not None
+            else (args.socket or ".repro-serve.sock"),
+            port=args.port,
+        )
+        try:
+            response = client.request("events")
+        finally:
+            client.close()
+        if response.get("status") != "ok":
+            return _fail(
+                ValueError(f"events op failed: {response.get('error')}"),
+                EXIT_CODES["io"],
+            )
+        get_event_log().adopt(response["result"]["events"])
     failed = False
     if report.failures:
         print(f"FAIL: {report.failures} request(s) failed", file=sys.stderr)
@@ -556,6 +611,58 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         )
         failed = True
     return 2 if failed else 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import time as time_module
+
+    from .serve.client import ServeClient
+
+    frames = 0
+    try:
+        while True:
+            client = ServeClient(
+                socket_path=None
+                if args.port is not None
+                else (args.socket or ".repro-serve.sock"),
+                port=args.port,
+            )
+            try:
+                response = client.request("stats")
+            finally:
+                client.close()
+            if response.get("status") != "ok":
+                return _fail(
+                    ValueError(f"stats op failed: {response.get('error')}"),
+                    EXIT_CODES["io"],
+                )
+            frames += 1
+            lines = render_dashboard(response["result"])
+            if not args.once and sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print("\n".join(lines), flush=True)
+            if args.once or (args.frames is not None and frames >= args.frames):
+                return 0
+            time_module.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    try:
+        events = read_events(args.events)
+    except ValueError as exc:
+        return _fail(exc, EXIT_CODES["io"])
+    report = audit_events(events)
+    for line in render_audit(report, path=args.events):
+        print(line)
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"audit report written to {args.json_out}", file=sys.stderr)
+    return 0
 
 
 def cmd_scenarios(args: argparse.Namespace) -> int:
@@ -593,6 +700,12 @@ def _add_observability_args(p: argparse.ArgumentParser) -> None:
         default=None,
         metavar="FILE",
         help="write the repro-metrics-v1 counters snapshot as JSON",
+    )
+    p.add_argument(
+        "--events-out",
+        default=None,
+        metavar="FILE",
+        help="write the repro-events-v1 security-event log as JSON lines",
     )
 
 
@@ -901,6 +1014,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the test-only _debug_crash op (crash containment "
         "drills)",
     )
+    p.add_argument(
+        "--slo",
+        default=None,
+        metavar="FILE",
+        help="SLO policy JSON; enables the background burn-rate "
+        "evaluator (emits slo-breach events)",
+    )
     _add_observability_args(p)
     p.set_defaults(func=cmd_serve)
 
@@ -982,7 +1102,62 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the latency/throughput report as JSON",
     )
+    p.add_argument(
+        "--events-out",
+        default=None,
+        metavar="FILE",
+        help="pull the daemon's security-event ring (events op) and "
+        "write it as repro-events-v1 JSON lines",
+    )
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running serve daemon",
+    )
+    p.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="daemon socket path (default: .repro-serve.sock)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="connect over loopback TCP instead of a Unix socket",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default: 2)",
+    )
+    p.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="stop after this many refreshes (default: until Ctrl-C)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit (no screen clearing)",
+    )
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "audit",
+        help="offline security summary of a repro-events-v1 file",
+    )
+    p.add_argument("events", help="path to an --events-out JSON-lines file")
+    p.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="also write the full audit digest as JSON",
+    )
+    p.set_defaults(func=cmd_audit)
 
     return parser
 
@@ -1014,12 +1189,14 @@ def _dispatch(args: argparse.Namespace) -> int:
 
 
 def _export_observability(
-    trace_out: Optional[str], metrics_out: Optional[str]
+    trace_out: Optional[str],
+    metrics_out: Optional[str],
+    events_out: Optional[str] = None,
 ) -> int:
-    """Write ``--trace-out`` / ``--metrics-out`` files; 0 on success.
+    """Write ``--trace-out``/``--metrics-out``/``--events-out``; 0 on success.
 
     Runs even when the command itself failed, so a crashing suite still
-    leaves its partial trace and counters behind for triage.
+    leaves its partial trace, counters, and events behind for triage.
     """
     try:
         if trace_out:
@@ -1028,6 +1205,11 @@ def _export_observability(
         if metrics_out:
             write_metrics(metrics_out, get_metrics().snapshot())
             print(f"metrics written to {metrics_out}", file=sys.stderr)
+        if events_out:
+            count = write_events(events_out, get_event_log().snapshot())
+            print(
+                f"{count} event(s) written to {events_out}", file=sys.stderr
+            )
     except OSError as exc:
         return _fail(exc, EXIT_CODES["io"])
     return 0
@@ -1037,12 +1219,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
+    events_out = getattr(args, "events_out", None)
     reset_metrics()
+    reset_event_log()
     if trace_out:
         enable_tracing()
     try:
         code = _dispatch(args)
-        export_code = _export_observability(trace_out, metrics_out)
+        export_code = _export_observability(trace_out, metrics_out, events_out)
         return code if code != 0 else export_code
     finally:
         disable_tracing()

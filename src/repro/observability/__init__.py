@@ -1,22 +1,33 @@
-"""Unified tracing, metrics, and profiling (`repro.observability`).
+"""Unified tracing, metrics, events, and profiling (`repro.observability`).
 
 One subsystem replaces the repo's bespoke reporting paths:
 
-- :mod:`repro.observability.trace` -- nested spans + instants with a
-  Chrome trace-event / Perfetto JSON exporter (``--trace-out``);
+- :mod:`repro.observability.trace` -- nested spans + instants + flow
+  events with a Chrome trace-event / Perfetto JSON exporter
+  (``--trace-out``);
 - :mod:`repro.observability.metrics` -- counters / gauges / histograms
   with one snapshot schema (``--metrics-out``, suite manifests, CI);
+- :mod:`repro.observability.events` -- ring-buffered security-event
+  pipeline in the ``repro-events-v1`` JSON-lines schema
+  (``--events-out``, the serve daemon's ``events`` op);
+- :mod:`repro.observability.aggregate` -- rolling-window counter rates
+  and quantile sketches (the ``repro top`` dashboard, SLO windows);
+- :mod:`repro.observability.slo` -- declarative SLO targets with
+  burn-rate evaluation (``tools/check_slo.py``, ``serve --slo``);
+- :mod:`repro.observability.audit` -- offline security summaries over
+  exported events files (``python -m repro audit``);
 - :mod:`repro.observability.profile` -- per-function / per-block
   step-and-cycle attribution over the interpreter tiers
   (``python -m repro profile``).
 
-The module keeps one process-global tracer and one process-global
-metrics registry.  Tracing defaults to :data:`NULL_TRACER` (disabled,
-near-zero cost); metrics collection is always on because its call
-sites sit on compile/measure boundaries, and "disabled" just means the
-snapshot is never exported.  Suite workers install fresh local
-instances per task so parent-side merging never double-counts
-(see ``perf/runner.py``).
+The module keeps one process-global tracer, one process-global metrics
+registry, and one process-global event log.  Tracing defaults to
+:data:`NULL_TRACER` (disabled, near-zero cost); metrics and event
+collection are always on because their call sites sit on
+compile/measure/trap boundaries, and "disabled" just means nothing is
+ever exported.  Suite and serve workers install fresh local instances
+per task so parent-side merging never double-counts
+(see ``perf/runner.py`` and ``serve/worker.py``).
 """
 
 from __future__ import annotations
@@ -24,12 +35,37 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional
 
+from .aggregate import (
+    QuantileSketch,
+    WindowAggregator,
+    bucket_index,
+    percentile_from_buckets,
+    render_dashboard,
+)
+from .audit import audit_events, render_audit
+from .events import (
+    EVENT_TYPES,
+    EVENTS_SCHEMA,
+    EventLog,
+    make_event,
+    read_events,
+    validate_event,
+    write_events,
+)
 from .metrics import (
     METRICS_SCHEMA,
     MetricsRegistry,
+    histogram_percentiles,
     publish_execution,
     validate_snapshot,
     write_metrics,
+)
+from .slo import (
+    SloBreach,
+    SloPolicy,
+    count_traps,
+    evaluate_report,
+    evaluate_window,
 )
 from .profile import (
     PROFILE_SCHEMA,
@@ -47,27 +83,50 @@ from .trace import (
 )
 
 __all__ = [
+    "EVENT_TYPES",
+    "EVENTS_SCHEMA",
     "METRICS_SCHEMA",
     "PROFILE_SCHEMA",
     "TRACE_SCHEMA",
+    "EventLog",
     "ExecutionProfiler",
     "MetricsRegistry",
     "NullTracer",
     "NULL_TRACER",
+    "QuantileSketch",
+    "SloBreach",
+    "SloPolicy",
     "Tracer",
+    "WindowAggregator",
+    "audit_events",
+    "bucket_index",
     "chrome_trace",
+    "count_traps",
     "current_tracer",
     "disable_tracing",
     "enable_tracing",
+    "evaluate_report",
+    "evaluate_window",
     "format_report",
+    "get_event_log",
     "get_metrics",
+    "histogram_percentiles",
     "hot_block_counts",
+    "install_event_log",
     "install_metrics",
     "install_tracer",
+    "make_event",
+    "percentile_from_buckets",
     "phase_span",
     "publish_execution",
+    "read_events",
+    "render_audit",
+    "render_dashboard",
+    "reset_event_log",
     "reset_metrics",
+    "validate_event",
     "validate_snapshot",
+    "write_events",
     "write_metrics",
     "write_trace",
 ]
@@ -118,6 +177,29 @@ def reset_metrics() -> MetricsRegistry:
     """Install (and return) an empty registry."""
     return_value = MetricsRegistry()
     install_metrics(return_value)
+    return return_value
+
+
+_event_log = EventLog()
+
+
+def get_event_log() -> EventLog:
+    """The process-global security-event log."""
+    return _event_log
+
+
+def install_event_log(log: EventLog) -> EventLog:
+    """Swap in ``log`` globally; returns the previous one."""
+    global _event_log
+    previous = _event_log
+    _event_log = log
+    return previous
+
+
+def reset_event_log() -> EventLog:
+    """Install (and return) an empty event log."""
+    return_value = EventLog()
+    install_event_log(return_value)
     return return_value
 
 

@@ -1,0 +1,139 @@
+"""Offline security audit over a ``repro-events-v1`` events file.
+
+``python -m repro audit events.jsonl`` answers the questions an
+operator asks after the fact: *which defenses fired, against what,
+how often, and when?*  The report groups trap events by scheme and by
+attack family/status, ranks the module digests that drew the most
+traps, summarizes operational incidents (worker crashes, timeouts,
+SLO breaches, corrupt-cache recompiles), and renders a coarse attack
+timeline -- closing the loop with the campaign fuzzer's coverage
+matrix: the matrix says what *would* be caught, the audit says what
+*was*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+#: Timeline resolution: the span between the first and last event is
+#: sliced into this many equal slots.
+TIMELINE_SLOTS = 24
+
+
+def audit_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The JSON-able audit digest of a validated event-record list."""
+    by_type: Dict[str, int] = {}
+    traps_by_scheme: Dict[str, int] = {}
+    traps_by_family: Dict[str, int] = {}
+    traps_by_status: Dict[str, int] = {}
+    traps_by_digest: Dict[str, int] = {}
+    correlated = 0
+    trap_times: List[float] = []
+    for record in events:
+        kind = record["type"]
+        by_type[kind] = by_type.get(kind, 0) + 1
+        if kind != "trap":
+            continue
+        detail = record.get("detail") or {}
+        scheme = record.get("scheme") or "?"
+        traps_by_scheme[scheme] = traps_by_scheme.get(scheme, 0) + 1
+        family = detail.get("scenario") or detail.get("family") or detail.get("kind")
+        if family:
+            traps_by_family[family] = traps_by_family.get(family, 0) + 1
+        status = detail.get("status") or "?"
+        traps_by_status[status] = traps_by_status.get(status, 0) + 1
+        digest = record.get("module_digest")
+        if digest:
+            traps_by_digest[digest] = traps_by_digest.get(digest, 0) + 1
+        if record.get("request_id") is not None or record.get("rid") is not None:
+            correlated += 1
+        trap_times.append(float(record["ts_wall"]))
+
+    timeline: List[int] = []
+    span = (0.0, 0.0)
+    if trap_times:
+        start, end = min(trap_times), max(trap_times)
+        span = (start, end)
+        width = max(end - start, 1e-9)
+        timeline = [0] * TIMELINE_SLOTS
+        for ts in trap_times:
+            slot = min(int((ts - start) / width * TIMELINE_SLOTS), TIMELINE_SLOTS - 1)
+            timeline[slot] += 1
+
+    total_traps = sum(traps_by_scheme.values())
+    return {
+        "events": len(events),
+        "by_type": dict(sorted(by_type.items())),
+        "traps": {
+            "total": total_traps,
+            "correlated": correlated,
+            "by_scheme": dict(sorted(traps_by_scheme.items())),
+            "by_family": dict(sorted(traps_by_family.items())),
+            "by_status": dict(sorted(traps_by_status.items())),
+            "top_modules": sorted(
+                traps_by_digest.items(), key=lambda item: (-item[1], item[0])
+            )[:10],
+        },
+        "timeline": {
+            "start_wall": span[0],
+            "end_wall": span[1],
+            "slots": timeline,
+        },
+    }
+
+
+_SPARKS = " .:-=+*#%@"
+
+
+def _spark(counts: List[int]) -> str:
+    peak = max(counts) if counts else 0
+    if peak == 0:
+        return ""
+    levels = len(_SPARKS) - 1
+    return "".join(
+        _SPARKS[min(levels, (count * levels + peak - 1) // peak)] for count in counts
+    )
+
+
+def render_audit(report: Dict[str, Any], path: Optional[str] = None) -> List[str]:
+    """Human-readable audit summary (the ``repro audit`` output)."""
+    lines: List[str] = []
+    header = f"{report['events']} event(s)"
+    if path:
+        header = f"{path}: " + header
+    by_type = report["by_type"]
+    if by_type:
+        header += " -- " + ", ".join(
+            f"{count} {kind}" for kind, count in by_type.items()
+        )
+    lines.append(header)
+    traps = report["traps"]
+    if not traps["total"]:
+        lines.append("no defense traps recorded")
+        return lines
+    lines.append(
+        f"traps: {traps['total']} total, "
+        f"{traps['correlated']} carrying a request id"
+    )
+    lines.append("  per scheme:")
+    for scheme, count in traps["by_scheme"].items():
+        lines.append(f"    {scheme:10s} {count:6d}")
+    if traps["by_family"]:
+        lines.append("  per attack family:")
+        for family, count in traps["by_family"].items():
+            lines.append(f"    {family:22s} {count:6d}")
+    lines.append("  per trap status:")
+    for status, count in traps["by_status"].items():
+        lines.append(f"    {status:14s} {count:6d}")
+    if traps["top_modules"]:
+        lines.append("  top offending module digests:")
+        for digest, count in traps["top_modules"]:
+            lines.append(f"    {digest[:16]:18s} {count:6d}")
+    timeline = report["timeline"]
+    if timeline["slots"]:
+        duration = timeline["end_wall"] - timeline["start_wall"]
+        lines.append(
+            f"  attack timeline ({duration:.1f}s span, "
+            f"{len(timeline['slots'])} slots): |{_spark(timeline['slots'])}|"
+        )
+    return lines

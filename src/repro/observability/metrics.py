@@ -7,7 +7,11 @@ A :class:`MetricsRegistry` is a process-local bag of named metrics:
 - **gauges** -- last-written values (effective job fan-out, whether the
   compilation cache degraded to off);
 - **histograms** -- running ``count/sum/min/max`` summaries of repeated
-  observations (compile phase seconds, per-run wall time).
+  observations (compile phase seconds, per-run wall time), plus a
+  log-bucketed quantile sketch (see :mod:`.aggregate`) so consumers
+  can render p50/p90/p99 from the snapshot alone -- ``serve stats``,
+  ``repro top``, and ``loadgen`` all read the same buckets, which is
+  what keeps their percentiles one source of truth.
 
 Snapshots serialize to a single schema (:data:`METRICS_SCHEMA`) that
 the CLI ``--metrics-out`` flag, the suite failure manifest, and the CI
@@ -27,6 +31,8 @@ from __future__ import annotations
 import json
 import math
 from typing import Any, Dict, Optional
+
+from .aggregate import bucket_index, percentile_from_buckets
 
 #: Schema tag stamped into every snapshot (validated by the checker).
 METRICS_SCHEMA = "repro-metrics-v1"
@@ -56,7 +62,7 @@ class MetricsRegistry:
         """Record one observation into the histogram ``name``."""
         stats = self.histograms.get(name)
         if stats is None:
-            self.histograms[name] = [1, value, value, value]
+            self.histograms[name] = [1, value, value, value, {bucket_index(value): 1}]
             return
         stats[0] += 1
         stats[1] += value
@@ -64,19 +70,22 @@ class MetricsRegistry:
             stats[2] = value
         if value > stats[3]:
             stats[3] = value
+        index = bucket_index(value)
+        stats[4][index] = stats[4].get(index, 0) + 1
 
     # -- snapshots ---------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
         """The canonical JSON-able snapshot of this registry."""
         histograms = {}
-        for name, (count, total, minimum, maximum) in self.histograms.items():
+        for name, (count, total, minimum, maximum, buckets) in self.histograms.items():
             histograms[name] = {
                 "count": count,
                 "sum": total,
                 "min": minimum,
                 "max": maximum,
                 "mean": total / count if count else 0.0,
+                "buckets": {str(index): n for index, n in sorted(buckets.items())},
             }
         return {
             "schema": METRICS_SCHEMA,
@@ -97,6 +106,11 @@ class MetricsRegistry:
         for name, value in (snapshot.get("gauges") or {}).items():
             self.set_gauge(name, value)
         for name, stats in (snapshot.get("histograms") or {}).items():
+            # Pre-sketch snapshots lack "buckets"; fold what's there.
+            incoming = {
+                int(index): count
+                for index, count in (stats.get("buckets") or {}).items()
+            }
             mine = self.histograms.get(name)
             if mine is None:
                 self.histograms[name] = [
@@ -104,12 +118,15 @@ class MetricsRegistry:
                     stats["sum"],
                     stats["min"],
                     stats["max"],
+                    incoming,
                 ]
             else:
                 mine[0] += stats["count"]
                 mine[1] += stats["sum"]
                 mine[2] = min(mine[2], stats["min"])
                 mine[3] = max(mine[3], stats["max"])
+                for index, count in incoming.items():
+                    mine[4][index] = mine[4].get(index, 0) + count
 
 
 def validate_snapshot(snapshot: Any) -> Optional[str]:
@@ -143,7 +160,52 @@ def validate_snapshot(snapshot: Any) -> Optional[str]:
             return f"histogram {name!r} has empty count"
         if stats["min"] > stats["max"]:
             return f"histogram {name!r} has min > max"
+        buckets = stats.get("buckets")
+        if buckets is not None:
+            if not isinstance(buckets, dict):
+                return f"histogram {name!r} 'buckets' is not an object"
+            for index, count in buckets.items():
+                if (
+                    not isinstance(count, int)
+                    or isinstance(count, bool)
+                    or count < 0
+                ):
+                    return (
+                        f"histogram {name!r} bucket {index!r} is not a "
+                        f"non-negative integer: {count!r}"
+                    )
+                try:
+                    int(index)
+                except (TypeError, ValueError):
+                    return f"histogram {name!r} has non-integer bucket key {index!r}"
     return None
+
+
+def histogram_percentiles(
+    stats: Dict[str, Any], scale: float = 1.0
+) -> Optional[Dict[str, float]]:
+    """p50/p90/p99 of one snapshot histogram, or ``None`` without buckets.
+
+    Estimates come from the sketch buckets but are clamped to the
+    exact recorded min/max, then scaled (``1e3`` renders seconds as
+    milliseconds).  Consumers that render latency tables -- ``serve
+    stats``, ``repro top`` -- all go through here.
+    """
+    buckets = stats.get("buckets")
+    if not buckets:
+        return None
+
+    def clamp(value: float) -> float:
+        return min(max(value, stats["min"]), stats["max"]) * scale
+
+    return {
+        "count": stats["count"],
+        "mean": stats["mean"] * scale,
+        "p50": clamp(percentile_from_buckets(buckets, 50.0)),
+        "p90": clamp(percentile_from_buckets(buckets, 90.0)),
+        "p99": clamp(percentile_from_buckets(buckets, 99.0)),
+        "max": stats["max"] * scale,
+    }
 
 
 def write_metrics(path: str, snapshot: Dict[str, Any]) -> None:

@@ -1,0 +1,272 @@
+"""Declarative SLO targets with burn-rate evaluation.
+
+An :class:`SloPolicy` names the service levels the serve daemon is
+held to -- p99 latency, error rate, and a trap-rate anomaly bound --
+and this module turns observations into :class:`SloBreach` records
+two ways:
+
+- **online**: the daemon's SLO loop feeds rolling-window summaries
+  (:class:`~repro.observability.aggregate.WindowAggregator`) through
+  :func:`evaluate_window` every few seconds and emits one
+  ``slo-breach`` event per newly burning target;
+- **offline**: ``tools/check_slo.py`` feeds a loadgen report (and
+  optionally an events file) through :func:`evaluate_report` to gate
+  CI -- exit 2 on any breach.
+
+**Burn rate** follows the SRE convention: ``observed / budget``.  A
+burn rate of 1.0 consumes the budget exactly as fast as allowed; the
+policy's ``burn_threshold`` (default 1.0) says how much faster than
+that counts as a breach, so a CI gate can be strict (1.0) while a
+paging rule could tolerate short spikes (e.g. 2.0 over a short
+window).  Latency burn is ``p99 / max_p99_ms``, error burn is
+``error_rate / max_error_rate`` (an ``max_error_rate`` of 0 makes any
+error an immediate breach), and trap-rate burn is
+``trap_rate / (trap_rate_factor * baseline_trap_rate)`` -- traps are
+*expected* under attack replay, so only an anomaly versus the
+baseline window is a signal, not the absolute count.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Small allowance under which a baseline trap rate is considered
+#: "quiet": with no baseline signal, any sustained trap traffic above
+#: this absolute rate (traps per request) is anomalous.
+QUIET_BASELINE_TRAP_RATE = 0.01
+
+
+@dataclass(frozen=True)
+class SloBreach:
+    """One target burning past its threshold."""
+
+    target: str
+    observed: float
+    budget: float
+    burn_rate: float
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "observed": round(self.observed, 6),
+            "budget": round(self.budget, 6),
+            "burn_rate": round(self.burn_rate, 4),
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Declarative targets; ``None`` disables a target."""
+
+    #: p99 latency bound, milliseconds.
+    max_p99_ms: Optional[float] = None
+    #: failed-request fraction bound (0 means "no errors allowed").
+    max_error_rate: Optional[float] = None
+    #: trap-rate anomaly bound: current trap rate (traps per request)
+    #: may be at most this factor times the baseline window's rate.
+    trap_rate_factor: Optional[float] = None
+    #: burn rate at or above which a target counts as breached.
+    burn_threshold: float = 1.0
+    #: seconds of the short (burn) window the online evaluator reads.
+    burn_window_s: float = 15.0
+    description: str = field(default="", compare=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "max_p99_ms": self.max_p99_ms,
+            "max_error_rate": self.max_error_rate,
+            "trap_rate_factor": self.trap_rate_factor,
+            "burn_threshold": self.burn_threshold,
+            "burn_window_s": self.burn_window_s,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SloPolicy":
+        if not isinstance(data, dict):
+            raise ValueError("SLO policy is not an object")
+        known = {
+            "max_p99_ms",
+            "max_error_rate",
+            "trap_rate_factor",
+            "burn_threshold",
+            "burn_window_s",
+            "description",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SLO policy field(s): {', '.join(sorted(unknown))}"
+            )
+        for name in known - {"description"}:
+            value = data.get(name)
+            if value is not None and (
+                not isinstance(value, (int, float)) or isinstance(value, bool)
+            ):
+                raise ValueError(f"SLO policy field {name!r} is not numeric")
+        return cls(**data)
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "SloPolicy":
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"invalid SLO policy JSON in {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def _burn(observed: float, budget: float) -> float:
+    """Burn rate with a zero-budget convention: any spend is infinite."""
+    if budget <= 0:
+        return float("inf") if observed > 0 else 0.0
+    return observed / budget
+
+
+def _check(
+    breaches: List[SloBreach],
+    threshold: float,
+    target: str,
+    observed: float,
+    budget: float,
+    unit: str,
+) -> None:
+    burn = _burn(observed, budget)
+    # Strictly past the (threshold-scaled) budget: sitting exactly at
+    # the target is within SLO, and a zero budget forbids any spend.
+    if observed > budget * threshold:
+        breaches.append(
+            SloBreach(
+                target=target,
+                observed=observed,
+                budget=budget,
+                burn_rate=burn,
+                message=(
+                    f"{target}: {observed:.4g}{unit} vs budget "
+                    f"{budget:.4g}{unit} (burn rate {burn:.2f})"
+                ),
+            )
+        )
+
+
+def evaluate_report(
+    policy: SloPolicy,
+    report: Dict[str, Any],
+    trap_count: Optional[int] = None,
+    baseline_trap_rate: Optional[float] = None,
+) -> List[SloBreach]:
+    """Evaluate one loadgen report (``loadgen --report-out`` JSON).
+
+    ``trap_count`` (usually counted from an events file) and
+    ``baseline_trap_rate`` arm the trap-anomaly target; without them
+    only latency and error rate are checked.
+    """
+    breaches: List[SloBreach] = []
+    requests = int(report.get("requests") or 0)
+    if policy.max_p99_ms is not None:
+        _check(
+            breaches,
+            policy.burn_threshold,
+            "p99_latency",
+            float(report.get("p99_ms") or 0.0),
+            policy.max_p99_ms,
+            "ms",
+        )
+    if policy.max_error_rate is not None and requests > 0:
+        error_rate = float(report.get("failures") or 0) / requests
+        _check(
+            breaches,
+            policy.burn_threshold,
+            "error_rate",
+            error_rate,
+            policy.max_error_rate,
+            "",
+        )
+    if (
+        policy.trap_rate_factor is not None
+        and trap_count is not None
+        and requests > 0
+    ):
+        trap_rate = trap_count / requests
+        baseline = (
+            baseline_trap_rate
+            if baseline_trap_rate is not None
+            else QUIET_BASELINE_TRAP_RATE
+        )
+        _check(
+            breaches,
+            policy.burn_threshold,
+            "trap_rate",
+            trap_rate,
+            policy.trap_rate_factor * baseline,
+            "",
+        )
+    return breaches
+
+
+def evaluate_window(
+    policy: SloPolicy,
+    burn_summary: Dict[str, Any],
+    baseline_summary: Optional[Dict[str, Any]] = None,
+) -> List[SloBreach]:
+    """Evaluate a short burn window against the policy (and baseline).
+
+    ``burn_summary``/``baseline_summary`` are
+    :meth:`WindowAggregator.summary` dicts; the daemon passes the last
+    ``burn_window_s`` seconds as the burn window and the full window
+    as the trap-rate baseline.
+    """
+    breaches: List[SloBreach] = []
+    counters = burn_summary.get("counters") or {}
+    requests = int(counters.get("requests") or 0)
+    if requests == 0:
+        return breaches
+    if policy.max_p99_ms is not None:
+        latency = (burn_summary.get("quantiles") or {}).get("latency") or {}
+        p99_ms = float(latency.get("p99") or 0.0) * 1e3
+        _check(
+            breaches,
+            policy.burn_threshold,
+            "p99_latency",
+            p99_ms,
+            policy.max_p99_ms,
+            "ms",
+        )
+    if policy.max_error_rate is not None:
+        error_rate = int(counters.get("errors") or 0) / requests
+        _check(
+            breaches,
+            policy.burn_threshold,
+            "error_rate",
+            error_rate,
+            policy.max_error_rate,
+            "",
+        )
+    if policy.trap_rate_factor is not None:
+        trap_rate = int(counters.get("traps") or 0) / requests
+        base_counters = (baseline_summary or {}).get("counters") or {}
+        base_requests = int(base_counters.get("requests") or 0)
+        baseline_rate = (
+            int(base_counters.get("traps") or 0) / base_requests
+            if base_requests
+            else 0.0
+        )
+        baseline_rate = max(baseline_rate, QUIET_BASELINE_TRAP_RATE)
+        _check(
+            breaches,
+            policy.burn_threshold,
+            "trap_rate",
+            trap_rate,
+            policy.trap_rate_factor * baseline_rate,
+            "",
+        )
+    return breaches
+
+
+def count_traps(events: List[Dict[str, Any]]) -> int:
+    """Trap events in a loaded ``repro-events-v1`` record list."""
+    return sum(1 for record in events if record.get("type") == "trap")

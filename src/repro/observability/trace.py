@@ -21,6 +21,10 @@ Export is the Chrome trace-event JSON array format (wrapped in a
 - spans become complete events (``"ph": "X"``) with microsecond
   ``ts``/``dur``;
 - instants become ``"ph": "i"`` events with process scope;
+- flow start/finish events (``"ph": "s"``/``"f"``) tie spans together
+  across processes -- the serve front-end starts a flow under its
+  ``serve:op`` span and the worker finishes it inside its own span, so
+  Perfetto draws one arrow following a request over the fork boundary;
 - per-process metadata events (``"ph": "M"``) name each process.
 """
 
@@ -136,6 +140,34 @@ class Tracer:
             event["args"] = dict(args)
         self.events.append(event)
 
+    def flow(
+        self, name: str, flow_id: str, phase: str = "s", category: str = "serve", **args
+    ) -> None:
+        """Record one flow endpoint (``phase`` ``"s"`` start, ``"f"`` finish).
+
+        Both endpoints of a flow carry the same ``flow_id`` (the serve
+        layer uses the request's correlation id), which is how a
+        front-end span and the worker span that served it join into
+        one arrow in the exported trace.
+        """
+        if phase not in ("s", "t", "f"):
+            raise ValueError(f"flow phase must be 's', 't', or 'f', got {phase!r}")
+        event = {
+            "name": name,
+            "cat": category,
+            "ph": phase,
+            "id": flow_id,
+            "ts": time.perf_counter_ns(),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if phase == "f":
+            # Bind the finish to the enclosing slice, not the next one.
+            event["bp"] = "e"
+        if args:
+            event["args"] = dict(args)
+        self.events.append(event)
+
     # -- merging -----------------------------------------------------------
 
     def adopt(self, events: Sequence[Dict[str, Any]]) -> None:
@@ -156,6 +188,9 @@ class NullTracer:
         return None
 
     def instant(self, name: str, category: str = "repro", **args) -> None:
+        return None
+
+    def flow(self, name, flow_id, phase="s", category="serve", **args) -> None:
         return None
 
     def adopt(self, events) -> None:

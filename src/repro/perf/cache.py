@@ -47,7 +47,7 @@ import tempfile
 from functools import lru_cache
 from typing import Any, Dict, Optional, Tuple
 
-from ..observability import current_tracer, get_metrics
+from ..observability import current_tracer, get_event_log, get_metrics
 
 #: Bump to invalidate every existing cache entry (key prefix).
 #: v2: keys hash a memoized digest of the module text instead of
@@ -223,6 +223,7 @@ class CompilationCache:
             get_metrics().inc("cache.corrupt")
             self._miss()
             current_tracer().instant("cache.corrupt", "cache", key=key[:12])
+            get_event_log().emit("cache-corrupt-recompile", key=key)
             return None
         if self.fault_hook is None:
             if len(_LOAD_MEMO) >= _LOAD_MEMO_CAP:

@@ -79,7 +79,7 @@ from ..core.config import SCHEMES
 from ..core.framework import protect
 from ..frontend.driver import compile_source
 from ..hardware.cpu import CPU
-from ..observability import current_tracer, get_metrics
+from ..observability import current_tracer, get_event_log, get_metrics
 from .faults import FaultInjector, FaultPlan, FaultSpec
 from .reduce import reduce_source
 from .triage import CrashRecord, TriageReport, record_crash, triage
@@ -526,6 +526,7 @@ def run_campaign(
     report = CampaignReport(seed=seed, budget=budget, families=family_names)
     tracer = current_tracer()
     metrics = get_metrics()
+    event_log = get_event_log()
     reduced_buckets: set = set()
 
     for family_index, family in enumerate(sorted(family_names)):
@@ -553,6 +554,14 @@ def run_campaign(
                     report.runs.append(run)
                     metrics.inc(f"campaign.outcome.{run.outcome}")
                     metrics.inc(f"campaign.family.{family}.{run.outcome}")
+                    if run.outcome in ("trapped", "detected"):
+                        event_log.emit(
+                            "trap",
+                            scheme=scheme,
+                            status=run.status,
+                            family=family,
+                            mutant=mutant.name,
+                        )
                     if crash is not None:
                         report.crashes.append(crash)
                     if run.outcome == "bypassed":

@@ -42,7 +42,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.framework import protect
 from ..hardware.cpu import CPU
 from ..ir.printer import print_module
-from ..observability import current_tracer, get_metrics
+from ..observability import current_tracer, get_event_log, get_metrics
 from ..perf.cache import CompilationCache
 from ..workloads.generator import generate_program
 from ..workloads.profiles import get_profile
@@ -361,6 +361,7 @@ def run_chaos(
 
     tracer = current_tracer()
     metrics = get_metrics()
+    event_log = get_event_log()
     for index, spec in enumerate(plan.specs):
         with tracer.span(f"chaos:{spec.kind}", "chaos", index=index):
             if spec.kind in CACHE_KINDS:
@@ -384,6 +385,25 @@ def run_chaos(
                 )
             for event in case.events:
                 tracer.instant("fault", "chaos", kind=spec.kind, site=event)
+                event_log.emit(
+                    "fault-injected",
+                    scheme=case.scheme if case.scheme != "-" else None,
+                    kind=spec.kind,
+                    site=event,
+                    case=index,
+                )
+            if case.status.endswith("_trap"):
+                # A defense trap absorbed the fault: the same record a
+                # serve worker emits for a detected attack.  (Cache
+                # containment is covered by the cache layer's own
+                # cache-corrupt-recompile events.)
+                event_log.emit(
+                    "trap",
+                    scheme=case.scheme if case.scheme != "-" else None,
+                    status=case.status,
+                    kind=spec.kind,
+                    case=index,
+                )
         metrics.inc("chaos.cases")
         metrics.inc("chaos.faults_fired", len(case.events))
         metrics.inc(f"chaos.classification.{case.classification}")

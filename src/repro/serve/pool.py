@@ -33,7 +33,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
-from ..observability import get_metrics
+from ..observability import get_event_log, get_metrics
 from .protocol import CODE_INTERNAL, error_response, shard_digest
 from .worker import worker_main
 
@@ -120,6 +120,9 @@ class WorkerPool:
         self._workers[index] = replacement
         self.restarts += 1
         get_metrics().inc("serve.worker_restarts")
+        get_event_log().emit(
+            "worker-restart", shard=index, restarts=replacement.restarts
+        )
 
     def stop(self, drain_timeout: float = 5.0) -> None:
         """Shut every worker down: sentinel, join, then terminate."""
@@ -206,6 +209,10 @@ class WorkerPool:
                 response, telemetry = payload
                 return response, telemetry
             self._restart(index)
+            correlation = {
+                "request_id": request.get("id"),
+                "rid": request.get("rid"),
+            }
             if outcome == "timeout":
                 message = (
                     f"request exceeded the {self.timeout}s worker timeout; "
@@ -213,6 +220,13 @@ class WorkerPool:
                 )
                 error_type = "WorkerTimeout"
                 get_metrics().inc("serve.worker_timeouts")
+                get_event_log().emit(
+                    "worker-timeout",
+                    shard=index,
+                    op=request.get("op"),
+                    timeout_s=self.timeout,
+                    **correlation,
+                )
             else:
                 message = (
                     f"worker shard {index} exited with code {payload} "
@@ -220,6 +234,13 @@ class WorkerPool:
                 )
                 error_type = "WorkerCrash"
                 get_metrics().inc("serve.worker_crashes")
+                get_event_log().emit(
+                    "worker-crash",
+                    shard=index,
+                    op=request.get("op"),
+                    exitcode=payload,
+                    **correlation,
+                )
             return (
                 error_response(
                     request.get("id"), CODE_INTERNAL, error_type, message

@@ -28,6 +28,14 @@ A *trapped* execution is not an error: ``run`` responses report the
 trap through ``result.status``/``result.ok`` exactly like the CLI's
 ``run`` prints it, because a defense doing its job is a valid outcome.
 
+**Correlation.**  Besides the caller-chosen ``id``, the front-end
+stamps a daemon-assigned correlation id (``rid``, unique per received
+request) into every request before dispatch.  The ``rid`` names the
+request in worker spans, security events, and the Chrome-trace flow
+arrows, so one id follows a request across the process boundary; it is
+excluded from the single-flight identity (:func:`request_key`) exactly
+like ``id``.
+
 The module is import-light on purpose (stdlib only): the client, the
 load generator, and the server all share these helpers.
 """
@@ -44,7 +52,7 @@ PROTOCOL = "repro-serve-v1"
 #: Ops dispatched to the worker pool (deterministic, dedupable).
 WORKER_OPS = ("compile", "run", "attack", "profile")
 #: Ops answered by the front-end itself.
-FRONTEND_OPS = ("ping", "stats", "shutdown")
+FRONTEND_OPS = ("ping", "stats", "events", "shutdown")
 OPS = WORKER_OPS + FRONTEND_OPS
 
 #: Required request fields beyond ``id``/``op``, per op.
@@ -55,6 +63,7 @@ _REQUIRED: Dict[str, Tuple[str, ...]] = {
     "attack": ("scenario",),
     "ping": (),
     "stats": (),
+    "events": (),
     "shutdown": (),
 }
 
@@ -95,6 +104,9 @@ def validate_request(request: Dict[str, Any]) -> Optional[str]:
         or any(not isinstance(item, str) for item in inputs)
     ):
         return "'inputs' must be a list of strings"
+    limit = request.get("limit")
+    if limit is not None and (not isinstance(limit, int) or isinstance(limit, bool)):
+        return "'limit' must be an integer"
     return None
 
 
@@ -143,13 +155,17 @@ def shard_digest(request: Dict[str, Any]) -> str:
 
 
 def request_key(request: Dict[str, Any]) -> str:
-    """Single-flight identity of a request: everything but the ``id``.
+    """Single-flight identity of a request: everything but the caller's
+    ``id`` and the daemon-assigned correlation ``rid``.
 
     Two requests with the same key are guaranteed the same response
     body (every worker op is deterministic given its fields -- seeds are
-    explicit), so in-flight duplicates can share one computation.
+    explicit), so in-flight duplicates can share one computation.  Both
+    per-caller fields must be excluded or no two requests would ever
+    coalesce: the front-end stamps a unique ``rid`` into every request
+    before dispatch (see ``server.py``).
     """
-    identity = {k: v for k, v in request.items() if k != "id"}
+    identity = {k: v for k, v in request.items() if k not in ("id", "rid")}
     return json.dumps(identity, sort_keys=True)
 
 

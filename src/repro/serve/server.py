@@ -11,6 +11,22 @@ compilation (and produce exactly one ``compile.phase.*`` span set in
 the merged trace).  Each follower still gets its own response envelope
 (its own ``id``), byte-identical in the body.
 
+**Correlation.**  The front-end stamps a unique ``rid`` into every
+request before dispatch and opens a ``serve:op`` span around the whole
+request; for worker ops it also starts a Chrome-trace *flow* under
+that span which the worker finishes inside its own span, so the merged
+trace draws one arrow following the request across the fork boundary.
+Worker telemetry comes back with the response -- metrics snapshots,
+trace events, and security events all stamped with the same ``rid`` --
+and is merged into the daemon's process-global registries.
+
+**Aggregation.**  Every request also lands in a rolling
+:class:`~repro.observability.aggregate.WindowAggregator` (requests,
+errors, per-scheme traps, latency sketch) powering the enriched
+``stats`` op, the ``repro top`` dashboard, and -- when a policy is
+installed -- the background SLO burn-rate loop, which emits one
+``slo-breach`` event per target transition into breach.
+
 Shutdown is graceful on SIGTERM/SIGINT and on the ``shutdown`` op:
 stop accepting, let in-flight requests drain (bounded by
 ``drain_timeout``), then stop the workers.  A socket path or TCP port
@@ -21,14 +37,24 @@ one-line diagnostic, matching the CLI's I/O taxonomy.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import os
 import signal
 import socket as socket_module
 import time
-from typing import Any, Dict, Optional, Set
+from typing import Any, Dict, Optional, Set, Tuple
 
 from ..hardware.errors import ReproError
-from ..observability import current_tracer, get_metrics
+from ..observability import (
+    EVENTS_SCHEMA,
+    SloPolicy,
+    WindowAggregator,
+    current_tracer,
+    evaluate_window,
+    get_event_log,
+    get_metrics,
+    histogram_percentiles,
+)
 from .pool import WorkerPool
 from .protocol import (
     CODE_BAD_REQUEST,
@@ -64,6 +90,8 @@ class ReproServer:
         host: str = "127.0.0.1",
         port: Optional[int] = None,
         drain_timeout: float = 30.0,
+        slo_policy: Optional[SloPolicy] = None,
+        window_s: float = 60.0,
     ):
         if (socket_path is None) == (port is None):
             raise ValueError("pass exactly one of socket_path or port")
@@ -72,13 +100,19 @@ class ReproServer:
         self.host = host
         self.port = port
         self.drain_timeout = drain_timeout
+        self.slo_policy = slo_policy
         self.started_at = time.monotonic()
+        self.window = WindowAggregator(window_s=window_s)
         self._server: Optional[asyncio.AbstractServer] = None
-        self._inflight: Dict[str, asyncio.Future] = {}
+        #: single-flight map: request key -> (leader future, leader rid)
+        self._inflight: Dict[str, Tuple[asyncio.Future, str]] = {}
         self._active: Set[asyncio.Task] = set()
         self._connections: Set[asyncio.Task] = set()
         self._draining = False
         self._stopped = asyncio.Event()
+        self._slo_task: Optional[asyncio.Task] = None
+        self._burning: Set[str] = set()
+        self._rid_counter = itertools.count(1)
         self.requests = 0
         self.errors = 0
         self.coalesced = 0
@@ -149,6 +183,8 @@ class ReproServer:
                     loop.add_signal_handler(signum, self.initiate_shutdown)
                 except (NotImplementedError, RuntimeError):
                     pass
+        if self.slo_policy is not None:
+            self._slo_task = loop.create_task(self._slo_loop())
         await self._stopped.wait()
 
     def initiate_shutdown(self) -> None:
@@ -159,6 +195,12 @@ class ReproServer:
         asyncio.get_running_loop().create_task(self._shutdown())
 
     async def _shutdown(self) -> None:
+        if self._slo_task is not None:
+            self._slo_task.cancel()
+            try:
+                await self._slo_task
+            except asyncio.CancelledError:
+                pass
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -259,6 +301,7 @@ class ReproServer:
         except ValueError as exc:
             self.errors += 1
             metrics.inc("serve.errors")
+            self.window.inc("errors")
             await self._write(
                 writer,
                 write_lock,
@@ -267,15 +310,33 @@ class ReproServer:
                 ),
             )
             return
-        response = await self._dispatch(request)
-        self.requests += 1
+        # The daemon-side correlation id: unique per received request,
+        # stamped into the request so worker spans/events/metrics tie
+        # back to this front-end span (and to the caller's own id).
+        rid = f"r{next(self._rid_counter)}"
+        request["rid"] = rid
         op = request.get("op", "?")
+        tracer = current_tracer()
+        with tracer.span(
+            f"serve:{op}", "serve", rid=rid, request_id=request.get("id")
+        ):
+            if op in WORKER_OPS:
+                # Flow start under the front-end span; the worker
+                # finishes it inside its own span, joining the two
+                # processes with one arrow in the exported trace.
+                tracer.flow("serve:request", rid, "s", op=op)
+            response = await self._dispatch(request)
+        self.requests += 1
         metrics.inc("serve.requests")
         metrics.inc(f"serve.requests.{op}")
+        self.window.inc("requests")
         if response.get("status") != "ok":
             self.errors += 1
             metrics.inc("serve.errors")
-        metrics.observe(f"serve.latency.{op}", time.perf_counter() - start)
+            self.window.inc("errors")
+        latency = time.perf_counter() - start
+        metrics.observe(f"serve.latency.{op}", latency)
+        self.window.observe("latency", latency)
         await self._write(writer, write_lock, response)
 
     # -- dispatch ----------------------------------------------------------------
@@ -296,12 +357,34 @@ class ReproServer:
             return ok_response(request_id, {"pong": True, "protocol": PROTOCOL})
         if op == "stats":
             return ok_response(request_id, self._stats())
+        if op == "events":
+            log = get_event_log()
+            return ok_response(
+                request_id,
+                {
+                    "schema": EVENTS_SCHEMA,
+                    "emitted": log.emitted,
+                    "dropped": log.dropped,
+                    "events": log.snapshot(request.get("limit")),
+                },
+            )
         if op == "shutdown":
             self.initiate_shutdown()
             return ok_response(request_id, {"stopping": True})
         return await self._submit_deduped(request)
 
     def _stats(self) -> Dict[str, Any]:
+        log = get_event_log()
+        latency_ms: Dict[str, Any] = {}
+        histograms = get_metrics().snapshot()["histograms"]
+        prefix = "serve.latency."
+        for name, stats in histograms.items():
+            if name.startswith(prefix):
+                rendered = histogram_percentiles(stats, scale=1e3)
+                if rendered is not None:
+                    latency_ms[name[len(prefix):]] = {
+                        key: round(value, 3) for key, value in rendered.items()
+                    }
         return {
             "protocol": PROTOCOL,
             "endpoint": self.endpoint,
@@ -312,26 +395,56 @@ class ReproServer:
             "dedup_coalesced": self.coalesced,
             "worker_restarts": self.pool.restarts,
             "inflight": len(self._inflight),
+            "window": self.window.summary(),
+            "latency_ms": latency_ms,
+            "events": {
+                "emitted": log.emitted,
+                "buffered": len(log.events),
+                "dropped": log.dropped,
+            },
+            "slo": self.slo_policy.to_dict() if self.slo_policy else None,
         }
+
+    def _adopt_telemetry(self, telemetry: Dict[str, Any]) -> None:
+        """Fold one worker's per-request telemetry into the daemon."""
+        get_metrics().merge_snapshot(telemetry["metrics"])
+        if telemetry.get("events"):
+            current_tracer().adopt(telemetry["events"])
+        security_events = telemetry.get("security_events") or []
+        if security_events:
+            get_event_log().adopt(security_events)
+            for record in security_events:
+                if record.get("type") == "trap":
+                    self.window.inc("traps")
+                    scheme = record.get("scheme")
+                    if scheme:
+                        self.window.inc(f"traps.{scheme}")
 
     async def _submit_deduped(self, request: Dict[str, Any]) -> Dict[str, Any]:
         key = request_key(request)
-        future = self._inflight.get(key)
-        if future is not None:
+        inflight = self._inflight.get(key)
+        if inflight is not None:
             # Follower: share the leader's computation, own envelope.
+            leader_future, leader_rid = inflight
             self.coalesced += 1
             get_metrics().inc("serve.dedup.coalesced")
-            response = await asyncio.shield(future)
+            self.window.inc("coalesced")
+            get_event_log().emit(
+                "dedup-coalesce",
+                request_id=request.get("id"),
+                rid=request.get("rid"),
+                leader_rid=leader_rid,
+                op=request.get("op"),
+            )
+            response = await asyncio.shield(leader_future)
             return with_id(response, request.get("id"))
         loop = asyncio.get_running_loop()
         future = loop.create_future()
-        self._inflight[key] = future
+        self._inflight[key] = (future, str(request.get("rid")))
         try:
             response, telemetry = await self.pool.submit(request)
             if telemetry is not None:
-                get_metrics().merge_snapshot(telemetry["metrics"])
-                if telemetry["events"]:
-                    current_tracer().adopt(telemetry["events"])
+                self._adopt_telemetry(telemetry)
             future.set_result(response)
             return response
         except BaseException as exc:
@@ -342,3 +455,28 @@ class ReproServer:
             raise
         finally:
             self._inflight.pop(key, None)
+
+    # -- SLO burn-rate loop --------------------------------------------------------
+
+    async def _slo_loop(self) -> None:
+        """Periodically compare the burn window against the baseline.
+
+        An ``slo-breach`` event is emitted once per target *transition*
+        into breach (re-armed when the target recovers), so a sustained
+        burn does not flood the ring with one record per evaluation.
+        """
+        policy = self.slo_policy
+        assert policy is not None
+        interval = max(1.0, policy.burn_window_s / 3.0)
+        while True:
+            await asyncio.sleep(interval)
+            burn = self.window.summary(horizon_s=policy.burn_window_s)
+            baseline = self.window.summary()
+            breaches = evaluate_window(policy, burn, baseline)
+            current = {breach.target for breach in breaches}
+            for breach in breaches:
+                if breach.target in self._burning:
+                    continue
+                get_metrics().inc("serve.slo_breaches")
+                get_event_log().emit("slo-breach", **breach.to_dict())
+            self._burning = current

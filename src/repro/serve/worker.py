@@ -7,9 +7,9 @@ loops over its pipe: receive one request dict, handle it, send back
 front-end serializes per worker), so registry state needs no locking.
 
 Telemetry follows the suite runner's convention (``perf/runner.py``):
-each request installs a *fresh* local metrics registry and -- when the
-daemon traces -- a fresh tracer, and returns their contents with the
-response.  The front-end merges them into the process-global registry
+each request installs a *fresh* local metrics registry, a fresh
+security-event log, and -- when the daemon traces -- a fresh tracer,
+and returns their contents with the response.  The front-end merges them into the process-global registry
 and tracer, which is how ``--metrics-out``/``--trace-out`` on ``serve``
 see worker-side compile phases and cache events without double
 counting, and how the single-flight dedup guarantee becomes testable:
@@ -31,11 +31,13 @@ from typing import Any, Dict, Optional, Tuple
 from ..attacks import build_scenarios
 from ..hardware.cpu import CPU
 from ..observability import (
+    EventLog,
     ExecutionProfiler,
     MetricsRegistry,
     Tracer,
     current_tracer,
     get_metrics,
+    install_event_log,
     install_metrics,
     install_tracer,
     publish_execution,
@@ -150,6 +152,7 @@ class RequestHandler:
         result = _execution_result(execution)
         result["scenario"] = name
         result["scheme"] = scheme
+        result["digest"] = source_digest(scenario.source)
         result["outcome"] = scenario.attack_outcome(execution)
         result["registry"] = "warm" if warm else "cold"
         return result
@@ -180,10 +183,20 @@ class RequestHandler:
 def handle_request(
     handler: RequestHandler, request: Dict[str, Any], trace: bool
 ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
-    """Run one request under fresh local telemetry; never raises."""
+    """Run one request under fresh local telemetry; never raises.
+
+    The span (and every security event) is stamped with the caller's
+    ``id`` and the daemon-assigned ``rid``; when the request carries a
+    ``rid`` the worker also finishes the front-end's trace flow inside
+    its span, which is what draws the cross-process arrow in the
+    exported Chrome trace.
+    """
     request_id = request.get("id")
+    rid = request.get("rid")
     registry = MetricsRegistry()
     previous_metrics = install_metrics(registry)
+    event_log = EventLog()
+    previous_log = install_event_log(event_log)
     previous_tracer = (
         install_tracer(Tracer(f"serve-worker:{request.get('op')}"))
         if trace
@@ -192,20 +205,41 @@ def handle_request(
     try:
         tracer = current_tracer()
         try:
-            with tracer.span(f"serve:{request['op']}", "serve"):
+            with tracer.span(
+                f"serve:{request['op']}", "serve", rid=rid, request_id=request_id
+            ):
+                if rid is not None:
+                    tracer.flow("serve:request", rid, "f", op=request["op"])
                 response = ok_response(request_id, handler.handle(request))
         except Exception as exc:  # noqa: BLE001 - flatten to a status code
             code, error_type = classify_exception(exc)
             response = error_response(
                 request_id, code, error_type, str(exc) or error_type
             )
+        result = response.get("result")
+        if isinstance(result, dict) and result.get("detected"):
+            # A defense fired: record the trap with full correlation so
+            # the audit can name the request, module, scheme, and tier.
+            event_log.emit(
+                "trap",
+                request_id=request_id,
+                rid=rid,
+                module_digest=result.get("digest"),
+                scheme=result.get("scheme"),
+                tier=result.get("interpreter"),
+                status=result.get("status"),
+                scenario=result.get("scenario"),
+                op=request["op"],
+            )
         telemetry = {
             "metrics": registry.snapshot(),
             "events": list(tracer.events) if trace else [],
+            "security_events": event_log.snapshot(),
         }
         return response, telemetry
     finally:
         install_metrics(previous_metrics)
+        install_event_log(previous_log)
         if previous_tracer is not None:
             install_tracer(previous_tracer)
 

@@ -1,0 +1,72 @@
+"""The offline security audit over exported events files."""
+
+from __future__ import annotations
+
+from repro.observability import audit_events, make_event, render_audit
+from repro.observability.audit import TIMELINE_SLOTS
+
+
+def trap(ts, **kwargs):
+    event = make_event("trap", **kwargs)
+    event["ts_wall"] = ts
+    return event
+
+
+class TestAuditEvents:
+    def test_empty_input(self):
+        report = audit_events([])
+        assert report["events"] == 0
+        assert report["traps"]["total"] == 0
+        assert report["timeline"]["slots"] == []
+
+    def test_groups_traps_by_scheme_family_status(self):
+        events = [
+            trap(1.0, rid="r1", scheme="pythia", scenario="ptr_swap", status="pac_trap"),
+            trap(2.0, scheme="pythia", scenario="ptr_swap", status="pac_trap"),
+            trap(3.0, scheme="dfi", family="uaf", status="dfi_trap"),
+            make_event("worker-restart", shard=0),
+        ]
+        report = audit_events(events)
+        assert report["events"] == 4
+        assert report["by_type"] == {"trap": 3, "worker-restart": 1}
+        traps = report["traps"]
+        assert traps["total"] == 3
+        assert traps["correlated"] == 1  # only the first carries a rid
+        assert traps["by_scheme"] == {"dfi": 1, "pythia": 2}
+        assert traps["by_family"] == {"ptr_swap": 2, "uaf": 1}
+        assert traps["by_status"] == {"dfi_trap": 1, "pac_trap": 2}
+
+    def test_ranks_top_offending_modules(self):
+        events = [trap(1.0, module_digest="aaaa")] * 3 + [
+            trap(2.0, module_digest="bbbb")
+        ]
+        report = audit_events(events)
+        assert report["traps"]["top_modules"][0] == ("aaaa", 3)
+
+    def test_timeline_buckets_the_span(self):
+        events = [trap(0.0), trap(50.0), trap(100.0)]
+        timeline = audit_events(events)["timeline"]
+        assert (timeline["start_wall"], timeline["end_wall"]) == (0.0, 100.0)
+        slots = timeline["slots"]
+        assert len(slots) == TIMELINE_SLOTS
+        assert sum(slots) == 3
+        assert slots[0] == 1 and slots[-1] == 1
+
+
+class TestRenderAudit:
+    def test_quiet_file_renders_a_one_liner(self):
+        lines = render_audit(audit_events([]), path="events.jsonl")
+        assert lines[0].startswith("events.jsonl: 0 event(s)")
+        assert "no defense traps recorded" in lines[1]
+
+    def test_full_report_renders_every_section(self):
+        events = [
+            trap(1.0, rid="r1", scheme="pythia", scenario="ptr_swap",
+                 status="pac_trap", module_digest="deadbeef" * 8),
+            trap(9.0, scheme="dfi", family="uaf", status="dfi_trap"),
+        ]
+        text = "\n".join(render_audit(audit_events(events)))
+        assert "traps: 2 total, 1 carrying a request id" in text
+        assert "pythia" in text and "dfi" in text
+        assert "top offending module digests" in text
+        assert "attack timeline (8.0s span" in text

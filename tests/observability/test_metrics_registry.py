@@ -10,6 +10,7 @@ from repro.observability import (
     METRICS_SCHEMA,
     MetricsRegistry,
     get_metrics,
+    histogram_percentiles,
     install_metrics,
     reset_metrics,
     validate_snapshot,
@@ -42,7 +43,33 @@ class TestRegistry:
         for value in (3.0, 1.0, 2.0):
             registry.observe("phase", value)
         stats = registry.snapshot()["histograms"]["phase"]
-        assert stats == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+        assert (stats["count"], stats["sum"]) == (3, 6.0)
+        assert (stats["min"], stats["max"], stats["mean"]) == (1.0, 3.0, 2.0)
+        # One sketch bucket per observation here: all three values land
+        # in distinct log buckets.
+        assert sum(stats["buckets"].values()) == 3
+
+    def test_histogram_percentiles_from_snapshot(self):
+        registry = MetricsRegistry()
+        for _ in range(99):
+            registry.observe("lat", 0.010)
+        registry.observe("lat", 1.0)
+        # JSON round-trip: bucket keys become strings, like a real
+        # --metrics-out file or a worker telemetry payload.
+        stats = json.loads(json.dumps(registry.snapshot()))["histograms"]["lat"]
+        rendered = histogram_percentiles(stats, scale=1e3)
+        assert rendered["count"] == 100
+        assert rendered["p50"] == pytest.approx(10.0, rel=0.10)
+        assert rendered["p99"] <= rendered["max"] == 1000.0
+
+    def test_histogram_percentiles_without_buckets(self):
+        # Pre-sketch snapshots (older exports) have no buckets field.
+        assert (
+            histogram_percentiles(
+                {"count": 1, "sum": 1.0, "min": 1.0, "max": 1.0, "mean": 1.0}
+            )
+            is None
+        )
 
     def test_snapshot_is_detached(self):
         registry = MetricsRegistry()
@@ -97,6 +124,68 @@ class TestMerge:
         target.merge_snapshot(source.snapshot())
         assert target.snapshot() == source.snapshot()
 
+    def test_merge_empty_snapshot_is_identity(self):
+        target = self.make(2, 1, [1.0])
+        before = target.snapshot()
+        target.merge_snapshot(MetricsRegistry().snapshot())
+        assert target.snapshot() == before
+
+    def test_merge_empty_sections_is_identity(self):
+        # A hand-built snapshot may omit sections entirely.
+        target = self.make(2, 1, [1.0])
+        before = target.snapshot()
+        target.merge_snapshot({"schema": METRICS_SCHEMA})
+        assert target.snapshot() == before
+
+    def test_merge_histogram_only_snapshot(self):
+        source = MetricsRegistry()
+        source.observe("seconds", 2.0)
+        source.observe("seconds", 8.0)
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        merged = target.snapshot()
+        assert merged["counters"] == {}
+        assert merged["gauges"] == {}
+        assert merged["histograms"]["seconds"]["count"] == 2
+
+    def test_merge_pre_sketch_snapshot_without_buckets(self):
+        # Snapshots written before the quantile sketch existed carry no
+        # buckets field; merging them must still fold the summary.
+        target = self.make(0, 0, [1.0])
+        legacy = {
+            "schema": METRICS_SCHEMA,
+            "counters": {},
+            "gauges": {},
+            "histograms": {
+                "seconds": {"count": 2, "sum": 10.0, "min": 4.0, "max": 6.0, "mean": 5.0}
+            },
+        }
+        target.merge_snapshot(legacy)
+        stats = target.snapshot()["histograms"]["seconds"]
+        assert (stats["count"], stats["sum"]) == (3, 11.0)
+        assert (stats["min"], stats["max"]) == (1.0, 6.0)
+        assert validate_snapshot(target.snapshot()) is None
+
+    def test_merge_three_way_associativity(self):
+        # ((a + b) + c) == (a + (b + c)), buckets included.
+        parts = [
+            self.make(1, 0, [1.0, 0.25]),
+            self.make(2, 1, [2.0]),
+            self.make(4, 2, [0.5, 8.0]),
+        ]
+        a, b, c = (part.snapshot() for part in parts)
+        left = MetricsRegistry()
+        left.merge_snapshot(a)
+        left.merge_snapshot(b)
+        left.merge_snapshot(c)
+        bc = MetricsRegistry()
+        bc.merge_snapshot(b)
+        bc.merge_snapshot(c)
+        right = MetricsRegistry()
+        right.merge_snapshot(a)
+        right.merge_snapshot(bc.snapshot())
+        assert left.snapshot() == right.snapshot()
+
 
 class TestValidate:
     def valid(self):
@@ -137,6 +226,21 @@ class TestValidate:
         snapshot = self.valid()
         snapshot["histograms"]["h"]["min"] = 9.0
         assert "min > max" in validate_snapshot(snapshot)
+
+    def test_accepts_missing_buckets(self):
+        snapshot = self.valid()
+        del snapshot["histograms"]["h"]["buckets"]
+        assert validate_snapshot(snapshot) is None
+
+    def test_rejects_non_integer_bucket_key(self):
+        snapshot = self.valid()
+        snapshot["histograms"]["h"]["buckets"] = {"nope": 1}
+        assert "bucket" in validate_snapshot(snapshot)
+
+    def test_rejects_negative_bucket_count(self):
+        snapshot = self.valid()
+        snapshot["histograms"]["h"]["buckets"] = {"0": -1}
+        assert "bucket" in validate_snapshot(snapshot)
 
 
 class TestGlobalRegistry:

@@ -1,0 +1,194 @@
+"""SLO policies and burn-rate evaluation, plus the check_slo CI gate."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.observability import (
+    SloPolicy,
+    WindowAggregator,
+    count_traps,
+    evaluate_report,
+    evaluate_window,
+    make_event,
+)
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+)
+CHECK_SLO = os.path.join(REPO_ROOT, "tools", "check_slo.py")
+
+
+class TestPolicy:
+    def test_round_trips_through_dict(self):
+        policy = SloPolicy(max_p99_ms=100.0, max_error_rate=0.01)
+        assert SloPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown SLO policy field"):
+            SloPolicy.from_dict({"max_p99ms": 100})
+
+    def test_rejects_non_numeric_target(self):
+        with pytest.raises(ValueError, match="not numeric"):
+            SloPolicy.from_dict({"max_p99_ms": "fast"})
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text('{"max_p99_ms": 250, "description": "ci gate"}')
+        policy = SloPolicy.from_json_file(str(path))
+        assert policy.max_p99_ms == 250
+        assert policy.description == "ci gate"
+
+    def test_from_json_file_rejects_garbage(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="invalid SLO policy JSON"):
+            SloPolicy.from_json_file(str(path))
+
+
+class TestEvaluateReport:
+    REPORT = {"requests": 100, "failures": 2, "p99_ms": 80.0}
+
+    def test_within_budget_is_clean(self):
+        policy = SloPolicy(max_p99_ms=100.0, max_error_rate=0.05)
+        assert evaluate_report(policy, self.REPORT) == []
+
+    def test_p99_breach_carries_burn_rate(self):
+        policy = SloPolicy(max_p99_ms=40.0)
+        (breach,) = evaluate_report(policy, self.REPORT)
+        assert breach.target == "p99_latency"
+        assert breach.burn_rate == pytest.approx(2.0)
+        assert "80" in breach.message
+
+    def test_sitting_exactly_at_the_target_is_within_slo(self):
+        policy = SloPolicy(max_p99_ms=80.0)
+        assert evaluate_report(policy, self.REPORT) == []
+
+    def test_zero_error_budget_forbids_any_failure(self):
+        policy = SloPolicy(max_error_rate=0.0)
+        (breach,) = evaluate_report(policy, self.REPORT)
+        assert breach.target == "error_rate"
+        assert breach.burn_rate == float("inf")
+
+    def test_burn_threshold_scales_the_budget(self):
+        tolerant = SloPolicy(max_p99_ms=40.0, burn_threshold=3.0)
+        assert evaluate_report(tolerant, self.REPORT) == []
+
+    def test_trap_rate_needs_events(self):
+        policy = SloPolicy(trap_rate_factor=2.0)
+        assert evaluate_report(policy, self.REPORT) == []
+        breaches = evaluate_report(
+            policy, self.REPORT, trap_count=50, baseline_trap_rate=0.01
+        )
+        assert [b.target for b in breaches] == ["trap_rate"]
+
+    def test_count_traps_filters_by_type(self):
+        events = [make_event("trap"), make_event("worker-restart"), make_event("trap")]
+        assert count_traps(events) == 2
+
+
+class TestEvaluateWindow:
+    def make_window(self, requests, errors, traps, latency_s):
+        window = WindowAggregator(window_s=60.0)
+        window.started_at = 0.0
+        window.inc("requests", requests, now=100.0)
+        if errors:
+            window.inc("errors", errors, now=100.0)
+        if traps:
+            window.inc("traps", traps, now=100.0)
+        for _ in range(requests):
+            window.observe("latency", latency_s, now=100.0)
+        return window.summary(now=100.0)
+
+    def test_quiet_window_is_clean(self):
+        policy = SloPolicy(max_p99_ms=100.0, max_error_rate=0.05, trap_rate_factor=5.0)
+        summary = self.make_window(50, 0, 0, 0.010)
+        assert evaluate_window(policy, summary, summary) == []
+
+    def test_empty_window_never_breaches(self):
+        policy = SloPolicy(max_p99_ms=0.001, max_error_rate=0.0)
+        summary = self.make_window(0, 0, 0, 0.010)
+        assert evaluate_window(policy, summary) == []
+
+    def test_latency_burn_is_measured_in_ms(self):
+        policy = SloPolicy(max_p99_ms=20.0)
+        summary = self.make_window(50, 0, 0, 0.100)  # 100ms p99
+        (breach,) = evaluate_window(policy, summary)
+        assert breach.target == "p99_latency"
+        assert breach.observed == pytest.approx(100.0, rel=0.10)
+
+    def test_trap_anomaly_is_relative_to_baseline(self):
+        policy = SloPolicy(trap_rate_factor=2.0)
+        burning = self.make_window(10, 0, 8, 0.001)  # 0.8 traps/request
+        steady = self.make_window(100, 0, 80, 0.001)  # baseline matches
+        assert evaluate_window(policy, burning, steady) == []
+        quiet_baseline = self.make_window(100, 0, 0, 0.001)
+        (breach,) = evaluate_window(policy, burning, quiet_baseline)
+        assert breach.target == "trap_rate"
+
+
+class TestCheckSloCli:
+    def run_gate(self, *argv):
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.abspath(repro.__file__))
+        env["PYTHONPATH"] = (
+            os.path.dirname(src_root) + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        return subprocess.run(
+            [sys.executable, CHECK_SLO, *argv],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+
+    @pytest.fixture
+    def artifacts(self, tmp_path):
+        policy = tmp_path / "slo.json"
+        policy.write_text(json.dumps({"max_p99_ms": 50, "max_error_rate": 0}))
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps({"requests": 10, "failures": 0, "p99_ms": 5.0}))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"requests": 10, "failures": 0, "p99_ms": 500.0}))
+        return policy, good, bad
+
+    def test_passing_report_exits_zero(self, artifacts):
+        policy, good, _ = artifacts
+        proc = self.run_gate("--policy", str(policy), "--report", str(good))
+        assert proc.returncode == 0, proc.stderr
+        assert "within SLO" in proc.stdout
+
+    def test_p99_violation_exits_two(self, artifacts):
+        policy, _, bad = artifacts
+        proc = self.run_gate("--policy", str(policy), "--report", str(bad))
+        assert proc.returncode == 2
+        assert "SLO BREACH: p99_latency" in proc.stderr
+
+    def test_unreadable_input_exits_three(self, artifacts):
+        policy, good, _ = artifacts
+        proc = self.run_gate("--policy", str(policy), "--report", "/nope/missing.json")
+        assert proc.returncode == 3
+        proc = self.run_gate("--policy", "/nope/slo.json", "--report", str(good))
+        assert proc.returncode == 3
+
+    def test_events_arm_the_trap_target(self, artifacts, tmp_path):
+        policy_path = tmp_path / "traps.json"
+        policy_path.write_text(json.dumps({"trap_rate_factor": 2.0}))
+        events = tmp_path / "events.jsonl"
+        events.write_text(
+            "\n".join(json.dumps(make_event("trap")) for _ in range(8)) + "\n"
+        )
+        _, good, _ = artifacts
+        proc = self.run_gate(
+            "--policy", str(policy_path),
+            "--report", str(good),
+            "--events", str(events),
+            "--baseline-trap-rate", "0.01",
+        )
+        assert proc.returncode == 2
+        assert "trap_rate" in proc.stderr

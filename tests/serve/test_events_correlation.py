@@ -1,0 +1,165 @@
+"""Cross-process correlation: events, flows, enriched stats, top, audit.
+
+The acceptance loop for the security-event pipeline: a request enters
+the daemon, a worker's defense fires, and the resulting trap event +
+trace spans all carry the same correlation id -- so one events file,
+one Chrome trace, and one loadgen report can be joined after the fact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.observability import read_events
+from repro.serve import ServeClient
+
+from .conftest import SRC_ROOT, TINY_SOURCE
+
+
+def _cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def test_trap_events_carry_request_and_correlation_ids(daemon):
+    socket_path, _ = daemon()
+    with ServeClient(socket_path=socket_path) as client:
+        attack = client.request("attack", scenario="privilege_escalation", scheme="pythia")
+        assert attack["status"] == "ok"
+        assert attack["result"]["outcome"] in ("blocked", "trapped", "detected")
+        response = client.request("events")
+    assert response["status"] == "ok"
+    result = response["result"]
+    assert result["schema"] == "repro-events-v1"
+    traps = [e for e in result["events"] if e["type"] == "trap"]
+    assert traps, "the blocked attack should have produced a trap event"
+    trap = traps[-1]
+    # the caller's id and the daemon's rid both survive the hop into
+    # the worker and back
+    assert trap["request_id"] == attack["id"]
+    assert trap["rid"] is not None
+    assert trap["scheme"] == "pythia"
+    assert trap["module_digest"]
+    assert trap["pid"] != os.getpid()
+
+
+def test_events_op_respects_limit(daemon):
+    socket_path, _ = daemon()
+    with ServeClient(socket_path=socket_path) as client:
+        for _ in range(3):
+            client.request("attack", scenario="privilege_escalation", scheme="pythia")
+        unlimited = client.request("events")["result"]
+        limited = client.request("events", limit=1)["result"]
+    assert unlimited["emitted"] >= 3
+    assert len(limited["events"]) == 1
+    assert limited["events"][0] == unlimited["events"][-1]
+
+
+def test_stats_exposes_window_and_latency_percentiles(daemon):
+    socket_path, _ = daemon()
+    with ServeClient(socket_path=socket_path) as client:
+        for _ in range(3):
+            client.request("run", source=TINY_SOURCE, scheme="pythia")
+        client.request("attack", scenario="privilege_escalation", scheme="pythia")
+        stats = client.request("stats")["result"]
+    window = stats["window"]
+    assert window["counters"]["requests"] >= 4
+    assert window["counters"]["traps"] >= 1
+    assert window["counters"]["traps.pythia"] >= 1
+    # percentiles come from the shared metrics sketch, one row per op
+    run_row = stats["latency_ms"]["run"]
+    assert run_row["count"] >= 3
+    assert 0 < run_row["p50"] <= run_row["p90"] <= run_row["p99"] <= run_row["max"]
+    assert stats["events"]["emitted"] >= 1
+    assert stats["slo"] is None
+
+
+def test_rid_joins_frontend_and_worker_spans_in_one_trace(daemon, tmp_path):
+    trace_path = str(tmp_path / "trace.json")
+    events_path = str(tmp_path / "events.jsonl")
+    socket_path, proc = daemon(
+        "--trace-out", trace_path, "--events-out", events_path
+    )
+    with ServeClient(socket_path=socket_path) as client:
+        attack = client.request("attack", scenario="privilege_escalation", scheme="pythia")
+        assert attack["status"] == "ok"
+    proc.terminate()
+    proc.wait(timeout=30)
+
+    with open(trace_path, "r", encoding="utf-8") as handle:
+        trace = json.load(handle)
+    events = trace["traceEvents"]
+    starts = {e["id"]: e for e in events if e.get("ph") == "s"}
+    finishes = {e["id"]: e for e in events if e.get("ph") == "f"}
+    joined = set(starts) & set(finishes)
+    assert joined, "at least one flow must start and finish"
+    rid = sorted(joined)[0]
+    # the start is the front-end's, the finish the worker's
+    assert starts[rid]["pid"] != finishes[rid]["pid"]
+    span_names = {e.get("name") for e in events if e.get("ph") == "X"}
+    assert "serve:attack" in span_names
+
+    # the exported events file validates and its traps carry that rid
+    records = read_events(events_path)
+    traps = [e for e in records if e["type"] == "trap"]
+    assert traps and traps[-1]["rid"] in joined
+
+
+def test_top_once_renders_a_dashboard_frame(daemon):
+    socket_path, _ = daemon()
+    with ServeClient(socket_path=socket_path) as client:
+        client.request("run", source=TINY_SOURCE, scheme="pythia")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "top", "--socket", socket_path, "--once"],
+        env=_cli_env(),
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert f"repro serve @ {socket_path}" in proc.stdout
+    assert "req/s" in proc.stdout
+
+
+def test_audit_cli_summarizes_an_exported_events_file(daemon, tmp_path):
+    events_path = str(tmp_path / "events.jsonl")
+    socket_path, proc = daemon("--events-out", events_path)
+    with ServeClient(socket_path=socket_path) as client:
+        client.request("attack", scenario="privilege_escalation", scheme="pythia")
+        client.request("attack", scenario="privilege_escalation", scheme="dfi")
+    proc.terminate()
+    proc.wait(timeout=30)
+
+    report_path = str(tmp_path / "audit.json")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "audit", events_path, "--json-out", report_path],
+        env=_cli_env(),
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "traps:" in result.stdout
+    with open(report_path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    assert report["traps"]["total"] >= 2
+    assert report["traps"]["correlated"] == report["traps"]["total"]
+    assert set(report["traps"]["by_scheme"]) >= {"pythia", "dfi"}
+
+
+def test_audit_cli_rejects_a_rotten_file(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "audit", str(bad)],
+        env=_cli_env(),
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 3
+    assert "bad.jsonl:1" in result.stderr

@@ -1,18 +1,20 @@
 #!/usr/bin/env python3
 """Validate exported observability artifacts (CI gate).
 
-Checks a ``--trace-out`` Chrome-trace JSON and/or a ``--metrics-out``
-snapshot against the schemas in :mod:`repro.observability`, plus
-optional presence assertions so CI can require specific spans and
-counters (e.g. that a suite trace really covers compile phases and
-cache events from its workers).
+Checks a ``--trace-out`` Chrome-trace JSON, a ``--metrics-out``
+snapshot, and/or an ``--events-out`` ``repro-events-v1`` JSON-lines
+file against the schemas in :mod:`repro.observability`, plus optional
+presence assertions so CI can require specific spans, counters, and
+event types (e.g. that a serve trace really carries cross-process
+flow arrows and that every trap event names its originating request).
 
 Usage::
 
     python tools/check_observability.py --trace trace.json \
-        --metrics metrics.json \
+        --metrics metrics.json --events events.jsonl \
         --expect-span verify --expect-span "task:505.mcf_r" \
-        --expect-counter cache.misses
+        --expect-counter cache.misses \
+        --expect-event-type trap --require-correlated-traps
 
 Exits 0 when every check passes, 1 with one diagnostic line per
 problem otherwise.
@@ -31,7 +33,7 @@ _SRC = os.path.join(REPO_ROOT, "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro.observability import TRACE_SCHEMA, validate_snapshot
+from repro.observability import TRACE_SCHEMA, read_events, validate_snapshot
 
 #: Event fields every span/instant must carry; metadata ("M") events
 #: are exempt from ts.
@@ -60,17 +62,65 @@ def check_trace(payload: Any, expected_spans: List[str]) -> List[str]:
             if field not in event:
                 problems.append(f"trace: event #{index} lacks {field!r}")
         ph = event.get("ph")
-        if ph not in ("X", "i", "M"):
+        if ph not in ("X", "i", "M", "s", "t", "f"):
             problems.append(f"trace: event #{index} has unknown ph {ph!r}")
         if ph == "X":
             if not isinstance(event.get("dur"), (int, float)) or event["dur"] < 0:
                 problems.append(f"trace: span #{index} has bad 'dur'")
             if not isinstance(event.get("ts"), (int, float)) or event["ts"] < 0:
                 problems.append(f"trace: span #{index} has bad 'ts'")
+        if ph in ("s", "t", "f") and "id" not in event:
+            problems.append(f"trace: flow event #{index} lacks 'id'")
         names.add(event.get("name"))
     for name in expected_spans:
         if name not in names:
             problems.append(f"trace: expected span/event {name!r} not present")
+    return problems
+
+
+def check_flows(payload: Any) -> List[str]:
+    """Cross-process flow sanity: every flow id both starts and finishes."""
+    events = payload.get("traceEvents") if isinstance(payload, dict) else None
+    if not isinstance(events, list):
+        return []
+    starts = {
+        e.get("id") for e in events if isinstance(e, dict) and e.get("ph") == "s"
+    }
+    finishes = {
+        e.get("id") for e in events if isinstance(e, dict) and e.get("ph") == "f"
+    }
+    problems = []
+    # Unfinished starts are legitimate (a coalesced follower's flow has
+    # no worker-side finish); a finish without a start is a wiring bug.
+    for flow_id in sorted(str(x) for x in finishes - starts):
+        problems.append(f"trace: flow {flow_id!r} finishes but never starts")
+    return problems
+
+
+def check_events(
+    path: str,
+    expected_types: List[str],
+    require_correlated_traps: bool,
+) -> List[str]:
+    """Every problem with a repro-events-v1 JSON-lines file."""
+    try:
+        records = read_events(path)
+    except ValueError as exc:
+        return [f"events: {exc}"]
+    present = {record["type"] for record in records}
+    problems = []
+    for name in expected_types:
+        if name not in present:
+            problems.append(f"events: expected event type {name!r} not present")
+    if require_correlated_traps:
+        for index, record in enumerate(records):
+            if record["type"] != "trap":
+                continue
+            if record.get("request_id") is None and record.get("rid") is None:
+                problems.append(
+                    f"events: trap record #{index} carries neither a "
+                    "request_id nor a rid"
+                )
     return problems
 
 
@@ -103,9 +153,29 @@ def main(argv=None) -> int:
         metavar="NAME",
         help="require this counter in the metrics snapshot (repeatable)",
     )
+    parser.add_argument(
+        "--events", help="repro-events-v1 JSON-lines file to validate"
+    )
+    parser.add_argument(
+        "--expect-event-type",
+        action="append",
+        default=[],
+        metavar="TYPE",
+        help="require at least one event of this type (repeatable)",
+    )
+    parser.add_argument(
+        "--require-correlated-traps",
+        action="store_true",
+        help="fail when any trap event lacks both request_id and rid",
+    )
+    parser.add_argument(
+        "--expect-flows",
+        action="store_true",
+        help="require cross-process flow events (ph s/f) in the trace",
+    )
     args = parser.parse_args(argv)
-    if not args.trace and not args.metrics:
-        parser.error("nothing to check: pass --trace and/or --metrics")
+    if not args.trace and not args.metrics and not args.events:
+        parser.error("nothing to check: pass --trace, --metrics, and/or --events")
 
     problems: List[str] = []
     summary: List[str] = []
@@ -113,12 +183,18 @@ def main(argv=None) -> int:
         with open(args.trace, "r", encoding="utf-8") as handle:
             payload: Dict[str, Any] = json.load(handle)
         problems += check_trace(payload, args.expect_span)
+        problems += check_flows(payload)
         events = payload.get("traceEvents") or []
         spans = sum(1 for e in events if isinstance(e, dict) and e.get("ph") == "X")
+        flows = sum(
+            1 for e in events if isinstance(e, dict) and e.get("ph") in ("s", "t", "f")
+        )
         pids = {e.get("pid") for e in events if isinstance(e, dict)}
+        if args.expect_flows and not flows:
+            problems.append("trace: expected flow events (ph s/f), found none")
         summary.append(
-            f"{args.trace}: {len(events)} events ({spans} spans) "
-            f"from {len(pids)} process(es)"
+            f"{args.trace}: {len(events)} events ({spans} spans, "
+            f"{flows} flow endpoints) from {len(pids)} process(es)"
         )
     if args.metrics:
         with open(args.metrics, "r", encoding="utf-8") as handle:
@@ -131,6 +207,22 @@ def main(argv=None) -> int:
                 f"{len(snapshot.get('gauges') or {})} gauges, "
                 f"{len(snapshot.get('histograms') or {})} histograms"
             )
+    if args.events:
+        problems += check_events(
+            args.events, args.expect_event_type, args.require_correlated_traps
+        )
+        try:
+            records = read_events(args.events)
+        except ValueError:
+            records = []
+        by_type: Dict[str, int] = {}
+        for record in records:
+            by_type[record["type"]] = by_type.get(record["type"], 0) + 1
+        rendered = (
+            ", ".join(f"{count} {kind}" for kind, count in sorted(by_type.items()))
+            or "empty"
+        )
+        summary.append(f"{args.events}: {len(records)} event(s) ({rendered})")
 
     for problem in problems:
         print(f"FAIL: {problem}", file=sys.stderr)

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Gate a loadgen report against a declarative SLO policy (CI gate).
+
+Feeds a ``loadgen --report-out`` JSON (and, optionally, an
+``--events-out`` ``repro-events-v1`` file for the trap-rate target)
+through :func:`repro.observability.slo.evaluate_report`.
+
+Usage::
+
+    python tools/check_slo.py --policy slo.json --report load.json \
+        --events events.jsonl
+
+The policy file is an :class:`~repro.observability.slo.SloPolicy`
+JSON object, e.g.::
+
+    {"max_p99_ms": 2000, "max_error_rate": 0, "trap_rate_factor": 50}
+
+Exit codes follow the repo's layered taxonomy: 0 when every target
+holds, 2 on any SLO breach (a security/contract-layer failure), 3 on
+unreadable/invalid inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.observability import SloPolicy, count_traps, evaluate_report, read_events
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--policy", required=True, metavar="FILE", help="SLO policy JSON"
+    )
+    parser.add_argument(
+        "--report",
+        required=True,
+        metavar="FILE",
+        help="loadgen --report-out JSON to evaluate",
+    )
+    parser.add_argument(
+        "--events",
+        default=None,
+        metavar="FILE",
+        help="repro-events-v1 file; arms the trap-rate target",
+    )
+    parser.add_argument(
+        "--baseline-trap-rate",
+        type=float,
+        default=None,
+        help="expected traps per request under this workload (default: "
+        "the quiet-baseline floor)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        policy = SloPolicy.from_json_file(args.policy)
+    except (OSError, ValueError) as exc:
+        print(f"check_slo: error: {exc}", file=sys.stderr)
+        return 3
+    try:
+        with open(args.report, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"check_slo: error: cannot read {args.report}: {exc}", file=sys.stderr)
+        return 3
+    if not isinstance(report, dict):
+        print(f"check_slo: error: {args.report} is not a JSON object", file=sys.stderr)
+        return 3
+
+    trap_count = None
+    if args.events is not None:
+        try:
+            trap_count = count_traps(read_events(args.events))
+        except (OSError, ValueError) as exc:
+            print(f"check_slo: error: {exc}", file=sys.stderr)
+            return 3
+
+    breaches = evaluate_report(
+        policy,
+        report,
+        trap_count=trap_count,
+        baseline_trap_rate=args.baseline_trap_rate,
+    )
+    checked: List[str] = []
+    if policy.max_p99_ms is not None:
+        checked.append(f"p99<={policy.max_p99_ms:g}ms")
+    if policy.max_error_rate is not None:
+        checked.append(f"errors<={policy.max_error_rate:g}")
+    if policy.trap_rate_factor is not None and trap_count is not None:
+        checked.append(f"trap-rate<={policy.trap_rate_factor:g}x baseline")
+    for breach in breaches:
+        print(f"SLO BREACH: {breach.message}", file=sys.stderr)
+    if breaches:
+        return 2
+    print(
+        f"ok: {args.report} within SLO ({', '.join(checked) or 'no targets'}; "
+        f"p99 {float(report.get('p99_ms') or 0.0):.1f}ms, "
+        f"{int(report.get('failures') or 0)} failure(s)"
+        + (f", {trap_count} trap(s)" if trap_count is not None else "")
+        + ")"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
